@@ -1,0 +1,56 @@
+"""Shared benchmark configuration.
+
+Every paper figure has one benchmark module.  Each runs the corresponding
+experiment from :mod:`repro.experiments.figures` exactly once under
+pytest-benchmark (``pedantic(rounds=1)``) — the interesting output is the
+reproduced table, printed to stdout, plus shape assertions against the
+paper.  Scale is selected with the ``PRINS_BENCH_SCALE`` environment
+variable: ``small`` (default, tens of seconds total) or ``paper``
+(paper-faithful parameters, several minutes).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def bench_scale() -> str:
+    """The figure-benchmark scale selected via PRINS_BENCH_SCALE."""
+    scale = os.environ.get("PRINS_BENCH_SCALE", "small")
+    if scale not in ("small", "paper"):
+        raise ValueError(f"PRINS_BENCH_SCALE must be small|paper, got {scale!r}")
+    return scale
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def payloads_8k(scale):
+    """Measured mean replicated payload per write at 8 KB, per strategy.
+
+    Computed once per session (it re-runs the TPC-C capture) and shared by
+    the three queueing-figure benchmarks, exactly as the paper derives its
+    service times from one set of measurements (Sec. 4).
+    """
+    from repro.experiments.figures import measured_payloads_at_8k
+
+    return measured_payloads_at_8k(scale)
+
+
+def run_figure_once(benchmark, runner, scale, **kwargs):
+    """Run one experiment under pytest-benchmark and print its table."""
+    result = benchmark.pedantic(
+        lambda: runner(scale, **kwargs), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    benchmark.extra_info["experiment"] = result.experiment_id
+    benchmark.extra_info["scale"] = scale
+    for comparison in result.comparisons:
+        benchmark.extra_info[comparison.metric] = round(comparison.measured_value, 3)
+    return result

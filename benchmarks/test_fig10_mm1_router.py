@@ -1,0 +1,41 @@
+"""Figure 10: single-router M/M/1 queueing time vs write rate (T1, 8 KB).
+
+Paper claims (Sec. 4): "PRINS can sustain much greater write request
+rates than the two traditional replication techniques.  The traditional
+replications saturate the router very quickly as the write request rate
+increases."
+"""
+
+from __future__ import annotations
+
+import math
+
+from conftest import run_figure_once
+
+from repro.experiments.figures import run_fig10
+from repro.queueing import ReplicationNetworkModel, StrategyTraffic, T1
+
+
+def test_fig10_router_saturation(benchmark, scale, payloads_8k):
+    result = run_figure_once(benchmark, run_fig10, scale, payloads=payloads_8k)
+
+    columns = {name: i + 1 for i, name in enumerate(payloads_8k)}
+    traditional = [row[columns["traditional"]] for row in result.rows]
+    prins = [row[columns["prins"]] for row in result.rows]
+
+    # traditional saturates inside the plotted range (1..56 req/s on T1)
+    assert any(math.isinf(value) for value in traditional)
+    # prins never saturates in the plotted range and stays tiny
+    assert all(math.isfinite(value) and value < 0.05 for value in prins)
+
+    # saturation ordering: traditional < compressed < prins
+    rates = {
+        name: ReplicationNetworkModel(
+            StrategyTraffic(name, payload), T1
+        ).saturation_write_rate
+        for name, payload in payloads_8k.items()
+    }
+    assert rates["traditional"] < rates["compressed"] < rates["prins"]
+
+    for comparison in result.comparisons:
+        assert comparison.within_tolerance, result.render()

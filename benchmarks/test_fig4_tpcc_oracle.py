@@ -1,0 +1,40 @@
+"""Figure 4: TPC-C (Oracle profile) replication traffic vs block size.
+
+Paper claims (Sec. 4): at 8 KB blocks PRINS ships ~10x less than
+traditional replication and ~5x less than compressed; at 64 KB the
+savings exceed two orders of magnitude vs traditional and reach ~23x vs
+compressed.  PRINS traffic is independent of block size.
+"""
+
+from __future__ import annotations
+
+from conftest import run_figure_once
+
+from repro.experiments.figures import run_fig4
+
+
+def test_fig4_tpcc_oracle_traffic(benchmark, scale):
+    result = run_figure_once(benchmark, run_fig4, scale)
+
+    by_block = {int(row[0]): row for row in result.rows}
+    smallest, largest = min(by_block), max(by_block)
+
+    # Ordering at every block size: prins < compressed < traditional.
+    for row in result.rows:
+        _, _, traditional, compressed, prins, *_ = row
+        assert prins < compressed < traditional
+
+    # PRINS traffic is (nearly) independent of block size (Sec. 4).
+    prins_small = by_block[smallest][4]
+    prins_large = by_block[largest][4]
+    assert prins_large < prins_small * 2
+
+    # Traditional traffic grows with block size.
+    assert by_block[largest][2] > by_block[smallest][2] * 3
+
+    # The savings factor grows with block size (8 KB -> 64 KB in the paper).
+    assert by_block[largest][5] > by_block[smallest][5]
+
+    # Paper-ratio comparisons all land within tolerance.
+    for comparison in result.comparisons:
+        assert comparison.within_tolerance, result.render()

@@ -1,0 +1,32 @@
+"""Figure 7: Ext2 tar micro-benchmark traffic.
+
+Paper claims (Sec. 4): at 8 KB PRINS ships 51.5x less than traditional
+and 10.4x less than compressed; at 64 KB the factors are 166x and 33x.
+Text files compress well, so the compressed baseline does better here
+than on databases — but PRINS still wins by an order of magnitude.
+"""
+
+from __future__ import annotations
+
+from conftest import run_figure_once
+
+from repro.experiments.figures import run_fig7
+
+
+def test_fig7_fs_micro_traffic(benchmark, scale):
+    result = run_figure_once(benchmark, run_fig7, scale)
+
+    by_block = {int(row[0]): row for row in result.rows}
+    smallest, largest = min(by_block), max(by_block)
+
+    for row in result.rows:
+        assert row[4] < row[3] < row[2]
+
+    # savings grow with block size, hard (the paper's 51.5x -> 166x trend)
+    assert by_block[largest][5] > by_block[smallest][5] * 2
+
+    # PRINS flat across block sizes
+    assert by_block[largest][4] < by_block[smallest][4] * 1.5
+
+    for comparison in result.comparisons:
+        assert comparison.within_tolerance, result.render()

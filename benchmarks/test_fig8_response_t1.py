@@ -1,0 +1,41 @@
+"""Figure 8: response time vs population, T1 lines, 2 routers, 8 KB.
+
+Paper claims (Sec. 4): "the response time of traditional replication
+increases rapidly as population size increases.  Even with data
+compressed, the response time also increases very quickly.  The response
+time of PRINS stays relatively flat indicating a good scalability."
+At population 100 the paper's curves read roughly 6 s / 2 s / <0.5 s.
+"""
+
+from __future__ import annotations
+
+from conftest import run_figure_once
+
+from repro.experiments.figures import run_fig8
+
+
+def test_fig8_response_time_t1(benchmark, scale, payloads_8k):
+    result = run_figure_once(benchmark, run_fig8, scale, payloads=payloads_8k)
+
+    populations = [row[0] for row in result.rows]
+    columns = {name: i + 1 for i, name in enumerate(payloads_8k)}
+
+    def curve(name):
+        return [row[columns[name]] for row in result.rows]
+
+    traditional, compressed, prins = (
+        curve("traditional"), curve("compressed"), curve("prins"),
+    )
+
+    # ordering at every population
+    for t, c, p in zip(traditional, compressed, prins):
+        assert p < c < t
+
+    # traditional blows up; prins stays flat
+    assert traditional[-1] > 3.0  # paper: ~6 s at population 100
+    assert prins[-1] < 1.0
+    assert prins[-1] / max(prins[0], 1e-9) < traditional[-1] / traditional[0]
+
+    # monotone non-decreasing in population
+    assert traditional == sorted(traditional)
+    assert populations == sorted(populations)

@@ -1,0 +1,33 @@
+"""Figure 9: response time vs population, T3 lines, 2 routers, 8 KB.
+
+Paper claims (Sec. 4): "Although the response times are smaller because
+of faster Internet links, the two traditional replication techniques
+suffer from high response time as population size increases.  Our PRINS
+shows constant lower response time."
+"""
+
+from __future__ import annotations
+
+from conftest import run_figure_once
+
+from repro.experiments.figures import run_fig8, run_fig9
+
+
+def test_fig9_response_time_t3(benchmark, scale, payloads_8k):
+    result = run_figure_once(benchmark, run_fig9, scale, payloads=payloads_8k)
+
+    columns = {name: i + 1 for i, name in enumerate(payloads_8k)}
+    for row in result.rows:
+        assert row[columns["prins"]] < row[columns["compressed"]]
+        assert row[columns["compressed"]] < row[columns["traditional"]]
+
+    # everything far below the T1 numbers of fig8
+    t3_traditional_at_100 = result.rows[-1][columns["traditional"]]
+    t1 = run_fig8(scale, payloads=payloads_8k)
+    t1_traditional_at_100 = t1.rows[-1][columns["traditional"]]
+    assert t3_traditional_at_100 < t1_traditional_at_100 / 5
+
+    # PRINS stays far below the paper's ~0.02 s band at population 100,
+    # and well under the other strategies at every point
+    prins_curve = [row[columns["prins"]] for row in result.rows]
+    assert max(prins_curve) < 0.05

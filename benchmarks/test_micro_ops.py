@@ -1,0 +1,76 @@
+"""Micro-benchmarks of the hot operations on the PRINS write path.
+
+These are conventional pytest-benchmark timings (many rounds) of the
+per-write primitives: the XOR parity computation, the codecs, the RAID-5
+small write, and the end-to-end engine write.  They quantify what the
+paper calls "inexpensive computations outside of critical data path"
+(Sec. 1) for this implementation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.block import MemoryBlockDevice
+from repro.common.rng import make_rng
+from repro.engine import DirectLink, PrimaryEngine, ReplicaEngine, make_strategy
+from repro.parity import forward_parity, get_codec
+from repro.raid import Raid5Array
+from repro.workloads.content import mutate_fraction, random_bytes
+
+BLOCK_SIZE = 8192
+
+
+@pytest.fixture(scope="module")
+def blocks():
+    rng = make_rng(5, "micro")
+    old = random_bytes(rng, BLOCK_SIZE)
+    new = mutate_fraction(old, 0.10, rng)
+    return old, new
+
+
+def test_xor_8k_block(benchmark, blocks):
+    old, new = blocks
+    benchmark(forward_parity, new, old)
+
+
+@pytest.mark.parametrize("codec_name", ["zero-rle", "sparse", "zlib", "rle+zlib"])
+def test_codec_encode_sparse_delta(benchmark, blocks, codec_name):
+    old, new = blocks
+    delta = forward_parity(new, old)
+    codec = get_codec(codec_name)
+    benchmark(codec.encode, delta)
+
+
+def test_codec_decode_zero_rle(benchmark, blocks):
+    old, new = blocks
+    codec = get_codec("zero-rle")
+    payload = codec.encode(forward_parity(new, old))
+    benchmark(codec.decode, payload, BLOCK_SIZE)
+
+
+def test_raid5_small_write(benchmark, blocks):
+    _, new = blocks
+    array = Raid5Array([MemoryBlockDevice(BLOCK_SIZE, 64) for _ in range(4)])
+    benchmark(array.write_block_with_delta, 17, new)
+
+
+@pytest.mark.parametrize("strategy_name", ["traditional", "compressed", "prins"])
+def test_engine_write_path(benchmark, blocks, strategy_name):
+    old, new = blocks
+    primary = MemoryBlockDevice(BLOCK_SIZE, 16)
+    replica = MemoryBlockDevice(BLOCK_SIZE, 16)
+    primary.write_block(3, old)
+    replica.write_block(3, old)
+    strategy = make_strategy(strategy_name)
+    engine = PrimaryEngine(
+        primary, strategy, [DirectLink(ReplicaEngine(replica, strategy))]
+    )
+    # alternate two contents so every write really changes the block
+    state = {"flip": False}
+
+    def write_once():
+        state["flip"] = not state["flip"]
+        engine.write_block(3, new if state["flip"] else old)
+
+    benchmark(write_once)

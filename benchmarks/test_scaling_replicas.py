@@ -1,0 +1,117 @@
+"""Scaling study: traffic and modeled response time vs replica count.
+
+The paper scales its queueing model by population = nodes × replicas
+(Sec. 3.3: "if we have 10 nodes ... and each write is replicated to 4
+replica nodes, then the population is 40").  This benchmark grounds that
+product in the engine itself: a real :class:`StorageCluster` at increasing
+replica counts, measured traffic per strategy, and the resulting modeled
+response time on a T1 line.
+"""
+
+from __future__ import annotations
+
+from conftest import bench_scale
+
+from repro.analysis import format_table
+from repro.common.rng import make_rng
+from repro.engine import ClusterConfig, StorageCluster
+from repro.queueing import ReplicationNetworkModel, StrategyTraffic, T1
+
+NODES = 6
+BLOCK_SIZE = 8192
+
+
+def run_cluster(strategy: str, replicas: int, writes: int) -> tuple[int, float]:
+    """Return (total payload bytes, mean payload per write)."""
+    cluster = StorageCluster(
+        ClusterConfig(
+            nodes=NODES,
+            replicas_per_node=replicas,
+            block_size=BLOCK_SIZE,
+            blocks_per_node=64,
+            strategy=strategy,
+        )
+    )
+    rng = make_rng(13, "scaling")  # same stream at every replica count
+    for node in range(NODES):
+        for lba in range(64):
+            cluster.write(
+                node, lba, rng.integers(0, 256, BLOCK_SIZE, dtype="u1").tobytes()
+            )
+    for node_obj in cluster.nodes:
+        node_obj.engine.accountant.reset()
+    for _ in range(writes):
+        node = int(rng.integers(0, NODES))
+        lba = int(rng.integers(0, 64))
+        block = bytearray(cluster.read(node, lba))
+        start = int(rng.integers(0, BLOCK_SIZE - 800))
+        block[start : start + 800] = rng.integers(0, 256, 800, dtype="u1").tobytes()
+        cluster.write(node, lba, bytes(block))
+    assert cluster.verify() == {}
+    return cluster.total_payload_bytes, cluster.mean_payload_per_write()
+
+
+def test_replica_count_scaling(benchmark):
+    writes = 400 if bench_scale() == "paper" else 150
+    replica_counts = (1, 2, 3, 4)
+
+    def sweep():
+        results = {}
+        for replicas in replica_counts:
+            for strategy in ("traditional", "prins"):
+                results[(strategy, replicas)] = run_cluster(
+                    strategy, replicas, writes
+                )
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = []
+    for replicas in replica_counts:
+        population = NODES * replicas
+        trad_total, trad_mean = results[("traditional", replicas)]
+        prins_total, prins_mean = results[("prins", replicas)]
+        trad_rt = ReplicationNetworkModel(
+            StrategyTraffic("traditional", trad_mean), T1
+        ).response_time(population)
+        prins_rt = ReplicationNetworkModel(
+            StrategyTraffic("prins", prins_mean), T1
+        ).response_time(population)
+        rows.append(
+            [
+                replicas,
+                population,
+                trad_total / 1024.0,
+                prins_total / 1024.0,
+                trad_rt,
+                prins_rt,
+            ]
+        )
+    print()
+    print(
+        format_table(
+            [
+                "replicas", "population", "traditional KB", "prins KB",
+                "trad RT s", "prins RT s",
+            ],
+            rows,
+            title=f"[scaling] {NODES}-node cluster, traffic and modeled T1 "
+            "response time vs replica count",
+        )
+    )
+
+    # traffic scales linearly with replica count, for both strategies
+    for strategy in ("traditional", "prins"):
+        base_total, _ = results[(strategy, 1)]
+        for replicas in replica_counts[1:]:
+            total, _ = results[(strategy, replicas)]
+            assert total == replicas * base_total  # identical write stream
+
+    # both response times grow with population, but PRINS stays deep in the
+    # flat region (fig8's story) while traditional passes one second
+    traditional_curve = [row[4] for row in rows]
+    prins_curve = [row[5] for row in rows]
+    assert traditional_curve == sorted(traditional_curve)
+    assert prins_curve == sorted(prins_curve)
+    assert traditional_curve[-1] > 1.0
+    assert all(value < 0.2 for value in prins_curve)

@@ -1,0 +1,67 @@
+"""Validation: discrete-event simulation vs the paper's MVA model.
+
+The paper trusts exact MVA for Figs. 8/9 ("we performed analytical
+evaluations using the simple queueing model").  This benchmark replays
+the Fig. 8 configuration in the event simulator and checks the two agree
+within a few percent across the population sweep — replacing "trust the
+math" with measurement — then uses the simulator to peek beyond product
+form (deterministic service), where MVA cannot go.
+"""
+
+from __future__ import annotations
+
+from conftest import bench_scale
+
+from repro.analysis import format_table
+from repro.queueing import ReplicationNetworkModel, StrategyTraffic, T1, solve_mva
+from repro.sim import simulate_closed_network
+
+POPULATIONS = (1, 10, 40, 100)
+
+
+def test_sim_matches_mva(benchmark, payloads_8k):
+    model = ReplicationNetworkModel(
+        StrategyTraffic("prins", payloads_8k["prins"]), T1
+    )
+    service = model.router_service_time
+    think = model.think_time
+    horizon = 6000 if bench_scale() == "paper" else 2500
+
+    def run():
+        rows = []
+        for population in POPULATIONS:
+            mva = solve_mva([service] * 2, think, population)
+            sim = simulate_closed_network(
+                service, think, population, routers=2,
+                horizon=horizon, warmup=horizon / 10, seed=population,
+            )
+            deterministic = simulate_closed_network(
+                service, think, population, routers=2,
+                horizon=horizon, warmup=horizon / 10, seed=population,
+                deterministic_service=True,
+            )
+            rows.append(
+                [
+                    population,
+                    mva.response_time,
+                    sim.mean_response_time,
+                    sim.mean_response_time / mva.response_time,
+                    deterministic.mean_response_time,
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["population", "MVA s", "sim s", "sim/MVA", "determ. s"],
+            rows,
+            title="[sim-mva] DES validation of the queueing model "
+            "(PRINS service time, T1, 2 routers)",
+        )
+    )
+
+    for _population, mva_r, sim_r, ratio, deterministic_r in rows:
+        assert 0.85 < ratio < 1.15  # simulation confirms the analytic model
+        assert deterministic_r <= sim_r * 1.1  # D-service never worse than M

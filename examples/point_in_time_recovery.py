@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""CDP/TRAP: recover a filesystem to any point in time from parity logs.
+
+The paper's released code ships "continuous data protection (CDP) and
+timely recovery to any point-in-time (TRAP)" (Sec. 6).  Because PRINS
+computes ``P' = A_new XOR A_old`` on every write anyway, *logging* those
+deltas gives a complete per-block undo/redo chain at a fraction of the
+space of a full-block journal.
+
+This example corrupts a file "by accident", then walks the log back to the
+last good instant — in both directions (forward from the baseline and
+backward from the damaged current image) — and shows the two agree.
+
+Run:  python examples/point_in_time_recovery.py
+"""
+
+import itertools
+
+from repro import FileSystem, MemoryBlockDevice, ParityLog, RecoveryPoint, recover_image
+from repro.cdp.parity_log import CdpDevice
+from repro.common.units import format_bytes
+
+BLOCK_SIZE = 1024
+NUM_BLOCKS = 2048
+
+
+def main() -> None:
+    # a logical clock: every block write gets the next tick
+    ticks = itertools.count()
+    disk = MemoryBlockDevice(BLOCK_SIZE, NUM_BLOCKS)
+    log = ParityLog(codec="zero-rle")
+    device = CdpDevice(disk, log, clock=lambda: next(ticks))
+
+    baseline = MemoryBlockDevice(BLOCK_SIZE, NUM_BLOCKS)  # t = -inf image
+
+    fs = FileSystem.format(device, inode_count=128)
+    fs.makedirs("ledger")
+    fs.write_file("ledger/2006-01.txt", b"opening balance: 1000\n" * 40)
+    fs.write_file("ledger/2006-02.txt", b"rent -350\npayroll -200\n" * 30)
+
+    good_instant = next(ticks) - 1  # remember "now" (last applied tick)
+    print(f"good state recorded at logical time {good_instant}")
+
+    # ---- disaster: a buggy script truncates one file and scribbles another
+    fs.write_file("ledger/2006-01.txt", b"oops\n")
+    fs.write_file("ledger/2006-02.txt", b"\x00" * 700)
+    print("after the accident:",
+          fs.read_file("ledger/2006-01.txt")[:10], "...")
+
+    print(
+        f"\nparity log: {log.entry_count} entries, "
+        f"{format_bytes(log.stored_bytes)} "
+        f"(a full-block journal would hold "
+        f"{format_bytes(log.entry_count * BLOCK_SIZE)})"
+    )
+
+    # ---- recover to the good instant, both directions
+    point = RecoveryPoint(float(good_instant))
+    forward = recover_image(log, point, baseline=baseline)
+    backward = recover_image(log, point, current=disk)
+    assert forward.snapshot() == backward.snapshot(), "log corrupt!"
+
+    recovered_fs = FileSystem(forward)
+    jan = recovered_fs.read_file("ledger/2006-01.txt")
+    feb = recovered_fs.read_file("ledger/2006-02.txt")
+    assert jan == b"opening balance: 1000\n" * 40
+    assert feb == b"rent -350\npayroll -200\n" * 30
+    print("recovered ledger/2006-01.txt:", jan[:22], "...")
+    print("forward and backward recovery agree — files restored exactly.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Remote mirroring over real TCP sockets — the paper's deployment shape.
+
+Starts an iSCSI target (the replica node) on a loopback socket, connects a
+PRINS primary to it exactly as the paper's PRINS-engine does ("the
+communication module is another iSCSI initiator communicating with the
+counterpart iSCSI target at the replica node", Sec. 2), runs a mini-DBMS
+workload on the primary, then simulates a primary failure and serves the
+data from the replica.
+
+Run:  python examples/remote_mirror_tcp.py
+"""
+
+from repro import (
+    Database,
+    Initiator,
+    InitiatorLink,
+    MemoryBlockDevice,
+    PrimaryEngine,
+    ReplicaEngine,
+    TargetServer,
+    TcpTransport,
+    make_strategy,
+    verify_consistency,
+)
+from repro.common.units import format_bytes
+from repro.minidb import Column, ColumnType, Schema
+
+BLOCK_SIZE = 4096
+NUM_BLOCKS = 1024
+
+
+def main() -> None:
+    # ---- replica node: block device + replica engine inside an iSCSI target
+    replica_disk = MemoryBlockDevice(BLOCK_SIZE, NUM_BLOCKS)
+    strategy = make_strategy("prins")
+    replica_engine = ReplicaEngine(replica_disk, strategy)
+    server = TargetServer(
+        replica_disk,
+        name="iqn.2006-01.edu.uri.hpcl:replica",
+        replication_handler=replica_engine.receive,
+    ).start()
+    host, port = server.address
+    print(f"replica target listening on {host}:{port}")
+
+    # ---- primary node: local disk + PRINS engine dialing the replica
+    initiator = Initiator(TcpTransport.connect(host, port))
+    initiator.login("iqn.2006-01.edu.uri.hpcl:replica")
+    primary_disk = MemoryBlockDevice(BLOCK_SIZE, NUM_BLOCKS)
+    engine = PrimaryEngine(primary_disk, strategy, [InitiatorLink(initiator)])
+
+    # ---- application: a small accounts database on the replicated device
+    db = Database(engine, pool_capacity=64)
+    accounts = db.create_table(
+        "accounts",
+        Schema([
+            Column("id", ColumnType.INT),
+            Column("owner", ColumnType.CHAR, 24),
+            Column("balance", ColumnType.FLOAT),
+        ]),
+        key="id",
+    )
+    for i in range(500):
+        accounts.insert((i, f"customer-{i}", 100.0))
+    db.commit()
+    for i in range(0, 500, 3):  # a burst of balance updates
+        accounts.update_fields(i, balance=100.0 + i)
+    db.commit()
+
+    wire = initiator.transport.bytes_sent + initiator.transport.bytes_received
+    print(
+        f"workload done: {engine.accountant.writes_total} block writes, "
+        f"{format_bytes(engine.accountant.data_bytes)} of data written, "
+        f"{format_bytes(wire)} crossed the wire (PRINS parity deltas)"
+    )
+
+    mismatches = verify_consistency(primary_disk, replica_disk)
+    print(f"replica consistency check: {len(mismatches)} mismatched blocks")
+    assert mismatches == []
+
+    # ---- failover: the primary "dies"; mount the replica image directly
+    initiator.logout()
+    server.stop()
+    print("\nprimary lost — promoting the replica...")
+    recovered_db = Database(replica_disk, pool_capacity=64)
+    # (a production system would persist the catalog; here we re-read one
+    # heap page to show the bytes really are there)
+    from repro.minidb.page import SlottedPage
+
+    rows = 0
+    for lba in range(NUM_BLOCKS):
+        try:
+            page = SlottedPage(BLOCK_SIZE, replica_disk.read_block(lba))
+        except Exception:
+            continue
+        rows += len(page.live_slots())
+    print(f"replica image holds {rows} live records (heap rows + index nodes)")
+    assert rows >= 500
+    print("failover target is fully populated — mirror held.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+#!/usr/bin/env python
+"""Reproduce the paper's Figure 4 experiment end to end.
+
+Runs the TPC-C-like workload on the minidb substrate at several block
+sizes, captures the block-write trace once per size, replays it through
+the three replication strategies, and prints the traffic table with the
+paper-ratio comparisons — the same code path the `fig4` benchmark uses.
+
+Run:  python examples/tpcc_traffic_study.py [--scale paper]
+(small scale by default: ~10 s; paper scale takes a few minutes)
+"""
+
+import argparse
+import time
+
+from repro.experiments.figures import run_fig4
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=["small", "paper"], default="small")
+    args = parser.parse_args()
+
+    start = time.perf_counter()
+    result = run_fig4(args.scale)
+    print(result.render())
+    print(f"\ncompleted in {time.perf_counter() - start:.1f}s "
+          f"at scale={args.scale}")
+
+    in_band = sum(c.within_tolerance for c in result.comparisons)
+    print(f"{in_band}/{len(result.comparisons)} paper comparisons in band")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""WAN capacity planning with the paper's queueing model (Figs. 8-10).
+
+Given a measured per-write payload for each replication strategy, answer
+the operator's questions analytically: how does replication response time
+grow with the number of nodes x replicas on a T1 vs a T3 line, and at
+what write rate does a router saturate?  Cross-checks one point against
+the discrete-event simulator.
+
+Run:  python examples/wan_capacity_planning.py
+"""
+
+from repro import ReplicationNetworkModel, StrategyTraffic, T1, T3
+from repro.analysis import format_table
+from repro.sim import simulate_closed_network
+
+# mean replicated payload per write at 8 KB blocks — plug in your own
+# measurements (e.g. from examples/tpcc_traffic_study.py)
+PAYLOADS = {
+    "traditional": 8192.0,
+    "compressed": 8192.0 / 3.5,
+    "prins": 350.0,
+}
+POPULATIONS = [1, 10, 20, 40, 60, 80, 100]
+
+
+def response_table(line) -> str:
+    rows = []
+    models = {
+        name: ReplicationNetworkModel(StrategyTraffic(name, payload), line)
+        for name, payload in PAYLOADS.items()
+    }
+    for population in POPULATIONS:
+        rows.append(
+            [population]
+            + [models[name].response_time(population) for name in PAYLOADS]
+        )
+    return format_table(
+        ["population"] + [f"{name} s" for name in PAYLOADS],
+        rows,
+        title=f"replication response time on {line.name} "
+        f"(2 routers, think 0.1s, 8KB blocks)",
+    )
+
+
+def main() -> None:
+    print(response_table(T1))
+    print()
+    print(response_table(T3))
+
+    print("\nsingle-router saturation (M/M/1, T1):")
+    for name, payload in PAYLOADS.items():
+        model = ReplicationNetworkModel(StrategyTraffic(name, payload), T1)
+        print(f"  {name:12s} saturates at {model.saturation_write_rate:7.1f} "
+              f"writes/s")
+
+    # sanity: simulate one heavy point and compare with the MVA answer
+    model = ReplicationNetworkModel(
+        StrategyTraffic("traditional", PAYLOADS["traditional"]), T1
+    )
+    analytic = model.response_time(60)
+    simulated = simulate_closed_network(
+        model.router_service_time, model.think_time, population=60,
+        routers=2, horizon=2000, seed=1,
+    ).mean_response_time
+    print(
+        f"\ncross-check at population 60 (traditional, T1): "
+        f"MVA {analytic:.2f}s vs simulation {simulated:.2f}s "
+        f"({abs(simulated - analytic) / analytic:.1%} apart)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Result analysis and reporting.
+
+Small, dependency-free helpers the benchmark harness uses to print the
+paper's tables: ASCII table rendering (:mod:`repro.analysis.tables`) and
+experiment-result records with paper-vs-measured comparisons
+(:mod:`repro.analysis.report`).
+"""
+
+from repro.analysis.report import Comparison, ExperimentResult
+from repro.analysis.tables import format_table
+
+__all__ = ["Comparison", "ExperimentResult", "format_table"]

@@ -1,0 +1,68 @@
+"""Write-through LRU read cache wrapper.
+
+The PRINS forward parity computation reads ``A_old`` before every write
+(Sec. 2).  On a real array that read is usually served by the controller
+cache; :class:`CachedDevice` models the same effect so overhead benchmarks
+can separate "extra read I/O" from "extra XOR compute".
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.block.device import BlockDevice
+
+
+class CachedDevice(BlockDevice):
+    """Pass-through wrapper with a write-through LRU cache of whole blocks."""
+
+    def __init__(self, inner: BlockDevice, capacity_blocks: int = 1024) -> None:
+        if capacity_blocks <= 0:
+            raise ValueError(f"capacity_blocks must be positive, got {capacity_blocks}")
+        super().__init__(inner.block_size, inner.num_blocks)
+        self._inner = inner
+        self._capacity = capacity_blocks
+        self._cache: OrderedDict[int, bytes] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def inner(self) -> BlockDevice:
+        """The wrapped device."""
+        return self._inner
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of reads served from cache (0.0 if no reads yet)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def _read(self, lba: int) -> bytes:
+        cached = self._cache.get(lba)
+        if cached is not None:
+            self._cache.move_to_end(lba)
+            self.hits += 1
+            return cached
+        self.misses += 1
+        data = self._inner.read_block(lba)
+        self._insert(lba, data)
+        return data
+
+    def _write(self, lba: int, data: bytes) -> None:
+        self._inner.write_block(lba, data)  # write-through: inner is truth
+        self._insert(lba, data)
+
+    def _insert(self, lba: int, data: bytes) -> None:
+        self._cache[lba] = data
+        self._cache.move_to_end(lba)
+        while len(self._cache) > self._capacity:
+            self._cache.popitem(last=False)
+
+    def invalidate(self) -> None:
+        """Drop all cached blocks (inner device is unaffected)."""
+        self._cache.clear()
+
+    def close(self) -> None:
+        if not self.closed:
+            self._inner.close()
+        super().close()

@@ -1,0 +1,110 @@
+"""Fault-injection device wrapper.
+
+Wraps any device and injects failures on command: hard I/O errors on
+chosen LBAs, probabilistic transient errors, silent bit corruption, or a
+full device failure.  Used by the failure-injection test suite to verify
+that RAID reconstruction, replication retries, checksum detection, and
+journal escalation all behave under storage faults — behaviours the paper
+asserts ("extensive testing and experiments … show that our implementation
+is fairly robust", Sec. 6) but cannot be trusted without injection.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.block.device import BlockDevice
+from repro.common.errors import StorageError
+
+
+class InjectedIoError(StorageError):
+    """The error raised for injected I/O failures."""
+
+    def __init__(self, operation: str, lba: int) -> None:
+        super().__init__(f"injected {operation} error at LBA {lba}")
+        self.operation = operation
+        self.lba = lba
+
+
+class FaultyDevice(BlockDevice):
+    """Pass-through wrapper with controllable fault injection."""
+
+    def __init__(
+        self,
+        inner: BlockDevice,
+        error_probability: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if not 0.0 <= error_probability <= 1.0:
+            raise ValueError(
+                f"error_probability must be in [0, 1], got {error_probability}"
+            )
+        super().__init__(inner.block_size, inner.num_blocks)
+        self._inner = inner
+        self._probability = error_probability
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._bad_reads: set[int] = set()
+        self._bad_writes: set[int] = set()
+        self._corrupt_next: set[int] = set()
+        self._dead = False
+        self.errors_injected = 0
+
+    @property
+    def inner(self) -> BlockDevice:
+        """The wrapped device."""
+        return self._inner
+
+    # -- fault controls -------------------------------------------------------
+
+    def fail_reads(self, *lbas: int) -> None:
+        """Every read of these LBAs raises until :meth:`heal`."""
+        self._bad_reads.update(lbas)
+
+    def fail_writes(self, *lbas: int) -> None:
+        """Every write to these LBAs raises until :meth:`heal`."""
+        self._bad_writes.update(lbas)
+
+    def corrupt_block(self, lba: int) -> None:
+        """Silently flip bits in the stored block (latent corruption).
+
+        Detected only by an integrity layer above (ChecksumDevice, RAID
+        scrub, replication CRC) — exactly the failure mode parity exists
+        to catch.
+        """
+        data = bytearray(self._inner.read_block(lba))
+        data[0] ^= 0xFF
+        data[len(data) // 2] ^= 0xFF
+        self._inner.write_block(lba, bytes(data))
+
+    def kill(self) -> None:
+        """Simulate whole-device failure: every I/O raises."""
+        self._dead = True
+
+    def heal(self) -> None:
+        """Clear all injected faults (the device was 'replaced/repaired')."""
+        self._bad_reads.clear()
+        self._bad_writes.clear()
+        self._dead = False
+
+    # -- I/O with injection ------------------------------------------------------
+
+    def _maybe_fail(self, operation: str, lba: int, targeted: set[int]) -> None:
+        if self._dead or lba in targeted:
+            self.errors_injected += 1
+            raise InjectedIoError(operation, lba)
+        if self._probability and self._rng.random() < self._probability:
+            self.errors_injected += 1
+            raise InjectedIoError(operation, lba)
+
+    def _read(self, lba: int) -> bytes:
+        self._maybe_fail("read", lba, self._bad_reads)
+        return self._inner.read_block(lba)
+
+    def _write(self, lba: int, data: bytes) -> None:
+        self._maybe_fail("write", lba, self._bad_writes)
+        self._inner.write_block(lba, data)
+
+    def close(self) -> None:
+        if not self.closed:
+            self._inner.close()
+        super().close()

@@ -1,0 +1,38 @@
+"""In-memory block device backed by one contiguous bytearray."""
+
+from __future__ import annotations
+
+from repro.block.device import BlockDevice
+
+
+class MemoryBlockDevice(BlockDevice):
+    """A block device whose entire contents live in a single bytearray.
+
+    This is the default substrate for tests and traffic experiments: reads
+    and writes are exact and instantaneous, and the full image can be
+    snapshotted with :meth:`snapshot` for consistency checks.
+    """
+
+    def __init__(self, block_size: int, num_blocks: int) -> None:
+        super().__init__(block_size, num_blocks)
+        self._data = bytearray(block_size * num_blocks)
+
+    def _read(self, lba: int) -> bytes:
+        offset = lba * self._block_size
+        return bytes(self._data[offset : offset + self._block_size])
+
+    def _write(self, lba: int, data: bytes) -> None:
+        offset = lba * self._block_size
+        self._data[offset : offset + self._block_size] = data
+
+    def snapshot(self) -> bytes:
+        """Return an immutable copy of the whole device image."""
+        return bytes(self._data)
+
+    def load(self, image: bytes) -> None:
+        """Replace the whole device image (must match capacity exactly)."""
+        if len(image) != self.capacity_bytes:
+            raise ValueError(
+                f"image is {len(image)} bytes, device holds {self.capacity_bytes}"
+            )
+        self._data[:] = image

@@ -1,0 +1,40 @@
+"""Sparse block device: unwritten blocks read as zeros."""
+
+from __future__ import annotations
+
+from repro.block.device import BlockDevice
+from repro.common.buffers import is_zero
+
+
+class SparseBlockDevice(BlockDevice):
+    """Dict-backed device where only written blocks consume memory.
+
+    Useful for modeling large LUNs (the paper's 80–200 GB disks) of which a
+    workload only touches a small working set.  Writing an all-zero block
+    reclaims its slot, so memory use tracks the *nonzero* footprint.
+    """
+
+    def __init__(self, block_size: int, num_blocks: int) -> None:
+        super().__init__(block_size, num_blocks)
+        self._blocks: dict[int, bytes] = {}
+
+    def _read(self, lba: int) -> bytes:
+        data = self._blocks.get(lba)
+        if data is None:
+            return bytes(self._block_size)
+        return data
+
+    def _write(self, lba: int, data: bytes) -> None:
+        if is_zero(data):
+            self._blocks.pop(lba, None)
+        else:
+            self._blocks[lba] = data
+
+    @property
+    def allocated_blocks(self) -> int:
+        """Number of blocks currently holding nonzero data."""
+        return len(self._blocks)
+
+    def written_lbas(self) -> list[int]:
+        """Return the sorted LBAs that currently hold nonzero data."""
+        return sorted(self._blocks)

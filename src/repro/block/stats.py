@@ -1,0 +1,68 @@
+"""I/O accounting wrapper.
+
+Every traffic experiment in the paper is ultimately a byte count; the
+:class:`CountingDevice` wrapper records reads/writes flowing through any
+device so the benchmark harness can report exact I/O volumes alongside the
+on-wire replication volumes from :mod:`repro.engine.accounting`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.block.device import BlockDevice
+
+
+@dataclass
+class IoCounters:
+    """Mutable counters for one device's traffic."""
+
+    reads: int = 0
+    writes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    unique_lbas_written: set[int] = field(default_factory=set)
+
+    @property
+    def total_ops(self) -> int:
+        """Total number of block operations observed."""
+        return self.reads + self.writes
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.reads = 0
+        self.writes = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.unique_lbas_written.clear()
+
+
+class CountingDevice(BlockDevice):
+    """Pass-through wrapper that counts every read and write."""
+
+    def __init__(self, inner: BlockDevice) -> None:
+        super().__init__(inner.block_size, inner.num_blocks)
+        self._inner = inner
+        self.counters = IoCounters()
+
+    @property
+    def inner(self) -> BlockDevice:
+        """The wrapped device."""
+        return self._inner
+
+    def _read(self, lba: int) -> bytes:
+        data = self._inner.read_block(lba)
+        self.counters.reads += 1
+        self.counters.bytes_read += len(data)
+        return data
+
+    def _write(self, lba: int, data: bytes) -> None:
+        self._inner.write_block(lba, data)
+        self.counters.writes += 1
+        self.counters.bytes_written += len(data)
+        self.counters.unique_lbas_written.add(lba)
+
+    def close(self) -> None:
+        if not self.closed:
+            self._inner.close()
+        super().close()

@@ -1,0 +1,158 @@
+"""The TRAP parity log: per-block chains of encoded parity deltas."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.block.device import BlockDevice
+from repro.common.errors import RecoveryError
+from repro.parity.codecs import Codec, get_codec
+from repro.parity.delta import forward_parity
+from repro.parity.frame import decode_frame, encode_frame
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """One logged write: when it happened and its encoded parity delta."""
+
+    seq: int
+    timestamp: float
+    lba: int
+    frame: bytes
+
+    @property
+    def stored_bytes(self) -> int:
+        """Bytes this entry occupies in the log."""
+        return len(self.frame) + 24  # seq + timestamp + lba bookkeeping
+
+
+class ParityLog:
+    """Append-only log of parity deltas, indexed by LBA.
+
+    Wrap writes with :meth:`log_write` (or attach via
+    :class:`CdpDevice`); entries are kept in per-LBA chains ordered by
+    sequence number, which recovery folds with XOR in either direction.
+    """
+
+    def __init__(self, codec: Codec | str = "zero-rle") -> None:
+        self._codec = get_codec(codec) if isinstance(codec, str) else codec
+        self._chains: dict[int, list[LogEntry]] = {}
+        self._seq = 0
+
+    @property
+    def codec(self) -> Codec:
+        """Codec used to encode logged deltas."""
+        return self._codec
+
+    @property
+    def entry_count(self) -> int:
+        """Total number of logged writes."""
+        return sum(len(chain) for chain in self._chains.values())
+
+    @property
+    def stored_bytes(self) -> int:
+        """Total log size — compare against full-block CDP journals."""
+        return sum(
+            entry.stored_bytes
+            for chain in self._chains.values()
+            for entry in chain
+        )
+
+    def lbas(self) -> list[int]:
+        """All block addresses with history, sorted."""
+        return sorted(self._chains)
+
+    def chain(self, lba: int) -> list[LogEntry]:
+        """The delta chain for ``lba``, oldest first."""
+        return list(self._chains.get(lba, []))
+
+    def log_write(
+        self, lba: int, new_data: bytes, old_data: bytes, timestamp: float
+    ) -> LogEntry:
+        """Record the delta of one write; returns the stored entry."""
+        chain = self._chains.setdefault(lba, [])
+        if chain and timestamp < chain[-1].timestamp:
+            raise RecoveryError(
+                f"timestamps must be monotonic per block "
+                f"(got {timestamp} after {chain[-1].timestamp})"
+            )
+        self._seq += 1
+        delta = forward_parity(new_data, old_data)
+        entry = LogEntry(
+            seq=self._seq,
+            timestamp=timestamp,
+            lba=lba,
+            frame=encode_frame(self._codec, delta),
+        )
+        chain.append(entry)
+        return entry
+
+    def deltas_after(self, lba: int, timestamp: float) -> list[bytes]:
+        """Decoded deltas strictly newer than ``timestamp``, oldest first."""
+        return [
+            decode_frame(entry.frame)
+            for entry in self._chains.get(lba, [])
+            if entry.timestamp > timestamp
+        ]
+
+    def deltas_through(self, lba: int, timestamp: float) -> list[bytes]:
+        """Decoded deltas at or before ``timestamp``, oldest first."""
+        return [
+            decode_frame(entry.frame)
+            for entry in self._chains.get(lba, [])
+            if entry.timestamp <= timestamp
+        ]
+
+    def truncate_before(self, timestamp: float) -> int:
+        """Drop history at or before ``timestamp``; returns entries dropped.
+
+        After truncation, recovery is only possible *backward* from the
+        current image (the baseline no longer lines up with the chains).
+        """
+        dropped = 0
+        for lba in list(self._chains):
+            chain = self._chains[lba]
+            keep = [e for e in chain if e.timestamp > timestamp]
+            dropped += len(chain) - len(keep)
+            if keep:
+                self._chains[lba] = keep
+            else:
+                del self._chains[lba]
+        return dropped
+
+
+class CdpDevice(BlockDevice):
+    """Device wrapper that feeds every write into a :class:`ParityLog`.
+
+    The clock is injected (a callable returning the current time) so
+    experiments can use deterministic logical clocks.
+    """
+
+    def __init__(self, inner: BlockDevice, log: ParityLog, clock) -> None:
+        super().__init__(inner.block_size, inner.num_blocks)
+        self._inner = inner
+        self._log = log
+        self._clock = clock
+
+    @property
+    def inner(self) -> BlockDevice:
+        """The wrapped device."""
+        return self._inner
+
+    @property
+    def log(self) -> ParityLog:
+        """The parity log receiving this device's history."""
+        return self._log
+
+    def _read(self, lba: int) -> bytes:
+        return self._inner.read_block(lba)
+
+    def _write(self, lba: int, data: bytes) -> None:
+        old = self._inner.read_block(lba)
+        self._inner.write_block(lba, data)
+        self._log.log_write(lba, data, old, timestamp=float(self._clock()))
+
+    def close(self) -> None:
+        if not self.closed:
+            self._inner.close()
+        super().close()

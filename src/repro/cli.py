@@ -1,0 +1,205 @@
+"""Command-line interface: ``prins``.
+
+Subcommands::
+
+    prins list                       # available experiments
+    prins testbed                    # the Fig. 2 environment inventory
+    prins experiment fig4 [--scale]  # reproduce one figure
+    prins all [--scale]              # reproduce everything
+    prins demo                       # 30-second PRINS-vs-traditional demo
+
+The same experiment runners back the pytest benchmarks; the CLI exists so
+a user can regenerate any paper figure without touching pytest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.figures import EXPERIMENTS, run_experiment
+from repro.experiments.testbed import testbed_table
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print("available experiments (see DESIGN.md section 4):")
+    for experiment_id, runner in sorted(EXPERIMENTS.items()):
+        doc = (runner.__doc__ or "").strip().splitlines()[0]
+        print(f"  {experiment_id:10s} {doc}")
+    return 0
+
+
+def _cmd_testbed(_args: argparse.Namespace) -> int:
+    print(testbed_table())
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    start = time.perf_counter()
+    result = run_experiment(args.id, scale=args.scale)
+    print(result.render())
+    print(f"\n({time.perf_counter() - start:.1f}s at scale={args.scale})")
+    return 0 if all(c.within_tolerance for c in result.comparisons) else 1
+
+
+def _cmd_all(args: argparse.Namespace) -> int:
+    status = 0
+    for experiment_id in sorted(EXPERIMENTS):
+        start = time.perf_counter()
+        result = run_experiment(experiment_id, scale=args.scale)
+        print(result.render())
+        print(f"({time.perf_counter() - start:.1f}s)\n")
+        if not all(c.within_tolerance for c in result.comparisons):
+            status = 1
+    return status
+
+
+def _cmd_demo(_args: argparse.Namespace) -> int:
+    from repro.block import MemoryBlockDevice
+    from repro.common.rng import make_rng
+    from repro.common.units import format_bytes
+    from repro.engine import DirectLink, PrimaryEngine, ReplicaEngine, make_strategy
+    from repro.workloads.content import mutate_fraction
+
+    block_size, blocks, writes = 8192, 256, 500
+    rng = make_rng(1, "demo")
+    base = [
+        rng.integers(0, 256, block_size, dtype="u1").tobytes() for _ in range(blocks)
+    ]
+    print(f"{writes} writes, {block_size}B blocks, 10% of each block changed:\n")
+    for name in ("traditional", "compressed", "prins"):
+        primary = MemoryBlockDevice(block_size, blocks)
+        replica = MemoryBlockDevice(block_size, blocks)
+        for lba, data in enumerate(base):
+            primary.write_block(lba, data)
+            replica.write_block(lba, data)
+        strategy = make_strategy(name)
+        engine = PrimaryEngine(
+            primary, strategy, [DirectLink(ReplicaEngine(replica, strategy))]
+        )
+        write_rng = make_rng(2, "demo-writes")
+        for _ in range(writes):
+            lba = int(write_rng.integers(0, blocks))
+            engine.write_block(
+                lba, mutate_fraction(engine.read_block(lba), 0.10, write_rng)
+            )
+        accountant = engine.accountant
+        print(
+            f"  {name:12s} shipped {format_bytes(accountant.payload_bytes):>10s}  "
+            f"({accountant.reduction_vs_data:5.1f}x less than the data written)"
+        )
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Capture a workload trace to a file, or replay one through a strategy."""
+    from repro.common.units import format_bytes
+    from repro.workloads.tracefile import load_trace, save_trace
+
+    if args.action == "capture":
+        from repro.experiments.figures import get_scale
+        from repro.experiments.harness import (
+            capture_fsmicro_trace,
+            capture_tpcc_trace,
+            capture_tpcw_trace,
+        )
+
+        scale = get_scale(args.scale)
+        capture_fns = {
+            "tpcc": lambda: capture_tpcc_trace(
+                args.block_size, config=scale.tpcc_oracle,
+                transactions=scale.tpcc_transactions,
+            ),
+            "tpcw": lambda: capture_tpcw_trace(
+                args.block_size, config=scale.tpcw,
+                interactions=scale.tpcw_interactions,
+            ),
+            "fsmicro": lambda: capture_fsmicro_trace(
+                args.block_size, config=scale.fsmicro
+            ),
+        }
+        capture = capture_fns[args.workload]()
+        size = save_trace(capture.trace, args.path)
+        print(
+            f"captured {capture.trace.write_count} writes "
+            f"({format_bytes(capture.trace.bytes_written)} of data) to "
+            f"{args.path} ({format_bytes(size)} on disk)"
+        )
+        print(
+            "note: replaying a saved trace against a fresh device measures "
+            "first-write traffic; the figure benchmarks replay against the "
+            "post-populate image instead"
+        )
+        return 0
+
+    # replay
+    from repro.block import MemoryBlockDevice
+    from repro.engine import (
+        DirectLink,
+        PrimaryEngine,
+        ReplicaEngine,
+        make_strategy,
+    )
+    from repro.workloads.trace import replay_trace
+
+    trace = load_trace(args.path)
+    print(
+        f"loaded {trace.write_count} writes, block size {trace.block_size}, "
+        f"{format_bytes(trace.bytes_written)} of data"
+    )
+    for name in ("traditional", "compressed", "prins"):
+        primary = MemoryBlockDevice(trace.block_size, trace.num_blocks)
+        replica = MemoryBlockDevice(trace.block_size, trace.num_blocks)
+        strategy = make_strategy(name)
+        engine = PrimaryEngine(
+            primary, strategy, [DirectLink(ReplicaEngine(replica, strategy))]
+        )
+        replay_trace(trace, engine)
+        print(
+            f"  {name:12s} {format_bytes(engine.accountant.payload_bytes):>10} "
+            f"on the wire"
+        )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        prog="prins",
+        description="PRINS (ICDCS 2006) reproduction: experiments and demos",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments").set_defaults(
+        func=_cmd_list
+    )
+    sub.add_parser("testbed", help="print the Fig. 2 inventory").set_defaults(
+        func=_cmd_testbed
+    )
+    p_exp = sub.add_parser("experiment", help="run one experiment")
+    p_exp.add_argument("id", choices=sorted(EXPERIMENTS))
+    p_exp.add_argument("--scale", default="small", choices=["small", "paper"])
+    p_exp.set_defaults(func=_cmd_experiment)
+    p_all = sub.add_parser("all", help="run every experiment")
+    p_all.add_argument("--scale", default="small", choices=["small", "paper"])
+    p_all.set_defaults(func=_cmd_all)
+    sub.add_parser("demo", help="quick PRINS-vs-baselines demo").set_defaults(
+        func=_cmd_demo
+    )
+    p_trace = sub.add_parser("trace", help="capture or replay a write trace")
+    p_trace.add_argument("action", choices=["capture", "replay"])
+    p_trace.add_argument("path", help="trace file (.prtr)")
+    p_trace.add_argument(
+        "--workload", default="tpcc", choices=["tpcc", "tpcw", "fsmicro"]
+    )
+    p_trace.add_argument("--block-size", type=int, default=8192)
+    p_trace.add_argument("--scale", default="small", choices=["small", "paper"])
+    p_trace.set_defaults(func=_cmd_trace)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

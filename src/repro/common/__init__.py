@@ -1,0 +1,50 @@
+"""Shared utilities for the PRINS reproduction.
+
+This package collects the small building blocks every subsystem needs:
+an exception hierarchy (:mod:`repro.common.errors`), byte-level helpers for
+XOR/zero tests (:mod:`repro.common.buffers`), size-unit parsing
+(:mod:`repro.common.units`), and deterministic RNG construction
+(:mod:`repro.common.rng`).
+"""
+
+from repro.common.buffers import (
+    count_nonzero,
+    is_zero,
+    nonzero_fraction,
+    xor_bytes,
+    xor_into,
+)
+from repro.common.errors import (
+    BlockRangeError,
+    BlockSizeError,
+    CodecError,
+    ConfigurationError,
+    ProtocolError,
+    ReplicationError,
+    ReproError,
+    StorageError,
+)
+from repro.common.rng import make_rng
+from repro.common.units import GiB, KiB, MiB, format_bytes, parse_size
+
+__all__ = [
+    "BlockRangeError",
+    "BlockSizeError",
+    "CodecError",
+    "ConfigurationError",
+    "GiB",
+    "KiB",
+    "MiB",
+    "ProtocolError",
+    "ReplicationError",
+    "ReproError",
+    "StorageError",
+    "count_nonzero",
+    "format_bytes",
+    "is_zero",
+    "make_rng",
+    "nonzero_fraction",
+    "parse_size",
+    "xor_bytes",
+    "xor_into",
+]

@@ -1,0 +1,71 @@
+"""Exception hierarchy for the PRINS reproduction.
+
+All library exceptions derive from :class:`ReproError`, so callers can catch
+one base class at the public-API boundary.  Each subsystem narrows it:
+storage errors, codec errors, protocol (iSCSI) errors, replication errors,
+and configuration errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a component is constructed with invalid parameters."""
+
+
+class StorageError(ReproError):
+    """Base class for block-device and RAID failures."""
+
+
+class BlockSizeError(StorageError):
+    """Raised when a buffer length does not match the device block size."""
+
+    def __init__(self, expected: int, actual: int) -> None:
+        super().__init__(f"expected a buffer of {expected} bytes, got {actual}")
+        self.expected = expected
+        self.actual = actual
+
+
+class BlockRangeError(StorageError):
+    """Raised when an LBA falls outside the device."""
+
+    def __init__(self, lba: int, num_blocks: int) -> None:
+        super().__init__(f"LBA {lba} out of range for device with {num_blocks} blocks")
+        self.lba = lba
+        self.num_blocks = num_blocks
+
+
+class DeviceClosedError(StorageError):
+    """Raised when an I/O is issued against a closed device."""
+
+
+class RaidDegradedError(StorageError):
+    """Raised when an operation needs a disk that has failed."""
+
+
+class CodecError(ReproError):
+    """Raised when encoding or decoding a parity frame fails."""
+
+
+class ProtocolError(ReproError):
+    """Raised on malformed PDUs or protocol state violations (iSCSI layer)."""
+
+
+class LoginError(ProtocolError):
+    """Raised when an iSCSI login handshake is rejected."""
+
+
+class ReplicationError(ReproError):
+    """Raised when the replication engine cannot apply or ship an update."""
+
+
+class SyncError(ReplicationError):
+    """Raised when initial synchronization between primary and replica fails."""
+
+
+class RecoveryError(ReproError):
+    """Raised when CDP/TRAP point-in-time recovery cannot be satisfied."""

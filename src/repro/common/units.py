@@ -1,0 +1,66 @@
+"""Size units and human-readable byte formatting.
+
+The paper mixes decimal-flavoured networking units (a T1 line is 1.544 Mbps
+~= 154.4 KB/s at 10 bits/byte) with binary storage units (8 KB blocks).  The
+storage side of this codebase uses binary units exclusively; the networking
+constants live in :mod:`repro.queueing.params` with the paper's exact values.
+"""
+
+from __future__ import annotations
+
+import re
+
+KiB = 1024
+MiB = 1024 * KiB
+GiB = 1024 * MiB
+
+_SIZE_RE = re.compile(r"^\s*(\d+(?:\.\d+)?)\s*([KMGT]i?B?|B)?\s*$", re.IGNORECASE)
+
+_MULTIPLIERS = {
+    None: 1,
+    "B": 1,
+    "K": KiB,
+    "KB": KiB,
+    "KIB": KiB,
+    "M": MiB,
+    "MB": MiB,
+    "MIB": MiB,
+    "G": GiB,
+    "GB": GiB,
+    "GIB": GiB,
+    "T": 1024 * GiB,
+    "TB": 1024 * GiB,
+    "TIB": 1024 * GiB,
+}
+
+
+def parse_size(text: str | int) -> int:
+    """Parse a human size string like ``"8KB"`` or ``"1.5MiB"`` into bytes.
+
+    Integers pass through unchanged.  All suffixes are binary (KB == KiB ==
+    1024 bytes), matching the storage-side convention above.
+    """
+    if isinstance(text, int):
+        return text
+    match = _SIZE_RE.match(text)
+    if not match:
+        raise ValueError(f"unparseable size: {text!r}")
+    value = float(match.group(1))
+    suffix = match.group(2)
+    key = suffix.upper() if suffix else None
+    result = value * _MULTIPLIERS[key]
+    if result != int(result):
+        raise ValueError(f"size {text!r} is not a whole number of bytes")
+    return int(result)
+
+
+def format_bytes(n: int | float) -> str:
+    """Format a byte count for humans: ``format_bytes(51200) == '50.0 KiB'``."""
+    value = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(value) < 1024.0 or unit == "TiB":
+            if unit == "B":
+                return f"{int(value)} B"
+            return f"{value:.1f} {unit}"
+        value /= 1024.0
+    raise AssertionError("unreachable")

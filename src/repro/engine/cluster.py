@@ -1,0 +1,218 @@
+"""Multi-node storage cluster (the paper's Fig. 1 architecture).
+
+"Consider a set of computing nodes interconnected by an IP network.  Each
+node has a computation engine and a locally attached storage system. …
+The storages of all the nodes collectively form a shared storage pool. …
+shared data are replicated in a subset of nodes, called replica nodes"
+(Sec. 2).
+
+:class:`StorageCluster` assembles that picture from the existing pieces:
+every node owns a local device plus a replica engine; a placement policy
+assigns each node its replica set; each node's primary engine ships parity
+deltas to its replicas.  The cluster exposes the aggregate traffic numbers
+the queueing model consumes (population = nodes × replicas, Sec. 3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.block.device import BlockDevice
+from repro.block.memory import MemoryBlockDevice
+from repro.common.errors import ConfigurationError
+from repro.engine.links import DirectLink
+from repro.engine.primary import PrimaryEngine
+from repro.engine.replica import ReplicaEngine
+from repro.engine.strategy import ReplicationStrategy, make_strategy
+from repro.engine.sync import verify_consistency
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Shape of the cluster."""
+
+    nodes: int = 4
+    replicas_per_node: int = 2  # size of each node's replica set
+    block_size: int = 8192
+    blocks_per_node: int = 256
+    strategy: str = "prins"
+
+    def __post_init__(self) -> None:
+        if self.nodes < 2:
+            raise ConfigurationError("a cluster needs at least 2 nodes")
+        if not 1 <= self.replicas_per_node < self.nodes:
+            raise ConfigurationError(
+                "replicas_per_node must be in [1, nodes-1]"
+            )
+
+    @property
+    def population(self) -> int:
+        """The queueing model's population: nodes × replicas (Sec. 3.3)."""
+        return self.nodes * self.replicas_per_node
+
+
+class ClusterNode:
+    """One node: local storage, a primary engine, and a replica engine.
+
+    The node's *primary* device holds its own data (replicated outward);
+    its *replica* device holds copies of other nodes' data (one region per
+    remote primary, addressed by that primary's node id).
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        config: ClusterConfig,
+        strategy: ReplicationStrategy,
+    ) -> None:
+        self.node_id = node_id
+        self.primary_device = MemoryBlockDevice(
+            config.block_size, config.blocks_per_node
+        )
+        # one replica region per possible remote primary
+        self.replica_regions: dict[int, BlockDevice] = {}
+        self._replica_engines: dict[int, ReplicaEngine] = {}
+        self._strategy = strategy
+        self._config = config
+        self.engine: PrimaryEngine | None = None  # wired by the cluster
+
+    def host_replica_for(self, primary_id: int) -> ReplicaEngine:
+        """Create (or return) the replica engine for ``primary_id``'s data."""
+        if primary_id not in self._replica_engines:
+            region = MemoryBlockDevice(
+                self._config.block_size, self._config.blocks_per_node
+            )
+            self.replica_regions[primary_id] = region
+            self._replica_engines[primary_id] = ReplicaEngine(
+                region, self._strategy
+            )
+        return self._replica_engines[primary_id]
+
+
+def round_robin_placement(config: ClusterConfig) -> dict[int, list[int]]:
+    """Default placement: node ``i`` replicates to the next ``k`` nodes.
+
+    The classic successor-list placement (chained declustering); any
+    mapping node → replica list with the same cardinality works.
+    """
+    return {
+        node: [
+            (node + offset) % config.nodes
+            for offset in range(1, config.replicas_per_node + 1)
+        ]
+        for node in range(config.nodes)
+    }
+
+
+class StorageCluster:
+    """The full Fig. 1 system: N nodes, each replicating to k others."""
+
+    def __init__(
+        self,
+        config: ClusterConfig | None = None,
+        placement: dict[int, list[int]] | None = None,
+    ) -> None:
+        self.config = config or ClusterConfig()
+        self._strategy = make_strategy(self.config.strategy)
+        self.nodes = [
+            ClusterNode(i, self.config, self._strategy)
+            for i in range(self.config.nodes)
+        ]
+        self.placement = placement or round_robin_placement(self.config)
+        self._validate_placement()
+        for node in self.nodes:
+            links = [
+                DirectLink(self.nodes[replica_id].host_replica_for(node.node_id))
+                for replica_id in self.placement[node.node_id]
+            ]
+            node.engine = PrimaryEngine(
+                node.primary_device, self._strategy, links
+            )
+
+    def _validate_placement(self) -> None:
+        for node_id, replicas in self.placement.items():
+            if node_id in replicas:
+                raise ConfigurationError(
+                    f"node {node_id} cannot replicate to itself"
+                )
+            if len(set(replicas)) != len(replicas):
+                raise ConfigurationError(
+                    f"node {node_id} has duplicate replicas: {replicas}"
+                )
+            for replica_id in replicas:
+                if not 0 <= replica_id < self.config.nodes:
+                    raise ConfigurationError(
+                        f"node {node_id} references unknown replica {replica_id}"
+                    )
+
+    # -- data path ------------------------------------------------------------
+
+    def write(self, node_id: int, lba: int, data: bytes) -> None:
+        """Write through node ``node_id``'s engine (replicates outward)."""
+        engine = self.nodes[node_id].engine
+        assert engine is not None
+        engine.write_block(lba, data)
+
+    def read(self, node_id: int, lba: int) -> bytes:
+        """Read node ``node_id``'s local data."""
+        engine = self.nodes[node_id].engine
+        assert engine is not None
+        return engine.read_block(lba)
+
+    def read_from_replica(self, primary_id: int, lba: int) -> bytes:
+        """Serve ``primary_id``'s block from one of its replicas.
+
+        Used after a primary failure: any member of the replica set can
+        answer (they are byte-identical).
+        """
+        replicas = self.placement[primary_id]
+        region = self.nodes[replicas[0]].replica_regions.get(primary_id)
+        if region is None:
+            # no write ever reached the replica; data is still all zeros
+            return bytes(self.config.block_size)
+        return region.read_block(lba)
+
+    # -- verification and accounting -------------------------------------------
+
+    def verify(self) -> dict[tuple[int, int], int]:
+        """Check every (primary, replica) pair; returns mismatch counts.
+
+        An empty dict means the whole cluster is consistent.
+        """
+        mismatches: dict[tuple[int, int], int] = {}
+        for node in self.nodes:
+            for replica_id in self.placement[node.node_id]:
+                region = self.nodes[replica_id].replica_regions.get(node.node_id)
+                if region is None:
+                    continue  # never written to: trivially consistent
+                bad = verify_consistency(node.primary_device, region)
+                if bad:
+                    mismatches[(node.node_id, replica_id)] = len(bad)
+        return mismatches
+
+    @property
+    def total_payload_bytes(self) -> int:
+        """Replication bytes shipped cluster-wide."""
+        return sum(
+            node.engine.accountant.payload_bytes
+            for node in self.nodes
+            if node.engine is not None
+        )
+
+    @property
+    def total_data_bytes(self) -> int:
+        """Logical bytes written cluster-wide."""
+        return sum(
+            node.engine.accountant.data_bytes
+            for node in self.nodes
+            if node.engine is not None
+        )
+
+    def mean_payload_per_write(self) -> float:
+        """Mean replicated payload per write — feeds the queueing model."""
+        writes = sum(
+            node.engine.accountant.writes_replicated
+            for node in self.nodes
+            if node.engine is not None
+        )
+        return self.total_payload_bytes / writes if writes else 0.0

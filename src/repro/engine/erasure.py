@@ -1,0 +1,179 @@
+"""Erasure-coded storage pool: PRINS deltas as remote parity updates.
+
+The paper's opening sentence covers systems that "employ replicas or
+erasure code to ensure high reliability".  The PRINS insight applies to
+both: the parity delta ``P' = A_new XOR A_old`` that updates a *replica*
+is byte-for-byte the same quantity that updates an XOR *erasure parity* —
+Eq. (1) is literally the RAID parity update.  So a cluster can get
+single-node fault tolerance at ``1/N`` storage overhead (instead of the
+``k×`` of replication) while shipping exactly the same tiny encoded
+deltas over the WAN.
+
+:class:`ErasurePool` implements that: ``N`` data nodes plus one parity
+node per stripe row (fixed, RAID-4-style, or rotating, RAID-5-style
+across nodes).  A write at any node sends its encoded delta to the
+stripe's parity holder, which folds it in with one XOR.  Any single lost
+node — data or parity — is reconstructed from the survivors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.block.memory import MemoryBlockDevice
+from repro.common.buffers import is_zero, xor_bytes, xor_into
+from repro.common.errors import ConfigurationError, StorageError
+from repro.engine.accounting import TrafficAccountant
+from repro.parity.codecs import Codec, get_codec
+from repro.parity.frame import decode_frame, encode_frame
+
+
+@dataclass(frozen=True)
+class ErasureConfig:
+    """Shape of the erasure-coded pool."""
+
+    data_nodes: int = 4
+    block_size: int = 8192
+    blocks_per_node: int = 256
+    rotate_parity: bool = True  # RAID-5-style across nodes (vs fixed node)
+    codec: str = "zero-rle"
+
+    def __post_init__(self) -> None:
+        if self.data_nodes < 2:
+            raise ConfigurationError("an erasure pool needs >= 2 data nodes")
+
+    @property
+    def total_nodes(self) -> int:
+        """Data nodes plus the one parity node."""
+        return self.data_nodes + 1
+
+    @property
+    def storage_overhead(self) -> float:
+        """Extra storage per byte of data: 1/N (vs 1.0+ for replication)."""
+        return 1.0 / self.data_nodes
+
+
+class ErasurePool:
+    """N data nodes + 1 XOR parity node, updated by shipped PRINS deltas."""
+
+    def __init__(self, config: ErasureConfig | None = None) -> None:
+        self.config = config or ErasureConfig()
+        cfg = self.config
+        # total_nodes physical devices; parity placement decides which one
+        # holds the parity block of each stripe row (= LBA).
+        self.devices = [
+            MemoryBlockDevice(cfg.block_size, cfg.blocks_per_node)
+            for _ in range(cfg.total_nodes)
+        ]
+        self._codec: Codec = get_codec(cfg.codec)
+        self._failed: int | None = None
+        self.accountant = TrafficAccountant()
+
+    # -- placement -------------------------------------------------------------
+
+    def parity_node(self, lba: int) -> int:
+        """Physical node holding parity for stripe row ``lba``."""
+        if self.config.rotate_parity:
+            return self.config.total_nodes - 1 - (lba % self.config.total_nodes)
+        return self.config.total_nodes - 1
+
+    def physical_node(self, data_node: int, lba: int) -> int:
+        """Physical node holding logical ``data_node``'s block at ``lba``."""
+        if not 0 <= data_node < self.config.data_nodes:
+            raise ConfigurationError(
+                f"data node {data_node} out of range "
+                f"({self.config.data_nodes} data nodes)"
+            )
+        parity = self.parity_node(lba)
+        return data_node if data_node < parity else data_node + 1
+
+    # -- data path -----------------------------------------------------------------
+
+    def _device(self, physical: int) -> MemoryBlockDevice:
+        if physical == self._failed:
+            raise StorageError(f"node {physical} has failed")
+        return self.devices[physical]
+
+    def write(self, data_node: int, lba: int, data: bytes) -> None:
+        """Write one block at a data node; ships its delta to the parity
+        holder exactly as PRINS ships it to a replica."""
+        physical = self.physical_node(data_node, lba)
+        device = self._device(physical)
+        old = device.read_block(lba)
+        device.write_block(lba, data)
+        delta = xor_bytes(data, old)
+        if is_zero(delta):
+            self.accountant.record_write(len(data), None)
+            return
+        frame = encode_frame(self._codec, delta)
+        self.accountant.record_write(len(data), len(frame))
+        self._apply_parity_update(lba, frame)
+
+    def _apply_parity_update(self, lba: int, frame: bytes) -> None:
+        """The parity node's side: decode and fold the delta (Eq. 1)."""
+        parity_physical = self.parity_node(lba)
+        if parity_physical == self._failed:
+            return  # degraded: parity lost, data writes continue
+        delta = decode_frame(frame)
+        device = self.devices[parity_physical]
+        parity = bytearray(device.read_block(lba))
+        xor_into(parity, delta)
+        device.write_block(lba, bytes(parity))
+
+    def read(self, data_node: int, lba: int) -> bytes:
+        """Read a block, reconstructing through parity if its node failed."""
+        physical = self.physical_node(data_node, lba)
+        if physical != self._failed:
+            return self.devices[physical].read_block(lba)
+        return self._reconstruct(physical, lba)
+
+    def _reconstruct(self, missing_physical: int, lba: int) -> bytes:
+        survivors = [
+            node
+            for node in range(self.config.total_nodes)
+            if node != missing_physical
+        ]
+        accumulator = bytearray(self.config.block_size)
+        for node in survivors:
+            xor_into(accumulator, self.devices[node].read_block(lba))
+        return bytes(accumulator)
+
+    # -- failure lifecycle ----------------------------------------------------------
+
+    def fail_node(self, physical: int) -> None:
+        """Mark one physical node lost (data or parity)."""
+        if not 0 <= physical < self.config.total_nodes:
+            raise ConfigurationError(f"node {physical} out of range")
+        if self._failed is not None:
+            raise StorageError(
+                "XOR erasure coding survives exactly one node failure"
+            )
+        self._failed = physical
+
+    def rebuild_node(self, physical: int) -> MemoryBlockDevice:
+        """Reconstruct a failed node's full contents onto a fresh device."""
+        if physical != self._failed:
+            raise ConfigurationError(f"node {physical} has not failed")
+        replacement = MemoryBlockDevice(
+            self.config.block_size, self.config.blocks_per_node
+        )
+        for lba in range(self.config.blocks_per_node):
+            replacement.write_block(lba, self._reconstruct(physical, lba))
+        self.devices[physical] = replacement
+        self._failed = None
+        return replacement
+
+    # -- integrity --------------------------------------------------------------------
+
+    def verify_parity(self) -> list[int]:
+        """Return the stripe rows whose parity does not match the data."""
+        if self._failed is not None:
+            raise StorageError("cannot verify a degraded pool")
+        bad: list[int] = []
+        for lba in range(self.config.blocks_per_node):
+            accumulator = bytearray(self.config.block_size)
+            for node in range(self.config.total_nodes):
+                xor_into(accumulator, self.devices[node].read_block(lba))
+            if not is_zero(bytes(accumulator)):
+                bad.append(lba)
+        return bad

@@ -1,0 +1,62 @@
+"""Replication record: what one write ships to one replica.
+
+Layout (little-endian)::
+
+    uint64  sequence number (per primary, monotonically increasing)
+    uint32  CRC32 of the resulting (new) block, for end-to-end verification
+    bytes   parity/data frame (self-describing, see repro.parity.frame)
+
+The LBA travels in the PDU header (:class:`repro.iscsi.pdu.Pdu`), matching
+the paper's "results of the forward parity computation are then sent
+together with meta-data such as LBA" (Sec. 2).
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+
+from repro.common.errors import ReplicationError
+
+_HEADER = struct.Struct("<QI")
+
+#: bytes of record overhead on top of the frame
+RECORD_OVERHEAD = _HEADER.size
+
+
+@dataclass(frozen=True)
+class ReplicationRecord:
+    """One replicated write, ready for (or parsed from) the wire."""
+
+    seq: int
+    block_crc: int
+    frame: bytes
+
+    def pack(self) -> bytes:
+        """Serialize to wire bytes."""
+        return _HEADER.pack(self.seq, self.block_crc) + self.frame
+
+    @classmethod
+    def unpack(cls, raw: bytes) -> "ReplicationRecord":
+        """Parse wire bytes back into a record."""
+        if len(raw) < _HEADER.size:
+            raise ReplicationError(
+                f"replication record too short ({len(raw)} bytes)"
+            )
+        seq, crc = _HEADER.unpack_from(raw, 0)
+        return cls(seq=seq, block_crc=crc, frame=raw[_HEADER.size :])
+
+    @classmethod
+    def for_block(cls, seq: int, new_block: bytes, frame: bytes) -> "ReplicationRecord":
+        """Build a record, computing the verification CRC of ``new_block``."""
+        return cls(seq=seq, block_crc=zlib.crc32(new_block), frame=frame)
+
+    def verify(self, new_block: bytes) -> None:
+        """Raise unless ``new_block`` matches the CRC carried in the record."""
+        actual = zlib.crc32(new_block)
+        if actual != self.block_crc:
+            raise ReplicationError(
+                f"applied block CRC {actual:#010x} does not match "
+                f"record CRC {self.block_crc:#010x} (seq {self.seq})"
+            )

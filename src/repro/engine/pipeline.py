@@ -1,0 +1,249 @@
+"""Asynchronous (pipelined) replication.
+
+The paper's engine decouples the local write from the network: "At each
+node, PRINS-engine runs as a separate thread in parallel to normal iSCSI
+target thread.  The PRINS-engine thread communicates with the iSCSI target
+thread using a shared queue data structure" (Sec. 2).
+
+:class:`AsyncReplicator` reproduces that design: the write path enqueues a
+``(lba, record)`` pair on a bounded queue and returns immediately; one
+shipper thread per replica link drains the queue in order, sends each
+record, and verifies the ack.  Two consistency modes:
+
+* **async** (default) — writes never wait for the network; ``drain()``
+  blocks until everything shipped (the paper's measurement mode);
+* **semi-sync** — a write blocks only when the queue is full, bounding
+  replica lag by the queue depth.
+
+Failures on a link are recorded and surface on :meth:`drain` /
+:meth:`close`; records are retried ``max_retries`` times first (safe
+because the replica applies records idempotently by sequence number).
+"""
+
+from __future__ import annotations
+
+import logging
+import queue
+import threading
+from dataclasses import dataclass, field
+
+from repro.common.errors import ReplicationError
+from repro.engine.links import ReplicaLink
+from repro.engine.messages import ReplicationRecord
+from repro.engine.replica import ReplicaEngine
+
+logger = logging.getLogger(__name__)
+
+_STOP = object()
+
+
+@dataclass
+class LinkStats:
+    """Per-link shipping statistics."""
+
+    shipped: int = 0
+    retried: int = 0
+    failed: int = 0
+    errors: list[str] = field(default_factory=list)
+
+
+class AsyncReplicator:
+    """Ships replication records to one link from a background thread."""
+
+    def __init__(
+        self,
+        link: ReplicaLink,
+        queue_depth: int = 256,
+        max_retries: int = 2,
+        verify_acks: bool = True,
+    ) -> None:
+        if queue_depth <= 0:
+            raise ValueError(f"queue_depth must be positive, got {queue_depth}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be non-negative, got {max_retries}")
+        self._link = link
+        self._queue: "queue.Queue[object]" = queue.Queue(maxsize=queue_depth)
+        self._max_retries = max_retries
+        self._verify_acks = verify_acks
+        self.stats = LinkStats()
+        self._outstanding = 0
+        self._done = threading.Condition()
+        self._thread = threading.Thread(
+            target=self._shipper, name="prins-shipper", daemon=True
+        )
+        self._closed = False
+        self._thread.start()
+
+    @property
+    def link(self) -> ReplicaLink:
+        """The wrapped replica channel."""
+        return self._link
+
+    @property
+    def pending(self) -> int:
+        """Records currently queued (approximate)."""
+        return self._queue.qsize()
+
+    def submit(self, lba: int, record: ReplicationRecord) -> None:
+        """Enqueue one record; blocks only when the queue is full."""
+        if self._closed:
+            raise ReplicationError("replicator is closed")
+        with self._done:
+            self._outstanding += 1
+        self._queue.put((lba, record))
+
+    def drain(self, timeout: float | None = 30.0) -> None:
+        """Block until every queued record has been shipped.
+
+        Raises :class:`ReplicationError` if any record ultimately failed.
+        """
+        with self._done:
+            if not self._done.wait_for(
+                lambda: self._outstanding == 0, timeout=timeout
+            ):
+                raise ReplicationError(
+                    f"drain timed out with {self._outstanding} records pending"
+                )
+        if self.stats.failed:
+            raise ReplicationError(
+                f"{self.stats.failed} records failed to replicate "
+                f"(first error: {self.stats.errors[0]})"
+            )
+
+    def close(self, timeout: float | None = 30.0) -> None:
+        """Drain, stop the shipper thread, and close the link."""
+        if self._closed:
+            return
+        self.drain(timeout=timeout)
+        self._closed = True
+        self._queue.put(_STOP)
+        self._thread.join(timeout=timeout)
+        self._link.close()
+
+    # -- shipper thread -------------------------------------------------------
+
+    def _shipper(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _STOP:
+                return
+            lba, record = item
+            self._ship_one(lba, record)
+            with self._done:
+                self._outstanding -= 1
+                if self._outstanding == 0:
+                    self._done.notify_all()
+
+    def _ship_one(self, lba: int, record: ReplicationRecord) -> None:
+        for attempt in range(self._max_retries + 1):
+            try:
+                ack = self._link.ship(lba, record)
+                if self._verify_acks:
+                    seq, _status = ReplicaEngine.parse_ack(ack)
+                    if seq != record.seq:
+                        raise ReplicationError(
+                            f"ack seq {seq} != record seq {record.seq}"
+                        )
+                self.stats.shipped += 1
+                return
+            except Exception as exc:  # noqa: BLE001 — recorded, surfaced on drain
+                if attempt < self._max_retries:
+                    self.stats.retried += 1
+                    logger.warning(
+                        "retrying record seq=%d lba=%d after %s",
+                        record.seq, lba, exc,
+                    )
+                    continue
+                self.stats.failed += 1
+                self.stats.errors.append(f"lba={lba} seq={record.seq}: {exc}")
+                logger.error(
+                    "record seq=%d lba=%d failed permanently: %s",
+                    record.seq, lba, exc,
+                )
+                return
+
+
+class AsyncPrimaryEngine:
+    """A primary engine whose replication is pipelined off the write path.
+
+    Same interface as :class:`~repro.engine.primary.PrimaryEngine` for
+    writes/reads, but ``write_block`` returns as soon as the local write
+    completes; call :meth:`drain` before measuring consistency.  Built by
+    composition so the strategy/accounting logic is shared, not forked.
+    """
+
+    def __init__(
+        self,
+        device,
+        strategy,
+        links: list[ReplicaLink],
+        queue_depth: int = 256,
+        max_retries: int = 2,
+    ) -> None:
+        from repro.engine.primary import PrimaryEngine
+
+        # The inner engine handles local write + encode + accounting; we
+        # intercept its links with queue-backed proxies.
+        self._replicators = [
+            AsyncReplicator(link, queue_depth=queue_depth, max_retries=max_retries)
+            for link in links
+        ]
+        proxies: list[ReplicaLink] = [
+            _EnqueueLink(replicator) for replicator in self._replicators
+        ]
+        self._engine = PrimaryEngine(device, strategy, proxies, verify_acks=False)
+
+    @property
+    def accountant(self):
+        """Traffic accounting (identical semantics to the sync engine)."""
+        return self._engine.accountant
+
+    @property
+    def block_size(self) -> int:
+        return self._engine.block_size
+
+    @property
+    def num_blocks(self) -> int:
+        return self._engine.num_blocks
+
+    @property
+    def replicators(self) -> list[AsyncReplicator]:
+        """The per-link shippers (expose stats and pending depth)."""
+        return list(self._replicators)
+
+    def read_block(self, lba: int) -> bytes:
+        return self._engine.read_block(lba)
+
+    def write_block(self, lba: int, data: bytes) -> None:
+        """Local write + enqueue; returns without waiting on the network."""
+        self._engine.write_block(lba, data)
+
+    def drain(self, timeout: float | None = 30.0) -> None:
+        """Wait for all replicas to acknowledge everything queued."""
+        for replicator in self._replicators:
+            replicator.drain(timeout=timeout)
+
+    def close(self) -> None:
+        for replicator in self._replicators:
+            replicator.close()
+        self._engine.device.close()
+
+    def __enter__(self) -> "AsyncPrimaryEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class _EnqueueLink(ReplicaLink):
+    """Adapter: PrimaryEngine 'ships' into the replicator queue."""
+
+    def __init__(self, replicator: AsyncReplicator) -> None:
+        self._replicator = replicator
+
+    def ship(self, lba: int, record: ReplicationRecord) -> bytes:
+        self._replicator.submit(lba, record)
+        return b""  # ack handled by the shipper thread
+
+    def close(self) -> None:
+        pass  # lifecycle owned by AsyncPrimaryEngine.close

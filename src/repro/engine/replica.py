@@ -1,0 +1,74 @@
+"""The replica-side PRINS engine.
+
+"The counter part PRINS-engine at the replica node will listen on the
+network to receive replicated parity.  Upon receiving such parity, the
+PRINS-engine at the replica node will perform the reverse computation …
+[and] store the data in its local storage using the same LBA" (Sec. 2).
+
+:class:`ReplicaEngine` is that counterpart: it decodes each record, applies
+the strategy's inverse (backward parity for PRINS, plain decode for the
+baselines), verifies the end-to-end CRC, and writes the block in place.  It
+is idempotent under redelivery: a record whose sequence number was already
+applied for that LBA is acknowledged without being re-applied, which keeps
+retries safe — re-XORing a parity delta would corrupt the block.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.block.device import BlockDevice
+from repro.engine.messages import ReplicationRecord
+from repro.engine.strategy import ReplicationStrategy
+
+_ACK = struct.Struct("<QB")
+
+ACK_APPLIED = 0
+ACK_DUPLICATE = 1
+
+
+class ReplicaEngine:
+    """Applies replication records to a local block device."""
+
+    def __init__(self, device: BlockDevice, strategy: ReplicationStrategy) -> None:
+        self._device = device
+        self._strategy = strategy
+        self._applied_seq: dict[int, int] = {}  # lba -> highest applied seq
+        self.records_applied = 0
+        self.records_duplicate = 0
+
+    @property
+    def device(self) -> BlockDevice:
+        """The replica's local storage."""
+        return self._device
+
+    @property
+    def strategy(self) -> ReplicationStrategy:
+        """The strategy this replica inverts."""
+        return self._strategy
+
+    def receive(self, lba: int, raw_record: bytes) -> bytes:
+        """Apply one wire record; returns the packed ack payload.
+
+        This is the entry point registered as the iSCSI target's
+        replication handler (and called directly by
+        :class:`~repro.engine.links.DirectLink`).
+        """
+        record = ReplicationRecord.unpack(raw_record)
+        if self._applied_seq.get(lba, -1) >= record.seq:
+            self.records_duplicate += 1
+            return _ACK.pack(record.seq, ACK_DUPLICATE)
+        old_data = (
+            self._device.read_block(lba) if self._strategy.needs_old_data else None
+        )
+        new_data = self._strategy.apply_update(record.frame, old_data)
+        record.verify(new_data)
+        self._device.write_block(lba, new_data)
+        self._applied_seq[lba] = record.seq
+        self.records_applied += 1
+        return _ACK.pack(record.seq, ACK_APPLIED)
+
+    @staticmethod
+    def parse_ack(payload: bytes) -> tuple[int, int]:
+        """Parse an ack payload into ``(seq, status)``."""
+        return _ACK.unpack(payload)

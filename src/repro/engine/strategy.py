@@ -1,0 +1,150 @@
+"""Replication strategies: traditional, compressed, and PRINS.
+
+A strategy answers two questions: *what bytes does a write put on the
+wire?* (``encode_update``, at the primary) and *how does a replica turn
+those bytes back into the new block?* (``apply_update``).  The frame
+produced by ``encode_update`` is self-describing
+(:mod:`repro.parity.frame`), so ``apply_update`` is strategy-agnostic at
+the codec level; what differs is whether the frame holds the block itself
+or a parity delta that must be XORed with the replica's old block.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.common.buffers import is_zero
+from repro.common.errors import ConfigurationError
+from repro.parity.codecs import Codec, get_codec
+from repro.parity.delta import backward_parity, forward_parity
+from repro.parity.frame import decode_frame, encode_frame
+
+
+class ReplicationStrategy(ABC):
+    """Policy for turning a block write into replication wire bytes."""
+
+    #: short name used in reports, figures, and the CLI
+    name: str = "abstract"
+    #: True if ``apply_update`` needs the replica's old block contents
+    needs_old_data: bool = False
+
+    @abstractmethod
+    def encode_update(
+        self, new_data: bytes, old_data: bytes, raid_delta: bytes | None = None
+    ) -> bytes | None:
+        """Return the frame to ship for this write, or None to skip.
+
+        ``raid_delta`` is the free ``P'`` term from a RAID small-write, when
+        the primary's device provides one (see
+        :meth:`repro.raid.parity_base.ParityArrayBase.write_block_with_delta`).
+        """
+
+    @abstractmethod
+    def apply_update(self, frame: bytes, old_data: bytes | None) -> bytes:
+        """Invert :meth:`encode_update` at the replica; returns the new block."""
+
+
+class FullBlockStrategy(ReplicationStrategy):
+    """The paper's *traditional replication*: ship every changed block whole."""
+
+    name = "traditional"
+    needs_old_data = False
+
+    def __init__(self) -> None:
+        self._codec = get_codec("raw")
+
+    def encode_update(
+        self, new_data: bytes, old_data: bytes, raid_delta: bytes | None = None
+    ) -> bytes | None:
+        return encode_frame(self._codec, new_data)
+
+    def apply_update(self, frame: bytes, old_data: bytes | None) -> bytes:
+        return decode_frame(frame)
+
+
+class CompressedBlockStrategy(ReplicationStrategy):
+    """*Traditional replication with data compression*: zlib over the block."""
+
+    name = "compressed"
+    needs_old_data = False
+
+    def __init__(self, codec: Codec | str = "zlib") -> None:
+        self._codec = get_codec(codec) if isinstance(codec, str) else codec
+
+    def encode_update(
+        self, new_data: bytes, old_data: bytes, raid_delta: bytes | None = None
+    ) -> bytes | None:
+        return encode_frame(self._codec, new_data)
+
+    def apply_update(self, frame: bytes, old_data: bytes | None) -> bytes:
+        return decode_frame(frame)
+
+
+class PrinsStrategy(ReplicationStrategy):
+    """PRINS: ship the encoded parity delta ``P' = A_new XOR A_old``.
+
+    When the primary runs RAID-4/5, ``raid_delta`` arrives precomputed by
+    the array's small-write path and the forward parity computation costs
+    nothing extra (Sec. 1: "does not introduce additional overhead").
+    Otherwise the strategy computes it from ``old_data``.
+
+    ``skip_unchanged`` suppresses replication of writes whose delta is all
+    zeros (the application rewrote identical bytes) — traditional
+    replication cannot detect that case because it never sees ``A_old``.
+    """
+
+    name = "prins"
+    needs_old_data = True
+
+    def __init__(
+        self, codec: Codec | str = "zero-rle", skip_unchanged: bool = True
+    ) -> None:
+        self._codec = get_codec(codec) if isinstance(codec, str) else codec
+        self._skip_unchanged = skip_unchanged
+
+    @property
+    def codec(self) -> Codec:
+        """The codec applied to parity deltas."""
+        return self._codec
+
+    def encode_update(
+        self, new_data: bytes, old_data: bytes, raid_delta: bytes | None = None
+    ) -> bytes | None:
+        delta = raid_delta if raid_delta is not None else forward_parity(
+            new_data, old_data
+        )
+        if self._skip_unchanged and is_zero(delta):
+            return None
+        return encode_frame(self._codec, delta)
+
+    def apply_update(self, frame: bytes, old_data: bytes | None) -> bytes:
+        if old_data is None:
+            raise ConfigurationError(
+                "PRINS apply_update needs the replica's old block "
+                "(was the replica synchronized? see repro.engine.sync)"
+            )
+        delta = decode_frame(frame)
+        return backward_parity(delta, old_data)
+
+
+_STRATEGIES = {
+    "traditional": FullBlockStrategy,
+    "compressed": CompressedBlockStrategy,
+    "prins": PrinsStrategy,
+}
+
+
+def make_strategy(name: str, **kwargs: object) -> ReplicationStrategy:
+    """Build a strategy by its paper name: traditional / compressed / prins."""
+    try:
+        cls = _STRATEGIES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown strategy {name!r}; choose from {sorted(_STRATEGIES)}"
+        ) from None
+    return cls(**kwargs)  # type: ignore[arg-type]
+
+
+def strategy_names() -> list[str]:
+    """The paper's three strategies, in figure order."""
+    return ["traditional", "compressed", "prins"]

@@ -1,0 +1,54 @@
+"""Experiment definitions: one entry per paper table/figure.
+
+* :mod:`repro.experiments.harness` — trace capture and strategy
+  measurement machinery shared by all traffic figures;
+* :mod:`repro.experiments.figures` — ``run_fig4`` … ``run_fig10`` plus the
+  overhead experiment, each returning an
+  :class:`~repro.analysis.report.ExperimentResult`;
+* :mod:`repro.experiments.paper_data` — the paper's reported numbers,
+  digitized from the text, for shape comparison;
+* :mod:`repro.experiments.testbed` — the Fig. 2 environment inventory
+  (paper testbed → this reproduction's substitutes).
+"""
+
+from repro.experiments.figures import (
+    EXPERIMENTS,
+    run_experiment,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+    run_fig9,
+    run_fig10,
+    run_overhead,
+)
+from repro.experiments.harness import (
+    StrategyMeasurement,
+    TraceCapture,
+    capture_fsmicro_trace,
+    capture_tpcc_trace,
+    capture_tpcw_trace,
+    measure_strategies,
+)
+from repro.experiments.testbed import testbed_table
+
+__all__ = [
+    "EXPERIMENTS",
+    "StrategyMeasurement",
+    "TraceCapture",
+    "capture_fsmicro_trace",
+    "capture_tpcc_trace",
+    "capture_tpcw_trace",
+    "measure_strategies",
+    "run_experiment",
+    "run_fig4",
+    "run_fig5",
+    "run_fig6",
+    "run_fig7",
+    "run_fig8",
+    "run_fig9",
+    "run_fig10",
+    "run_overhead",
+    "testbed_table",
+]

@@ -1,0 +1,167 @@
+"""Shared experiment machinery: capture one trace, measure every strategy.
+
+The measurement protocol mirrors the paper's (Sec. 3.1): run the workload,
+replicate the resulting block-write stream to a replica node, count bytes
+on the wire.  Concretely:
+
+1. mount the substrate (minidb or miniext) on a trace-recording device with
+   the figure's block size, populate it, discard the population writes
+   (the paper measures steady-state benchmark traffic, not initial sync);
+2. snapshot the post-population image;
+3. for each strategy: load primary and replica devices from the snapshot
+   (the replica is "after the initial sync"), replay the identical trace
+   through a :class:`~repro.engine.primary.PrimaryEngine`, verify the
+   replica is byte-identical, and read the traffic accountant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.block.memory import MemoryBlockDevice
+from repro.common.errors import ReplicationError
+from repro.engine.accounting import TrafficAccountant
+from repro.engine.links import DirectLink
+from repro.engine.primary import PrimaryEngine
+from repro.engine.replica import ReplicaEngine
+from repro.engine.strategy import make_strategy, strategy_names
+from repro.engine.sync import verify_consistency
+from repro.fs.filesystem import FileSystem
+from repro.minidb.db import Database
+from repro.workloads.fsmicro import FsMicroBenchmark, FsMicroConfig
+from repro.workloads.tpcc import TpccConfig, TpccWorkload
+from repro.workloads.tpcw import TpcwConfig, TpcwWorkload
+from repro.workloads.trace import BlockWriteTrace, TraceDevice, replay_trace
+
+#: the paper's five block sizes (Figs. 4-7 sweep 4 KB ... 64 KB)
+PAPER_BLOCK_SIZES = (4096, 8192, 16384, 32768, 65536)
+
+#: default device capacity; blocks = capacity // block_size
+DEVICE_CAPACITY = 64 * 1024 * 1024
+
+
+@dataclass
+class TraceCapture:
+    """A captured workload write stream plus the starting image."""
+
+    trace: BlockWriteTrace
+    base_image: bytes
+    workload_name: str
+
+    @property
+    def block_size(self) -> int:
+        """Block size the trace was captured at."""
+        return self.trace.block_size
+
+
+@dataclass
+class StrategyMeasurement:
+    """Traffic measured for one strategy over one trace."""
+
+    strategy: str
+    accountant: TrafficAccountant
+    consistent: bool
+
+    @property
+    def payload_bytes(self) -> int:
+        """Total replicated payload bytes (the paper's y-axis)."""
+        return self.accountant.payload_bytes
+
+    @property
+    def mean_payload(self) -> float:
+        """Mean payload per replicated write (feeds the queueing model)."""
+        return self.accountant.mean_payload
+
+
+def _make_device(block_size: int, capacity: int = DEVICE_CAPACITY) -> TraceDevice:
+    return TraceDevice(MemoryBlockDevice(block_size, capacity // block_size))
+
+
+def capture_tpcc_trace(
+    block_size: int,
+    config: TpccConfig | None = None,
+    transactions: int = 200,
+    pool_capacity: int = 512,
+) -> TraceCapture:
+    """Run the TPC-C mix and capture its block-write trace."""
+    device = _make_device(block_size)
+    database = Database(device, pool_capacity=pool_capacity)
+    workload = TpccWorkload(database, config)
+    workload.populate()
+    device.trace.writes.clear()  # measure the benchmark, not the load phase
+    base_image = device.inner.snapshot()  # type: ignore[attr-defined]
+    workload.run(transactions)
+    return TraceCapture(device.trace, base_image, "tpcc")
+
+
+def capture_tpcw_trace(
+    block_size: int,
+    config: TpcwConfig | None = None,
+    interactions: int = 400,
+    pool_capacity: int = 512,
+) -> TraceCapture:
+    """Run the TPC-W mix and capture its block-write trace."""
+    device = _make_device(block_size)
+    database = Database(device, pool_capacity=pool_capacity)
+    workload = TpcwWorkload(database, config)
+    workload.populate()
+    device.trace.writes.clear()
+    base_image = device.inner.snapshot()  # type: ignore[attr-defined]
+    workload.run(interactions)
+    return TraceCapture(device.trace, base_image, "tpcw")
+
+
+def capture_fsmicro_trace(
+    block_size: int,
+    config: FsMicroConfig | None = None,
+) -> TraceCapture:
+    """Run the tar micro-benchmark and capture its block-write trace."""
+    device = _make_device(block_size)
+    filesystem = FileSystem.format(device, inode_count=512)
+    benchmark = FsMicroBenchmark(filesystem, config)
+    benchmark.populate()
+    device.trace.writes.clear()
+    base_image = device.inner.snapshot()  # type: ignore[attr-defined]
+    benchmark.run()
+    return TraceCapture(device.trace, base_image, "fsmicro")
+
+
+def measure_strategies(
+    capture: TraceCapture,
+    strategies: list[str] | None = None,
+    prins_codec: str = "zero-rle",
+) -> dict[str, StrategyMeasurement]:
+    """Replay the captured trace through each strategy; return traffic.
+
+    Raises :class:`ReplicationError` if any strategy leaves the replica
+    inconsistent — a traffic number from a broken replication would be
+    meaningless.
+    """
+    results: dict[str, StrategyMeasurement] = {}
+    for name in strategies or strategy_names():
+        primary_device = MemoryBlockDevice(
+            capture.trace.block_size, capture.trace.num_blocks
+        )
+        primary_device.load(capture.base_image)
+        replica_device = MemoryBlockDevice(
+            capture.trace.block_size, capture.trace.num_blocks
+        )
+        replica_device.load(capture.base_image)  # replica after initial sync
+        strategy = (
+            make_strategy(name, codec=prins_codec)
+            if name == "prins"
+            else make_strategy(name)
+        )
+        replica = ReplicaEngine(replica_device, strategy)
+        engine = PrimaryEngine(primary_device, strategy, [DirectLink(replica)])
+        replay_trace(capture.trace, engine)
+        mismatches = verify_consistency(primary_device, replica_device)
+        if mismatches:
+            raise ReplicationError(
+                f"strategy {name!r} left {len(mismatches)} inconsistent blocks "
+                f"(first: {mismatches[:5]})"
+            )
+        results[name] = StrategyMeasurement(
+            strategy=name, accountant=engine.accountant, consistent=True
+        )
+    return results

@@ -1,0 +1,23 @@
+"""miniext — an inode/bitmap filesystem substrate plus a tar archiver.
+
+The paper's file-system micro-benchmark (Sec. 3.2, Fig. 7) runs on Ext2:
+five directories of files are randomly edited and re-archived with ``tar``
+five times, generating block-level writes.  This package supplies the same
+stack on a :class:`~repro.block.device.BlockDevice`:
+
+* :class:`~repro.fs.filesystem.FileSystem` — superblock, block bitmap,
+  inode table with direct + single-indirect block pointers, directories as
+  files of entries;
+* :mod:`repro.fs.tar` — a POSIX ustar archive writer that reads from and
+  writes into the filesystem.
+
+Mounting the filesystem on a :class:`~repro.engine.primary.PrimaryEngine`
+reproduces the paper's Ext2-over-PRINS configuration: metadata blocks
+(bitmaps, inode table) receive tiny scattered updates, file data blocks are
+rewritten with partial changes — both highly PRINS-friendly.
+"""
+
+from repro.fs.filesystem import FileStat, FileSystem
+from repro.fs.tar import tar_paths
+
+__all__ = ["FileStat", "FileSystem", "tar_paths"]

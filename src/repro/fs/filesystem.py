@@ -1,0 +1,445 @@
+"""An Ext2-flavoured filesystem on a block device.
+
+On-device layout (all sizes in blocks)::
+
+    block 0                      superblock
+    blocks 1 .. B                block allocation bitmap
+    blocks B+1 .. B+I            inode table
+    remaining                    data blocks
+
+Inodes hold 12 direct block pointers plus one single-indirect block, like
+classic Ext2.  Directories are ordinary files containing a sequence of
+``(inode u32, name_len u8, name)`` entries.  All metadata writes go through
+the device immediately (no journal — Ext2 had none either), so the
+block-write stream a workload produces has the real mix of data-block
+rewrites and tiny metadata updates.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.block.device import BlockDevice
+from repro.common.errors import StorageError
+
+_SUPER = struct.Struct("<IIIIII")  # magic, block_size, bitmap_blocks, inode_blocks, inode_count, root_inode
+_MAGIC = 0xEF53_2006  # Ext2's magic crossed with the paper's year
+
+_INODE = struct.Struct("<BxHIQ12I I")  # mode, links, reserved, size, 12 direct, indirect
+INODE_SIZE = _INODE.size
+
+MODE_FREE = 0
+MODE_FILE = 1
+MODE_DIR = 2
+
+_DIRECT_POINTERS = 12
+
+
+@dataclass(frozen=True)
+class FileStat:
+    """Result of :meth:`FileSystem.stat`."""
+
+    inode: int
+    mode: int
+    size: int
+
+    @property
+    def is_dir(self) -> bool:
+        """True for directories."""
+        return self.mode == MODE_DIR
+
+    @property
+    def is_file(self) -> bool:
+        """True for regular files."""
+        return self.mode == MODE_FILE
+
+
+@dataclass
+class _Inode:
+    mode: int
+    links: int
+    size: int
+    direct: list[int]
+    indirect: int
+
+    def pack(self) -> bytes:
+        return _INODE.pack(
+            self.mode, self.links, 0, self.size, *self.direct, self.indirect
+        )
+
+    @classmethod
+    def unpack(cls, raw: bytes) -> "_Inode":
+        fields = _INODE.unpack(raw)
+        return cls(
+            mode=fields[0],
+            links=fields[1],
+            size=fields[3],
+            direct=list(fields[4:16]),
+            indirect=fields[16],
+        )
+
+
+class FileSystem:
+    """A mounted miniext filesystem."""
+
+    def __init__(self, device: BlockDevice) -> None:
+        self._device = device
+        raw = device.read_block(0)
+        magic, block_size, bitmap_blocks, inode_blocks, inode_count, root = (
+            _SUPER.unpack_from(raw, 0)
+        )
+        if magic != _MAGIC:
+            raise StorageError("device does not contain a miniext filesystem")
+        if block_size != device.block_size:
+            raise StorageError(
+                f"filesystem block size {block_size} != device {device.block_size}"
+            )
+        self._bitmap_blocks = bitmap_blocks
+        self._inode_blocks = inode_blocks
+        self._inode_count = inode_count
+        self._root = root
+        self._bitmap_start = 1
+        self._inode_start = 1 + bitmap_blocks
+        self._data_start = self._inode_start + inode_blocks
+
+    # -- format -----------------------------------------------------------------
+
+    @classmethod
+    def format(cls, device: BlockDevice, inode_count: int = 1024) -> "FileSystem":
+        """Write a fresh filesystem onto ``device`` and mount it."""
+        block_size = device.block_size
+        inodes_per_block = block_size // INODE_SIZE
+        if inodes_per_block == 0:
+            raise StorageError(f"block size {block_size} cannot hold an inode")
+        inode_blocks = -(-inode_count // inodes_per_block)
+        bits_per_block = block_size * 8
+        bitmap_blocks = -(-device.num_blocks // bits_per_block)
+        data_start = 1 + bitmap_blocks + inode_blocks
+        if data_start >= device.num_blocks:
+            raise StorageError("device too small for this inode count")
+        super_raw = bytearray(block_size)
+        _SUPER.pack_into(
+            super_raw, 0, _MAGIC, block_size, bitmap_blocks, inode_blocks,
+            inode_count, 0,
+        )
+        device.write_block(0, bytes(super_raw))
+        zero = bytes(block_size)
+        for b in range(1, data_start):
+            device.write_block(b, zero)
+        fs = cls(device)
+        # Reserve the metadata region in the bitmap.
+        for b in range(data_start):
+            fs._bitmap_set(b, True)
+        # Create the root directory at inode 0.
+        fs._write_inode(0, _Inode(MODE_DIR, 1, 0, [0] * _DIRECT_POINTERS, 0))
+        return fs
+
+    @property
+    def device(self) -> BlockDevice:
+        """The underlying block device."""
+        return self._device
+
+    @property
+    def block_size(self) -> int:
+        """Filesystem block size (== device block size)."""
+        return self._device.block_size
+
+    # -- bitmap --------------------------------------------------------------------
+
+    def _bitmap_set(self, block: int, used: bool) -> None:
+        bits_per_block = self.block_size * 8
+        bitmap_block = self._bitmap_start + block // bits_per_block
+        bit = block % bits_per_block
+        raw = bytearray(self._device.read_block(bitmap_block))
+        byte_index, bit_index = divmod(bit, 8)
+        if used:
+            raw[byte_index] |= 1 << bit_index
+        else:
+            raw[byte_index] &= ~(1 << bit_index)
+        self._device.write_block(bitmap_block, bytes(raw))
+
+    def _bitmap_get(self, block: int) -> bool:
+        bits_per_block = self.block_size * 8
+        raw = self._device.read_block(self._bitmap_start + block // bits_per_block)
+        bit = block % bits_per_block
+        return bool(raw[bit // 8] >> (bit % 8) & 1)
+
+    def _allocate_block(self) -> int:
+        for block in range(self._data_start, self._device.num_blocks):
+            if not self._bitmap_get(block):
+                self._bitmap_set(block, True)
+                return block
+        raise StorageError("filesystem out of data blocks")
+
+    def _free_block(self, block: int) -> None:
+        self._bitmap_set(block, False)
+
+    # -- inode table -------------------------------------------------------------------
+
+    def _inode_location(self, inode: int) -> tuple[int, int]:
+        if not 0 <= inode < self._inode_count:
+            raise StorageError(f"inode {inode} out of range")
+        per_block = self.block_size // INODE_SIZE
+        return self._inode_start + inode // per_block, (inode % per_block) * INODE_SIZE
+
+    def _read_inode(self, inode: int) -> _Inode:
+        block, offset = self._inode_location(inode)
+        raw = self._device.read_block(block)
+        return _Inode.unpack(raw[offset : offset + INODE_SIZE])
+
+    def _write_inode(self, inode: int, data: _Inode) -> None:
+        block, offset = self._inode_location(inode)
+        raw = bytearray(self._device.read_block(block))
+        raw[offset : offset + INODE_SIZE] = data.pack()
+        self._device.write_block(block, bytes(raw))
+
+    def _allocate_inode(self, mode: int) -> int:
+        for inode in range(self._inode_count):
+            if self._read_inode(inode).mode == MODE_FREE:
+                self._write_inode(
+                    inode, _Inode(mode, 1, 0, [0] * _DIRECT_POINTERS, 0)
+                )
+                return inode
+        raise StorageError("filesystem out of inodes")
+
+    # -- file block mapping ------------------------------------------------------------
+
+    def _block_of(self, node: _Inode, index: int, allocate: bool) -> int:
+        """Device block holding file block ``index`` (0 if absent, unless allocating)."""
+        if index < _DIRECT_POINTERS:
+            if node.direct[index] == 0 and allocate:
+                node.direct[index] = self._allocate_block()
+            return node.direct[index]
+        index -= _DIRECT_POINTERS
+        pointers_per_block = self.block_size // 4
+        if index >= pointers_per_block:
+            raise StorageError("file exceeds maximum size (single indirect)")
+        if node.indirect == 0:
+            if not allocate:
+                return 0
+            node.indirect = self._allocate_block()
+            self._device.write_block(node.indirect, bytes(self.block_size))
+        table = bytearray(self._device.read_block(node.indirect))
+        (pointer,) = struct.unpack_from("<I", table, index * 4)
+        if pointer == 0 and allocate:
+            pointer = self._allocate_block()
+            struct.pack_into("<I", table, index * 4, pointer)
+            self._device.write_block(node.indirect, bytes(table))
+        return pointer
+
+    def _file_blocks(self, node: _Inode) -> list[int]:
+        """All allocated data blocks of a file, in order."""
+        blocks = [b for b in node.direct if b]
+        if node.indirect:
+            table = self._device.read_block(node.indirect)
+            count = self.block_size // 4
+            for i in range(count):
+                (pointer,) = struct.unpack_from("<I", table, i * 4)
+                if pointer:
+                    blocks.append(pointer)
+        return blocks
+
+    # -- directory entries -----------------------------------------------------------------
+
+    def _dir_entries(self, inode: int) -> list[tuple[int, str]]:
+        raw = self._read_contents(inode)
+        entries: list[tuple[int, str]] = []
+        pos = 0
+        while pos < len(raw):
+            child, name_len = struct.unpack_from("<IB", raw, pos)
+            pos += 5
+            name = raw[pos : pos + name_len].decode("utf-8")
+            pos += name_len
+            entries.append((child, name))
+        return entries
+
+    def _dir_add(self, inode: int, child: int, name: str) -> None:
+        encoded = name.encode("utf-8")
+        if len(encoded) > 255:
+            raise StorageError(f"name too long: {name!r}")
+        raw = self._read_contents(inode)
+        raw += struct.pack("<IB", child, len(encoded)) + encoded
+        self._write_contents(inode, raw)
+
+    def _dir_remove(self, inode: int, name: str) -> int:
+        entries = self._dir_entries(inode)
+        kept = [(c, n) for c, n in entries if n != name]
+        if len(kept) == len(entries):
+            raise StorageError(f"no entry named {name!r}")
+        removed = next(c for c, n in entries if n == name)
+        out = bytearray()
+        for child, entry_name in kept:
+            encoded = entry_name.encode("utf-8")
+            out += struct.pack("<IB", child, len(encoded)) + encoded
+        self._write_contents(inode, bytes(out))
+        return removed
+
+    # -- raw contents I/O ---------------------------------------------------------------------
+
+    def _read_contents(self, inode: int) -> bytes:
+        node = self._read_inode(inode)
+        out = bytearray()
+        remaining = node.size
+        index = 0
+        while remaining > 0:
+            block = self._block_of(node, index, allocate=False)
+            chunk = (
+                self._device.read_block(block)
+                if block
+                else bytes(self.block_size)
+            )
+            take = min(remaining, self.block_size)
+            out += chunk[:take]
+            remaining -= take
+            index += 1
+        return bytes(out)
+
+    def _write_contents(self, inode: int, data: bytes) -> None:
+        node = self._read_inode(inode)
+        old_blocks = -(-node.size // self.block_size)
+        new_blocks = -(-len(data) // self.block_size)
+        for index in range(new_blocks):
+            block = self._block_of(node, index, allocate=True)
+            chunk = data[index * self.block_size : (index + 1) * self.block_size]
+            if len(chunk) < self.block_size:
+                # preserve trailing bytes of a partially overwritten block
+                old = self._device.read_block(block)
+                chunk = chunk + old[len(chunk) :]
+            self._device.write_block(block, chunk)
+        # free now-unused tail blocks
+        for index in range(new_blocks, old_blocks):
+            block = self._block_of(node, index, allocate=False)
+            if block:
+                self._free_block(block)
+                if index < _DIRECT_POINTERS:
+                    node.direct[index] = 0
+                else:
+                    table = bytearray(self._device.read_block(node.indirect))
+                    struct.pack_into(
+                        "<I", table, (index - _DIRECT_POINTERS) * 4, 0
+                    )
+                    self._device.write_block(node.indirect, bytes(table))
+        node.size = len(data)
+        self._write_inode(inode, node)
+
+    # -- path resolution --------------------------------------------------------------------------
+
+    @staticmethod
+    def _split(path: str) -> list[str]:
+        return [part for part in path.split("/") if part]
+
+    def _resolve(self, path: str) -> int | None:
+        inode = self._root
+        for part in self._split(path):
+            node = self._read_inode(inode)
+            if node.mode != MODE_DIR:
+                return None
+            match = next(
+                (c for c, n in self._dir_entries(inode) if n == part), None
+            )
+            if match is None:
+                return None
+            inode = match
+        return inode
+
+    def _resolve_parent(self, path: str) -> tuple[int, str]:
+        parts = self._split(path)
+        if not parts:
+            raise StorageError("path refers to the root directory")
+        parent = self._resolve("/".join(parts[:-1]))
+        if parent is None or self._read_inode(parent).mode != MODE_DIR:
+            raise StorageError(f"no such directory: {'/'.join(parts[:-1])!r}")
+        return parent, parts[-1]
+
+    # -- public API ----------------------------------------------------------------------------------
+
+    def exists(self, path: str) -> bool:
+        """True if ``path`` resolves to a file or directory."""
+        return self._resolve(path) is not None
+
+    def stat(self, path: str) -> FileStat:
+        """Return inode / mode / size for ``path``."""
+        inode = self._resolve(path)
+        if inode is None:
+            raise StorageError(f"no such path: {path!r}")
+        node = self._read_inode(inode)
+        return FileStat(inode=inode, mode=node.mode, size=node.size)
+
+    def mkdir(self, path: str) -> None:
+        """Create a directory (parent must exist)."""
+        parent, name = self._resolve_parent(path)
+        if any(n == name for _, n in self._dir_entries(parent)):
+            raise StorageError(f"path already exists: {path!r}")
+        inode = self._allocate_inode(MODE_DIR)
+        self._dir_add(parent, inode, name)
+
+    def makedirs(self, path: str) -> None:
+        """Create a directory and any missing ancestors."""
+        parts = self._split(path)
+        for depth in range(1, len(parts) + 1):
+            prefix = "/".join(parts[:depth])
+            if not self.exists(prefix):
+                self.mkdir(prefix)
+
+    def write_file(self, path: str, data: bytes) -> None:
+        """Create or replace the file at ``path`` with ``data``."""
+        inode = self._resolve(path)
+        if inode is None:
+            parent, name = self._resolve_parent(path)
+            inode = self._allocate_inode(MODE_FILE)
+            self._dir_add(parent, inode, name)
+        elif self._read_inode(inode).mode != MODE_FILE:
+            raise StorageError(f"not a file: {path!r}")
+        self._write_contents(inode, data)
+
+    def read_file(self, path: str) -> bytes:
+        """Return the full contents of the file at ``path``."""
+        inode = self._resolve(path)
+        if inode is None:
+            raise StorageError(f"no such file: {path!r}")
+        if self._read_inode(inode).mode != MODE_FILE:
+            raise StorageError(f"not a file: {path!r}")
+        return self._read_contents(inode)
+
+    def listdir(self, path: str = "/") -> list[str]:
+        """Names in the directory at ``path``, in creation order."""
+        inode = self._resolve(path)
+        if inode is None or self._read_inode(inode).mode != MODE_DIR:
+            raise StorageError(f"no such directory: {path!r}")
+        return [name for _, name in self._dir_entries(inode)]
+
+    def walk(self, path: str = "/") -> list[str]:
+        """All file paths under ``path`` (recursive, sorted)."""
+        inode = self._resolve(path)
+        if inode is None:
+            raise StorageError(f"no such path: {path!r}")
+        results: list[str] = []
+        prefix = "/".join(self._split(path))
+
+        def visit(inode: int, where: str) -> None:
+            for child, name in self._dir_entries(inode):
+                child_path = f"{where}/{name}" if where else name
+                if self._read_inode(child).mode == MODE_DIR:
+                    visit(child, child_path)
+                else:
+                    results.append(child_path)
+
+        visit(inode, prefix)
+        return sorted(results)
+
+    def unlink(self, path: str) -> None:
+        """Remove a file, freeing its blocks and inode."""
+        inode = self._resolve(path)
+        if inode is None:
+            raise StorageError(f"no such file: {path!r}")
+        node = self._read_inode(inode)
+        if node.mode != MODE_FILE:
+            raise StorageError(f"not a file: {path!r}")
+        parent, name = self._resolve_parent(path)
+        self._dir_remove(parent, name)
+        for block in self._file_blocks(node):
+            self._free_block(block)
+        if node.indirect:
+            self._free_block(node.indirect)
+        self._write_inode(inode, _Inode(MODE_FREE, 0, 0, [0] * 12, 0))

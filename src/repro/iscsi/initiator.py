@@ -1,0 +1,143 @@
+"""The iSCSI initiator: client side of the protocol.
+
+An :class:`Initiator` logs into a target over any transport and then issues
+SCSI READ/WRITE commands or PRINS replication frames.  The PRINS engine's
+"communication module is another iSCSI initiator communicating with the
+counterpart iSCSI target at the replica node" (Sec. 2) — that module is
+exactly an instance of this class.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import LoginError, ProtocolError
+from repro.iscsi.pdu import Opcode, Pdu, ScsiOp, Status
+from repro.iscsi.transport import Transport
+
+
+class Initiator:
+    """Synchronous one-command-at-a-time iSCSI client."""
+
+    def __init__(self, transport: Transport, timeout: float | None = 30.0) -> None:
+        self._transport = transport
+        self._timeout = timeout
+        self._itt = 0
+        self._cmd_sn = 0
+        self._logged_in = False
+        self.block_size: int | None = None
+        self.num_blocks: int | None = None
+
+    @property
+    def transport(self) -> Transport:
+        """The underlying transport (exposes byte counters)."""
+        return self._transport
+
+    @property
+    def logged_in(self) -> bool:
+        """True after a successful :meth:`login`."""
+        return self._logged_in
+
+    # -- session ------------------------------------------------------------
+
+    def login(self, target_name: str = "") -> dict[str, str]:
+        """Log in; returns the target's negotiated parameters."""
+        response = self._roundtrip(
+            Pdu(opcode=Opcode.LOGIN_REQUEST, data=target_name.encode("utf-8")),
+            expect=Opcode.LOGIN_RESPONSE,
+        )
+        if response.status != Status.GOOD:
+            raise LoginError(f"login rejected with status {response.status:#04x}")
+        params: dict[str, str] = {}
+        for pair in response.data.decode("utf-8").split(";"):
+            if "=" in pair:
+                key, value = pair.split("=", 1)
+                params[key] = value
+        self.block_size = int(params.get("BlockSize", 0)) or None
+        self.num_blocks = int(params.get("NumBlocks", 0)) or None
+        self._logged_in = True
+        return params
+
+    def logout(self) -> None:
+        """Log out and close the transport."""
+        if self._logged_in:
+            self._roundtrip(
+                Pdu(opcode=Opcode.LOGOUT_REQUEST), expect=Opcode.LOGOUT_RESPONSE
+            )
+            self._logged_in = False
+        self._transport.close()
+
+    # -- SCSI ------------------------------------------------------------------
+
+    def read(self, lba: int, count: int = 1) -> bytes:
+        """Read ``count`` blocks starting at ``lba``."""
+        response = self._roundtrip(
+            Pdu(
+                opcode=Opcode.SCSI_COMMAND,
+                flags=int(ScsiOp.READ),
+                lba=lba,
+                transfer_length=count,
+            ),
+            expect=Opcode.SCSI_DATA_IN,
+        )
+        return response.data
+
+    def write(self, lba: int, data: bytes) -> None:
+        """Write whole blocks starting at ``lba``."""
+        count = len(data) // self.block_size if self.block_size else 1
+        self._roundtrip(
+            Pdu(
+                opcode=Opcode.SCSI_COMMAND,
+                flags=int(ScsiOp.WRITE),
+                lba=lba,
+                transfer_length=count,
+                data=data,
+            ),
+            expect=Opcode.SCSI_RESPONSE,
+        )
+
+    def ping(self, payload: bytes = b"") -> bytes:
+        """NOP round-trip; returns the echoed payload."""
+        return self._roundtrip(
+            Pdu(opcode=Opcode.NOP_OUT, data=payload), expect=Opcode.NOP_IN
+        ).data
+
+    # -- PRINS replication -------------------------------------------------------
+
+    def send_replication_frame(self, lba: int, frame: bytes) -> bytes:
+        """Ship one replication frame; returns the replica's ack payload."""
+        response = self._roundtrip(
+            Pdu(opcode=Opcode.REPL_DATA_OUT, lba=lba, data=frame),
+            expect=Opcode.REPL_ACK,
+        )
+        return response.data
+
+    # -- plumbing ------------------------------------------------------------------
+
+    def _roundtrip(self, request: Pdu, expect: Opcode) -> Pdu:
+        self._itt += 1
+        self._cmd_sn += 1
+        request.itt = self._itt
+        request.seq = self._cmd_sn
+        self._transport.send(request)
+        response = self._transport.receive(timeout=self._timeout)
+        if response.itt != request.itt:
+            raise ProtocolError(
+                f"response ITT {response.itt} does not match request {request.itt}"
+            )
+        if response.opcode is not expect:
+            raise ProtocolError(
+                f"expected {expect!r}, got {response.opcode!r} "
+                f"(status {response.status:#04x})"
+            )
+        if response.status != Status.GOOD:
+            if response.opcode is Opcode.LOGIN_RESPONSE:
+                raise LoginError(
+                    f"login rejected with status {response.status:#04x}"
+                )
+            raise ProtocolError(f"command failed with status {response.status:#04x}")
+        return response
+
+    def __enter__(self) -> "Initiator":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.logout()

@@ -1,0 +1,133 @@
+"""Protocol data units.
+
+Every PDU carries a 48-byte Basic Header Segment (BHS) followed by an
+optional data segment, mirroring real iSCSI framing (RFC 3720 uses the same
+48-byte BHS).  Field layout (little-endian; real iSCSI is big-endian, the
+distinction is irrelevant to byte counts)::
+
+    offset  size  field
+    0       1     opcode
+    1       1     flags
+    2       2     status / reserved
+    4       4     initiator task tag (ITT)
+    8       8     LBA (SCSI CDB logical block address)
+    16      4     transfer length in blocks (SCSI CDB)
+    20      4     data segment length
+    24      8     sequence number (CmdSN / StatSN)
+    32      16    reserved padding (keeps the BHS at 48 bytes)
+
+The vendor-specific :attr:`Opcode.REPL_DATA_OUT` carries PRINS replication
+frames; everything else is standard command traffic.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass, field
+
+from repro.common.errors import ProtocolError
+
+BHS_SIZE = 48
+_BHS = struct.Struct("<BBHIQIIQ16x")
+
+
+class Opcode(enum.IntEnum):
+    """PDU opcodes (initiator→target even, target→initiator odd)."""
+
+    LOGIN_REQUEST = 0x03
+    LOGIN_RESPONSE = 0x23
+    SCSI_COMMAND = 0x01
+    SCSI_RESPONSE = 0x21
+    SCSI_DATA_IN = 0x25
+    SCSI_DATA_OUT = 0x05
+    NOP_OUT = 0x00
+    NOP_IN = 0x20
+    LOGOUT_REQUEST = 0x06
+    LOGOUT_RESPONSE = 0x26
+    REPL_DATA_OUT = 0x1C  # vendor-specific: PRINS replication frame
+    REPL_ACK = 0x3C  # vendor-specific: replica acknowledgement
+
+
+class ScsiOp(enum.IntEnum):
+    """The two SCSI operations the targets serve (encoded in ``flags``)."""
+
+    READ = 0x28
+    WRITE = 0x2A
+
+
+class Status(enum.IntEnum):
+    """Response status codes."""
+
+    GOOD = 0x00
+    CHECK_CONDITION = 0x02
+    LOGIN_REJECT = 0x10
+    INVALID_LBA = 0x11
+    PROTOCOL_VIOLATION = 0x12
+
+
+@dataclass
+class Pdu:
+    """One protocol data unit: 48-byte header plus data segment."""
+
+    opcode: Opcode
+    flags: int = 0
+    status: int = 0
+    itt: int = 0
+    lba: int = 0
+    transfer_length: int = 0
+    seq: int = 0
+    data: bytes = field(default=b"", repr=False)
+
+    @property
+    def wire_size(self) -> int:
+        """Total bytes this PDU occupies on the wire."""
+        return BHS_SIZE + len(self.data)
+
+    def pack(self) -> bytes:
+        """Serialize to wire format."""
+        header = _BHS.pack(
+            int(self.opcode),
+            self.flags,
+            self.status,
+            self.itt,
+            self.lba,
+            self.transfer_length,
+            len(self.data),
+            self.seq,
+        )
+        assert len(header) == BHS_SIZE
+        return header + self.data
+
+    @classmethod
+    def unpack_header(cls, header: bytes) -> tuple["Pdu", int]:
+        """Parse a BHS; return the PDU (data empty) and the data length."""
+        if len(header) != BHS_SIZE:
+            raise ProtocolError(f"BHS must be {BHS_SIZE} bytes, got {len(header)}")
+        opcode, flags, status, itt, lba, xfer, data_len, seq = _BHS.unpack(header)
+        try:
+            op = Opcode(opcode)
+        except ValueError:
+            raise ProtocolError(f"unknown opcode {opcode:#04x}") from None
+        pdu = cls(
+            opcode=op,
+            flags=flags,
+            status=status,
+            itt=itt,
+            lba=lba,
+            transfer_length=xfer,
+            seq=seq,
+        )
+        return pdu, data_len
+
+    @classmethod
+    def unpack(cls, raw: bytes) -> "Pdu":
+        """Parse a complete PDU from ``raw`` (header + full data segment)."""
+        pdu, data_len = cls.unpack_header(raw[:BHS_SIZE])
+        data = raw[BHS_SIZE:]
+        if len(data) != data_len:
+            raise ProtocolError(
+                f"data segment is {len(data)} bytes, header declares {data_len}"
+            )
+        pdu.data = data
+        return pdu

@@ -1,0 +1,233 @@
+"""The iSCSI target: serves one block device, hooks replication frames.
+
+A :class:`Target` owns the protocol state machine for one session
+(security-negotiation-free login → full-feature phase → logout) and
+dispatches SCSI READ/WRITE to its LUN.  The vendor-specific
+``REPL_DATA_OUT`` opcode is handed to a pluggable handler — the PRINS
+replica engine registers itself there, exactly as the paper's PRINS-engine
+"runs as a software module inside the iSCSI target" (Sec. 1).
+
+:class:`TargetServer` runs targets for many TCP connections, one thread
+per session, so the networked examples can mirror across real sockets.
+"""
+
+from __future__ import annotations
+
+import logging
+import socket
+import threading
+from collections.abc import Callable
+
+from repro.block.device import BlockDevice
+from repro.common.errors import BlockRangeError, ProtocolError
+from repro.iscsi.pdu import Opcode, Pdu, ScsiOp, Status
+from repro.iscsi.transport import TcpTransport, Transport, TransportClosedError
+
+logger = logging.getLogger(__name__)
+
+#: Called with (lba, frame_bytes); returns ack payload (usually empty).
+ReplicationHandler = Callable[[int, bytes], bytes]
+
+
+class Target:
+    """Protocol engine for one session against one LUN."""
+
+    def __init__(
+        self,
+        device: BlockDevice,
+        name: str = "iqn.2006-01.edu.uri.hpcl:prins",
+        replication_handler: ReplicationHandler | None = None,
+    ) -> None:
+        self._device = device
+        self._name = name
+        self._replication_handler = replication_handler
+        self._logged_in = False
+        self._stat_sn = 0
+
+    @property
+    def name(self) -> str:
+        """The target's IQN-style name."""
+        return self._name
+
+    @property
+    def device(self) -> BlockDevice:
+        """The LUN this target serves."""
+        return self._device
+
+    def set_replication_handler(self, handler: ReplicationHandler) -> None:
+        """Install the callback invoked for every ``REPL_DATA_OUT`` PDU."""
+        self._replication_handler = handler
+
+    # -- session loop -------------------------------------------------------
+
+    def serve(self, transport: Transport) -> None:
+        """Process PDUs from ``transport`` until logout or disconnect."""
+        try:
+            while True:
+                try:
+                    request = transport.receive()
+                except TransportClosedError:
+                    return
+                response = self.handle(request)
+                if response is not None:
+                    transport.send(response)
+                if request.opcode is Opcode.LOGOUT_REQUEST:
+                    return
+        finally:
+            transport.close()
+
+    def handle(self, request: Pdu) -> Pdu | None:
+        """Handle a single request PDU; return the response (or None)."""
+        self._stat_sn += 1
+        handlers = {
+            Opcode.LOGIN_REQUEST: self._handle_login,
+            Opcode.SCSI_COMMAND: self._handle_scsi,
+            Opcode.REPL_DATA_OUT: self._handle_replication,
+            Opcode.NOP_OUT: self._handle_nop,
+            Opcode.LOGOUT_REQUEST: self._handle_logout,
+        }
+        handler = handlers.get(request.opcode)
+        if handler is None:
+            raise ProtocolError(f"target cannot handle opcode {request.opcode!r}")
+        if request.opcode is not Opcode.LOGIN_REQUEST and not self._logged_in:
+            return self._respond(
+                request, Opcode.SCSI_RESPONSE, status=Status.PROTOCOL_VIOLATION
+            )
+        return handler(request)
+
+    # -- opcode handlers ------------------------------------------------------
+
+    def _handle_login(self, request: Pdu) -> Pdu:
+        requested = request.data.decode("utf-8", errors="replace")
+        if requested and requested != self._name:
+            logger.warning("login rejected: wanted %r, serving %r", requested, self._name)
+            return self._respond(
+                request, Opcode.LOGIN_RESPONSE, status=Status.LOGIN_REJECT
+            )
+        self._logged_in = True
+        params = (
+            f"TargetName={self._name};BlockSize={self._device.block_size};"
+            f"NumBlocks={self._device.num_blocks}"
+        )
+        return self._respond(
+            request, Opcode.LOGIN_RESPONSE, data=params.encode("utf-8")
+        )
+
+    def _handle_scsi(self, request: Pdu) -> Pdu:
+        try:
+            op = ScsiOp(request.flags)
+        except ValueError:
+            raise ProtocolError(f"unknown SCSI op {request.flags:#04x}") from None
+        try:
+            if op is ScsiOp.READ:
+                data = self._device.read_blocks(request.lba, request.transfer_length)
+                return self._respond(request, Opcode.SCSI_DATA_IN, data=data)
+            self._device.write_blocks(request.lba, request.data)
+            return self._respond(request, Opcode.SCSI_RESPONSE)
+        except BlockRangeError:
+            return self._respond(
+                request, Opcode.SCSI_RESPONSE, status=Status.INVALID_LBA
+            )
+
+    def _handle_replication(self, request: Pdu) -> Pdu:
+        if self._replication_handler is None:
+            logger.warning("replication frame received but no handler installed")
+            return self._respond(
+                request, Opcode.REPL_ACK, status=Status.PROTOCOL_VIOLATION
+            )
+        ack_payload = self._replication_handler(request.lba, request.data)
+        return self._respond(request, Opcode.REPL_ACK, data=ack_payload)
+
+    def _handle_nop(self, request: Pdu) -> Pdu:
+        return self._respond(request, Opcode.NOP_IN, data=request.data)
+
+    def _handle_logout(self, request: Pdu) -> Pdu:
+        self._logged_in = False
+        return self._respond(request, Opcode.LOGOUT_RESPONSE)
+
+    def _respond(
+        self,
+        request: Pdu,
+        opcode: Opcode,
+        status: Status = Status.GOOD,
+        data: bytes = b"",
+    ) -> Pdu:
+        return Pdu(
+            opcode=opcode,
+            status=int(status),
+            itt=request.itt,
+            lba=request.lba,
+            seq=self._stat_sn,
+            data=data,
+        )
+
+
+class TargetServer:
+    """TCP server running one :class:`Target` session per connection."""
+
+    def __init__(
+        self,
+        device: BlockDevice,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        name: str = "iqn.2006-01.edu.uri.hpcl:prins",
+        replication_handler: ReplicationHandler | None = None,
+    ) -> None:
+        self._device = device
+        self._name = name
+        self._replication_handler = replication_handler
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen()
+        self._threads: list[threading.Thread] = []
+        self._accept_thread: threading.Thread | None = None
+        self._running = False
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The (host, port) the server is listening on."""
+        return self._listener.getsockname()
+
+    def start(self) -> "TargetServer":
+        """Begin accepting connections in a background thread."""
+        self._running = True
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name=f"target-{self._name}", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def _accept_loop(self) -> None:
+        while self._running:
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            target = Target(
+                self._device,
+                name=self._name,
+                replication_handler=self._replication_handler,
+            )
+            thread = threading.Thread(
+                target=target.serve,
+                args=(TcpTransport(conn),),
+                name=f"session-{self._name}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def stop(self) -> None:
+        """Stop accepting and close the listener (sessions drain on close)."""
+        self._running = False
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "TargetServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

@@ -1,0 +1,184 @@
+"""Transports: byte-counting PDU pipes.
+
+Two implementations share one interface: :class:`InProcessTransport` (a pair
+of queues, used by the traffic experiments where thousands of engines would
+make real sockets needlessly slow) and :class:`TcpTransport` (a real TCP
+socket, used by the networked examples and integration tests so the
+protocol is exercised end-to-end over the loopback interface exactly as the
+paper ran it over Ethernet).
+
+Every transport counts bytes in both directions; the replication traffic
+numbers in the figure benchmarks come straight from these counters.
+"""
+
+from __future__ import annotations
+
+import queue
+import socket
+from abc import ABC, abstractmethod
+
+from repro.common.errors import ProtocolError
+from repro.iscsi.pdu import BHS_SIZE, Pdu
+
+
+class Transport(ABC):
+    """A bidirectional, ordered, reliable PDU pipe with byte accounting."""
+
+    def __init__(self) -> None:
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.pdus_sent = 0
+        self.pdus_received = 0
+
+    def send(self, pdu: Pdu) -> None:
+        """Send one PDU."""
+        raw = pdu.pack()
+        self._send_raw(raw)
+        self.bytes_sent += len(raw)
+        self.pdus_sent += 1
+
+    def receive(self, timeout: float | None = None) -> Pdu:
+        """Block until the next PDU arrives and return it.
+
+        Raises :class:`TransportClosedError` when the peer has closed.
+        """
+        pdu = self._receive_pdu(timeout)
+        self.bytes_received += pdu.wire_size
+        self.pdus_received += 1
+        return pdu
+
+    @abstractmethod
+    def _send_raw(self, raw: bytes) -> None:
+        """Ship serialized bytes to the peer."""
+
+    @abstractmethod
+    def _receive_pdu(self, timeout: float | None) -> Pdu:
+        """Return the next PDU from the peer."""
+
+    @abstractmethod
+    def close(self) -> None:
+        """Tear down the pipe; the peer's next receive raises."""
+
+    def __enter__(self) -> "Transport":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class TransportClosedError(ProtocolError):
+    """Raised when receiving on (or sending to) a closed transport."""
+
+
+_CLOSE = object()  # sentinel placed on the queue when a peer closes
+
+
+class InProcessTransport(Transport):
+    """One endpoint of an in-memory duplex pipe.
+
+    Build connected pairs with :func:`transport_pair`.  PDUs are serialized
+    and re-parsed so framing bugs cannot hide, and byte counts match what a
+    socket would carry.
+    """
+
+    def __init__(
+        self, outbox: "queue.Queue[object]", inbox: "queue.Queue[object]"
+    ) -> None:
+        super().__init__()
+        self._outbox = outbox
+        self._inbox = inbox
+        self._closed = False
+
+    def _send_raw(self, raw: bytes) -> None:
+        if self._closed:
+            raise TransportClosedError("transport is closed")
+        self._outbox.put(raw)
+
+    def _receive_pdu(self, timeout: float | None) -> Pdu:
+        if self._closed:
+            raise TransportClosedError("transport is closed")
+        try:
+            item = self._inbox.get(timeout=timeout)
+        except queue.Empty:
+            raise TimeoutError("no PDU within timeout") from None
+        if item is _CLOSE:
+            self._inbox.put(_CLOSE)  # leave the sentinel for other readers
+            raise TransportClosedError("peer closed the transport")
+        assert isinstance(item, bytes)
+        return Pdu.unpack(item)
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._outbox.put(_CLOSE)
+
+
+def transport_pair() -> tuple[InProcessTransport, InProcessTransport]:
+    """Return two connected :class:`InProcessTransport` endpoints."""
+    a_to_b: "queue.Queue[object]" = queue.Queue()
+    b_to_a: "queue.Queue[object]" = queue.Queue()
+    return (
+        InProcessTransport(outbox=a_to_b, inbox=b_to_a),
+        InProcessTransport(outbox=b_to_a, inbox=a_to_b),
+    )
+
+
+class TcpTransport(Transport):
+    """PDU pipe over a connected TCP socket."""
+
+    def __init__(self, sock: socket.socket) -> None:
+        super().__init__()
+        self._sock = sock
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._closed = False
+
+    @classmethod
+    def connect(cls, host: str, port: int, timeout: float = 10.0) -> "TcpTransport":
+        """Dial ``host:port`` and wrap the resulting socket."""
+        sock = socket.create_connection((host, port), timeout=timeout)
+        sock.settimeout(None)
+        return cls(sock)
+
+    def _send_raw(self, raw: bytes) -> None:
+        if self._closed:
+            raise TransportClosedError("transport is closed")
+        try:
+            self._sock.sendall(raw)
+        except OSError as exc:
+            raise TransportClosedError(f"send failed: {exc}") from exc
+
+    def _receive_pdu(self, timeout: float | None) -> Pdu:
+        if self._closed:
+            raise TransportClosedError("transport is closed")
+        self._sock.settimeout(timeout)
+        try:
+            header = self._recv_exact(BHS_SIZE)
+            pdu, data_len = Pdu.unpack_header(header)
+            pdu.data = self._recv_exact(data_len) if data_len else b""
+        except socket.timeout:
+            raise TimeoutError("no PDU within timeout") from None
+        except OSError as exc:
+            raise TransportClosedError(f"receive failed: {exc}") from exc
+        finally:
+            self._sock.settimeout(None)
+        return pdu
+
+    def _recv_exact(self, n: int) -> bytes:
+        chunks: list[bytes] = []
+        remaining = n
+        while remaining:
+            chunk = self._sock.recv(remaining)
+            if not chunk:
+                raise TransportClosedError("peer closed the connection")
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            try:
+                self._sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            self._sock.close()

@@ -1,0 +1,38 @@
+"""minidb — a page-oriented mini-DBMS substrate.
+
+The paper runs Oracle, Postgres and MySQL on top of the PRINS-engine.  What
+those systems contribute to the experiment is their *storage behaviour*: a
+transaction touches a handful of rows, each row update dirties a small slice
+of an 8 KB slotted page, and the buffer manager writes whole pages back to
+the block device.  minidb reproduces exactly that stack in miniature:
+
+* :mod:`repro.minidb.page` — slotted pages with a slot directory;
+* :mod:`repro.minidb.schema` — typed columns and row serialization;
+* :mod:`repro.minidb.buffer` — an LRU buffer pool with dirty write-back;
+* :mod:`repro.minidb.heap` — heap files of records addressed by RID;
+* :mod:`repro.minidb.btree` — a B-tree index (int key → RID);
+* :mod:`repro.minidb.db` — the `Database` facade tying it together.
+
+Mount a :class:`~repro.engine.primary.PrimaryEngine` as the database's
+device and every page write-back is replicated — the paper's full stack
+(App → DBMS → PRINS-engine → storage) in pure Python.
+"""
+
+from repro.minidb.btree import BTree
+from repro.minidb.buffer import BufferPool
+from repro.minidb.db import Database
+from repro.minidb.heap import HeapFile, Rid
+from repro.minidb.page import SlottedPage
+from repro.minidb.schema import Column, ColumnType, Schema
+
+__all__ = [
+    "BTree",
+    "BufferPool",
+    "Column",
+    "ColumnType",
+    "Database",
+    "HeapFile",
+    "Rid",
+    "Schema",
+    "SlottedPage",
+]

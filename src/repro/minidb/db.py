@@ -1,0 +1,228 @@
+"""The ``Database`` facade: tables, indexes, page allocation, commit.
+
+This is the layer the TPC-C / TPC-W workload drivers talk to.  It wires a
+buffer pool over a block device (in the experiments, a
+:class:`~repro.engine.primary.PrimaryEngine`, so commits replicate), hands
+out page ids, and exposes key-addressed tables with B-tree indexes.
+
+Durability model: :meth:`Database.commit` flushes all dirty pages — the
+moment block writes reach the device, like a real DBMS checkpoint or a
+commit under ``full_page_writes``.  There is no WAL/MVCC; see DESIGN.md
+Sec. 6 for why that does not affect traffic shape.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.block.device import BlockDevice
+from repro.common.errors import ConfigurationError, StorageError
+from repro.minidb.btree import BTree
+from repro.minidb.buffer import BufferPool
+from repro.minidb.heap import HeapFile, Rid
+from repro.minidb.schema import ColumnType, Schema
+
+
+class Table:
+    """A heap file plus a unique B-tree index on one INT key column."""
+
+    def __init__(self, name: str, schema: Schema, db: "Database") -> None:
+        self.name = name
+        self.schema = schema
+        self._db = db
+        self._heap = HeapFile(db.pool, db.allocate_page)
+        self._index: BTree | None = None
+        self._key_column: int | None = None
+        # column name -> (column position, SecondaryIndex); populated by
+        # repro.minidb.secondary.attach_secondary_index
+        self._secondary_indexes: dict[str, tuple[int, object]] = {}
+
+    def with_key(self, column_name: str) -> "Table":
+        """Declare ``column_name`` (an INT column) as the unique key."""
+        index = self.schema.column_index(column_name)
+        if self.schema.columns[index].type is not ColumnType.INT:
+            raise ConfigurationError(
+                f"key column {column_name!r} must be INT"
+            )
+        self._key_column = index
+        self._index = BTree(self._db.pool, self._db.allocate_page)
+        return self
+
+    @property
+    def heap(self) -> HeapFile:
+        """The underlying heap file."""
+        return self._heap
+
+    def _key_of(self, row: tuple) -> int:
+        if self._key_column is None:
+            raise StorageError(f"table {self.name!r} has no key column")
+        return int(row[self._key_column])
+
+    # -- DML ------------------------------------------------------------------
+
+    def insert(self, row: tuple) -> Rid:
+        """Insert one row; maintains the key and secondary indexes."""
+        rid = self._heap.insert(self.schema.encode(row))
+        if self._index is not None:
+            key = self._key_of(row)
+            if self._index.search(key) is not None:
+                # roll back the heap insert to keep the key unique
+                self._heap.delete(rid)
+                raise StorageError(
+                    f"duplicate key {key} in table {self.name!r}"
+                )
+            self._index.insert(key, rid)
+            for column_index, secondary in self._secondary_indexes.values():
+                secondary.insert(row[column_index], key)
+        return rid
+
+    def get(self, key: int) -> tuple | None:
+        """Fetch the row stored under ``key`` (None if absent)."""
+        if self._index is None:
+            raise StorageError(f"table {self.name!r} has no key column")
+        rid = self._index.search(key)
+        if rid is None:
+            return None
+        return self.schema.decode(self._heap.read(rid))
+
+    def update(self, key: int, row: tuple) -> None:
+        """Replace the row under ``key`` (key value must be unchanged)."""
+        if self._index is None:
+            raise StorageError(f"table {self.name!r} has no key column")
+        if self._key_of(row) != key:
+            raise StorageError("update must not change the key column")
+        rid = self._index.search(key)
+        if rid is None:
+            raise StorageError(f"no row with key {key} in {self.name!r}")
+        if self._secondary_indexes:
+            old_row = self.schema.decode(self._heap.read(rid))
+            for name, (column_index, secondary) in self._secondary_indexes.items():
+                if old_row[column_index] != row[column_index]:
+                    secondary.remove(old_row[column_index], key)
+                    secondary.insert(row[column_index], key)
+        new_rid = self._heap.update(rid, self.schema.encode(row))
+        if new_rid != rid:
+            self._index.insert(key, new_rid)
+
+    def update_fields(self, key: int, **changes: object) -> tuple:
+        """Read-modify-write selected columns; returns the new row."""
+        row = self.get(key)
+        if row is None:
+            raise StorageError(f"no row with key {key} in {self.name!r}")
+        values = list(row)
+        for column_name, value in changes.items():
+            values[self.schema.column_index(column_name)] = value
+        new_row = tuple(values)
+        self.update(key, new_row)
+        return new_row
+
+    def delete(self, key: int) -> bool:
+        """Delete the row under ``key``; returns True if it existed."""
+        if self._index is None:
+            raise StorageError(f"table {self.name!r} has no key column")
+        rid = self._index.search(key)
+        if rid is None:
+            return False
+        if self._secondary_indexes:
+            old_row = self.schema.decode(self._heap.read(rid))
+            for column_index, secondary in self._secondary_indexes.values():
+                secondary.remove(old_row[column_index], key)
+        self._heap.delete(rid)
+        self._index.delete(key)
+        return True
+
+    def find_by(self, column_name: str, value: object) -> list[tuple]:
+        """All rows whose ``column_name`` equals ``value``, via the
+        secondary index (attach one first with
+        :func:`repro.minidb.secondary.attach_secondary_index`)."""
+        entry = self._secondary_indexes.get(column_name)
+        if entry is None:
+            raise StorageError(
+                f"table {self.name!r} has no secondary index on "
+                f"{column_name!r}"
+            )
+        column_index, secondary = entry
+        rows = []
+        for key in secondary.lookup(value):
+            row = self.get(key)
+            # re-check: the index hashes values, so collisions are filtered
+            if row is not None and row[column_index] == value:
+                rows.append(row)
+        return rows
+
+    def scan(self) -> Iterator[tuple]:
+        """Yield every row (heap order)."""
+        for _rid, raw in self._heap.scan():
+            yield self.schema.decode(raw)
+
+    def range(self, low: int, high: int) -> Iterator[tuple]:
+        """Yield rows with ``low <= key <= high`` in key order."""
+        if self._index is None:
+            raise StorageError(f"table {self.name!r} has no key column")
+        for _key, rid in self._index.range_scan(low, high):
+            yield self.schema.decode(self._heap.read(rid))
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+class Database:
+    """Top-level handle: owns the pool, the allocator, and the tables."""
+
+    def __init__(self, device: BlockDevice, pool_capacity: int = 256) -> None:
+        self._device = device
+        self.pool = BufferPool(device, capacity=pool_capacity)
+        self._next_page = 0
+        self._tables: dict[str, Table] = {}
+
+    @property
+    def device(self) -> BlockDevice:
+        """The block device under the pool (often a PrimaryEngine)."""
+        return self._device
+
+    @property
+    def tables(self) -> dict[str, Table]:
+        """Name → table mapping."""
+        return dict(self._tables)
+
+    def allocate_page(self) -> int:
+        """Hand out the next unused device block as a page."""
+        if self._next_page >= self._device.num_blocks:
+            raise StorageError(
+                f"device full: all {self._device.num_blocks} blocks allocated"
+            )
+        page_id = self._next_page
+        self._next_page += 1
+        return page_id
+
+    @property
+    def pages_allocated(self) -> int:
+        """Number of device blocks handed out so far."""
+        return self._next_page
+
+    def create_table(
+        self, name: str, schema: Schema, key: str | None = None
+    ) -> Table:
+        """Create (and register) a table; ``key`` names an INT key column."""
+        if name in self._tables:
+            raise ConfigurationError(f"table {name!r} already exists")
+        table = Table(name, schema, self)
+        if key is not None:
+            table.with_key(key)
+        self._tables[name] = table
+        return table
+
+    def table(self, name: str) -> Table:
+        """Look up a table by name."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise ConfigurationError(f"no table named {name!r}") from None
+
+    def commit(self) -> int:
+        """Flush all dirty pages to the device; returns pages written.
+
+        This is where block writes — and therefore replication traffic —
+        actually happen.
+        """
+        return self.pool.flush()

@@ -1,0 +1,111 @@
+"""Heap files: unordered record storage addressed by RID.
+
+A heap file owns a growing set of pages.  Records are addressed by
+``Rid(page_id, slot)``.  Updates are applied in place when the new record
+fits (the common TPC-C case — fixed-width rows never grow), otherwise the
+record moves and the caller receives the new RID to fix up its index.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+from typing import NamedTuple
+
+from repro.common.errors import StorageError
+from repro.minidb.buffer import BufferPool
+from repro.minidb.page import PageFullError
+
+
+class Rid(NamedTuple):
+    """Record identifier: page id + slot within the page."""
+
+    page_id: int
+    slot: int
+
+
+class HeapFile:
+    """A bag of records spread across buffer-pool pages."""
+
+    def __init__(
+        self, pool: BufferPool, allocate_page: Callable[[], int]
+    ) -> None:
+        self._pool = pool
+        self._allocate_page = allocate_page
+        self._page_ids: list[int] = []
+
+    @property
+    def page_ids(self) -> list[int]:
+        """Pages owned by this heap file, in allocation order."""
+        return list(self._page_ids)
+
+    @property
+    def record_capacity_hint(self) -> int:
+        """Largest record that is guaranteed to fit in a fresh page."""
+        # header 8 + one slot entry 4
+        return self._pool.page_size - 12
+
+    # -- operations -----------------------------------------------------------
+
+    def insert(self, record: bytes) -> Rid:
+        """Store ``record``; returns its RID.
+
+        Tries the most recently used page first (append locality, like a
+        real heap with a free-space map), then earlier pages, then grows.
+        """
+        if len(record) > self.record_capacity_hint:
+            raise StorageError(
+                f"record of {len(record)} bytes exceeds page capacity "
+                f"({self.record_capacity_hint})"
+            )
+        for page_id in reversed(self._page_ids):
+            page = self._pool.fetch(page_id)
+            if page.free_space >= len(record):
+                try:
+                    slot = page.insert(record)
+                except PageFullError:  # fragmentation: reclaim and retry
+                    page.compact()
+                    self._pool.mark_dirty(page_id)
+                    if page.free_space < len(record):
+                        continue
+                    slot = page.insert(record)
+                self._pool.mark_dirty(page_id)
+                return Rid(page_id, slot)
+        page_id = self._allocate_page()
+        page = self._pool.new_page(page_id)
+        self._page_ids.append(page_id)
+        slot = page.insert(record)
+        self._pool.mark_dirty(page_id)
+        return Rid(page_id, slot)
+
+    def read(self, rid: Rid) -> bytes:
+        """Return the record at ``rid``."""
+        return self._pool.fetch(rid.page_id).read(rid.slot)
+
+    def update(self, rid: Rid, record: bytes) -> Rid:
+        """Overwrite the record at ``rid``; returns its (possibly new) RID."""
+        page = self._pool.fetch(rid.page_id)
+        if page.update(rid.slot, record):
+            self._pool.mark_dirty(rid.page_id)
+            return rid
+        # Does not fit in place: move the record.
+        page.delete(rid.slot)
+        self._pool.mark_dirty(rid.page_id)
+        return self.insert(record)
+
+    def delete(self, rid: Rid) -> None:
+        """Remove the record at ``rid``."""
+        page = self._pool.fetch(rid.page_id)
+        page.delete(rid.slot)
+        self._pool.mark_dirty(rid.page_id)
+
+    def scan(self) -> Iterator[tuple[Rid, bytes]]:
+        """Yield every live record as ``(rid, bytes)`` in page order."""
+        for page_id in self._page_ids:
+            page = self._pool.fetch(page_id)
+            for slot in page.live_slots():
+                yield Rid(page_id, slot), page.read(slot)
+
+    def __len__(self) -> int:
+        return sum(
+            len(self._pool.fetch(pid).live_slots()) for pid in self._page_ids
+        )

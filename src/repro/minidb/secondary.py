@@ -1,0 +1,117 @@
+"""Secondary (non-unique) indexes.
+
+TPC-C's Payment and Order-Status transactions select customers *by last
+name* 60 % of the time (clause 2.5.1.2) — a non-unique secondary lookup.
+:class:`SecondaryIndex` provides it on top of the existing unique B-tree
+by composing the secondary key with a per-entry discriminator:
+
+    composite = hash(value) * 2^20 + counter
+
+so duplicate values occupy adjacent composite keys and one range scan
+returns every match.  The index maps to *primary keys* (not RIDs), so heap
+relocations never invalidate it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+
+from repro.common.errors import ConfigurationError, StorageError
+from repro.minidb.btree import BTree
+from repro.minidb.buffer import BufferPool
+from repro.minidb.heap import Rid
+
+
+def _stable_hash(value: object) -> int:
+    """Deterministic 40-bit hash of the secondary key value."""
+    if isinstance(value, int):
+        return value & ((1 << 40) - 1)
+    text = str(value)
+    accumulator = 0xCBF29CE484222325
+    for byte in text.encode("utf-8"):
+        accumulator ^= byte
+        accumulator = (accumulator * 0x100000001B3) & ((1 << 64) - 1)
+    return accumulator & ((1 << 40) - 1)
+
+
+class SecondaryIndex:
+    """Non-unique index: secondary value → set of primary keys."""
+
+    _SLOT_BITS = 20  # up to 2^20 duplicates per value
+
+    def __init__(self, pool: BufferPool, allocate_page: Callable[[], int]) -> None:
+        self._tree = BTree(pool, allocate_page)
+        self._next_slot: dict[int, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._tree)
+
+    def _base(self, value: object) -> int:
+        return _stable_hash(value) << self._SLOT_BITS
+
+    def insert(self, value: object, primary_key: int) -> None:
+        """Register ``primary_key`` under secondary ``value``."""
+        base = self._base(value)
+        slot = self._next_slot.get(base, 0)
+        if slot >= (1 << self._SLOT_BITS):
+            raise StorageError(
+                f"too many duplicates for secondary value {value!r}"
+            )
+        # the B-tree stores Rid pairs; encode the primary key as one
+        self._tree.insert(
+            base + slot, Rid(primary_key >> 16, primary_key & 0xFFFF)
+        )
+        self._next_slot[base] = slot + 1
+
+    def remove(self, value: object, primary_key: int) -> bool:
+        """Unregister one ``(value, primary_key)`` pair; True if found."""
+        for composite, stored in self._tree.range_scan(
+            self._base(value), self._base(value) + (1 << self._SLOT_BITS) - 1
+        ):
+            if (stored.page_id << 16 | stored.slot) == primary_key:
+                return self._tree.delete(composite)
+        return False
+
+    def lookup(self, value: object) -> list[int]:
+        """All primary keys registered under ``value``, insertion order.
+
+        Hash collisions between different values are possible (40-bit
+        space); callers filter by re-checking the row, as
+        :meth:`Table.find_by` does.
+        """
+        base = self._base(value)
+        return [
+            (rid.page_id << 16) | rid.slot
+            for _key, rid in self._tree.range_scan(
+                base, base + (1 << self._SLOT_BITS) - 1
+            )
+        ]
+
+    def items(self) -> Iterator[tuple[int, int]]:
+        """Every (composite key, primary key) pair in index order."""
+        for composite, rid in self._tree.items():
+            yield composite, (rid.page_id << 16) | rid.slot
+
+
+def attach_secondary_index(table, column_name: str) -> SecondaryIndex:
+    """Create and maintain a secondary index on ``table.column_name``.
+
+    Returns the index and monkey-wires nothing: the caller uses
+    ``table.find_by(column_name, value)`` which this call enables.  Must be
+    invoked before rows are inserted (existing rows are back-filled).
+    """
+    column_index = table.schema.column_index(column_name)
+    index = SecondaryIndex(table._db.pool, table._db.allocate_page)
+    # back-fill any existing rows
+    for row in table.scan():
+        index.insert(row[column_index], table._key_of(row))
+    secondaries = getattr(table, "_secondary_indexes", None)
+    if secondaries is None:
+        secondaries = {}
+        table._secondary_indexes = secondaries
+    if column_name in secondaries:
+        raise ConfigurationError(
+            f"table {table.name!r} already has an index on {column_name!r}"
+        )
+    secondaries[column_name] = (column_index, index)
+    return index

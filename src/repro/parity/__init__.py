@@ -1,0 +1,40 @@
+"""Parity computation and parity-delta encoding.
+
+This package implements the core of PRINS:
+
+* :mod:`repro.parity.delta` — the forward (``P' = A_new XOR A_old``) and
+  backward (``A_new = P' XOR A_old``) parity computations of Eqs. (1)/(2).
+* :mod:`repro.parity.codecs` — the codec interface and registry.  Because a
+  parity delta is mostly zeros ("only 5 % to 20 % of a data block actually
+  changes", Sec. 1), a simple encoding collapses it to a tiny payload.
+* Concrete codecs: :class:`RawCodec`, :class:`ZeroRleCodec`,
+  :class:`ZlibCodec`, :class:`SparseSegmentCodec`, and
+  :class:`PipelineCodec` for compositions such as RLE-then-zlib.
+* :mod:`repro.parity.frame` — the self-describing frame format
+  (codec id + original length + payload) shipped over the wire.
+"""
+
+from repro.parity.codecs import Codec, available_codecs, get_codec, register_codec
+from repro.parity.delta import backward_parity, forward_parity
+from repro.parity.frame import decode_frame, encode_frame
+from repro.parity.pipeline import PipelineCodec
+from repro.parity.raw import RawCodec
+from repro.parity.sparse_codec import SparseSegmentCodec
+from repro.parity.zero_rle import ZeroRleCodec
+from repro.parity.zlibcodec import ZlibCodec
+
+__all__ = [
+    "Codec",
+    "PipelineCodec",
+    "RawCodec",
+    "SparseSegmentCodec",
+    "ZeroRleCodec",
+    "ZlibCodec",
+    "available_codecs",
+    "backward_parity",
+    "decode_frame",
+    "encode_frame",
+    "forward_parity",
+    "get_codec",
+    "register_codec",
+]

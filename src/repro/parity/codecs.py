@@ -1,0 +1,83 @@
+"""Codec interface and registry.
+
+A codec turns a parity delta (or a raw data block, for the baseline
+strategies) into an on-wire payload and back.  Codecs are identified by a
+single byte so the frame format (:mod:`repro.parity.frame`) stays
+self-describing: a replica can decode any frame without out-of-band
+configuration.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.common.errors import CodecError
+
+
+class Codec(ABC):
+    """Reversible bytes→bytes encoding.
+
+    Implementations must be lossless: ``decode(encode(b), len(b)) == b`` for
+    every input.  ``decode`` receives the original length because several
+    codecs (zero-RLE, sparse segments) do not store it themselves.
+    """
+
+    #: one-byte wire identifier; unique across registered codecs
+    codec_id: int = -1
+    #: short human-readable name used in reports and the CLI
+    name: str = "abstract"
+
+    @abstractmethod
+    def encode(self, data: bytes) -> bytes:
+        """Encode ``data`` into an on-wire payload."""
+
+    @abstractmethod
+    def decode(self, payload: bytes, original_length: int) -> bytes:
+        """Invert :meth:`encode`; must return exactly ``original_length`` bytes."""
+
+    def ratio(self, data: bytes) -> float:
+        """Convenience: encoded size / original size (lower is better)."""
+        if not data:
+            return 1.0
+        return len(self.encode(data)) / len(data)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(id={self.codec_id}, name={self.name!r})"
+
+
+_REGISTRY: dict[int, Codec] = {}
+_BY_NAME: dict[str, Codec] = {}
+
+
+def register_codec(codec: Codec) -> Codec:
+    """Register ``codec`` under its ``codec_id`` and ``name``.
+
+    Re-registering the same id with a different codec class is an error;
+    registering the identical instance twice is a harmless no-op.
+    """
+    existing = _REGISTRY.get(codec.codec_id)
+    if existing is not None:
+        if existing is codec or type(existing) is type(codec):
+            return existing
+        raise CodecError(
+            f"codec id {codec.codec_id} already registered to {existing!r}"
+        )
+    if not 0 <= codec.codec_id <= 255:
+        raise CodecError(f"codec id must fit in one byte, got {codec.codec_id}")
+    _REGISTRY[codec.codec_id] = codec
+    _BY_NAME[codec.name] = codec
+    return codec
+
+
+def get_codec(key: int | str) -> Codec:
+    """Look up a registered codec by numeric id or by name."""
+    table: dict = _REGISTRY if isinstance(key, int) else _BY_NAME
+    try:
+        return table[key]
+    except KeyError:
+        raise CodecError(f"unknown codec: {key!r}") from None
+
+
+def available_codecs() -> list[Codec]:
+    """Return all registered codecs, ordered by id."""
+    return [_REGISTRY[i] for i in sorted(_REGISTRY)]

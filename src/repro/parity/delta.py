@@ -1,0 +1,34 @@
+"""Forward and backward parity computations (paper Eqs. (1) and (2)).
+
+The forward computation runs at the primary on every write; the backward
+computation runs at each replica on receipt.  Both are the same XOR — the
+two names exist because the paper distinguishes them architecturally
+("forward parity computation" at the primary, "backward parity computation"
+at the replica, Sec. 2) and because keeping them separate makes call sites
+self-documenting.
+"""
+
+from __future__ import annotations
+
+from repro.common.buffers import xor_bytes
+
+
+def forward_parity(new_data: bytes, old_data: bytes) -> bytes:
+    """Compute ``P' = A_new XOR A_old`` at the primary.
+
+    ``P'`` is exactly the first term of the RAID-4/5 small-write parity
+    update ``P_new = A_new XOR A_old XOR P_old`` (Eq. 1), so a primary
+    running software RAID gets this value for free — see
+    :meth:`repro.raid.raid5.Raid5Array.write_block_with_delta`.
+    """
+    return xor_bytes(new_data, old_data)
+
+
+def backward_parity(parity_delta: bytes, old_data: bytes) -> bytes:
+    """Recover ``A_new = P' XOR A_old`` at the replica (Eq. 2).
+
+    Requires the replica to hold ``A_old``, which is "practically the case
+    for all replication systems after the initial sync" (Sec. 2); see
+    :mod:`repro.engine.sync`.
+    """
+    return xor_bytes(parity_delta, old_data)

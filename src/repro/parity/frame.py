@@ -1,0 +1,51 @@
+"""Self-describing encoded frame.
+
+Every payload a PRINS engine ships is wrapped in a tiny frame recording
+which codec produced it and the original (decoded) length, so a replica can
+decode without out-of-band configuration and the traffic accountant can
+charge exact on-wire bytes.
+
+Frame layout (little-endian)::
+
+    uint8   codec_id
+    uint32  original_length
+    bytes   payload
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.common.errors import CodecError
+from repro.parity.codecs import Codec, get_codec
+
+_HEADER = struct.Struct("<BI")
+
+#: bytes of frame overhead added on top of the codec payload
+FRAME_OVERHEAD = _HEADER.size
+
+
+def encode_frame(codec: Codec, data: bytes) -> bytes:
+    """Encode ``data`` with ``codec`` and wrap it in a frame."""
+    payload = codec.encode(data)
+    return _HEADER.pack(codec.codec_id, len(data)) + payload
+
+
+def decode_frame(frame: bytes) -> bytes:
+    """Decode a frame produced by :func:`encode_frame`."""
+    if len(frame) < _HEADER.size:
+        raise CodecError(f"frame too short ({len(frame)} bytes)")
+    codec_id, original_length = _HEADER.unpack_from(frame, 0)
+    codec = get_codec(codec_id)
+    return codec.decode(frame[_HEADER.size :], original_length)
+
+
+def best_frame(codecs: list[Codec], data: bytes) -> bytes:
+    """Encode ``data`` with every codec in ``codecs`` and keep the smallest.
+
+    A cheap form of the adaptive encoding real WAN optimizers use; exposed
+    for the codec ablation benchmark.
+    """
+    if not codecs:
+        raise ValueError("best_frame needs at least one codec")
+    return min((encode_frame(c, data) for c in codecs), key=len)

@@ -1,0 +1,64 @@
+"""Composed codecs.
+
+Stacking zero-RLE (strips the zeros) with zlib (compresses the surviving
+literals) approximates the paper's production encoding: the parity "can be
+compressed easily and quickly because all unchanged bits in a parity block
+are zeros" (Sec. 5).  The pipeline stores intermediate lengths so decoding
+can invert each stage exactly.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.common.errors import CodecError
+from repro.parity.codecs import Codec, register_codec
+from repro.parity.zero_rle import ZeroRleCodec
+from repro.parity.zlibcodec import ZlibCodec
+
+
+class PipelineCodec(Codec):
+    """Apply a sequence of codecs in order; decode inverts them in reverse.
+
+    Wire format: one ``uint32`` intermediate length per stage after the
+    first, then the final stage's payload.  (The first stage's input length
+    is the frame's ``original_length``.)
+    """
+
+    codec_id = 4
+    name = "rle+zlib"
+
+    def __init__(self, stages: list[Codec] | None = None) -> None:
+        self._stages = stages if stages is not None else [ZeroRleCodec(), ZlibCodec()]
+        if not self._stages:
+            raise ValueError("pipeline needs at least one stage")
+
+    @property
+    def stages(self) -> list[Codec]:
+        """The codecs applied in encode order."""
+        return list(self._stages)
+
+    def encode(self, data: bytes) -> bytes:
+        lengths: list[int] = []
+        current = data
+        for stage in self._stages:
+            lengths.append(len(current))
+            current = stage.encode(current)
+        # lengths[0] equals the caller-known original length; skip it.
+        header = struct.pack(f"<{len(lengths) - 1}I", *lengths[1:])
+        return header + current
+
+    def decode(self, payload: bytes, original_length: int) -> bytes:
+        n_header = len(self._stages) - 1
+        header_size = 4 * n_header
+        if len(payload) < header_size:
+            raise CodecError("pipeline payload shorter than its length header")
+        lengths = [original_length]
+        lengths += list(struct.unpack_from(f"<{n_header}I", payload, 0))
+        current = payload[header_size:]
+        for stage, length in zip(reversed(self._stages), reversed(lengths)):
+            current = stage.decode(current, length)
+        return current
+
+
+RLE_ZLIB = register_codec(PipelineCodec())

@@ -1,0 +1,30 @@
+"""Identity codec — ships bytes unmodified.
+
+This is what the paper's *traditional replication* uses: every changed data
+block is transmitted whole.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import CodecError
+from repro.parity.codecs import Codec, register_codec
+
+
+class RawCodec(Codec):
+    """No-op codec: payload is the input."""
+
+    codec_id = 0
+    name = "raw"
+
+    def encode(self, data: bytes) -> bytes:
+        return data
+
+    def decode(self, payload: bytes, original_length: int) -> bytes:
+        if len(payload) != original_length:
+            raise CodecError(
+                f"raw payload is {len(payload)} bytes, expected {original_length}"
+            )
+        return payload
+
+
+RAW = register_codec(RawCodec())

@@ -1,0 +1,81 @@
+"""Sparse segment codec.
+
+Ships the changed byte ranges of a parity delta as explicit
+``(offset, length, bytes)`` segments with fixed 32-bit headers.  Compared to
+zero-RLE this trades a slightly larger header per segment for O(1) random
+access to segments — the representation the CDP/TRAP parity log stores,
+because point-in-time recovery wants to fold deltas without decoding whole
+blocks.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.common.buffers import nonzero_runs
+from repro.common.errors import CodecError
+from repro.parity.codecs import Codec, register_codec
+
+_HEADER = struct.Struct("<II")  # offset, length
+
+
+class SparseSegmentCodec(Codec):
+    """Explicit segment-list encoding of nonzero ranges.
+
+    Wire format: ``uint32 segment_count`` then ``segment_count`` records of
+    ``uint32 offset, uint32 length, length bytes``.  Adjacent runs closer
+    than :attr:`merge_gap` bytes are merged into one segment to amortize the
+    8-byte header over near-contiguous edits.
+    """
+
+    codec_id = 3
+    name = "sparse"
+
+    def __init__(self, merge_gap: int = 8) -> None:
+        if merge_gap < 0:
+            raise ValueError(f"merge_gap must be non-negative, got {merge_gap}")
+        self._merge_gap = merge_gap
+
+    @property
+    def merge_gap(self) -> int:
+        """Runs separated by fewer than this many zero bytes are merged."""
+        return self._merge_gap
+
+    def segments(self, data: bytes) -> list[tuple[int, int]]:
+        """Return the merged ``(offset, length)`` segments for ``data``."""
+        merged: list[tuple[int, int]] = []
+        for offset, length in nonzero_runs(data):
+            if merged and offset - (merged[-1][0] + merged[-1][1]) <= self._merge_gap:
+                prev_off, prev_len = merged[-1]
+                merged[-1] = (prev_off, offset + length - prev_off)
+            else:
+                merged.append((offset, length))
+        return merged
+
+    def encode(self, data: bytes) -> bytes:
+        segs = self.segments(data)
+        out = bytearray(struct.pack("<I", len(segs)))
+        for offset, length in segs:
+            out += _HEADER.pack(offset, length)
+            out += data[offset : offset + length]
+        return bytes(out)
+
+    def decode(self, payload: bytes, original_length: int) -> bytes:
+        if len(payload) < 4:
+            raise CodecError("sparse payload shorter than its count field")
+        (count,) = struct.unpack_from("<I", payload, 0)
+        out = bytearray(original_length)
+        pos = 4
+        for _ in range(count):
+            if pos + _HEADER.size > len(payload):
+                raise CodecError("truncated sparse segment header")
+            offset, length = _HEADER.unpack_from(payload, pos)
+            pos += _HEADER.size
+            if offset + length > original_length or pos + length > len(payload):
+                raise CodecError("sparse segment overruns declared length")
+            out[offset : offset + length] = payload[pos : pos + length]
+            pos += length
+        return bytes(out)
+
+
+SPARSE = register_codec(SparseSegmentCodec())

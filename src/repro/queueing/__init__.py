@@ -1,0 +1,45 @@
+"""Queueing models of the replication WAN (paper Sec. 3.3).
+
+The paper models the wide-area network as a closed queueing network:
+computing nodes are delay centers (think time 0.1 s, the measured TPC-C
+write inter-arrival), routers are FIFO queues whose service time is the
+nodal delay of Eq. (3)/(4), and the population is nodes × replicas.  The
+model is solved with exact Mean Value Analysis; a separate open M/M/1
+model studies single-router saturation (Fig. 10).
+
+* :mod:`repro.queueing.params` — T1/T3 line rates and the nodal-delay
+  formula with the paper's exact constants;
+* :mod:`repro.queueing.mva` — exact MVA for closed networks;
+* :mod:`repro.queueing.mm1` — M/M/1 metrics;
+* :mod:`repro.queueing.model` — the PRINS response-time model producing
+  the curves of Figs. 8, 9, and 10 from measured payload sizes.
+"""
+
+from repro.queueing.mm1 import MM1Metrics, mm1_metrics
+from repro.queueing.model import ReplicationNetworkModel, StrategyTraffic
+from repro.queueing.mva import MvaResult, solve_mva
+from repro.queueing.params import (
+    T1,
+    T3,
+    LineRate,
+    nodal_processing_delay,
+    propagation_delay,
+    router_service_time,
+    transmission_delay,
+)
+
+__all__ = [
+    "LineRate",
+    "MM1Metrics",
+    "MvaResult",
+    "ReplicationNetworkModel",
+    "StrategyTraffic",
+    "T1",
+    "T3",
+    "mm1_metrics",
+    "nodal_processing_delay",
+    "propagation_delay",
+    "router_service_time",
+    "solve_mva",
+    "transmission_delay",
+]

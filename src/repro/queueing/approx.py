@@ -1,0 +1,76 @@
+"""Approximate MVA (Schweitzer / Bard) for very large populations.
+
+Exact MVA is O(population × centers); at the cluster sizes the paper's
+introduction gestures at (grids, P2P networks — thousands of nodes ×
+replicas) an O(iterations × centers) fixed point is preferable.  The
+Schweitzer approximation replaces the exact arrival theorem term
+``Q_i(n-1)`` with ``Q_i(n) * (n-1)/n`` and iterates to convergence; its
+error is a few percent at worst and vanishes as the population grows —
+verified against exact MVA in the test suite.
+"""
+
+from __future__ import annotations
+
+from repro.queueing.mva import MvaResult
+
+
+def solve_mva_approximate(
+    service_times: list[float],
+    think_time: float,
+    population: int,
+    tolerance: float = 1e-9,
+    max_iterations: int = 100_000,
+) -> MvaResult:
+    """Schweitzer fixed-point approximation of the closed network.
+
+    Same result type as :func:`repro.queueing.mva.solve_mva`; accuracy is
+    within a few percent of exact MVA for populations above ~10 and
+    essentially exact asymptotically.
+    """
+    if population < 0:
+        raise ValueError(f"population must be non-negative, got {population}")
+    if think_time < 0:
+        raise ValueError(f"think_time must be non-negative, got {think_time}")
+    if any(s < 0 for s in service_times):
+        raise ValueError("service times must be non-negative")
+    centers = len(service_times)
+    if population == 0 or centers == 0:
+        response = [0.0] * centers
+        throughput = (
+            population / think_time if think_time > 0 and population else 0.0
+        )
+        return MvaResult(
+            population=population,
+            think_time=think_time,
+            response_time=0.0,
+            throughput=throughput,
+            queue_lengths=tuple(0.0 for _ in service_times),
+            center_response_times=tuple(response),
+        )
+
+    # initial guess: population spread evenly over the centers
+    queue_lengths = [population / centers] * centers
+    scale = (population - 1) / population
+    throughput = 0.0
+    response_times = list(service_times)
+    for _ in range(max_iterations):
+        response_times = [
+            s * (1.0 + q * scale) for s, q in zip(service_times, queue_lengths)
+        ]
+        total_response = sum(response_times)
+        throughput = population / (think_time + total_response)
+        new_lengths = [throughput * r for r in response_times]
+        drift = max(
+            abs(new - old) for new, old in zip(new_lengths, queue_lengths)
+        )
+        queue_lengths = new_lengths
+        if drift < tolerance:
+            break
+    return MvaResult(
+        population=population,
+        think_time=think_time,
+        response_time=sum(response_times),
+        throughput=throughput,
+        queue_lengths=tuple(queue_lengths),
+        center_response_times=tuple(response_times),
+    )

@@ -1,0 +1,66 @@
+"""M/M/1 queue metrics (paper Fig. 10).
+
+"We use a simple M/M/1 queueing model to analyze the traffic behavior on
+one router.  We keep increasing the write request rate of computing nodes
+until the router is saturated" (Sec. 4).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MM1Metrics:
+    """Steady-state metrics of an M/M/1 queue (inf when saturated)."""
+
+    arrival_rate: float
+    service_time: float
+
+    @property
+    def utilization(self) -> float:
+        """ρ = λ · S."""
+        return self.arrival_rate * self.service_time
+
+    @property
+    def stable(self) -> bool:
+        """True when ρ < 1."""
+        return self.utilization < 1.0
+
+    @property
+    def queueing_time(self) -> float:
+        """Mean wait before service, Wq = ρS / (1 − ρ); inf if saturated."""
+        if not self.stable:
+            return math.inf
+        rho = self.utilization
+        return rho * self.service_time / (1.0 - rho)
+
+    @property
+    def response_time(self) -> float:
+        """Mean total time in system, W = S / (1 − ρ); inf if saturated."""
+        if not self.stable:
+            return math.inf
+        return self.service_time / (1.0 - self.utilization)
+
+    @property
+    def mean_queue_length(self) -> float:
+        """Mean number in system, L = ρ / (1 − ρ); inf if saturated."""
+        if not self.stable:
+            return math.inf
+        rho = self.utilization
+        return rho / (1.0 - rho)
+
+    @property
+    def saturation_rate(self) -> float:
+        """The arrival rate at which the queue saturates, 1/S."""
+        return 1.0 / self.service_time if self.service_time > 0 else math.inf
+
+
+def mm1_metrics(arrival_rate: float, service_time: float) -> MM1Metrics:
+    """Build M/M/1 metrics, validating inputs."""
+    if arrival_rate < 0:
+        raise ValueError(f"arrival_rate must be non-negative, got {arrival_rate}")
+    if service_time <= 0:
+        raise ValueError(f"service_time must be positive, got {service_time}")
+    return MM1Metrics(arrival_rate=arrival_rate, service_time=service_time)

@@ -1,0 +1,88 @@
+"""The replication-network response-time model (Figs. 8, 9, 10).
+
+Connects the measured traffic (mean replicated payload per write, from the
+traffic experiments) to the queueing substrate: each strategy's payload
+size sets the routers' service time via Eq. (4); the closed network (think
+time 0.1 s — the measured TPC-C average of 10.22 writes/s — and two
+routers) is then solved with exact MVA across populations, and the single
+router with M/M/1 across write rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.queueing.mm1 import MM1Metrics, mm1_metrics
+from repro.queueing.mva import MvaResult, solve_mva
+from repro.queueing.params import LineRate, router_service_time
+
+#: the paper's think time: "each node generates a write request after 0.1
+#: second" (measured 10.22 writes/s under TPC-C, Sec. 3.3)
+DEFAULT_THINK_TIME = 0.1
+#: the paper's topology: "all replications go through two network routers"
+DEFAULT_ROUTERS = 2
+
+
+@dataclass(frozen=True)
+class StrategyTraffic:
+    """Measured traffic characteristics of one replication strategy."""
+
+    name: str
+    mean_payload_bytes: float
+
+    def __post_init__(self) -> None:
+        if self.mean_payload_bytes < 0:
+            raise ValueError("mean_payload_bytes must be non-negative")
+
+
+class ReplicationNetworkModel:
+    """Queueing model of one strategy's replication traffic over a WAN."""
+
+    def __init__(
+        self,
+        traffic: StrategyTraffic,
+        line: LineRate,
+        routers: int = DEFAULT_ROUTERS,
+        think_time: float = DEFAULT_THINK_TIME,
+    ) -> None:
+        if routers <= 0:
+            raise ValueError(f"routers must be positive, got {routers}")
+        self.traffic = traffic
+        self.line = line
+        self.routers = routers
+        self.think_time = think_time
+
+    @property
+    def router_service_time(self) -> float:
+        """Per-router service time for this strategy's payload (Eq. 4)."""
+        return router_service_time(self.traffic.mean_payload_bytes, self.line)
+
+    # -- closed network (Figs. 8 and 9) ---------------------------------------
+
+    def solve(self, population: int) -> MvaResult:
+        """Exact MVA at ``population`` = nodes × replicas."""
+        service = [self.router_service_time] * self.routers
+        return solve_mva(service, self.think_time, population)
+
+    def response_time(self, population: int) -> float:
+        """Replication response time (time in the router chain), seconds."""
+        return self.solve(population).response_time
+
+    def response_time_curve(self, populations: list[int]) -> list[float]:
+        """Response time at each population (a Fig. 8 / Fig. 9 series)."""
+        return [self.response_time(n) for n in populations]
+
+    # -- open single router (Fig. 10) --------------------------------------------
+
+    def router_mm1(self, write_rate: float) -> MM1Metrics:
+        """M/M/1 view of one router at ``write_rate`` requests/second."""
+        return mm1_metrics(write_rate, self.router_service_time)
+
+    def queueing_time_curve(self, write_rates: list[float]) -> list[float]:
+        """Router queueing time at each write rate (the Fig. 10 series)."""
+        return [self.router_mm1(rate).queueing_time for rate in write_rates]
+
+    @property
+    def saturation_write_rate(self) -> float:
+        """Write rate at which a single router saturates (1/S)."""
+        return 1.0 / self.router_service_time

@@ -1,0 +1,88 @@
+"""Exact Mean Value Analysis for closed queueing networks.
+
+Implements the classic exact MVA recursion (Lazowska et al. [29], the
+paper's own reference): a single customer class, one delay center (the
+computing nodes' think time) and ``M`` load-dependent-free FIFO queueing
+centers (the routers).  For population ``n``::
+
+    R_i(n) = S_i * (1 + Q_i(n - 1))          response at center i
+    X(n)   = n / (Z + Σ R_i(n))              system throughput
+    Q_i(n) = X(n) * R_i(n)                   queue length at center i
+
+The recursion is exact for product-form networks (exponential service,
+FIFO), which is the paper's setting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MvaResult:
+    """Solution of the closed network at one population."""
+
+    population: int
+    think_time: float
+    response_time: float  # total time at the queueing centers (Σ R_i)
+    throughput: float  # customers per second through the cycle
+    queue_lengths: tuple[float, ...]  # mean customers at each center
+    center_response_times: tuple[float, ...]
+
+    @property
+    def cycle_time(self) -> float:
+        """Mean time around the loop: think + response."""
+        return self.think_time + self.response_time
+
+    @property
+    def bottleneck_utilization(self) -> float:
+        """Highest per-center utilization (X × S_i)."""
+        return max(
+            self.throughput * r / (1 + q) if q >= 0 else 0.0
+            for r, q in zip(self.center_response_times, self.queue_lengths)
+        )
+
+
+def solve_mva(
+    service_times: list[float], think_time: float, population: int
+) -> MvaResult:
+    """Solve the closed network exactly at ``population`` customers.
+
+    ``service_times`` holds one mean service time per queueing center
+    (the routers); ``think_time`` is the delay-center demand (Z).
+    """
+    if population < 0:
+        raise ValueError(f"population must be non-negative, got {population}")
+    if think_time < 0:
+        raise ValueError(f"think_time must be non-negative, got {think_time}")
+    if any(s < 0 for s in service_times):
+        raise ValueError("service times must be non-negative")
+    centers = len(service_times)
+    queue_lengths = [0.0] * centers
+    response_times = [0.0] * centers
+    throughput = 0.0
+    for n in range(1, population + 1):
+        response_times = [
+            s * (1.0 + q) for s, q in zip(service_times, queue_lengths)
+        ]
+        total_response = sum(response_times)
+        throughput = n / (think_time + total_response)
+        queue_lengths = [throughput * r for r in response_times]
+    return MvaResult(
+        population=population,
+        think_time=think_time,
+        response_time=sum(response_times),
+        throughput=throughput,
+        queue_lengths=tuple(queue_lengths),
+        center_response_times=tuple(response_times),
+    )
+
+
+def response_time_curve(
+    service_times: list[float], think_time: float, populations: list[int]
+) -> list[float]:
+    """Response time at each population (one MVA solve per point)."""
+    return [
+        solve_mva(service_times, think_time, n).response_time
+        for n in populations
+    ]

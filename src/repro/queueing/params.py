@@ -1,0 +1,77 @@
+"""WAN parameters and the nodal-delay model (paper Eqs. (3) and (4)).
+
+Constants are taken verbatim from Sec. 3.3:
+
+* a T1 line is 1.544 Mbps ≈ 154.4 KB/s "assuming 10 bits for a byte
+  considering parity bit etc."; a T3 line is 44.736 Mbps ≈ 4473.6 KB/s;
+* packets carry 1.5 KB of payload with 0.112 KB of Ethernet+IP+TCP headers;
+* nodal processing delay is 5 µs per packet;
+* propagation delay is 1 ms (200 km at 2×10⁸ m/s).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Ethernet payload bytes per packet (paper: 1.5 KB)
+PACKET_PAYLOAD_BYTES = 1500.0
+#: protocol header bytes per packet (paper: 0.112 KB)
+PACKET_HEADER_BYTES = 112.0
+#: nodal processing delay per packet, seconds (paper: 5 µs)
+PROCESSING_DELAY_PER_PACKET = 5e-6
+#: propagation delay per hop, seconds (paper: 200 km / 2e8 m/s = 1 ms)
+PROPAGATION_DELAY = 1e-3
+
+
+@dataclass(frozen=True)
+class LineRate:
+    """A WAN line type: name plus usable bandwidth in bytes per second."""
+
+    name: str
+    bytes_per_second: float
+
+    def __post_init__(self) -> None:
+        if self.bytes_per_second <= 0:
+            raise ValueError("bandwidth must be positive")
+
+
+#: T1 line: 1.544 Mbps at 10 bits/byte = 154.4 KB/s (paper Sec. 3.3)
+T1 = LineRate("T1", 154_400.0)
+#: T3 line: 44.736 Mbps at 10 bits/byte = 4473.6 KB/s
+T3 = LineRate("T3", 4_473_600.0)
+
+
+def packet_count(payload_bytes: float) -> float:
+    """Number of packets for a payload (continuous, per the paper's model)."""
+    if payload_bytes < 0:
+        raise ValueError(f"payload_bytes must be non-negative, got {payload_bytes}")
+    return payload_bytes / PACKET_PAYLOAD_BYTES
+
+
+def transmission_delay(payload_bytes: float, line: LineRate) -> float:
+    """Eq. (3) Dtrans: ``(Sd + Sd/1.5 * 0.112) / Net_BW`` in seconds."""
+    wire_bytes = payload_bytes + packet_count(payload_bytes) * PACKET_HEADER_BYTES
+    return wire_bytes / line.bytes_per_second
+
+
+def nodal_processing_delay(payload_bytes: float) -> float:
+    """Dproc: 5 µs per packet (at least one packet per message)."""
+    return max(1.0, packet_count(payload_bytes)) * PROCESSING_DELAY_PER_PACKET
+
+
+def propagation_delay() -> float:
+    """Dprop: 1 ms per router hop."""
+    return PROPAGATION_DELAY
+
+
+def router_service_time(payload_bytes: float, line: LineRate) -> float:
+    """Eq. (4): ``S_router = Dtrans + Dproc + Dprop``.
+
+    The queueing delay Dqueue of Eq. (3) is *not* part of the service
+    time — it is what the MVA / M/M/1 solution produces.
+    """
+    return (
+        transmission_delay(payload_bytes, line)
+        + nodal_processing_delay(payload_bytes)
+        + propagation_delay()
+    )

@@ -1,0 +1,34 @@
+"""Software RAID arrays.
+
+The paper leverages the parity computation that "exists in common storage
+systems (RAID)" — specifically the RAID-4/5 small-write path
+``P_new = A_new XOR A_old XOR P_old`` (Eq. 1), whose first term is exactly
+the parity delta PRINS replicates.  This package implements:
+
+* :class:`~repro.raid.raid0.Raid0Array` — striping (no redundancy),
+* :class:`~repro.raid.raid1.Raid1Array` — mirroring,
+* :class:`~repro.raid.raid4.Raid4Array` — dedicated parity disk,
+* :class:`~repro.raid.raid5.Raid5Array` — rotating parity,
+
+all exposing the :class:`~repro.block.device.BlockDevice` interface plus,
+for the parity arrays, ``write_block_with_delta`` which returns ``P'`` as a
+free by-product of the write — the PRINS hook.  Degraded reads, disk
+failure, and rebuild live in the shared parity base class.
+"""
+
+from repro.raid.parity import stripe_parity, verify_stripe
+from repro.raid.raid0 import Raid0Array
+from repro.raid.raid1 import Raid1Array
+from repro.raid.raid4 import Raid4Array
+from repro.raid.raid5 import Raid5Array
+from repro.raid.stripe import StripeGeometry
+
+__all__ = [
+    "Raid0Array",
+    "Raid1Array",
+    "Raid4Array",
+    "Raid5Array",
+    "StripeGeometry",
+    "stripe_parity",
+    "verify_stripe",
+]

@@ -1,0 +1,111 @@
+"""Shared machinery for multi-disk arrays: member checks, failure state."""
+
+from __future__ import annotations
+
+from repro.block.device import BlockDevice
+from repro.common.errors import ConfigurationError, RaidDegradedError
+
+
+class ArrayBase(BlockDevice):
+    """Base class for all RAID levels.
+
+    Owns the member-disk list, uniform-geometry validation, and the
+    fail/replace lifecycle.  Subclasses implement the address mapping and
+    redundancy logic.
+    """
+
+    #: minimum member count for the level; subclasses override
+    min_disks = 1
+
+    def __init__(self, disks: list[BlockDevice], logical_blocks: int) -> None:
+        if len(disks) < self.min_disks:
+            raise ConfigurationError(
+                f"{type(self).__name__} needs at least {self.min_disks} disks, "
+                f"got {len(disks)}"
+            )
+        block_size = disks[0].block_size
+        blocks_per_disk = disks[0].num_blocks
+        for i, disk in enumerate(disks):
+            if disk.block_size != block_size or disk.num_blocks != blocks_per_disk:
+                raise ConfigurationError(
+                    f"disk {i} geometry ({disk.block_size} x {disk.num_blocks}) "
+                    f"differs from disk 0 ({block_size} x {blocks_per_disk})"
+                )
+        super().__init__(block_size, logical_blocks)
+        self._disks = list(disks)
+        self._failed: set[int] = set()
+
+    # -- failure lifecycle --------------------------------------------------
+
+    @property
+    def num_disks(self) -> int:
+        """Number of member disks (data + parity)."""
+        return len(self._disks)
+
+    @property
+    def failed_disks(self) -> frozenset[int]:
+        """Indices of currently failed members."""
+        return frozenset(self._failed)
+
+    @property
+    def degraded(self) -> bool:
+        """True if any member has failed."""
+        return bool(self._failed)
+
+    def fail_disk(self, index: int) -> None:
+        """Mark member ``index`` failed; subsequent I/O must work around it."""
+        self._check_disk_index(index)
+        if len(self._failed) >= self.fault_tolerance():
+            raise RaidDegradedError(
+                f"{type(self).__name__} cannot survive another failure "
+                f"(already failed: {sorted(self._failed)})"
+            )
+        self._failed.add(index)
+
+    def replace_disk(self, index: int, new_disk: BlockDevice) -> None:
+        """Swap in a fresh member at ``index`` and rebuild its contents."""
+        self._check_disk_index(index)
+        if index not in self._failed:
+            raise ConfigurationError(f"disk {index} has not failed")
+        if (
+            new_disk.block_size != self.block_size
+            or new_disk.num_blocks != self._disks[0].num_blocks
+        ):
+            raise ConfigurationError("replacement disk geometry mismatch")
+        self._disks[index] = new_disk
+        self._rebuild_disk(index)
+        self._failed.discard(index)
+
+    def fault_tolerance(self) -> int:
+        """How many concurrent member failures the level survives."""
+        return 0
+
+    # -- subclass contract --------------------------------------------------
+
+    def _rebuild_disk(self, index: int) -> None:
+        """Regenerate the full contents of member ``index``.
+
+        Levels with no redundancy cannot rebuild and raise.
+        """
+        raise RaidDegradedError(f"{type(self).__name__} cannot rebuild a disk")
+
+    # -- helpers --------------------------------------------------------------
+
+    def _disk(self, index: int, *, for_read: bool) -> BlockDevice:
+        """Return member ``index``, raising if it has failed."""
+        if index in self._failed:
+            verb = "read from" if for_read else "write to"
+            raise RaidDegradedError(f"cannot {verb} failed disk {index}")
+        return self._disks[index]
+
+    def _check_disk_index(self, index: int) -> None:
+        if not 0 <= index < len(self._disks):
+            raise ConfigurationError(
+                f"disk index {index} out of range ({len(self._disks)} disks)"
+            )
+
+    def close(self) -> None:
+        if not self.closed:
+            for disk in self._disks:
+                disk.close()
+        super().close()

@@ -1,0 +1,130 @@
+"""Shared implementation of XOR-parity arrays (RAID-4 and RAID-5).
+
+The two levels differ only in parity placement, so everything else — the
+small-write read-modify-write path, degraded reads via reconstruction,
+rebuild, and scrubbing — lives here.  The small-write path is the load-
+bearing piece for this reproduction: ``write_block_with_delta`` returns the
+``P' = A_new XOR A_old`` term that Eq. (1) computes anyway, which is exactly
+what the PRINS engine replicates at zero extra cost.
+"""
+
+from __future__ import annotations
+
+from repro.block.device import BlockDevice
+from repro.common.buffers import xor_bytes
+from repro.raid.base import ArrayBase
+from repro.raid.parity import reconstruct_block, verify_stripe
+from repro.raid.stripe import StripeGeometry
+
+
+class ParityArrayBase(ArrayBase):
+    """An ``n``-disk array storing ``n - 1`` data columns plus XOR parity."""
+
+    min_disks = 3
+
+    def __init__(self, disks: list[BlockDevice]) -> None:
+        geometry = StripeGeometry(len(disks) - 1, disks[0].num_blocks)
+        super().__init__(disks, geometry.logical_blocks)
+        self._geometry = geometry
+
+    @property
+    def geometry(self) -> StripeGeometry:
+        """The array's stripe geometry (data columns only)."""
+        return self._geometry
+
+    def fault_tolerance(self) -> int:
+        return 1
+
+    # -- placement (the only thing RAID-4 vs RAID-5 changes) ----------------
+
+    def parity_disk(self, stripe: int) -> int:
+        """Physical member index holding parity for ``stripe``."""
+        raise NotImplementedError
+
+    def data_disk(self, stripe: int, column: int) -> int:
+        """Physical member index holding data column ``column`` of ``stripe``."""
+        raise NotImplementedError
+
+    # -- reads ----------------------------------------------------------------
+
+    def _read(self, lba: int) -> bytes:
+        stripe, column = self._geometry.locate(lba)
+        disk_index = self.data_disk(stripe, column)
+        if disk_index in self._failed:
+            return self._reconstruct(stripe, disk_index)
+        return self._disks[disk_index].read_block(stripe)
+
+    def _reconstruct(self, stripe: int, missing_disk: int) -> bytes:
+        """Rebuild the block of ``missing_disk`` in ``stripe`` from survivors."""
+        survivors = [
+            self._disks[i].read_block(stripe)
+            for i in range(self.num_disks)
+            if i != missing_disk
+        ]
+        return reconstruct_block(survivors)
+
+    # -- writes ---------------------------------------------------------------
+
+    def _write(self, lba: int, data: bytes) -> None:
+        self.write_block_with_delta(lba, data)
+
+    def write_block_with_delta(self, lba: int, data: bytes) -> bytes:
+        """Small-write path: update data + parity, return ``P'``.
+
+        Implements Eq. (1): reads ``A_old`` and ``P_old``, computes
+        ``P' = A_new XOR A_old`` and ``P_new = P' XOR P_old``, writes both
+        members, and hands ``P'`` back to the caller — the PRINS hook.
+        Degraded cases fall back to reconstruction where needed.
+        """
+        self._check_lba(lba)
+        if len(data) != self.block_size:
+            from repro.common.errors import BlockSizeError
+
+            raise BlockSizeError(self.block_size, len(data))
+        stripe, column = self._geometry.locate(lba)
+        data_index = self.data_disk(stripe, column)
+        parity_index = self.parity_disk(stripe)
+
+        data_failed = data_index in self._failed
+        parity_failed = parity_index in self._failed
+
+        old_data = (
+            self._reconstruct(stripe, data_index)
+            if data_failed
+            else self._disks[data_index].read_block(stripe)
+        )
+        delta = xor_bytes(data, old_data)
+
+        if not data_failed:
+            self._disks[data_index].write_block(stripe, data)
+        if not parity_failed:
+            old_parity = self._disks[parity_index].read_block(stripe)
+            self._disks[parity_index].write_block(stripe, xor_bytes(delta, old_parity))
+        return delta
+
+    # -- maintenance ------------------------------------------------------------
+
+    def _rebuild_disk(self, index: int) -> None:
+        for stripe in range(self._geometry.blocks_per_disk):
+            self._disks[index].write_block(stripe, self._reconstruct(stripe, index))
+
+    def scrub(self) -> list[int]:
+        """Verify parity of every stripe; return the stripes that fail.
+
+        Only meaningful on a non-degraded array (raises otherwise).
+        """
+        if self.degraded:
+            from repro.common.errors import RaidDegradedError
+
+            raise RaidDegradedError("cannot scrub a degraded array")
+        bad: list[int] = []
+        for stripe in range(self._geometry.blocks_per_disk):
+            parity_index = self.parity_disk(stripe)
+            data_blocks = [
+                self._disks[self.data_disk(stripe, col)].read_block(stripe)
+                for col in range(self._geometry.num_data_disks)
+            ]
+            parity = self._disks[parity_index].read_block(stripe)
+            if not verify_stripe(data_blocks, parity):
+                bad.append(stripe)
+        return bad

@@ -1,0 +1,36 @@
+"""RAID-0: pure striping, no redundancy."""
+
+from __future__ import annotations
+
+from repro.block.device import BlockDevice
+from repro.raid.base import ArrayBase
+from repro.raid.stripe import StripeGeometry
+
+
+class Raid0Array(ArrayBase):
+    """Stripes logical blocks round-robin across all members.
+
+    Included as the no-redundancy point of comparison: a primary on RAID-0
+    gets no free parity term, so PRINS must compute ``P'`` itself — the
+    configuration under which the paper measured its "<10 % overhead".
+    """
+
+    min_disks = 2
+
+    def __init__(self, disks: list[BlockDevice]) -> None:
+        geometry = StripeGeometry(len(disks), disks[0].num_blocks)
+        super().__init__(disks, geometry.logical_blocks)
+        self._geometry = geometry
+
+    @property
+    def geometry(self) -> StripeGeometry:
+        """The array's stripe geometry."""
+        return self._geometry
+
+    def _read(self, lba: int) -> bytes:
+        stripe, column = self._geometry.locate(lba)
+        return self._disk(column, for_read=True).read_block(stripe)
+
+    def _write(self, lba: int, data: bytes) -> None:
+        stripe, column = self._geometry.locate(lba)
+        self._disk(column, for_read=False).write_block(stripe, data)

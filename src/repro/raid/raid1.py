@@ -1,0 +1,40 @@
+"""RAID-1: mirroring."""
+
+from __future__ import annotations
+
+from repro.block.device import BlockDevice
+from repro.common.errors import RaidDegradedError
+from repro.raid.base import ArrayBase
+
+
+class Raid1Array(ArrayBase):
+    """Every write goes to all members; reads come from the first live one.
+
+    Mirroring is the degenerate "replicate the whole block" scheme — what
+    traditional replication does over the network, done locally.  It
+    survives ``n - 1`` member failures.
+    """
+
+    min_disks = 2
+
+    def __init__(self, disks: list[BlockDevice]) -> None:
+        super().__init__(disks, disks[0].num_blocks)
+
+    def fault_tolerance(self) -> int:
+        return self.num_disks - 1
+
+    def _read(self, lba: int) -> bytes:
+        for index in range(self.num_disks):
+            if index not in self._failed:
+                return self._disks[index].read_block(lba)
+        raise RaidDegradedError("all mirrors have failed")
+
+    def _write(self, lba: int, data: bytes) -> None:
+        for index in range(self.num_disks):
+            if index not in self._failed:
+                self._disks[index].write_block(lba, data)
+
+    def _rebuild_disk(self, index: int) -> None:
+        source = next(i for i in range(self.num_disks) if i not in self._failed)
+        for lba in range(self._disks[source].num_blocks):
+            self._disks[index].write_block(lba, self._disks[source].read_block(lba))

@@ -1,0 +1,20 @@
+"""RAID-4: dedicated parity disk (the last member)."""
+
+from __future__ import annotations
+
+from repro.raid.parity_base import ParityArrayBase
+
+
+class Raid4Array(ParityArrayBase):
+    """All parity on the last member; data columns map straight through.
+
+    The simplest stripe layout named by the paper ("RAID 3, RAID 4 or
+    RAID 5", Sec. 1).  The dedicated parity disk is the well-known
+    small-write bottleneck; RAID-5 fixes that by rotating.
+    """
+
+    def parity_disk(self, stripe: int) -> int:
+        return self.num_disks - 1
+
+    def data_disk(self, stripe: int, column: int) -> int:
+        return column

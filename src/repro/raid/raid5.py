@@ -1,0 +1,22 @@
+"""RAID-5: rotating (distributed) parity, left-asymmetric layout."""
+
+from __future__ import annotations
+
+from repro.raid.parity_base import ParityArrayBase
+
+
+class Raid5Array(ParityArrayBase):
+    """Parity rotates right-to-left across stripes (left-asymmetric).
+
+    Stripe ``s`` places parity on member ``n - 1 - (s mod n)``; data columns
+    fill the remaining members in ascending physical order.  This is the
+    classic ``md``/controller default and spreads the parity-update load
+    that RAID-4 concentrates.
+    """
+
+    def parity_disk(self, stripe: int) -> int:
+        return self.num_disks - 1 - (stripe % self.num_disks)
+
+    def data_disk(self, stripe: int, column: int) -> int:
+        parity = self.parity_disk(stripe)
+        return column if column < parity else column + 1

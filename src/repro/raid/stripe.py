@@ -1,0 +1,51 @@
+"""Stripe geometry: mapping logical blocks to (disk, offset) pairs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class StripeGeometry:
+    """Geometry of a striped array.
+
+    ``num_data_disks`` data blocks form one stripe row; logical block ``L``
+    lives in stripe ``L // num_data_disks`` at data-column
+    ``L % num_data_disks``.  Parity placement (none / fixed disk / rotating)
+    is the RAID level's concern, not the geometry's.
+    """
+
+    num_data_disks: int
+    blocks_per_disk: int
+
+    def __post_init__(self) -> None:
+        if self.num_data_disks <= 0:
+            raise ValueError(f"need at least one data disk, got {self.num_data_disks}")
+        if self.blocks_per_disk <= 0:
+            raise ValueError(
+                f"blocks_per_disk must be positive, got {self.blocks_per_disk}"
+            )
+
+    @property
+    def logical_blocks(self) -> int:
+        """Total logical (data) blocks exposed by the array."""
+        return self.num_data_disks * self.blocks_per_disk
+
+    def locate(self, lba: int) -> tuple[int, int]:
+        """Return ``(stripe_index, data_column)`` for logical block ``lba``."""
+        if not 0 <= lba < self.logical_blocks:
+            raise ValueError(f"LBA {lba} out of range ({self.logical_blocks} blocks)")
+        return divmod(lba, self.num_data_disks)[0], lba % self.num_data_disks
+
+    def lba_of(self, stripe: int, data_column: int) -> int:
+        """Inverse of :meth:`locate`."""
+        if not 0 <= stripe < self.blocks_per_disk:
+            raise ValueError(f"stripe {stripe} out of range")
+        if not 0 <= data_column < self.num_data_disks:
+            raise ValueError(f"data column {data_column} out of range")
+        return stripe * self.num_data_disks + data_column
+
+    def stripe_lbas(self, stripe: int) -> list[int]:
+        """All logical block addresses that share stripe row ``stripe``."""
+        base = stripe * self.num_data_disks
+        return list(range(base, base + self.num_data_disks))

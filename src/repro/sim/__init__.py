@@ -1,0 +1,31 @@
+"""Discrete-event simulation of the replication network.
+
+The paper validates PRINS's scalability analytically (exact MVA over the
+closed network of Fig. 3).  This package re-derives the same numbers by
+simulation instead of algebra: closed-loop clients with exponential think
+times push replication jobs through a chain of FIFO routers with
+exponential service times, and the measured mean response time is compared
+against the MVA solution (see ``benchmarks/test_sim_vs_mva.py``).  It also
+lets the model be extended beyond product form (deterministic service,
+heterogeneous routers) where MVA no longer applies.
+"""
+
+from repro.sim.core import Event, Simulator
+from repro.sim.empirical import (
+    EmpiricalNetworkResult,
+    EmpiricalServiceSampler,
+    simulate_empirical_network,
+)
+from repro.sim.experiment import ClosedNetworkResult, simulate_closed_network
+from repro.sim.network import Router
+
+__all__ = [
+    "ClosedNetworkResult",
+    "EmpiricalNetworkResult",
+    "EmpiricalServiceSampler",
+    "Event",
+    "Router",
+    "Simulator",
+    "simulate_closed_network",
+    "simulate_empirical_network",
+]

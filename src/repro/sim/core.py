@@ -1,0 +1,63 @@
+"""Event-driven simulation core: a clock and a pending-event heap."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback; ordering is (time, insertion sequence)."""
+
+    time: float
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing."""
+        self.cancelled = True
+
+
+class Simulator:
+    """A minimal discrete-event simulator."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._sequence = itertools.count()
+        self.now = 0.0
+        self.events_processed = 0
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        event = Event(self.now + delay, next(self._sequence), callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def run(self, until: float) -> None:
+        """Process events in time order until the clock reaches ``until``."""
+        while self._heap and self._heap[0].time <= until:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            self.events_processed += 1
+            event.callback()
+        self.now = max(self.now, until)
+
+    def run_all(self, max_events: int = 10_000_000) -> None:
+        """Process every pending event (bounded by ``max_events``)."""
+        processed = 0
+        while self._heap and processed < max_events:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            self.events_processed += 1
+            processed += 1
+            event.callback()

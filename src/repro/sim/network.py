@@ -1,0 +1,100 @@
+"""Network elements: FIFO routers (and a fixed-latency link)."""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable
+
+from repro.sim.core import Simulator
+
+#: called when a job finishes at this element
+Completion = Callable[[], None]
+
+
+class Router:
+    """A single-server FIFO queue.
+
+    ``service_sampler`` returns a (possibly random) service time per job —
+    exponential for product-form validation against MVA, deterministic for
+    the beyond-MVA ablation.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        service_sampler: Callable[[], float],
+        name: str = "router",
+    ) -> None:
+        self._sim = sim
+        self._sample = service_sampler
+        self.name = name
+        self._queue: deque[tuple[Completion, float | None]] = deque()
+        self._busy = False
+        self.jobs_served = 0
+        self.busy_time = 0.0
+        self.queue_length_area = 0.0  # ∫ queue length dt, for mean Q
+        self._last_change = 0.0
+
+    @property
+    def queue_length(self) -> int:
+        """Jobs waiting or in service."""
+        return len(self._queue) + (1 if self._busy else 0)
+
+    def _account(self) -> None:
+        now = self._sim.now
+        self.queue_length_area += self.queue_length * (now - self._last_change)
+        self._last_change = now
+
+    def submit(
+        self, on_complete: Completion, service_time: float | None = None
+    ) -> None:
+        """Enqueue a job; ``on_complete`` fires when its service finishes.
+
+        ``service_time`` overrides the sampler for this one job — used by
+        the empirical-distribution simulation, where a job's size is fixed
+        when it is created, not when it reaches the head of the queue.
+        """
+        self._account()
+        if self._busy:
+            self._queue.append((on_complete, service_time))
+        else:
+            self._start(on_complete, service_time)
+
+    def _start(self, on_complete: Completion, service_time: float | None) -> None:
+        self._busy = True
+        service = service_time if service_time is not None else self._sample()
+        self.busy_time += service
+        self._sim.schedule(service, lambda: self._finish(on_complete))
+
+    def _finish(self, on_complete: Completion) -> None:
+        self._account()
+        self.jobs_served += 1
+        if self._queue:
+            self._start(*self._queue.popleft())
+        else:
+            self._busy = False
+        on_complete()
+
+    def mean_queue_length(self, horizon: float) -> float:
+        """Time-averaged number in system over ``[0, horizon]``."""
+        if horizon <= 0:
+            return 0.0
+        tail = self.queue_length * (horizon - self._last_change)
+        return (self.queue_length_area + tail) / horizon
+
+
+class Link:
+    """A pure-delay element (propagation): no queueing, fixed latency."""
+
+    def __init__(self, sim: Simulator, latency: float, name: str = "link") -> None:
+        if latency < 0:
+            raise ValueError(f"latency must be non-negative, got {latency}")
+        self._sim = sim
+        self.latency = latency
+        self.name = name
+        self.jobs_carried = 0
+
+    def submit(self, on_complete: Completion) -> None:
+        """Deliver the job after the fixed latency."""
+        self.jobs_carried += 1
+        self._sim.schedule(self.latency, on_complete)

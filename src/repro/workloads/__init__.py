@@ -1,0 +1,32 @@
+"""Workload generators.
+
+The paper drives its testbed with TPC-C (on Oracle and Postgres), TPC-W (on
+MySQL), and an Ext2 ``tar`` micro-benchmark, because replication traffic
+depends on the *contents* of written blocks, not just their addresses
+(Sec. 3.2: ordinary I/O traces are useless here).  This package provides
+the same three drivers against the minidb / miniext substrates, plus the
+content models and the trace capture/replay machinery the experiment
+harness uses to feed one identical write stream to all three replication
+strategies.
+"""
+
+from repro.workloads.content import TextGenerator, mutate_fraction, random_bytes
+from repro.workloads.fsmicro import FsMicroBenchmark, FsMicroConfig
+from repro.workloads.tpcc import TpccConfig, TpccWorkload
+from repro.workloads.tpcw import TpcwConfig, TpcwWorkload
+from repro.workloads.trace import BlockWriteTrace, TraceDevice, replay_trace
+
+__all__ = [
+    "BlockWriteTrace",
+    "FsMicroBenchmark",
+    "FsMicroConfig",
+    "TextGenerator",
+    "TpccConfig",
+    "TpccWorkload",
+    "TpcwConfig",
+    "TpcwWorkload",
+    "TraceDevice",
+    "mutate_fraction",
+    "random_bytes",
+    "replay_trace",
+]

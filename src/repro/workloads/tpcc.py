@@ -1,0 +1,413 @@
+"""TPC-C-flavoured OLTP workload against minidb.
+
+Models the paper's first benchmark (Sec. 3.2): a wholesale supplier with
+warehouses, districts, customers and stock, running the standard TPC-C
+transaction mix (New-Order 45 %, Payment 43 %, Order-Status 4 %, Delivery
+4 %, Stock-Level 4 %).  Each transaction commits by flushing dirty pages —
+that flush is the block-write stream the replication experiments measure.
+
+Scaling: the paper builds 5 warehouses / 25 users (Oracle) and 10 / 50
+(Postgres).  Warehouse counts are kept; per-district cardinalities are
+scaled down (configurable) so a run finishes in seconds instead of hours.
+Traffic *shape* is unaffected: what matters is rows-touched-per-page-write,
+which scaling preserves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.rng import make_rng
+from repro.minidb.db import Database
+from repro.minidb.schema import Column, ColumnType, Schema
+from repro.workloads.content import astring
+
+# transaction mix per the TPC-C specification (deck weights)
+_MIX = (
+    ("new_order", 0.45),
+    ("payment", 0.43),
+    ("order_status", 0.04),
+    ("delivery", 0.04),
+    ("stock_level", 0.04),
+)
+
+
+@dataclass(frozen=True)
+class TpccConfig:
+    """Scale knobs for the TPC-C-like database."""
+
+    warehouses: int = 5
+    districts_per_warehouse: int = 10
+    customers_per_district: int = 30
+    items: int = 1000
+    seed: int = 2006
+    #: transactions per page flush; real DBMSes checkpoint batches of
+    #: transactions, which is what accumulates the paper's 5-20 % of
+    #: changed bytes per block write
+    commit_interval: int = 8
+
+    @classmethod
+    def oracle_profile(cls) -> "TpccConfig":
+        """The paper's Oracle setup: 5 warehouses, 25 users (Fig. 4).
+
+        ``commit_interval=16`` models Oracle's batched checkpointing (many
+        transactions share one page flush); see the abl-interval benchmark
+        for the sensitivity of the traffic ratio to this choice.
+        """
+        return cls(warehouses=5, seed=2006, commit_interval=16)
+
+    @classmethod
+    def postgres_profile(cls) -> "TpccConfig":
+        """The paper's Postgres setup: 10 warehouses, 50 users (Fig. 5)."""
+        return cls(warehouses=10, seed=2007, commit_interval=16)
+
+
+class TpccWorkload:
+    """Populates the schema and runs the transaction mix."""
+
+    def __init__(self, db: Database, config: TpccConfig | None = None) -> None:
+        self.db = db
+        self.config = config or TpccConfig()
+        self._rng = make_rng(self.config.seed, "tpcc")
+        # independent stream for read-only lookup choices, so adding the
+        # by-last-name path does not perturb the write trace
+        self._lookup_rng = make_rng(self.config.seed, "tpcc-lookup")
+        self._history_seq = 0
+        self.transactions_run = 0
+        self.transaction_counts: dict[str, int] = {name: 0 for name, _ in _MIX}
+        self._create_tables()
+
+    # -- key encodings -------------------------------------------------------
+
+    def _district_key(self, w: int, d: int) -> int:
+        return w * 100 + d
+
+    def _customer_key(self, w: int, d: int, c: int) -> int:
+        return (w * 100 + d) * 100_000 + c
+
+    def _stock_key(self, w: int, i: int) -> int:
+        return w * 1_000_000 + i
+
+    def _order_key(self, w: int, d: int, o: int) -> int:
+        return (w * 100 + d) * 10_000_000 + o
+
+    # -- schema ------------------------------------------------------------------
+
+    def _create_tables(self) -> None:
+        db = self.db
+        self.warehouse = db.create_table(
+            "warehouse",
+            Schema([
+                Column("w_id", ColumnType.INT),
+                Column("name", ColumnType.CHAR, 10),
+                Column("city", ColumnType.CHAR, 20),
+                Column("state", ColumnType.CHAR, 2),
+                Column("zip", ColumnType.CHAR, 9),
+                Column("tax", ColumnType.FLOAT),
+                Column("ytd", ColumnType.FLOAT),
+            ]),
+            key="w_id",
+        )
+        self.district = db.create_table(
+            "district",
+            Schema([
+                Column("d_key", ColumnType.INT),
+                Column("name", ColumnType.CHAR, 10),
+                Column("tax", ColumnType.FLOAT),
+                Column("ytd", ColumnType.FLOAT),
+                Column("next_o_id", ColumnType.INT),
+            ]),
+            key="d_key",
+        )
+        self.customer = db.create_table(
+            "customer",
+            Schema([
+                Column("c_key", ColumnType.INT),
+                Column("first", ColumnType.CHAR, 16),
+                Column("last", ColumnType.CHAR, 16),
+                Column("balance", ColumnType.FLOAT),
+                Column("ytd_payment", ColumnType.FLOAT),
+                Column("payment_cnt", ColumnType.INT),
+                Column("data", ColumnType.VARCHAR, 500),  # c_data is 500 in the spec
+            ]),
+            key="c_key",
+        )
+        # TPC-C selects customers by last name 60% of the time
+        # (clause 2.5.1.2); served by a non-unique secondary index.
+        from repro.minidb.secondary import attach_secondary_index
+
+        attach_secondary_index(self.customer, "last")
+        self.item = db.create_table(
+            "item",
+            Schema([
+                Column("i_id", ColumnType.INT),
+                Column("name", ColumnType.CHAR, 24),
+                Column("price", ColumnType.FLOAT),
+                Column("data", ColumnType.VARCHAR, 50),
+            ]),
+            key="i_id",
+        )
+        self.stock = db.create_table(
+            "stock",
+            Schema([
+                Column("s_key", ColumnType.INT),
+                Column("quantity", ColumnType.INT),
+                Column("ytd", ColumnType.INT),
+                Column("order_cnt", ColumnType.INT),
+                Column("data", ColumnType.VARCHAR, 50),
+            ]),
+            key="s_key",
+        )
+        self.orders = db.create_table(
+            "orders",
+            Schema([
+                Column("o_key", ColumnType.INT),
+                Column("c_id", ColumnType.INT),
+                Column("entry_d", ColumnType.INT),
+                Column("carrier", ColumnType.INT),
+                Column("ol_cnt", ColumnType.INT),
+            ]),
+            key="o_key",
+        )
+        self.order_line = db.create_table(
+            "order_line",
+            Schema([
+                Column("ol_key", ColumnType.INT),
+                Column("i_id", ColumnType.INT),
+                Column("qty", ColumnType.INT),
+                Column("amount", ColumnType.FLOAT),
+                Column("info", ColumnType.CHAR, 24),
+            ]),
+            key="ol_key",
+        )
+        self.new_order = db.create_table(
+            "new_order",
+            Schema([
+                Column("no_key", ColumnType.INT),
+                Column("o_id", ColumnType.INT),
+            ]),
+            key="no_key",
+        )
+        self.history = db.create_table(
+            "history",
+            Schema([
+                Column("h_key", ColumnType.INT),
+                Column("c_key", ColumnType.INT),
+                Column("amount", ColumnType.FLOAT),
+                Column("data", ColumnType.CHAR, 24),
+            ]),
+            key="h_key",
+        )
+
+    # -- population ------------------------------------------------------------------
+
+    def populate(self) -> None:
+        """Load the initial database (TPC-C clause 4.3, scaled)."""
+        cfg = self.config
+        rng = self._rng
+        for i in range(1, cfg.items + 1):
+            self.item.insert(
+                (i, f"item-{i}", float(rng.uniform(1, 100)), astring(rng, 40))
+            )
+        for w in range(1, cfg.warehouses + 1):
+            self.warehouse.insert(
+                (w, f"WH{w}", f"city{w}", "RI", "02881", 0.05, 300_000.0)
+            )
+            for i in range(1, cfg.items + 1):
+                self.stock.insert(
+                    (
+                        self._stock_key(w, i),
+                        int(rng.integers(10, 100)),
+                        0,
+                        0,
+                        astring(rng, 40),
+                    )
+                )
+            for d in range(1, cfg.districts_per_warehouse + 1):
+                self.district.insert(
+                    (self._district_key(w, d), f"D{w}-{d}", 0.07, 30_000.0, 1)
+                )
+                for c in range(1, cfg.customers_per_district + 1):
+                    self.customer.insert(
+                        (
+                            self._customer_key(w, d, c),
+                            f"fn{c}",
+                            f"ln{c % 10}",
+                            -10.0,
+                            10.0,
+                            1,
+                            astring(rng, int(rng.integers(300, 500))),
+                        )
+                    )
+        self.db.commit()
+
+    # -- transaction dispatch ------------------------------------------------------------
+
+    def run(self, transactions: int) -> None:
+        """Execute ``transactions`` according to the TPC-C mix."""
+        names = [name for name, _ in _MIX]
+        weights = [weight for _, weight in _MIX]
+        interval = max(1, self.config.commit_interval)
+        for i in range(transactions):
+            choice = names[self._rng.choice(len(names), p=weights)]
+            getattr(self, f"_tx_{choice}")()
+            self.transaction_counts[choice] += 1
+            self.transactions_run += 1
+            if (i + 1) % interval == 0:
+                self.db.commit()
+        self.db.commit()
+
+    def _pick_warehouse_district(self) -> tuple[int, int]:
+        w = int(self._rng.integers(1, self.config.warehouses + 1))
+        d = int(self._rng.integers(1, self.config.districts_per_warehouse + 1))
+        return w, d
+
+    # -- the five transactions --------------------------------------------------------------
+
+    def _tx_new_order(self) -> None:
+        cfg = self.config
+        rng = self._rng
+        w, d = self._pick_warehouse_district()
+        district_key = self._district_key(w, d)
+        district = self.district.get(district_key)
+        assert district is not None
+        o_id = district[4]
+        self.district.update_fields(district_key, next_o_id=o_id + 1)
+        c = int(rng.integers(1, cfg.customers_per_district + 1))
+        line_count = int(rng.integers(5, 16))
+        order_key = self._order_key(w, d, o_id)
+        self.orders.insert((order_key, c, self.transactions_run, 0, line_count))
+        self.new_order.insert((order_key, o_id))
+        for line in range(1, line_count + 1):
+            i = int(rng.integers(1, cfg.items + 1))
+            item = self.item.get(i)
+            assert item is not None
+            qty = int(rng.integers(1, 11))
+            stock_key = self._stock_key(w, i)
+            stock = self.stock.get(stock_key)
+            assert stock is not None
+            quantity = stock[1] - qty
+            if quantity < 10:
+                quantity += 91
+            self.stock.update_fields(
+                stock_key,
+                quantity=quantity,
+                ytd=stock[2] + qty,
+                order_cnt=stock[3] + 1,
+            )
+            self.order_line.insert(
+                (
+                    order_key * 16 + line,
+                    i,
+                    qty,
+                    qty * item[2],
+                    f"S{w}D{d}",
+                )
+            )
+
+    def _tx_payment(self) -> None:
+        cfg = self.config
+        rng = self._rng
+        w, d = self._pick_warehouse_district()
+        amount = float(rng.uniform(1, 5000))
+        warehouse = self.warehouse.get(w)
+        assert warehouse is not None
+        self.warehouse.update_fields(w, ytd=warehouse[6] + amount)
+        district_key = self._district_key(w, d)
+        district = self.district.get(district_key)
+        assert district is not None
+        self.district.update_fields(district_key, ytd=district[3] + amount)
+        c = int(rng.integers(1, cfg.customers_per_district + 1))
+        customer_key = self._customer_key(w, d, c)
+        customer = self.customer.get(customer_key)
+        assert customer is not None
+        changes: dict[str, object] = {
+            "balance": customer[3] - amount,
+            "ytd_payment": customer[4] + amount,
+            "payment_cnt": customer[5] + 1,
+        }
+        if rng.random() < 0.1:  # TPC-C: bad-credit customers rewrite c_data
+            changes["data"] = astring(rng, int(rng.integers(300, 500)))
+        self.customer.update_fields(customer_key, **changes)
+        self._history_seq += 1
+        self.history.insert(
+            (self._history_seq, customer_key, amount, f"W{w}D{d}")
+        )
+
+    def _tx_order_status(self) -> None:
+        """Read-only: customer's most recent order and its lines.
+
+        60% of lookups are by last name through the secondary index, the
+        rest by customer id (TPC-C clause 2.6.1.2).
+        """
+        rng = self._rng
+        w, d = self._pick_warehouse_district()
+        # drawn from the main stream regardless of branch, so the write
+        # trace is identical whichever lookup path serves the read
+        c = int(rng.integers(1, self.config.customers_per_district + 1))
+        lookup_rng = self._lookup_rng
+        if lookup_rng.random() < 0.6:
+            matches = self.customer.find_by(
+                "last", f"ln{int(lookup_rng.integers(0, 10))}"
+            )
+            if matches:  # the spec: take the midpoint match
+                _ = matches[len(matches) // 2]
+        else:
+            self.customer.get(self._customer_key(w, d, c))
+        district = self.district.get(self._district_key(w, d))
+        assert district is not None
+        latest = district[4] - 1
+        if latest >= 1:
+            order_key = self._order_key(w, d, latest)
+            order = self.orders.get(order_key)
+            if order is not None:
+                for line in range(1, order[4] + 1):
+                    self.order_line.get(order_key * 16 + line)
+
+    def _tx_delivery(self) -> None:
+        """Deliver the oldest undelivered order of one district."""
+        rng = self._rng
+        w, d = self._pick_warehouse_district()
+        base = self._order_key(w, d, 0)
+        pending = next(
+            self.new_order.range(base, base + 9_999_999), None
+        )
+        if pending is None:
+            return
+        order_key, o_id = pending[0], pending[1]
+        self.new_order.delete(order_key)
+        order = self.orders.get(order_key)
+        assert order is not None
+        carrier = int(rng.integers(1, 11))
+        self.orders.update_fields(order_key, carrier=carrier)
+        total = 0.0
+        for line in range(1, order[4] + 1):
+            order_line = self.order_line.get(order_key * 16 + line)
+            if order_line is not None:
+                total += order_line[3]
+        customer_key = self._customer_key(w, d, order[1])
+        customer = self.customer.get(customer_key)
+        if customer is not None:
+            self.customer.update_fields(customer_key, balance=customer[3] + total)
+
+    def _tx_stock_level(self) -> None:
+        """Read-only: count low-stock items among recent order lines."""
+        rng = self._rng
+        w, d = self._pick_warehouse_district()
+        district = self.district.get(self._district_key(w, d))
+        assert district is not None
+        threshold = int(rng.integers(10, 21))
+        low = 0
+        newest = district[4] - 1
+        for o_id in range(max(1, newest - 5), newest + 1):
+            order_key = self._order_key(w, d, o_id)
+            order = self.orders.get(order_key)
+            if order is None:
+                continue
+            for line in range(1, order[4] + 1):
+                order_line = self.order_line.get(order_key * 16 + line)
+                if order_line is None:
+                    continue
+                stock = self.stock.get(self._stock_key(w, order_line[1]))
+                if stock is not None and stock[1] < threshold:
+                    low += 1

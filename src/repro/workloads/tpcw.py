@@ -1,0 +1,317 @@
+"""TPC-W-flavoured web-commerce workload against minidb.
+
+Models the paper's second benchmark (Sec. 3.2, Fig. 6): an on-line
+bookstore with 10,000 items and 30 emulated browsers running the browsing
+mix — page views (reads), shopping-cart updates, and buy confirmations
+(order inserts plus item-stock updates).  The paper's setup uses Tomcat in
+front of MySQL; the application-server tier contributes no block writes, so
+only the database tier is modeled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.rng import make_rng
+from repro.minidb.db import Database
+from repro.minidb.schema import Column, ColumnType, Schema
+from repro.workloads.content import astring
+
+# Interaction mix, WIPS browsing profile (reads dominate; writes come from
+# cart updates, the buy path, and occasional admin product updates).
+_MIX = (
+    ("browse", 0.50),
+    ("search", 0.10),
+    ("cart_update", 0.20),
+    ("buy_confirm", 0.10),
+    ("register", 0.05),
+    ("admin_update", 0.05),
+)
+
+
+@dataclass(frozen=True)
+class TpcwConfig:
+    """Scale knobs for the TPC-W-like store."""
+
+    items: int = 10_000  # paper: "10,000 items in the ITEM TABLE"
+    emulated_browsers: int = 30  # paper: "30 emulated browsers"
+    initial_customers: int = 300
+    seed: int = 2008
+    #: interactions per page flush — MySQL checkpoints are time-based
+    #: (seconds apart), so dozens of interactions share one flush; hot
+    #: order/cart pages accumulate many row changes per block write
+    commit_interval: int = 30
+
+
+class TpcwWorkload:
+    """Populates the bookstore and runs emulated-browser sessions."""
+
+    def __init__(self, db: Database, config: TpcwConfig | None = None) -> None:
+        self.db = db
+        self.config = config or TpcwConfig()
+        self._rng = make_rng(self.config.seed, "tpcw")
+        self._next_customer = 0
+        self._next_order = 0
+        self.interactions_run = 0
+        self.interaction_counts: dict[str, int] = {name: 0 for name, _ in _MIX}
+        self._carts: dict[int, list[tuple[int, int]]] = {}  # eb -> [(item, qty)]
+        self._create_tables()
+
+    def _create_tables(self) -> None:
+        db = self.db
+        self.item = db.create_table(
+            "item",
+            Schema([
+                Column("i_id", ColumnType.INT),
+                Column("title", ColumnType.CHAR, 40),
+                Column("author", ColumnType.CHAR, 24),
+                Column("price", ColumnType.FLOAT),
+                Column("stock", ColumnType.INT),
+                Column("total_sold", ColumnType.INT),
+                Column("description", ColumnType.VARCHAR, 500),  # i_desc is 500
+            ]),
+            key="i_id",
+        )
+        self.customer = db.create_table(
+            "customer",
+            Schema([
+                Column("c_id", ColumnType.INT),
+                Column("uname", ColumnType.CHAR, 16),
+                Column("name", ColumnType.CHAR, 30),
+                Column("email", ColumnType.CHAR, 40),
+                Column("address", ColumnType.CHAR, 70),  # C_ADDR street+city+zip
+                Column("phone", ColumnType.CHAR, 16),
+                Column("orders_placed", ColumnType.INT),
+                Column("ytd_spent", ColumnType.FLOAT),
+            ]),
+            key="c_id",
+        )
+        self.orders = db.create_table(
+            "orders",
+            Schema([
+                Column("o_id", ColumnType.INT),
+                Column("c_id", ColumnType.INT),
+                Column("total", ColumnType.FLOAT),
+                Column("line_count", ColumnType.INT),
+                Column("status", ColumnType.CHAR, 10),
+                Column("bill_addr", ColumnType.CHAR, 70),  # O_BILL_ADDR
+                Column("ship_addr", ColumnType.CHAR, 70),  # O_SHIP_ADDR
+            ]),
+            key="o_id",
+        )
+        self.order_line = db.create_table(
+            "order_line",
+            Schema([
+                Column("ol_id", ColumnType.INT),
+                Column("i_id", ColumnType.INT),
+                Column("qty", ColumnType.INT),
+                Column("price", ColumnType.FLOAT),
+            ]),
+            key="ol_id",
+        )
+        # The buy path also writes a credit-card transaction (CC_XACTS) and
+        # a shipping address (ADDRESS) per order, per the TPC-W schema.
+        self.cc_xacts = db.create_table(
+            "cc_xacts",
+            Schema([
+                Column("cx_o_id", ColumnType.INT),
+                Column("cx_type", ColumnType.CHAR, 10),
+                Column("cx_num", ColumnType.CHAR, 16),
+                Column("cx_name", ColumnType.CHAR, 30),
+                Column("cx_expire", ColumnType.CHAR, 7),
+                Column("cx_auth_id", ColumnType.CHAR, 15),
+                Column("cx_amount", ColumnType.FLOAT),
+            ]),
+            key="cx_o_id",
+        )
+        self.address = db.create_table(
+            "address",
+            Schema([
+                Column("addr_id", ColumnType.INT),
+                Column("street1", ColumnType.CHAR, 40),
+                Column("street2", ColumnType.CHAR, 40),
+                Column("city", ColumnType.CHAR, 30),
+                Column("state", ColumnType.CHAR, 30),
+                Column("zip", ColumnType.CHAR, 10),
+                Column("country", ColumnType.CHAR, 25),
+            ]),
+            key="addr_id",
+        )
+        # TPC-W stores shopping carts in the database (SHOPPING_CART_LINE);
+        # cart interactions are real DB writes, not just session state.
+        self.cart_line = db.create_table(
+            "cart_line",
+            Schema([
+                Column("scl_id", ColumnType.INT),
+                Column("i_id", ColumnType.INT),
+                Column("qty", ColumnType.INT),
+            ]),
+            key="scl_id",
+        )
+
+    # -- population ----------------------------------------------------------
+
+    def populate(self) -> None:
+        """Load items and the initial customer base."""
+        cfg = self.config
+        rng = self._rng
+        for i in range(1, cfg.items + 1):
+            self.item.insert(
+                (
+                    i,
+                    f"Book {i}",
+                    f"Author {i % 199}",
+                    float(rng.uniform(5, 120)),
+                    int(rng.integers(10, 500)),
+                    0,
+                    astring(rng, int(rng.integers(300, 500))),
+                )
+            )
+        for _ in range(cfg.initial_customers):
+            self._insert_customer()
+        self.db.commit()
+
+    def _insert_customer(self) -> int:
+        self._next_customer += 1
+        c = self._next_customer
+        self.customer.insert(
+            (
+                c,
+                f"user{c}",
+                f"Customer {c}",
+                f"user{c}@example.com",
+                astring(self._rng, 60),
+                astring(self._rng, 12),
+                0,
+                0.0,
+            )
+        )
+        return c
+
+    # -- interactions -----------------------------------------------------------
+
+    def run(self, interactions: int) -> None:
+        """Run ``interactions`` across the emulated-browser pool."""
+        names = [name for name, _ in _MIX]
+        weights = [weight for _, weight in _MIX]
+        interval = max(1, self.config.commit_interval)
+        for i in range(interactions):
+            browser = int(self._rng.integers(0, self.config.emulated_browsers))
+            choice = names[self._rng.choice(len(names), p=weights)]
+            getattr(self, f"_ix_{choice}")(browser)
+            self.interaction_counts[choice] += 1
+            self.interactions_run += 1
+            if (i + 1) % interval == 0:
+                self.db.commit()
+        self.db.commit()
+
+    def _random_item(self) -> int:
+        return int(self._rng.integers(1, self.config.items + 1))
+
+    def _ix_browse(self, browser: int) -> None:
+        """Product-detail page views: pure reads."""
+        for _ in range(int(self._rng.integers(3, 8))):
+            self.item.get(self._random_item())
+
+    def _ix_search(self, browser: int) -> None:
+        """A small range scan, like a search-results page."""
+        start = self._random_item()
+        list(self.item.range(start, min(start + 20, self.config.items)))
+
+    def _cart_key(self, browser: int, slot: int) -> int:
+        return browser * 100 + slot
+
+    def _ix_cart_update(self, browser: int) -> None:
+        """Add an item to the browser's cart (a SHOPPING_CART_LINE write)."""
+        cart = self._carts.setdefault(browser, [])
+        slot = len(cart)
+        if slot >= 10:  # cap cart size; replace the oldest line
+            slot = int(self._rng.integers(0, 10))
+            item_id, qty = self._random_item(), int(self._rng.integers(1, 4))
+            cart[slot] = (item_id, qty)
+            self.cart_line.update(
+                self._cart_key(browser, slot),
+                (self._cart_key(browser, slot), item_id, qty),
+            )
+            return
+        item_id, qty = self._random_item(), int(self._rng.integers(1, 4))
+        cart.append((item_id, qty))
+        self.cart_line.insert((self._cart_key(browser, slot), item_id, qty))
+
+    def _ix_buy_confirm(self, browser: int) -> None:
+        """Turn the cart into an order: the write-heavy path."""
+        cart = self._carts.pop(browser, None)
+        if cart:  # clear the persisted cart lines
+            for slot in range(len(cart)):
+                self.cart_line.delete(self._cart_key(browser, slot))
+        else:
+            cart = [(self._random_item(), 1)]
+        customer_id = int(self._rng.integers(1, self._next_customer + 1))
+        self._next_order += 1
+        order_id = self._next_order
+        total = 0.0
+        for line_number, (item_id, qty) in enumerate(cart, start=1):
+            item = self.item.get(item_id)
+            assert item is not None
+            total += item[3] * qty
+            self.item.update_fields(
+                item_id,
+                stock=max(0, item[4] - qty) or int(self._rng.integers(50, 200)),
+                total_sold=item[5] + qty,
+            )
+            self.order_line.insert(
+                (order_id * 16 + line_number, item_id, qty, item[3])
+            )
+        self.orders.insert(
+            (
+                order_id,
+                customer_id,
+                total,
+                len(cart),
+                "PENDING",
+                astring(self._rng, 60),
+                astring(self._rng, 60),
+            )
+        )
+        self.cc_xacts.insert(
+            (
+                order_id,
+                "VISA",
+                astring(self._rng, 16),
+                f"Customer {customer_id}",
+                "12/2008",
+                astring(self._rng, 15),
+                total,
+            )
+        )
+        self.address.insert(
+            (
+                order_id,
+                astring(self._rng, 35),
+                astring(self._rng, 35),
+                f"city{order_id % 997}",
+                "RI",
+                astring(self._rng, 9),
+                "USA",
+            )
+        )
+        customer = self.customer.get(customer_id)
+        if customer is not None:
+            self.customer.update_fields(
+                customer_id,
+                orders_placed=customer[6] + 1,
+                ytd_spent=customer[7] + total,
+            )
+
+    def _ix_register(self, browser: int) -> None:
+        """New-customer registration: one insert."""
+        self._insert_customer()
+
+    def _ix_admin_update(self, browser: int) -> None:
+        """TPC-W Admin Confirm: rewrite an item's description and price."""
+        item_id = self._random_item()
+        self.item.update_fields(
+            item_id,
+            price=float(self._rng.uniform(5, 120)),
+            description=astring(self._rng, int(self._rng.integers(300, 500))),
+        )

@@ -1,0 +1,50 @@
+"""Shared fixtures for the PRINS reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.block import MemoryBlockDevice
+from repro.common.rng import make_rng
+
+BLOCK_SIZE = 512
+NUM_BLOCKS = 64
+
+
+@pytest.fixture
+def rng():
+    """A deterministic RNG, fresh per test."""
+    return make_rng(1234, "tests")
+
+
+@pytest.fixture
+def device():
+    """A small in-memory block device."""
+    return MemoryBlockDevice(BLOCK_SIZE, NUM_BLOCKS)
+
+
+@pytest.fixture
+def random_block(rng):
+    """One block of random (incompressible) bytes."""
+    return rng.integers(0, 256, BLOCK_SIZE, dtype="u1").tobytes()
+
+
+def make_block(rng, size=BLOCK_SIZE):
+    """Helper: random block of ``size`` bytes."""
+    return rng.integers(0, 256, size, dtype="u1").tobytes()
+
+
+@pytest.fixture
+def engine_stack(request):
+    """Factory for a primary/replica pair wired with a given strategy."""
+    from repro.engine import DirectLink, PrimaryEngine, ReplicaEngine, make_strategy
+
+    def build(strategy_name="prins", block_size=BLOCK_SIZE, num_blocks=NUM_BLOCKS):
+        primary_dev = MemoryBlockDevice(block_size, num_blocks)
+        replica_dev = MemoryBlockDevice(block_size, num_blocks)
+        strategy = make_strategy(strategy_name)
+        replica = ReplicaEngine(replica_dev, strategy)
+        engine = PrimaryEngine(primary_dev, strategy, [DirectLink(replica)])
+        return engine, primary_dev, replica_dev, replica
+
+    return build

@@ -1,0 +1,61 @@
+"""Tests for tables, experiment results, and paper comparisons."""
+
+from __future__ import annotations
+
+from repro.analysis import Comparison, ExperimentResult, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_headers(self):
+        out = format_table(
+            ["name", "count"], [["alpha", 10], ["b", 20000]], title="demo"
+        )
+        lines = out.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1] and "count" in lines[1]
+        assert "alpha" in lines[3]
+        assert "20,000" in out  # thousands separator
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [[3.14159], [2.0], [12345.6]])
+        assert "3.142" in out
+        lines = [line.strip() for line in out.splitlines()]
+        assert "2" in lines  # integral float rendered as int
+        assert "12,346" in out
+
+    def test_empty_rows(self):
+        out = format_table(["a"], [])
+        assert "a" in out
+
+
+class TestComparison:
+    def test_within_tolerance(self):
+        assert Comparison("m", 10.0, 12.0).within_tolerance
+        assert Comparison("m", 10.0, 29.0, tolerance_factor=3).within_tolerance
+        assert not Comparison("m", 10.0, 31.0, tolerance_factor=3).within_tolerance
+        assert Comparison("m", 10.0, 3.5, tolerance_factor=3).within_tolerance
+        assert not Comparison("m", 10.0, 3.2, tolerance_factor=3).within_tolerance
+
+    def test_ratio(self):
+        assert Comparison("m", 10.0, 25.0).ratio == 2.5
+
+    def test_zero_paper_value(self):
+        assert Comparison("m", 0.0, 0.0).ratio == 1.0
+
+
+class TestExperimentResult:
+    def test_render_includes_everything(self):
+        result = ExperimentResult("figX", "demo figure", ["a", "b"])
+        result.add_row(1, 2.5)
+        result.add_comparison("metric", 10.0, 11.0)
+        result.notes.append("a note")
+        rendered = result.render()
+        assert "[figX] demo figure" in rendered
+        assert "metric" in rendered
+        assert "[ok]" in rendered
+        assert "note: a note" in rendered
+
+    def test_out_of_band_marked(self):
+        result = ExperimentResult("f", "t", ["x"])
+        result.add_comparison("bad", 1.0, 100.0)
+        assert "OUT OF BAND" in result.render()

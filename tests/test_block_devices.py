@@ -1,0 +1,160 @@
+"""Tests for the concrete block devices: memory, sparse, file."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.block import FileBlockDevice, MemoryBlockDevice, SparseBlockDevice
+from repro.common.errors import (
+    BlockRangeError,
+    BlockSizeError,
+)
+from repro.common.errors import DeviceClosedError
+
+
+DEVICE_FACTORIES = {
+    "memory": lambda bs, n: MemoryBlockDevice(bs, n),
+    "sparse": lambda bs, n: SparseBlockDevice(bs, n),
+}
+
+
+@pytest.fixture(params=sorted(DEVICE_FACTORIES))
+def any_device(request):
+    return DEVICE_FACTORIES[request.param](512, 32)
+
+
+class TestBlockDeviceContract:
+    """Behaviour every device must share (validation lives in the base)."""
+
+    def test_initial_reads_are_zero(self, any_device):
+        assert any_device.read_block(0) == bytes(512)
+        assert any_device.read_block(31) == bytes(512)
+
+    def test_write_then_read(self, any_device):
+        data = bytes(range(256)) * 2
+        any_device.write_block(5, data)
+        assert any_device.read_block(5) == data
+
+    def test_overwrite(self, any_device):
+        any_device.write_block(3, b"a" * 512)
+        any_device.write_block(3, b"b" * 512)
+        assert any_device.read_block(3) == b"b" * 512
+
+    def test_lba_out_of_range(self, any_device):
+        with pytest.raises(BlockRangeError):
+            any_device.read_block(32)
+        with pytest.raises(BlockRangeError):
+            any_device.write_block(-1, bytes(512))
+
+    def test_wrong_block_size(self, any_device):
+        with pytest.raises(BlockSizeError):
+            any_device.write_block(0, bytes(511))
+
+    def test_multi_block_io(self, any_device):
+        payload = bytes(range(64)) * 8 * 3  # 3 blocks
+        any_device.write_blocks(4, payload)
+        assert any_device.read_blocks(4, 3) == payload
+
+    def test_write_blocks_partial_rejected(self, any_device):
+        with pytest.raises(BlockSizeError):
+            any_device.write_blocks(0, bytes(700))
+
+    def test_capacity(self, any_device):
+        assert any_device.capacity_bytes == 512 * 32
+
+    def test_closed_device_rejects_io(self, any_device):
+        any_device.close()
+        with pytest.raises(DeviceClosedError):
+            any_device.read_block(0)
+
+    def test_context_manager(self):
+        with MemoryBlockDevice(512, 4) as dev:
+            dev.write_block(0, b"x" * 512)
+        assert dev.closed
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            MemoryBlockDevice(0, 10)
+        with pytest.raises(ValueError):
+            MemoryBlockDevice(512, 0)
+
+    def test_iter_blocks(self, any_device):
+        any_device.write_block(2, b"z" * 512)
+        blocks = dict(any_device.iter_blocks())
+        assert len(blocks) == 32
+        assert blocks[2] == b"z" * 512
+        assert blocks[0] == bytes(512)
+
+
+class TestMemoryDevice:
+    def test_snapshot_and_load(self):
+        dev = MemoryBlockDevice(128, 8)
+        dev.write_block(1, b"q" * 128)
+        image = dev.snapshot()
+        dev.write_block(1, b"r" * 128)
+        dev.load(image)
+        assert dev.read_block(1) == b"q" * 128
+
+    def test_load_wrong_size(self):
+        dev = MemoryBlockDevice(128, 8)
+        with pytest.raises(ValueError):
+            dev.load(bytes(5))
+
+
+class TestSparseDevice:
+    def test_zero_write_frees_slot(self):
+        dev = SparseBlockDevice(512, 16)
+        dev.write_block(3, b"x" * 512)
+        assert dev.allocated_blocks == 1
+        dev.write_block(3, bytes(512))
+        assert dev.allocated_blocks == 0
+        assert dev.read_block(3) == bytes(512)
+
+    def test_written_lbas_sorted(self):
+        dev = SparseBlockDevice(512, 16)
+        for lba in (9, 2, 7):
+            dev.write_block(lba, b"y" * 512)
+        assert dev.written_lbas() == [2, 7, 9]
+
+
+class TestFileDevice:
+    def test_persistence_across_reopen(self, tmp_path):
+        path = tmp_path / "disk.img"
+        with FileBlockDevice(path, 256, 16) as dev:
+            dev.write_block(7, b"p" * 256)
+        with FileBlockDevice(path, 256, 16) as dev:
+            assert dev.read_block(7) == b"p" * 256
+            assert dev.read_block(0) == bytes(256)
+
+    def test_file_created_at_capacity(self, tmp_path):
+        path = tmp_path / "disk.img"
+        with FileBlockDevice(path, 256, 16):
+            pass
+        assert path.stat().st_size == 256 * 16
+
+    def test_flush(self, tmp_path):
+        dev = FileBlockDevice(tmp_path / "d.img", 256, 4)
+        dev.write_block(0, b"f" * 256)
+        dev.flush()
+        dev.close()
+
+
+class TestPropertyRoundTrip:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        writes=st.lists(
+            st.tuples(st.integers(0, 15), st.binary(min_size=64, max_size=64)),
+            max_size=30,
+        )
+    )
+    def test_devices_agree(self, writes):
+        """Memory and sparse devices behave identically under any write set."""
+        mem = MemoryBlockDevice(64, 16)
+        sparse = SparseBlockDevice(64, 16)
+        for lba, data in writes:
+            mem.write_block(lba, data)
+            sparse.write_block(lba, data)
+        for lba in range(16):
+            assert mem.read_block(lba) == sparse.read_block(lba)

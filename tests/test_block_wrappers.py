@@ -1,0 +1,116 @@
+"""Tests for the device wrappers: counting, checksum, cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.block import (
+    CachedDevice,
+    ChecksumDevice,
+    CountingDevice,
+    MemoryBlockDevice,
+)
+from repro.block.verify import ChecksumMismatchError
+
+
+class TestCountingDevice:
+    def test_counts_reads_and_writes(self):
+        dev = CountingDevice(MemoryBlockDevice(512, 8))
+        dev.write_block(0, b"a" * 512)
+        dev.write_block(0, b"b" * 512)
+        dev.read_block(0)
+        c = dev.counters
+        assert c.writes == 2
+        assert c.reads == 1
+        assert c.bytes_written == 1024
+        assert c.bytes_read == 512
+        assert c.total_ops == 3
+
+    def test_unique_lbas(self):
+        dev = CountingDevice(MemoryBlockDevice(512, 8))
+        for lba in (0, 1, 0, 2):
+            dev.write_block(lba, bytes(512))
+        assert dev.counters.unique_lbas_written == {0, 1, 2}
+
+    def test_reset(self):
+        dev = CountingDevice(MemoryBlockDevice(512, 8))
+        dev.write_block(0, bytes(512))
+        dev.counters.reset()
+        assert dev.counters.writes == 0
+        assert dev.counters.unique_lbas_written == set()
+
+    def test_passthrough_contents(self):
+        inner = MemoryBlockDevice(512, 8)
+        dev = CountingDevice(inner)
+        dev.write_block(3, b"z" * 512)
+        assert inner.read_block(3) == b"z" * 512
+
+
+class TestChecksumDevice:
+    def test_clean_read_passes(self):
+        dev = ChecksumDevice(MemoryBlockDevice(512, 8))
+        dev.write_block(0, b"ok" * 256)
+        assert dev.read_block(0) == b"ok" * 256
+
+    def test_detects_underlying_corruption(self):
+        inner = MemoryBlockDevice(512, 8)
+        dev = ChecksumDevice(inner)
+        dev.write_block(0, b"g" * 512)
+        inner.write_block(0, b"h" * 512)  # corrupt behind the wrapper's back
+        with pytest.raises(ChecksumMismatchError):
+            dev.read_block(0)
+
+    def test_untracked_blocks_not_checked(self):
+        inner = MemoryBlockDevice(512, 8)
+        inner.write_block(5, b"pre" * 170 + b"xx")
+        dev = ChecksumDevice(inner)
+        dev.read_block(5)  # never written through wrapper: no check
+
+    def test_verify_all(self):
+        dev = ChecksumDevice(MemoryBlockDevice(512, 8))
+        for lba in range(4):
+            dev.write_block(lba, bytes([lba]) * 512)
+        assert dev.verify_all() == 4
+
+
+class TestCachedDevice:
+    def test_hit_after_miss(self):
+        dev = CachedDevice(MemoryBlockDevice(512, 8), capacity_blocks=4)
+        dev.read_block(0)
+        dev.read_block(0)
+        assert dev.misses == 1
+        assert dev.hits == 1
+        assert dev.hit_rate == 0.5
+
+    def test_write_through(self):
+        inner = MemoryBlockDevice(512, 8)
+        dev = CachedDevice(inner, capacity_blocks=4)
+        dev.write_block(0, b"w" * 512)
+        assert inner.read_block(0) == b"w" * 512  # inner is truth immediately
+
+    def test_eviction_respects_capacity(self):
+        dev = CachedDevice(MemoryBlockDevice(512, 16), capacity_blocks=2)
+        for lba in range(5):
+            dev.read_block(lba)
+        dev.read_block(4)  # most recent: hit
+        assert dev.hits == 1
+        dev.read_block(0)  # evicted long ago: miss
+        assert dev.misses == 6
+
+    def test_invalidate(self):
+        dev = CachedDevice(MemoryBlockDevice(512, 8), capacity_blocks=4)
+        dev.read_block(0)
+        dev.invalidate()
+        dev.read_block(0)
+        assert dev.misses == 2
+
+    def test_cache_serves_correct_contents(self):
+        dev = CachedDevice(MemoryBlockDevice(512, 8), capacity_blocks=2)
+        dev.write_block(0, b"1" * 512)
+        assert dev.read_block(0) == b"1" * 512
+        dev.write_block(0, b"2" * 512)
+        assert dev.read_block(0) == b"2" * 512
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            CachedDevice(MemoryBlockDevice(512, 8), capacity_blocks=0)

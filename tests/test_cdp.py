@@ -1,0 +1,196 @@
+"""Tests for the CDP/TRAP parity log and point-in-time recovery."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.block import MemoryBlockDevice
+from repro.cdp import ParityLog, RecoveryPoint, recover_block, recover_image
+from repro.cdp.parity_log import CdpDevice
+from repro.common.errors import RecoveryError
+from repro.common.rng import make_rng
+
+BS = 256
+
+
+def history_for_block(rng, versions=6):
+    """A chain of versions of one block."""
+    blocks = [bytes(BS)]
+    for _ in range(versions):
+        buf = bytearray(blocks[-1])
+        start = int(rng.integers(0, BS - 20))
+        buf[start : start + 20] = rng.integers(0, 256, 20, dtype="u1").tobytes()
+        blocks.append(bytes(buf))
+    return blocks
+
+
+class TestParityLog:
+    def test_log_and_chain(self, rng):
+        log = ParityLog()
+        versions = history_for_block(rng)
+        for t, (old, new) in enumerate(itertools.pairwise(versions)):
+            log.log_write(0, new, old, timestamp=float(t))
+        assert log.entry_count == len(versions) - 1
+        assert log.lbas() == [0]
+        assert len(log.chain(0)) == len(versions) - 1
+
+    def test_timestamps_must_be_monotonic_per_block(self, rng):
+        log = ParityLog()
+        log.log_write(0, b"a" * BS, bytes(BS), timestamp=5.0)
+        with pytest.raises(RecoveryError):
+            log.log_write(0, b"b" * BS, b"a" * BS, timestamp=4.0)
+
+    def test_stored_bytes_far_below_full_block_journal(self, rng):
+        """The TRAP claim: parity logging is much smaller than block CDP."""
+        log = ParityLog()
+        versions = history_for_block(rng, versions=20)
+        for t, (old, new) in enumerate(itertools.pairwise(versions)):
+            log.log_write(0, new, old, timestamp=float(t))
+        full_journal = 20 * BS
+        assert log.stored_bytes < full_journal / 3
+
+    def test_truncate(self, rng):
+        log = ParityLog()
+        versions = history_for_block(rng)
+        for t, (old, new) in enumerate(itertools.pairwise(versions)):
+            log.log_write(0, new, old, timestamp=float(t))
+        dropped = log.truncate_before(2.0)
+        assert dropped == 3  # timestamps 0, 1, 2
+        assert all(entry.timestamp > 2.0 for entry in log.chain(0))
+        log.truncate_before(100.0)
+        assert log.lbas() == []
+
+
+class TestRecoverBlock:
+    def _logged_history(self, rng):
+        log = ParityLog()
+        versions = history_for_block(rng, versions=8)
+        for t, (old, new) in enumerate(itertools.pairwise(versions)):
+            log.log_write(0, new, old, timestamp=float(t))
+        return log, versions
+
+    def test_forward_recovery_every_version(self, rng):
+        log, versions = self._logged_history(rng)
+        for t in range(len(versions) - 1):
+            point = RecoveryPoint(float(t))
+            recovered = recover_block(log, 0, point, baseline=versions[0])
+            assert recovered == versions[t + 1]
+
+    def test_backward_recovery_every_version(self, rng):
+        log, versions = self._logged_history(rng)
+        current = versions[-1]
+        for t in range(len(versions) - 1):
+            point = RecoveryPoint(float(t))
+            recovered = recover_block(log, 0, point, current=current)
+            assert recovered == versions[t + 1]
+
+    def test_forward_and_backward_cross_check(self, rng):
+        log, versions = self._logged_history(rng)
+        recovered = recover_block(
+            log, 0, RecoveryPoint(3.0), baseline=versions[0], current=versions[-1]
+        )
+        assert recovered == versions[4]
+
+    def test_corrupt_baseline_detected_by_cross_check(self, rng):
+        log, versions = self._logged_history(rng)
+        bad_baseline = b"\xff" * BS
+        with pytest.raises(RecoveryError, match="disagree"):
+            recover_block(
+                log, 0, RecoveryPoint(3.0), baseline=bad_baseline,
+                current=versions[-1],
+            )
+
+    def test_needs_some_reference(self, rng):
+        log, _ = self._logged_history(rng)
+        with pytest.raises(RecoveryError):
+            recover_block(log, 0, RecoveryPoint(1.0))
+
+    def test_point_before_history_returns_baseline(self, rng):
+        log, versions = self._logged_history(rng)
+        recovered = recover_block(
+            log, 0, RecoveryPoint(0.0), baseline=versions[0]
+        )
+        # timestamp 0.0 includes the first write (t=0)
+        assert recovered == versions[1]
+
+    def test_negative_timestamp_rejected(self):
+        with pytest.raises(RecoveryError):
+            RecoveryPoint(-1.0)
+
+
+class TestCdpDevice:
+    def test_device_logs_every_write(self):
+        log = ParityLog()
+        clock = itertools.count()
+        device = CdpDevice(MemoryBlockDevice(BS, 8), log, clock=lambda: next(clock))
+        device.write_block(3, b"a" * BS)
+        device.write_block(3, b"b" * BS)
+        device.write_block(5, b"c" * BS)
+        assert log.entry_count == 3
+        assert log.lbas() == [3, 5]
+
+    def test_recover_image_round_trip(self, rng):
+        log = ParityLog()
+        tick = itertools.count()
+        inner = MemoryBlockDevice(BS, 8)
+        device = CdpDevice(inner, log, clock=lambda: next(tick))
+        baseline = MemoryBlockDevice(BS, 8)
+        images = []
+        write_rng = make_rng(9, "cdp")
+        for _ in range(12):
+            lba = int(write_rng.integers(0, 8))
+            data = write_rng.integers(0, 256, BS, dtype="u1").tobytes()
+            device.write_block(lba, data)
+            images.append(inner.snapshot())
+        # recover to each historical instant and compare whole images
+        for t, image in enumerate(images):
+            recovered = recover_image(
+                log, RecoveryPoint(float(t)), baseline=baseline
+            )
+            assert recovered.snapshot() == image
+
+    def test_recover_image_backward_from_current(self, rng):
+        log = ParityLog()
+        tick = itertools.count()
+        inner = MemoryBlockDevice(BS, 4)
+        device = CdpDevice(inner, log, clock=lambda: next(tick))
+        device.write_block(0, b"v1" * 128)
+        mid_image = inner.snapshot()
+        device.write_block(0, b"v2" * 128)
+        recovered = recover_image(log, RecoveryPoint(0.0), current=inner)
+        assert recovered.snapshot() == mid_image
+
+    def test_recover_image_needs_reference(self):
+        with pytest.raises(RecoveryError):
+            recover_image(ParityLog(), RecoveryPoint(0.0))
+
+
+class TestCdpProperty:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        writes=st.lists(
+            st.tuples(st.integers(0, 3), st.binary(min_size=32, max_size=32)),
+            min_size=1,
+            max_size=15,
+        ),
+        target=st.integers(0, 14),
+    )
+    def test_any_point_recoverable_both_directions(self, writes, target):
+        target = min(target, len(writes) - 1)
+        log = ParityLog()
+        device = MemoryBlockDevice(32, 4)
+        baseline = MemoryBlockDevice(32, 4)
+        images = []
+        for t, (lba, data) in enumerate(writes):
+            old = device.read_block(lba)
+            device.write_block(lba, data)
+            log.log_write(lba, data, old, timestamp=float(t))
+            images.append(device.snapshot())
+        forward = recover_image(log, RecoveryPoint(float(target)), baseline=baseline)
+        backward = recover_image(log, RecoveryPoint(float(target)), current=device)
+        assert forward.snapshot() == images[target]
+        assert backward.snapshot() == images[target]

@@ -1,0 +1,128 @@
+"""Tests for repro.common.buffers: XOR, zero tests, run detection."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.buffers import (
+    count_nonzero,
+    is_zero,
+    nonzero_fraction,
+    nonzero_runs,
+    xor_bytes,
+    xor_into,
+)
+
+
+class TestXorBytes:
+    def test_basic(self):
+        assert xor_bytes(b"\x0f\xf0", b"\xff\xff") == b"\xf0\x0f"
+
+    def test_identity_with_zeros(self):
+        data = bytes(range(256))
+        assert xor_bytes(data, bytes(256)) == data
+
+    def test_self_cancels(self):
+        data = b"hello world" * 20
+        assert is_zero(xor_bytes(data, data))
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError, match="length mismatch"):
+            xor_bytes(b"abc", b"ab")
+
+    def test_empty(self):
+        assert xor_bytes(b"", b"") == b""
+
+    def test_large_buffers_use_numpy_path(self):
+        a = bytes(range(256)) * 64  # 16 KiB, above the numpy cutoff
+        b = bytes(reversed(range(256))) * 64
+        expected = bytes(x ^ y for x, y in zip(a, b))
+        assert xor_bytes(a, b) == expected
+
+    @given(st.binary(min_size=0, max_size=2048))
+    def test_involution(self, data):
+        """XOR is its own inverse: (a ^ b) ^ b == a."""
+        key = bytes((i * 37) % 256 for i in range(len(data)))
+        assert xor_bytes(xor_bytes(data, key), key) == data
+
+    @given(st.binary(min_size=1, max_size=512), st.binary(min_size=1, max_size=512))
+    def test_commutative(self, a, b):
+        n = min(len(a), len(b))
+        assert xor_bytes(a[:n], b[:n]) == xor_bytes(b[:n], a[:n])
+
+
+class TestXorInto:
+    def test_in_place(self):
+        target = bytearray(b"\x01\x02\x03")
+        xor_into(target, b"\x01\x02\x03")
+        assert target == bytearray(3)
+
+    def test_matches_xor_bytes(self):
+        a = bytes(range(200))
+        b = bytes(reversed(range(200)))
+        target = bytearray(a)
+        xor_into(target, b)
+        assert bytes(target) == xor_bytes(a, b)
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            xor_into(bytearray(3), b"ab")
+
+
+class TestZeroPredicates:
+    def test_is_zero_true(self):
+        assert is_zero(bytes(1000))
+
+    def test_is_zero_false(self):
+        assert not is_zero(bytes(999) + b"\x01")
+
+    def test_is_zero_empty(self):
+        assert is_zero(b"")
+
+    def test_count_nonzero(self):
+        assert count_nonzero(b"\x00\x01\x00\x02\x00") == 2
+
+    def test_nonzero_fraction(self):
+        assert nonzero_fraction(b"\x00\x01\x00\x01") == 0.5
+
+    def test_nonzero_fraction_empty(self):
+        assert nonzero_fraction(b"") == 0.0
+
+
+class TestNonzeroRuns:
+    def test_empty(self):
+        assert nonzero_runs(b"") == []
+
+    def test_all_zero(self):
+        assert nonzero_runs(bytes(100)) == []
+
+    def test_single_run(self):
+        assert nonzero_runs(b"\x00\x00\x01\x02\x00") == [(2, 2)]
+
+    def test_run_at_start_and_end(self):
+        assert nonzero_runs(b"\x01\x00\x00\x02") == [(0, 1), (3, 1)]
+
+    def test_adjacent_runs_merge(self):
+        # no zero gap between them -> one run
+        assert nonzero_runs(b"\x01\x02\x03") == [(0, 3)]
+
+    @given(st.binary(min_size=0, max_size=1024))
+    def test_runs_reconstruct_buffer(self, data):
+        """Runs cover exactly the nonzero bytes."""
+        rebuilt = bytearray(len(data))
+        for offset, length in nonzero_runs(data):
+            rebuilt[offset : offset + length] = data[offset : offset + length]
+        assert bytes(rebuilt) == data
+
+    @given(st.binary(min_size=0, max_size=1024))
+    def test_runs_are_separated_and_nonzero(self, data):
+        runs = nonzero_runs(data)
+        previous_end = -2
+        for offset, length in runs:
+            assert length > 0
+            assert offset > previous_end + 1  # separated by >= one zero
+            segment = data[offset : offset + length]
+            assert segment[0] != 0 and segment[-1] != 0
+            previous_end = offset + length - 1

@@ -1,0 +1,58 @@
+"""Tests for repro.common.units."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.units import GiB, KiB, MiB, format_bytes, parse_size
+
+
+class TestParseSize:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("8KB", 8 * KiB),
+            ("8kb", 8 * KiB),
+            ("8KiB", 8 * KiB),
+            ("64K", 64 * KiB),
+            ("1MB", MiB),
+            ("1.5MB", MiB + 512 * KiB),
+            ("2GiB", 2 * GiB),
+            ("512", 512),
+            ("512B", 512),
+            (" 4 KB ", 4 * KiB),
+        ],
+    )
+    def test_valid(self, text, expected):
+        assert parse_size(text) == expected
+
+    def test_int_passthrough(self):
+        assert parse_size(4096) == 4096
+
+    @pytest.mark.parametrize("text", ["", "abc", "12QB", "KB", "1.2.3MB"])
+    def test_invalid(self, text):
+        with pytest.raises(ValueError):
+            parse_size(text)
+
+    def test_fractional_bytes_rejected(self):
+        with pytest.raises(ValueError, match="whole number"):
+            parse_size("1.0001KB")
+
+
+class TestFormatBytes:
+    def test_bytes(self):
+        assert format_bytes(123) == "123 B"
+
+    def test_kib(self):
+        assert format_bytes(51200) == "50.0 KiB"
+
+    def test_mib(self):
+        assert format_bytes(3 * MiB) == "3.0 MiB"
+
+    def test_gib(self):
+        assert format_bytes(int(2.5 * GiB)) == "2.5 GiB"
+
+    def test_roundtrip_consistency(self):
+        # format then parse returns the same magnitude (within rounding)
+        n = 7 * MiB
+        assert parse_size(format_bytes(n).replace(" ", "")) == n

@@ -1,0 +1,204 @@
+"""Tests for asynchronous (pipelined) replication."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.block import MemoryBlockDevice
+from repro.common.errors import ReplicationError
+from repro.engine import (
+    AsyncPrimaryEngine,
+    AsyncReplicator,
+    DirectLink,
+    ReplicaEngine,
+    ReplicationRecord,
+    make_strategy,
+    verify_consistency,
+)
+from repro.engine.links import ReplicaLink
+
+BS = 512
+N = 32
+
+
+class _FlakyLink(ReplicaLink):
+    """Fails the first ``failures`` ship attempts, then succeeds."""
+
+    def __init__(self, inner: ReplicaLink, failures: int) -> None:
+        self._inner = inner
+        self._failures = failures
+        self.attempts = 0
+
+    def ship(self, lba: int, record: ReplicationRecord) -> bytes:
+        self.attempts += 1
+        if self.attempts <= self._failures:
+            raise ConnectionError("transient network blip")
+        return self._inner.ship(lba, record)
+
+
+class _SlowLink(ReplicaLink):
+    """Adds a small delay per ship, to exercise queue backpressure."""
+
+    def __init__(self, inner: ReplicaLink, delay: float = 0.002) -> None:
+        self._inner = inner
+        self._delay = delay
+
+    def ship(self, lba: int, record: ReplicationRecord) -> bytes:
+        time.sleep(self._delay)
+        return self._inner.ship(lba, record)
+
+
+def _stack(strategy_name="prins", link_wrapper=None, **replicator_kwargs):
+    strategy = make_strategy(strategy_name)
+    primary = MemoryBlockDevice(BS, N)
+    replica = MemoryBlockDevice(BS, N)
+    link: ReplicaLink = DirectLink(ReplicaEngine(replica, strategy))
+    if link_wrapper is not None:
+        link = link_wrapper(link)
+    return strategy, primary, replica, link
+
+
+class TestAsyncReplicator:
+    def test_ships_in_order_and_drains(self):
+        strategy, _, replica, link = _stack("traditional")
+        replicator = AsyncReplicator(link)
+        for seq in range(1, 21):
+            frame = strategy.encode_update(bytes([seq]) * BS, bytes(BS))
+            replicator.submit(
+                seq % N, ReplicationRecord.for_block(seq, bytes([seq]) * BS, frame)
+            )
+        replicator.drain()
+        assert replicator.stats.shipped == 20
+        assert replicator.stats.failed == 0
+        replicator.close()
+
+    def test_retries_transient_failures(self):
+        strategy, _, replica, link = _stack(
+            "traditional", link_wrapper=lambda l: _FlakyLink(l, failures=2)
+        )
+        replicator = AsyncReplicator(link, max_retries=3)
+        frame = strategy.encode_update(b"r" * BS, bytes(BS))
+        replicator.submit(0, ReplicationRecord.for_block(1, b"r" * BS, frame))
+        replicator.drain()
+        assert replicator.stats.shipped == 1
+        assert replicator.stats.retried == 2
+        assert replica.read_block(0) == b"r" * BS
+        replicator.close()
+
+    def test_permanent_failure_surfaces_on_drain(self):
+        strategy, _, _, link = _stack(
+            "traditional", link_wrapper=lambda l: _FlakyLink(l, failures=99)
+        )
+        replicator = AsyncReplicator(link, max_retries=1)
+        frame = strategy.encode_update(b"x" * BS, bytes(BS))
+        replicator.submit(0, ReplicationRecord.for_block(1, b"x" * BS, frame))
+        with pytest.raises(ReplicationError, match="failed to replicate"):
+            replicator.drain()
+        assert replicator.stats.failed == 1
+
+    def test_submit_after_close_rejected(self):
+        _, _, _, link = _stack("traditional")
+        replicator = AsyncReplicator(link)
+        replicator.close()
+        with pytest.raises(ReplicationError):
+            replicator.submit(0, ReplicationRecord(1, 0, b""))
+
+    def test_invalid_config(self):
+        _, _, _, link = _stack("traditional")
+        with pytest.raises(ValueError):
+            AsyncReplicator(link, queue_depth=0)
+        with pytest.raises(ValueError):
+            AsyncReplicator(link, max_retries=-1)
+
+    def test_drain_from_many_submitting_threads(self):
+        strategy, _, replica, link = _stack("traditional")
+        replicator = AsyncReplicator(link, queue_depth=16)
+        counter = {"seq": 0}
+        lock = threading.Lock()
+
+        def submit_batch():
+            for _ in range(25):
+                with lock:
+                    counter["seq"] += 1
+                    seq = counter["seq"]
+                frame = strategy.encode_update(bytes([seq % 250 + 1]) * BS, bytes(BS))
+                replicator.submit(
+                    seq % N,
+                    ReplicationRecord.for_block(seq, bytes([seq % 250 + 1]) * BS, frame),
+                )
+
+        threads = [threading.Thread(target=submit_batch) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        replicator.drain()
+        assert replicator.stats.shipped == 100
+        replicator.close()
+
+
+class TestAsyncPrimaryEngine:
+    def test_consistency_after_drain(self, rng):
+        strategy, primary, replica, link = _stack("prins")
+        engine = AsyncPrimaryEngine(primary, strategy, [link])
+        for _ in range(150):
+            lba = int(rng.integers(0, N))
+            engine.write_block(lba, rng.integers(0, 256, BS, dtype="u1").tobytes())
+        engine.drain()
+        assert verify_consistency(primary, replica) == []
+
+    def test_write_does_not_wait_for_slow_link(self):
+        strategy, primary, replica, link = _stack(
+            "traditional", link_wrapper=_SlowLink
+        )
+        engine = AsyncPrimaryEngine(primary, strategy, [link], queue_depth=64)
+        start = time.perf_counter()
+        for lba in range(30):
+            engine.write_block(lba % N, bytes([lba + 1]) * BS)
+        submit_elapsed = time.perf_counter() - start
+        engine.drain()
+        total_elapsed = time.perf_counter() - start
+        # submissions must be much faster than the full drain (pipelining)
+        assert submit_elapsed < total_elapsed / 2
+        assert verify_consistency(primary, replica) == []
+
+    def test_accounting_matches_sync_engine(self, rng):
+        """Async pipelining must not change what is charged to the wire."""
+        from repro.engine import PrimaryEngine
+
+        writes = [
+            (int(rng.integers(0, N)), rng.integers(0, 256, BS, dtype="u1").tobytes())
+            for _ in range(60)
+        ]
+        strategy = make_strategy("prins")
+        sync_primary = MemoryBlockDevice(BS, N)
+        sync_replica = MemoryBlockDevice(BS, N)
+        sync_engine = PrimaryEngine(
+            sync_primary, strategy,
+            [DirectLink(ReplicaEngine(sync_replica, strategy))],
+        )
+        for lba, data in writes:
+            sync_engine.write_block(lba, data)
+
+        async_primary = MemoryBlockDevice(BS, N)
+        async_replica = MemoryBlockDevice(BS, N)
+        async_engine = AsyncPrimaryEngine(
+            async_primary, strategy,
+            [DirectLink(ReplicaEngine(async_replica, strategy))],
+        )
+        for lba, data in writes:
+            async_engine.write_block(lba, data)
+        async_engine.drain()
+        assert (
+            async_engine.accountant.payload_bytes
+            == sync_engine.accountant.payload_bytes
+        )
+
+    def test_context_manager(self):
+        strategy, primary, replica, link = _stack("traditional")
+        with AsyncPrimaryEngine(primary, strategy, [link]) as engine:
+            engine.write_block(0, b"c" * BS)
+        assert replica.read_block(0) == b"c" * BS

@@ -1,0 +1,134 @@
+"""Tests for the experiment harness and figure runners (tiny scales)."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.figures import SMALL, Scale, get_scale, run_experiment
+from repro.experiments.harness import (
+    capture_fsmicro_trace,
+    capture_tpcc_trace,
+    measure_strategies,
+)
+from repro.experiments.testbed import testbed_table as render_testbed_table
+from repro.workloads.fsmicro import FsMicroConfig
+from repro.workloads.tpcc import TpccConfig
+
+TINY_TPCC = TpccConfig(
+    warehouses=1, districts_per_warehouse=2, customers_per_district=5, items=50
+)
+
+
+@pytest.fixture(scope="module")
+def tpcc_capture():
+    return capture_tpcc_trace(4096, config=TINY_TPCC, transactions=40)
+
+
+class TestHarness:
+    def test_capture_excludes_population(self, tpcc_capture):
+        assert tpcc_capture.trace.write_count > 0
+        # the base image already contains the populated database
+        assert any(byte != 0 for byte in tpcc_capture.base_image[:4096])
+
+    def test_measure_all_strategies_consistent(self, tpcc_capture):
+        results = measure_strategies(tpcc_capture)
+        assert set(results) == {"traditional", "compressed", "prins"}
+        assert all(m.consistent for m in results.values())
+
+    def test_prins_smallest_traditional_largest(self, tpcc_capture):
+        results = measure_strategies(tpcc_capture)
+        assert (
+            results["prins"].payload_bytes
+            < results["compressed"].payload_bytes
+            < results["traditional"].payload_bytes
+        )
+
+    def test_traditional_payload_equals_blocks_shipped(self, tpcc_capture):
+        results = measure_strategies(tpcc_capture)
+        trace = tpcc_capture.trace
+        expected_floor = trace.write_count * trace.block_size
+        assert results["traditional"].payload_bytes >= expected_floor
+
+    def test_fsmicro_capture(self):
+        capture = capture_fsmicro_trace(
+            2048,
+            config=FsMicroConfig(files_per_directory=2, file_size=2048, rounds=1),
+        )
+        assert capture.workload_name == "fsmicro"
+        assert capture.trace.write_count > 0
+        results = measure_strategies(capture)
+        assert results["prins"].payload_bytes < results["traditional"].payload_bytes
+
+    def test_prins_codec_option(self, tpcc_capture):
+        rle = measure_strategies(tpcc_capture, strategies=["prins"])
+        zlib_variant = measure_strategies(
+            tpcc_capture, strategies=["prins"], prins_codec="rle+zlib"
+        )
+        assert rle["prins"].payload_bytes > 0
+        assert zlib_variant["prins"].payload_bytes > 0
+
+
+class TestScales:
+    def test_get_scale_by_name(self):
+        assert get_scale("small") is SMALL
+        assert get_scale(SMALL) is SMALL
+        with pytest.raises(ValueError):
+            get_scale("huge")
+
+    def test_paper_scale_matches_paper_parameters(self):
+        paper = get_scale("paper")
+        assert paper.tpcc_oracle.warehouses == 5
+        assert paper.tpcc_postgres.warehouses == 10
+        assert paper.tpcw.items == 10_000
+        assert paper.tpcw.emulated_browsers == 30
+        assert paper.fsmicro.directories == 5
+        assert paper.fsmicro.rounds == 5
+        assert paper.block_sizes == (4096, 8192, 16384, 32768, 65536)
+
+
+TINY_SCALE = Scale(
+    name="tiny",
+    block_sizes=(4096,),
+    tpcc_transactions=30,
+    tpcc_oracle=TINY_TPCC,
+    tpcc_postgres=dataclasses.replace(TINY_TPCC, seed=2007),
+    tpcw_interactions=60,
+    tpcw=dataclasses.replace(
+        __import__("repro.workloads.tpcw", fromlist=["TpcwConfig"]).TpcwConfig(),
+        items=100,
+        initial_customers=10,
+    ),
+    fsmicro=FsMicroConfig(files_per_directory=2, file_size=2048, rounds=1),
+)
+
+
+class TestFigureRunners:
+    @pytest.mark.parametrize("figure", ["fig4", "fig5", "fig6", "fig7"])
+    def test_traffic_figures_run(self, figure):
+        result = run_experiment(figure, scale=TINY_SCALE)
+        assert result.experiment_id == figure
+        assert len(result.rows) == 1  # one block size in the tiny scale
+        # prins column strictly below traditional column
+        for row in result.rows:
+            assert row[4] < row[2]
+
+    @pytest.mark.parametrize("figure", ["fig8", "fig9", "fig10"])
+    def test_queueing_figures_run(self, figure):
+        payloads = {"traditional": 8192.0, "compressed": 2700.0, "prins": 400.0}
+        from repro.experiments.figures import run_fig8, run_fig9, run_fig10
+
+        runner = {"fig8": run_fig8, "fig9": run_fig9, "fig10": run_fig10}[figure]
+        result = runner(payloads=payloads)
+        assert result.comparisons
+        assert all(c.within_tolerance for c in result.comparisons), result.render()
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ValueError):
+            run_experiment("fig99")
+
+    def test_testbed_table_mentions_all_substrates(self):
+        table = render_testbed_table()
+        for fragment in ("PRINS-engine", "Oracle", "Ext2", "TPC-C", "zlib", "T1/T3"):
+            assert fragment in table

@@ -1,0 +1,100 @@
+"""Tests for schema / row serialization."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigurationError, StorageError
+from repro.minidb import Column, ColumnType, Schema
+
+
+def sample_schema():
+    return Schema([
+        Column("id", ColumnType.INT),
+        Column("score", ColumnType.FLOAT),
+        Column("code", ColumnType.CHAR, 8),
+        Column("note", ColumnType.VARCHAR, 100),
+    ])
+
+
+class TestSchema:
+    def test_roundtrip(self):
+        schema = sample_schema()
+        row = (42, 3.25, "AB12", "hello world")
+        assert schema.decode(schema.encode(row)) == row
+
+    def test_char_padding_stripped(self):
+        schema = Schema([Column("c", ColumnType.CHAR, 10)])
+        assert schema.decode(schema.encode(("hi",))) == ("hi",)
+
+    def test_negative_int(self):
+        schema = Schema([Column("n", ColumnType.INT)])
+        assert schema.decode(schema.encode((-12345,))) == (-12345,)
+
+    def test_char_too_wide(self):
+        schema = Schema([Column("c", ColumnType.CHAR, 3)])
+        with pytest.raises(StorageError):
+            schema.encode(("toolong",))
+
+    def test_varchar_too_wide(self):
+        schema = Schema([Column("v", ColumnType.VARCHAR, 3)])
+        with pytest.raises(StorageError):
+            schema.encode(("toolong",))
+
+    def test_wrong_arity(self):
+        with pytest.raises(StorageError):
+            sample_schema().encode((1, 2.0))
+
+    def test_column_index(self):
+        schema = sample_schema()
+        assert schema.column_index("code") == 2
+        with pytest.raises(ConfigurationError):
+            schema.column_index("nope")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Schema([Column("a", ColumnType.INT), Column("a", ColumnType.INT)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Schema([])
+
+    def test_string_column_needs_width(self):
+        with pytest.raises(ConfigurationError):
+            Column("c", ColumnType.CHAR)
+
+    def test_max_row_size_bounds_encoding(self):
+        schema = sample_schema()
+        row = (1, 1.0, "XXXXXXXX", "y" * 100)
+        assert len(schema.encode(row)) <= schema.max_row_size()
+
+    def test_unicode_varchar(self):
+        schema = Schema([Column("v", ColumnType.VARCHAR, 40)])
+        assert schema.decode(schema.encode(("héllo wörld",))) == ("héllo wörld",)
+
+    def test_trailing_bytes_detected(self):
+        schema = Schema([Column("n", ColumnType.INT)])
+        with pytest.raises(StorageError):
+            schema.decode(schema.encode((1,)) + b"\x00")
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        number=st.integers(-(2**62), 2**62),
+        value=st.floats(allow_nan=False, allow_infinity=False, width=64),
+        code=st.text(
+            alphabet=st.characters(min_codepoint=33, max_codepoint=126), max_size=8
+        ),
+        note=st.text(
+            alphabet=st.characters(min_codepoint=32, max_codepoint=126), max_size=100
+        ),
+    )
+    def test_roundtrip_property(self, number, value, code, note):
+        schema = sample_schema()
+        row = (number, value, code.strip() or "x", note)
+        decoded = schema.decode(schema.encode(row))
+        assert decoded[0] == row[0]
+        assert decoded[1] == pytest.approx(row[1], nan_ok=False)
+        assert decoded[2] == row[2]
+        assert decoded[3] == row[3]

@@ -1,0 +1,88 @@
+"""Tests for the Schweitzer approximate MVA."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.queueing import solve_mva
+from repro.queueing.approx import solve_mva_approximate
+
+
+class TestApproximateMva:
+    def test_matches_exact_at_moderate_population(self):
+        exact = solve_mva([0.05, 0.05], 0.1, 30)
+        approx = solve_mva_approximate([0.05, 0.05], 0.1, 30)
+        assert approx.response_time == pytest.approx(
+            exact.response_time, rel=0.05
+        )
+        assert approx.throughput == pytest.approx(exact.throughput, rel=0.05)
+
+    def test_asymptotically_exact(self):
+        exact = solve_mva([0.02, 0.07], 0.1, 1000)
+        approx = solve_mva_approximate([0.02, 0.07], 0.1, 1000)
+        assert approx.response_time == pytest.approx(
+            exact.response_time, rel=0.005
+        )
+
+    def test_population_one_known_bias_bounded(self):
+        # Schweitzer is weakest at tiny populations; error stays bounded
+        exact = solve_mva([0.05], 0.1, 1)
+        approx = solve_mva_approximate([0.05], 0.1, 1)
+        assert approx.response_time == pytest.approx(
+            exact.response_time, rel=0.25
+        )
+
+    def test_zero_population(self):
+        result = solve_mva_approximate([0.05], 0.1, 0)
+        assert result.response_time == 0.0
+
+    def test_no_centers(self):
+        result = solve_mva_approximate([], 0.1, 10)
+        assert result.response_time == 0.0
+        assert result.throughput == pytest.approx(100.0)
+
+    def test_littles_law_holds(self):
+        result = solve_mva_approximate([0.03, 0.06], 0.1, 50)
+        assert result.throughput * result.cycle_time == pytest.approx(50)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            solve_mva_approximate([0.05], 0.1, -1)
+        with pytest.raises(ValueError):
+            solve_mva_approximate([-0.05], 0.1, 1)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        service=st.lists(st.floats(0.005, 0.1), min_size=1, max_size=3),
+        population=st.integers(20, 300),
+    )
+    def test_close_to_exact_property(self, service, population):
+        # Schweitzer's worst-case error (~20%) occurs at the knee of the
+        # throughput curve, population* = (Z + sum S) / S_max.  Well past
+        # the knee — the approximation's intended regime — the error stays
+        # under a few percent.
+        from hypothesis import assume
+
+        knee = (0.1 + sum(service)) / max(service)
+        assume(population >= 3 * knee)
+        exact = solve_mva(service, 0.1, population)
+        approx = solve_mva_approximate(service, 0.1, population)
+        assert approx.response_time == pytest.approx(
+            exact.response_time, rel=0.15
+        )
+
+    def test_knee_error_bounded(self):
+        """At the knee itself the documented ~20% worst case holds."""
+        exact = solve_mva([0.015625], 0.1, 10)
+        approx = solve_mva_approximate([0.015625], 0.1, 10)
+        assert approx.response_time == pytest.approx(
+            exact.response_time, rel=0.25
+        )
+
+    def test_scales_to_huge_population(self):
+        """The point of the approximation: 10^6 customers, instant answer."""
+        result = solve_mva_approximate([0.001, 0.001], 0.1, 1_000_000)
+        assert result.response_time > 0
+        assert result.throughput == pytest.approx(1000.0, rel=0.01)

@@ -1,0 +1,225 @@
+"""Tests for the RAID arrays: geometry, parity, degradation, rebuild."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.block import MemoryBlockDevice
+from repro.common.errors import ConfigurationError, RaidDegradedError
+from repro.raid import (
+    Raid0Array,
+    Raid1Array,
+    Raid4Array,
+    Raid5Array,
+    StripeGeometry,
+    stripe_parity,
+    verify_stripe,
+)
+from repro.raid.parity import reconstruct_block
+
+BS = 256
+
+
+def disks(n, blocks=8):
+    return [MemoryBlockDevice(BS, blocks) for _ in range(n)]
+
+
+def block(tag, size=BS):
+    return bytes([tag % 256]) * size
+
+
+class TestStripeGeometry:
+    def test_locate_and_inverse(self):
+        geo = StripeGeometry(num_data_disks=4, blocks_per_disk=10)
+        for lba in range(geo.logical_blocks):
+            stripe, col = geo.locate(lba)
+            assert geo.lba_of(stripe, col) == lba
+
+    def test_stripe_lbas(self):
+        geo = StripeGeometry(3, 5)
+        assert geo.stripe_lbas(1) == [3, 4, 5]
+
+    def test_out_of_range(self):
+        geo = StripeGeometry(3, 5)
+        with pytest.raises(ValueError):
+            geo.locate(15)
+        with pytest.raises(ValueError):
+            geo.lba_of(5, 0)
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            StripeGeometry(0, 5)
+
+
+class TestParityHelpers:
+    def test_stripe_parity_and_verify(self):
+        blocks = [block(i) for i in range(1, 5)]
+        parity = stripe_parity(blocks)
+        assert verify_stripe(blocks, parity)
+        assert not verify_stripe(blocks, block(0xEE))
+
+    def test_reconstruct(self):
+        blocks = [block(i) for i in (3, 7, 11)]
+        parity = stripe_parity(blocks)
+        survivors = blocks[:1] + blocks[2:] + [parity]
+        assert reconstruct_block(survivors) == blocks[1]
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            stripe_parity([])
+
+
+class TestRaid0:
+    def test_capacity_is_sum(self):
+        arr = Raid0Array(disks(4))
+        assert arr.num_blocks == 4 * 8
+
+    def test_round_trip(self):
+        arr = Raid0Array(disks(3))
+        for lba in range(arr.num_blocks):
+            arr.write_block(lba, block(lba))
+        for lba in range(arr.num_blocks):
+            assert arr.read_block(lba) == block(lba)
+
+    def test_no_fault_tolerance(self):
+        arr = Raid0Array(disks(2))
+        with pytest.raises(RaidDegradedError):
+            arr.fail_disk(0)
+
+    def test_min_disks(self):
+        with pytest.raises(ConfigurationError):
+            Raid0Array(disks(1))
+
+
+class TestRaid1:
+    def test_survives_n_minus_1_failures(self):
+        arr = Raid1Array(disks(3))
+        arr.write_block(2, block(9))
+        arr.fail_disk(0)
+        arr.fail_disk(1)
+        assert arr.read_block(2) == block(9)
+
+    def test_write_while_degraded_then_rebuild(self):
+        arr = Raid1Array(disks(2))
+        arr.fail_disk(0)
+        arr.write_block(1, block(5))
+        arr.replace_disk(0, MemoryBlockDevice(BS, 8))
+        assert not arr.degraded
+        arr.fail_disk(1)  # now read from the rebuilt member
+        assert arr.read_block(1) == block(5)
+
+    def test_replace_unfailed_rejected(self):
+        arr = Raid1Array(disks(2))
+        with pytest.raises(ConfigurationError):
+            arr.replace_disk(0, MemoryBlockDevice(BS, 8))
+
+    def test_geometry_mismatch_rejected(self):
+        members = disks(2)
+        members.append(MemoryBlockDevice(BS, 16))
+        with pytest.raises(ConfigurationError):
+            Raid1Array(members)
+
+
+@pytest.mark.parametrize("cls", [Raid4Array, Raid5Array], ids=["raid4", "raid5"])
+class TestParityArrays:
+    def test_capacity_excludes_parity(self, cls):
+        arr = cls(disks(5))
+        assert arr.num_blocks == 4 * 8
+
+    def test_round_trip_all_blocks(self, cls):
+        arr = cls(disks(4))
+        for lba in range(arr.num_blocks):
+            arr.write_block(lba, block(lba + 1))
+        for lba in range(arr.num_blocks):
+            assert arr.read_block(lba) == block(lba + 1)
+
+    def test_scrub_clean_after_writes(self, cls):
+        arr = cls(disks(5))
+        for lba in range(0, arr.num_blocks, 3):
+            arr.write_block(lba, block(lba + 1))
+        assert arr.scrub() == []
+
+    def test_write_with_delta_returns_forward_parity(self, cls):
+        arr = cls(disks(4))
+        arr.write_block(3, block(0xAA))
+        delta = arr.write_block_with_delta(3, block(0xAB))
+        assert delta == bytes([0xAA ^ 0xAB]) * BS
+
+    def test_degraded_read_reconstructs(self, cls):
+        arr = cls(disks(4))
+        for lba in range(arr.num_blocks):
+            arr.write_block(lba, block(lba + 1))
+        arr.fail_disk(1)
+        for lba in range(arr.num_blocks):
+            assert arr.read_block(lba) == block(lba + 1)
+
+    def test_write_while_degraded_preserved_after_rebuild(self, cls):
+        arr = cls(disks(4))
+        for lba in range(arr.num_blocks):
+            arr.write_block(lba, block(lba + 1))
+        arr.fail_disk(2)
+        arr.write_block(5, block(0x77))  # write hitting various placements
+        arr.write_block(6, block(0x78))
+        arr.replace_disk(2, MemoryBlockDevice(BS, 8))
+        assert arr.scrub() == []
+        assert arr.read_block(5) == block(0x77)
+        assert arr.read_block(6) == block(0x78)
+
+    def test_second_failure_rejected(self, cls):
+        arr = cls(disks(4))
+        arr.fail_disk(0)
+        with pytest.raises(RaidDegradedError):
+            arr.fail_disk(1)
+
+    def test_scrub_degraded_rejected(self, cls):
+        arr = cls(disks(4))
+        arr.fail_disk(0)
+        with pytest.raises(RaidDegradedError):
+            arr.scrub()
+
+    def test_min_disks(self, cls):
+        with pytest.raises(ConfigurationError):
+            cls(disks(2))
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        writes=st.lists(
+            st.tuples(st.integers(0, 23), st.binary(min_size=BS, max_size=BS)),
+            max_size=25,
+        ),
+        victim=st.integers(0, 3),
+    )
+    def test_any_single_disk_is_recoverable(self, cls, writes, victim):
+        """Property: after any write set, any one member can fail and the
+        full logical image survives."""
+        arr = cls(disks(4))
+        shadow = {}
+        for lba, data in writes:
+            arr.write_block(lba, data)
+            shadow[lba] = data
+        arr.fail_disk(victim)
+        for lba, data in shadow.items():
+            assert arr.read_block(lba) == data
+
+
+class TestRaid5Rotation:
+    def test_parity_rotates(self):
+        arr = Raid5Array(disks(4))
+        placements = {arr.parity_disk(stripe) for stripe in range(4)}
+        assert placements == {0, 1, 2, 3}
+
+    def test_data_disks_skip_parity(self):
+        arr = Raid5Array(disks(4))
+        for stripe in range(8):
+            parity = arr.parity_disk(stripe)
+            cols = [arr.data_disk(stripe, c) for c in range(3)]
+            assert parity not in cols
+            assert sorted(cols + [parity]) == [0, 1, 2, 3]
+
+
+class TestRaid4FixedParity:
+    def test_parity_always_last(self):
+        arr = Raid4Array(disks(5))
+        assert all(arr.parity_disk(s) == 4 for s in range(8))

@@ -1,0 +1,154 @@
+"""Tests for the discrete-event simulator and its MVA agreement."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.queueing import solve_mva
+from repro.sim import Router, Simulator, simulate_closed_network
+from repro.sim.network import Link
+
+
+class TestSimulatorCore:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(2.0, lambda: order.append("late"))
+        sim.schedule(1.0, lambda: order.append("early"))
+        sim.run(until=3.0)
+        assert order == ["early", "late"]
+        assert sim.now == 3.0
+
+    def test_ties_fire_in_insertion_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(1.0, lambda: order.append("a"))
+        sim.schedule(1.0, lambda: order.append("b"))
+        sim.run_all()
+        assert order == ["a", "b"]
+
+    def test_cancel(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, lambda: fired.append(1))
+        event.cancel()
+        sim.run(until=2.0)
+        assert fired == []
+
+    def test_run_until_stops_before_later_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, lambda: fired.append(1))
+        sim.run(until=1.0)
+        assert fired == []
+        sim.run(until=10.0)
+        assert fired == [1]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_callbacks_can_schedule(self):
+        sim = Simulator()
+        times = []
+
+        def periodic():
+            times.append(sim.now)
+            if len(times) < 3:
+                sim.schedule(1.0, periodic)
+
+        sim.schedule(1.0, periodic)
+        sim.run_all()
+        assert times == [1.0, 2.0, 3.0]
+
+
+class TestRouter:
+    def test_fifo_service(self):
+        sim = Simulator()
+        router = Router(sim, lambda: 1.0)
+        done = []
+        router.submit(lambda: done.append(("a", sim.now)))
+        router.submit(lambda: done.append(("b", sim.now)))
+        sim.run_all()
+        assert done == [("a", 1.0), ("b", 2.0)]
+
+    def test_busy_time_accumulates(self):
+        sim = Simulator()
+        router = Router(sim, lambda: 0.5)
+        for _ in range(4):
+            router.submit(lambda: None)
+        sim.run_all()
+        assert router.jobs_served == 4
+        assert router.busy_time == pytest.approx(2.0)
+
+    def test_mean_queue_length(self):
+        sim = Simulator()
+        router = Router(sim, lambda: 1.0)
+        router.submit(lambda: None)
+        router.submit(lambda: None)
+        sim.run_all()
+        # job 1 in system [0,1], job 2 in [0,2]: integral = 3 over horizon 2
+        assert router.mean_queue_length(2.0) == pytest.approx(1.5)
+
+    def test_link_pure_delay(self):
+        sim = Simulator()
+        link = Link(sim, latency=0.25)
+        arrivals = []
+        link.submit(lambda: arrivals.append(sim.now))
+        link.submit(lambda: arrivals.append(sim.now))  # no queueing
+        sim.run_all()
+        assert arrivals == [0.25, 0.25]
+        assert link.jobs_carried == 2
+
+    def test_link_negative_latency(self):
+        with pytest.raises(ValueError):
+            Link(Simulator(), latency=-1)
+
+
+class TestClosedNetworkSim:
+    def test_matches_mva_light_load(self):
+        service, think = 0.05, 0.5
+        sim_result = simulate_closed_network(
+            service, think, population=5, routers=2, horizon=2000, seed=1
+        )
+        mva = solve_mva([service, service], think, 5)
+        assert sim_result.mean_response_time == pytest.approx(
+            mva.response_time, rel=0.10
+        )
+
+    def test_matches_mva_heavy_load(self):
+        service, think = 0.058, 0.1
+        sim_result = simulate_closed_network(
+            service, think, population=60, routers=2, horizon=3000, seed=2
+        )
+        mva = solve_mva([service, service], think, 60)
+        assert sim_result.mean_response_time == pytest.approx(
+            mva.response_time, rel=0.10
+        )
+        assert sim_result.throughput == pytest.approx(mva.throughput, rel=0.05)
+
+    def test_deterministic_service_beats_exponential(self):
+        """D/M queues wait less than M/M — the beyond-MVA ablation."""
+        kwargs = dict(
+            service_time=0.05, think_time=0.1, population=40, horizon=1500
+        )
+        deterministic = simulate_closed_network(
+            deterministic_service=True, seed=3, **kwargs
+        )
+        exponential = simulate_closed_network(
+            deterministic_service=False, seed=3, **kwargs
+        )
+        assert (
+            deterministic.mean_response_time < exponential.mean_response_time
+        )
+
+    def test_reproducible_given_seed(self):
+        a = simulate_closed_network(0.05, 0.1, 10, horizon=500, seed=7)
+        b = simulate_closed_network(0.05, 0.1, 10, horizon=500, seed=7)
+        assert a.mean_response_time == b.mean_response_time
+        assert a.jobs_completed == b.jobs_completed
+
+    def test_population_validation(self):
+        with pytest.raises(ValueError):
+            simulate_closed_network(0.05, 0.1, 0)

@@ -1,0 +1,90 @@
+"""Tests for the empirical-payload-distribution network simulation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.rng import make_rng
+from repro.queueing import T1, solve_mva
+from repro.queueing.params import router_service_time
+from repro.sim import (
+    EmpiricalServiceSampler,
+    simulate_closed_network,
+    simulate_empirical_network,
+)
+
+
+class TestEmpiricalSampler:
+    def test_constant_payloads_give_constant_service(self):
+        sampler = EmpiricalServiceSampler([8192] * 10, T1, make_rng(1, "s"))
+        expected = router_service_time(8192, T1)
+        assert sampler() == pytest.approx(expected)
+        assert sampler.mean_service_time == pytest.approx(expected)
+        assert sampler.squared_cv == pytest.approx(0.0)
+
+    def test_heavy_tail_raises_cv(self):
+        # 95 tiny payloads and 5 full blocks: PRINS-shaped distribution
+        payloads = [100] * 95 + [8192] * 5
+        sampler = EmpiricalServiceSampler(payloads, T1, make_rng(2, "s"))
+        assert sampler.squared_cv > 1.0  # burstier than exponential
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            EmpiricalServiceSampler([], T1, make_rng(0, "s"))
+
+
+class TestEmpiricalNetwork:
+    def test_constant_payloads_close_to_deterministic_model(self):
+        """Zero-variance payloads = D-service closed network; response must
+        be at or below the exponential MVA answer."""
+        payloads = [4096] * 50
+        service = router_service_time(4096, T1)
+        result = simulate_empirical_network(
+            payloads, T1, population=20, horizon=1500, seed=3
+        )
+        mva = solve_mva([service, service], 0.1, 20)
+        assert result.mean_response_time <= mva.response_time * 1.05
+        assert result.jobs_completed > 100
+
+    def test_matches_mean_based_sim_for_narrow_distribution(self):
+        payloads = [1000, 1100, 900, 1050, 950] * 20
+        mean_payload = sum(payloads) / len(payloads)
+        empirical = simulate_empirical_network(
+            payloads, T1, population=10, horizon=2000, seed=4
+        )
+        service = router_service_time(mean_payload, T1)
+        exponential = simulate_closed_network(
+            service, 0.1, population=10, horizon=2000, seed=4
+        )
+        # narrow distribution -> less queueing than exponential assumption
+        assert empirical.mean_response_time <= exponential.mean_response_time
+
+    def test_heavy_tail_inflates_p99(self):
+        """The point of the extension: the tail, invisible to MVA, shows."""
+        heavy = [64] * 97 + [65536] * 3  # PRINS with occasional full blocks
+        result = simulate_empirical_network(
+            heavy, T1, population=30, horizon=2500, seed=5
+        )
+        assert result.p99_response_time > 2 * result.mean_response_time
+        assert result.tail_ratio > 2
+
+    def test_reproducible(self):
+        payloads = [500, 5000] * 10
+        a = simulate_empirical_network(payloads, T1, 5, horizon=500, seed=9)
+        b = simulate_empirical_network(payloads, T1, 5, horizon=500, seed=9)
+        assert a.mean_response_time == b.mean_response_time
+
+    def test_population_validation(self):
+        with pytest.raises(ValueError):
+            simulate_empirical_network([100], T1, 0)
+
+    def test_percentiles_ordered(self):
+        payloads = [100, 1000, 10000] * 10
+        result = simulate_empirical_network(
+            payloads, T1, population=15, horizon=1000, seed=6
+        )
+        assert (
+            result.mean_response_time
+            <= result.p95_response_time
+            <= result.p99_response_time
+        )

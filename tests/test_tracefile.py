@@ -1,0 +1,99 @@
+"""Tests for persistent trace files."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.block import MemoryBlockDevice
+from repro.workloads.trace import BlockWriteTrace, replay_trace
+from repro.workloads.tracefile import TraceFileError, load_trace, save_trace
+
+
+def make_trace(entries):
+    trace = BlockWriteTrace(block_size=128, num_blocks=32)
+    for lba, data in entries:
+        trace.append(lba, data)
+    return trace
+
+
+class TestTraceFile:
+    def test_roundtrip(self, tmp_path):
+        trace = make_trace([(1, b"a" * 128), (5, b"b" * 128), (1, b"c" * 128)])
+        path = tmp_path / "t.prtr"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.writes == trace.writes
+        assert loaded.block_size == 128
+        assert loaded.num_blocks == 32
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.prtr"
+        save_trace(make_trace([]), path)
+        assert load_trace(path).writes == []
+
+    def test_compression_helps_on_sparse_blocks(self, tmp_path):
+        sparse = bytes(100) + b"\x01" * 28
+        trace = make_trace([(0, sparse)] * 50)
+        path = tmp_path / "sparse.prtr"
+        size = save_trace(trace, path)
+        assert size < 50 * 128 / 2
+
+    def test_replay_loaded_trace(self, tmp_path):
+        trace = make_trace([(2, bytes([i]) * 128) for i in range(10)])
+        path = tmp_path / "r.prtr"
+        save_trace(trace, path)
+        device = MemoryBlockDevice(128, 32)
+        replay_trace(load_trace(path), device)
+        assert device.read_block(2) == bytes([9]) * 128
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.prtr"
+        path.write_bytes(b"NOPE" + bytes(100))
+        with pytest.raises(TraceFileError, match="not a PRINS trace"):
+            load_trace(path)
+
+    def test_truncated_header(self, tmp_path):
+        path = tmp_path / "short.prtr"
+        path.write_bytes(b"PR")
+        with pytest.raises(TraceFileError, match="truncated"):
+            load_trace(path)
+
+    def test_truncated_records(self, tmp_path):
+        trace = make_trace([(0, b"z" * 128)])
+        path = tmp_path / "cut.prtr"
+        save_trace(trace, path)
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-5])
+        with pytest.raises(TraceFileError, match="truncated"):
+            load_trace(path)
+
+    def test_corrupt_payload(self, tmp_path):
+        trace = make_trace([(0, b"z" * 128)])
+        path = tmp_path / "corrupt.prtr"
+        save_trace(trace, path)
+        raw = bytearray(path.read_bytes())
+        raw[-3] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        with pytest.raises(TraceFileError):
+            load_trace(path)
+
+    def test_wrong_block_size_entry_rejected_at_save(self, tmp_path):
+        trace = BlockWriteTrace(block_size=128, num_blocks=32)
+        trace.writes.append((0, b"short"))
+        with pytest.raises(TraceFileError):
+            save_trace(trace, tmp_path / "x.prtr")
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        entries=st.lists(
+            st.tuples(st.integers(0, 31), st.binary(min_size=128, max_size=128)),
+            max_size=20,
+        )
+    )
+    def test_roundtrip_property(self, entries, tmp_path_factory):
+        trace = make_trace(entries)
+        path = tmp_path_factory.mktemp("traces") / "p.prtr"
+        save_trace(trace, path)
+        assert load_trace(path).writes == trace.writes
