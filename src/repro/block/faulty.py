@@ -48,6 +48,7 @@ class FaultyDevice(BlockDevice):
         self._corrupt_next: set[int] = set()
         self._dead = False
         self.errors_injected = 0
+        self.corruptions_injected = 0
 
     @property
     def inner(self) -> BlockDevice:
@@ -64,6 +65,13 @@ class FaultyDevice(BlockDevice):
         """Every write to these LBAs raises until :meth:`heal`."""
         self._bad_writes.update(lbas)
 
+    @staticmethod
+    def _flip_bits(data: bytes) -> bytes:
+        flipped = bytearray(data)
+        flipped[0] ^= 0xFF
+        flipped[len(flipped) // 2] ^= 0xFF
+        return bytes(flipped)
+
     def corrupt_block(self, lba: int) -> None:
         """Silently flip bits in the stored block (latent corruption).
 
@@ -71,19 +79,38 @@ class FaultyDevice(BlockDevice):
         scrub, replication CRC) — exactly the failure mode parity exists
         to catch.
         """
-        data = bytearray(self._inner.read_block(lba))
-        data[0] ^= 0xFF
-        data[len(data) // 2] ^= 0xFF
-        self._inner.write_block(lba, bytes(data))
+        self._inner.write_block(
+            lba, self._flip_bits(self._inner.read_block(lba))
+        )
+        self.corruptions_injected += 1
+
+    def corrupt_next_write(self, *lbas: int) -> None:
+        """Silently corrupt the *next* write to each of ``lbas``.
+
+        Models a firmware/DMA bug that mangles data in flight: the write
+        "succeeds" but the stored bits differ from what was written.  The
+        fault is one-shot per LBA; later writes store cleanly.  Pending
+        (not-yet-fired) corruptions are cleared by :meth:`heal`.
+        """
+        self._corrupt_next.update(lbas)
 
     def kill(self) -> None:
         """Simulate whole-device failure: every I/O raises."""
         self._dead = True
 
     def heal(self) -> None:
-        """Clear all injected faults (the device was 'replaced/repaired')."""
+        """Clear all *pending* fault injections (device 'replaced/repaired').
+
+        This cancels targeted read/write errors, pending
+        :meth:`corrupt_next_write` faults, and :meth:`kill`.  It does
+        **not** undo latent corruption already stored by
+        :meth:`corrupt_block` (or by a fired :meth:`corrupt_next_write`):
+        those bits are already rotten on the medium, intentionally — only a
+        scrub/resync layer above can repair them.
+        """
         self._bad_reads.clear()
         self._bad_writes.clear()
+        self._corrupt_next.clear()
         self._dead = False
 
     # -- I/O with injection ------------------------------------------------------
@@ -102,6 +129,10 @@ class FaultyDevice(BlockDevice):
 
     def _write(self, lba: int, data: bytes) -> None:
         self._maybe_fail("write", lba, self._bad_writes)
+        if lba in self._corrupt_next:
+            self._corrupt_next.discard(lba)
+            self.corruptions_injected += 1
+            data = self._flip_bits(data)
         self._inner.write_block(lba, data)
 
     def close(self) -> None:

@@ -63,6 +63,52 @@ class ReplicationError(ReproError):
     """Raised when the replication engine cannot apply or ship an update."""
 
 
+class PartialReplicationError(ReplicationError):
+    """Raised when a fan-out failed after some replicas already applied.
+
+    Carries exactly which links succeeded so a caller (or operator) can
+    reason about the divergence instead of guessing: ``succeeded`` holds the
+    link indices that acked this write, ``failed_index`` the link whose
+    :meth:`~repro.engine.links.ReplicaLink.ship` raised, and ``cause`` the
+    original exception.  The local write and all successful shipments have
+    already been charged to the engine's accountant when this is raised.
+    """
+
+    def __init__(
+        self,
+        lba: int,
+        seq: int,
+        succeeded: tuple[int, ...],
+        failed_index: int,
+        total_links: int,
+        cause: BaseException,
+    ) -> None:
+        super().__init__(
+            f"write at LBA {lba} (seq {seq}) replicated to "
+            f"{len(succeeded)}/{total_links} links before link "
+            f"{failed_index} failed: {cause}"
+        )
+        self.lba = lba
+        self.seq = seq
+        self.succeeded = succeeded
+        self.failed_index = failed_index
+        self.total_links = total_links
+        self.cause = cause
+
+
+class RetriesExhaustedError(ReplicationError):
+    """Raised when a resilient link gives up after its retry budget."""
+
+    def __init__(self, lba: int, attempts: int, cause: BaseException) -> None:
+        super().__init__(
+            f"ship to replica failed after {attempts} attempts "
+            f"(LBA {lba}): {cause}"
+        )
+        self.lba = lba
+        self.attempts = attempts
+        self.cause = cause
+
+
 class SyncError(ReplicationError):
     """Raised when initial synchronization between primary and replica fails."""
 

@@ -18,8 +18,9 @@ The three strategies correspond exactly to the paper's three bars:
   (:class:`~repro.engine.strategy.PrinsStrategy`).
 """
 
+from repro.common.errors import PartialReplicationError, RetriesExhaustedError
 from repro.engine.accounting import TrafficAccountant, ethernet_wire_bytes
-from repro.engine.cluster import ClusterConfig, StorageCluster
+from repro.engine.cluster import ClusterConfig, StorageCluster, VerifyReport
 from repro.engine.erasure import ErasureConfig, ErasurePool
 from repro.engine.journal import JournalingLink, ReplicationJournal
 from repro.engine.links import DirectLink, InitiatorLink, ReplicaLink
@@ -27,6 +28,17 @@ from repro.engine.messages import ReplicationRecord
 from repro.engine.pipeline import AsyncPrimaryEngine, AsyncReplicator
 from repro.engine.primary import PrimaryEngine
 from repro.engine.replica import ReplicaEngine
+from repro.engine.resilience import (
+    CircuitBreaker,
+    FaultyLink,
+    GuardedLink,
+    InjectedLinkError,
+    LinkHealth,
+    ResilienceConfig,
+    ResilientLink,
+    ResyncOutcome,
+    RetryPolicy,
+)
 from repro.engine.strategy import (
     CompressedBlockStrategy,
     FullBlockStrategy,
@@ -39,13 +51,24 @@ from repro.engine.sync import digest_sync, full_sync, verify_consistency
 __all__ = [
     "AsyncPrimaryEngine",
     "AsyncReplicator",
+    "CircuitBreaker",
     "ClusterConfig",
     "CompressedBlockStrategy",
     "DirectLink",
     "ErasureConfig",
     "ErasurePool",
+    "FaultyLink",
+    "GuardedLink",
+    "InjectedLinkError",
     "JournalingLink",
+    "LinkHealth",
+    "PartialReplicationError",
     "ReplicationJournal",
+    "ResilienceConfig",
+    "ResilientLink",
+    "ResyncOutcome",
+    "RetriesExhaustedError",
+    "RetryPolicy",
     "StorageCluster",
     "FullBlockStrategy",
     "InitiatorLink",
@@ -56,6 +79,7 @@ __all__ = [
     "ReplicationRecord",
     "ReplicationStrategy",
     "TrafficAccountant",
+    "VerifyReport",
     "digest_sync",
     "ethernet_wire_bytes",
     "full_sync",

@@ -50,6 +50,17 @@ class TrafficAccountant:
     pdu_bytes: int = 0
     data_bytes: int = 0  # logical (pre-encoding) block bytes written
     per_write_payloads: list[int] = field(default_factory=list)
+    # -- fault-tolerance counters (engine/resilience.py) --------------------
+    writes_failed: int = 0  # strict fan-outs aborted by a link exception
+    writes_journaled: int = 0  # fan-outs where >=1 copy went to backlog
+    journaled_records: int = 0  # per-link copies deferred to backlog
+    journaled_bytes: int = 0  # payload bytes deferred (charged at replay)
+    retries: int = 0  # re-ship attempts by resilient links
+    retry_bytes: int = 0  # wire bytes those re-ships cost
+    backlog_records_replayed: int = 0  # records drained from backlogs
+    backlog_replay_bytes: int = 0  # wire bytes of backlog replay
+    resyncs: int = 0  # digest/full resync escalations
+    resync_bytes: int = 0  # wire bytes (digests + copied blocks) of resyncs
 
     def record_write(
         self, data_len: int, payload_len: int | None, pdu_overhead: int = 48
@@ -64,6 +75,45 @@ class TrafficAccountant:
         self.payload_bytes += payload_len
         self.pdu_bytes += payload_len + pdu_overhead
         self.per_write_payloads.append(payload_len)
+
+    # -- fault-tolerance accounting ----------------------------------------
+
+    def record_failed_write(self, data_len: int) -> None:
+        """Record a local write whose fan-out aborted before any link acked."""
+        self.writes_total += 1
+        self.data_bytes += data_len
+        self.writes_failed += 1
+
+    def record_journaled_write(self, data_len: int) -> None:
+        """Record a local write whose every copy was deferred to backlog."""
+        self.writes_total += 1
+        self.data_bytes += data_len
+        self.writes_journaled += 1
+
+    def record_journaled_copy(self, payload_len: int) -> None:
+        """One replica copy deferred to backlog (wire cost paid at replay)."""
+        self.journaled_records += 1
+        self.journaled_bytes += payload_len
+
+    def record_retry(self, wire_len: int) -> None:
+        """One re-ship attempt of ``wire_len`` bytes by a resilient link."""
+        self.retries += 1
+        self.retry_bytes += wire_len
+
+    def record_backlog_replay(self, records: int, wire_bytes: int) -> None:
+        """A backlog drain shipped ``records`` records / ``wire_bytes``."""
+        self.backlog_records_replayed += records
+        self.backlog_replay_bytes += wire_bytes
+
+    def record_resync(self, wire_bytes: int) -> None:
+        """A digest/full resync escalation moved ``wire_bytes`` on the wire."""
+        self.resyncs += 1
+        self.resync_bytes += wire_bytes
+
+    @property
+    def recovery_bytes(self) -> int:
+        """Total wire bytes spent recovering from faults (all three paths)."""
+        return self.retry_bytes + self.backlog_replay_bytes + self.resync_bytes
 
     @property
     def ethernet_bytes(self) -> float:
@@ -93,3 +143,13 @@ class TrafficAccountant:
         self.pdu_bytes = 0
         self.data_bytes = 0
         self.per_write_payloads.clear()
+        self.writes_failed = 0
+        self.writes_journaled = 0
+        self.journaled_records = 0
+        self.journaled_bytes = 0
+        self.retries = 0
+        self.retry_bytes = 0
+        self.backlog_records_replayed = 0
+        self.backlog_replay_bytes = 0
+        self.resyncs = 0
+        self.resync_bytes = 0

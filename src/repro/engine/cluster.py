@@ -15,16 +15,23 @@ the queueing model consumes (population = nodes × replicas, Sec. 3.3).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.block.device import BlockDevice
 from repro.block.memory import MemoryBlockDevice
-from repro.common.errors import ConfigurationError
-from repro.engine.links import DirectLink
+from repro.common.errors import ConfigurationError, ReplicationError
+from repro.engine.links import DirectLink, ReplicaLink
 from repro.engine.primary import PrimaryEngine
 from repro.engine.replica import ReplicaEngine
+from repro.engine.resilience import LinkHealth, ResilienceConfig, ResyncOutcome
 from repro.engine.strategy import ReplicationStrategy, make_strategy
 from repro.engine.sync import verify_consistency
+
+#: hook for decorating each primary→replica channel, e.g. with a
+#: :class:`~repro.engine.resilience.FaultyLink`; called as
+#: ``link_factory(primary_id, replica_id, base_link)``
+LinkFactory = Callable[[int, int, ReplicaLink], ReplicaLink]
 
 
 @dataclass(frozen=True)
@@ -111,23 +118,39 @@ class StorageCluster:
         self,
         config: ClusterConfig | None = None,
         placement: dict[int, list[int]] | None = None,
+        resilience: ResilienceConfig | None = None,
+        link_factory: LinkFactory | None = None,
     ) -> None:
         self.config = config or ClusterConfig()
         self._strategy = make_strategy(self.config.strategy)
+        self._resilience = resilience
         self.nodes = [
             ClusterNode(i, self.config, self._strategy)
             for i in range(self.config.nodes)
         ]
         self.placement = placement or round_robin_placement(self.config)
         self._validate_placement()
+        self._down_nodes: set[int] = set()
         for node in self.nodes:
-            links = [
-                DirectLink(self.nodes[replica_id].host_replica_for(node.node_id))
-                for replica_id in self.placement[node.node_id]
-            ]
+            links: list[ReplicaLink] = []
+            for replica_id in self.placement[node.node_id]:
+                link: ReplicaLink = DirectLink(
+                    self.nodes[replica_id].host_replica_for(node.node_id)
+                )
+                if link_factory is not None:
+                    link = link_factory(node.node_id, replica_id, link)
+                links.append(link)
             node.engine = PrimaryEngine(
-                node.primary_device, self._strategy, links
+                node.primary_device,
+                self._strategy,
+                links,
+                resilience=resilience,
             )
+
+    @property
+    def resilience(self) -> ResilienceConfig | None:
+        """The cluster-wide fault-tolerance policy (``None`` = strict)."""
+        return self._resilience
 
     def _validate_placement(self) -> None:
         for node_id, replicas in self.placement.items():
@@ -149,12 +172,23 @@ class StorageCluster:
 
     def write(self, node_id: int, lba: int, data: bytes) -> None:
         """Write through node ``node_id``'s engine (replicates outward)."""
+        if node_id in self._down_nodes:
+            raise ReplicationError(
+                f"node {node_id} is down; writes need a live primary"
+            )
         engine = self.nodes[node_id].engine
         assert engine is not None
         engine.write_block(lba, data)
 
     def read(self, node_id: int, lba: int) -> bytes:
-        """Read node ``node_id``'s local data."""
+        """Read node ``node_id``'s data (degraded-mode routing when down).
+
+        A read addressed to a down node is transparently served by one of
+        its replicas — the paper's motivating failover ("shared data are
+        replicated in a subset of nodes", Sec. 2).
+        """
+        if node_id in self._down_nodes:
+            return self.read_from_replica(node_id, lba)
         engine = self.nodes[node_id].engine
         assert engine is not None
         return engine.read_block(lba)
@@ -162,22 +196,116 @@ class StorageCluster:
     def read_from_replica(self, primary_id: int, lba: int) -> bytes:
         """Serve ``primary_id``'s block from one of its replicas.
 
-        Used after a primary failure: any member of the replica set can
-        answer (they are byte-identical).
+        Used after a primary failure: any *live* member of the replica set
+        can answer.  Fails over down the replica list in placement order
+        and raises :class:`~repro.common.errors.ReplicationError` when no
+        replica can serve.
         """
         replicas = self.placement[primary_id]
-        region = self.nodes[replicas[0]].replica_regions.get(primary_id)
-        if region is None:
-            # no write ever reached the replica; data is still all zeros
-            return bytes(self.config.block_size)
-        return region.read_block(lba)
+        alive = [r for r in replicas if r not in self._down_nodes]
+        if not alive:
+            raise ReplicationError(
+                f"no replica can serve node {primary_id}'s data: "
+                f"all replicas {replicas} are down"
+            )
+        for replica_id in alive:
+            region = self.nodes[replica_id].replica_regions.get(primary_id)
+            if region is not None:
+                return region.read_block(lba)
+        # no write ever reached any live replica; data is still all zeros
+        return bytes(self.config.block_size)
+
+    # -- health and recovery ---------------------------------------------------
+
+    def _links_to(self, node_id: int) -> list[tuple[int, int]]:
+        """Every (primary_id, link_index) whose replica lives on ``node_id``."""
+        found: list[tuple[int, int]] = []
+        for primary_id, replicas in self.placement.items():
+            for index, replica_id in enumerate(replicas):
+                if replica_id == node_id:
+                    found.append((primary_id, index))
+        return found
+
+    def _require_resilience(self, operation: str) -> None:
+        if self._resilience is None:
+            raise ConfigurationError(
+                f"{operation} needs a fault-tolerant cluster; construct "
+                "StorageCluster(..., resilience=ResilienceConfig())"
+            )
+
+    def _check_node(self, node_id: int) -> None:
+        if not 0 <= node_id < self.config.nodes:
+            raise ConfigurationError(
+                f"unknown node {node_id} (cluster has {self.config.nodes})"
+            )
+
+    @property
+    def down_nodes(self) -> frozenset[int]:
+        """Nodes currently marked down."""
+        return frozenset(self._down_nodes)
+
+    def health(self) -> dict[tuple[int, int], LinkHealth]:
+        """Health of every (primary, replica) channel in the cluster."""
+        report: dict[tuple[int, int], LinkHealth] = {}
+        for node in self.nodes:
+            assert node.engine is not None
+            states = node.engine.link_health()
+            for index, replica_id in enumerate(self.placement[node.node_id]):
+                report[(node.node_id, replica_id)] = states[index]
+        return report
+
+    def fail_node(self, node_id: int) -> None:
+        """Mark ``node_id`` unreachable: every link into it journals.
+
+        Writes whose replica set includes the node degrade into backlog;
+        reads addressed to the node fail over to its replicas.
+        """
+        self._require_resilience("fail_node")
+        self._check_node(node_id)
+        self._down_nodes.add(node_id)
+        for primary_id, index in self._links_to(node_id):
+            engine = self.nodes[primary_id].engine
+            assert engine is not None
+            engine.fail_link(index)
+
+    def heal_node(self, node_id: int) -> dict[int, ResyncOutcome]:
+        """Reconnect ``node_id`` and catch up every replica it hosts.
+
+        Returns ``{primary_id: outcome}`` describing, per inbound channel,
+        whether recovery was a backlog replay or a digest resync and what
+        it cost on the wire.
+        """
+        self._require_resilience("heal_node")
+        self._check_node(node_id)
+        self._down_nodes.discard(node_id)
+        outcomes: dict[int, ResyncOutcome] = {}
+        for primary_id, index in self._links_to(node_id):
+            engine = self.nodes[primary_id].engine
+            assert engine is not None
+            outcomes[primary_id] = engine.heal_link(index)
+        return outcomes
+
+    def heal_all(self) -> dict[tuple[int, int], ResyncOutcome]:
+        """Heal every channel in the cluster; returns per-pair outcomes."""
+        self._require_resilience("heal_all")
+        self._down_nodes.clear()
+        outcomes: dict[tuple[int, int], ResyncOutcome] = {}
+        for node in self.nodes:
+            assert node.engine is not None
+            for index, replica_id in enumerate(self.placement[node.node_id]):
+                outcomes[(node.node_id, replica_id)] = node.engine.heal_link(
+                    index
+                )
+        return outcomes
 
     # -- verification and accounting -------------------------------------------
 
     def verify(self) -> dict[tuple[int, int], int]:
         """Check every (primary, replica) pair; returns mismatch counts.
 
-        An empty dict means the whole cluster is consistent.
+        An empty dict means the whole cluster is consistent.  Use
+        :meth:`verify_detailed` to tell true divergence apart from a
+        replica that is merely down-with-backlog (lagging but recoverable).
         """
         mismatches: dict[tuple[int, int], int] = {}
         for node in self.nodes:
@@ -189,6 +317,63 @@ class StorageCluster:
                 if bad:
                     mismatches[(node.node_id, replica_id)] = len(bad)
         return mismatches
+
+    def verify_detailed(self) -> "VerifyReport":
+        """Classify every mismatched pair: diverged vs. down-with-backlog.
+
+        A pair whose link holds backlog (or is forced down, or overflowed
+        awaiting resync) is *pending*: the replica lags but the primary
+        knows exactly how to catch it up, so the mismatch is expected and
+        recoverable.  A mismatch on a clean, healthy link is *diverged* —
+        the correctness failure replication exists to prevent.
+        """
+        diverged: dict[tuple[int, int], int] = {}
+        pending: dict[tuple[int, int], int] = {}
+        for (primary_id, replica_id), count in self.verify().items():
+            engine = self.nodes[primary_id].engine
+            assert engine is not None
+            index = self.placement[primary_id].index(replica_id)
+            guards = engine.guards
+            guard = guards[index] if guards else None
+            lagging = guard is not None and (
+                guard.backlog_depth > 0
+                or guard.needs_resync
+                or guard.forced_down
+            )
+            if lagging:
+                assert guard is not None
+                pending[(primary_id, replica_id)] = guard.backlog_depth
+            else:
+                diverged[(primary_id, replica_id)] = count
+        return VerifyReport(diverged=diverged, pending=pending)
+
+    @property
+    def total_retry_bytes(self) -> int:
+        """Wire bytes spent on link-level retries cluster-wide."""
+        return sum(
+            node.engine.accountant.retry_bytes
+            for node in self.nodes
+            if node.engine is not None
+        )
+
+    @property
+    def total_resync_bytes(self) -> int:
+        """Wire bytes spent catching replicas up (replay + digest resync)."""
+        return sum(
+            node.engine.accountant.backlog_replay_bytes
+            + node.engine.accountant.resync_bytes
+            for node in self.nodes
+            if node.engine is not None
+        )
+
+    @property
+    def total_recovery_bytes(self) -> int:
+        """All fault-recovery wire bytes (retries + replay + resync)."""
+        return sum(
+            node.engine.accountant.recovery_bytes
+            for node in self.nodes
+            if node.engine is not None
+        )
 
     @property
     def total_payload_bytes(self) -> int:
@@ -216,3 +401,22 @@ class StorageCluster:
             if node.engine is not None
         )
         return self.total_payload_bytes / writes if writes else 0.0
+
+
+@dataclass(frozen=True)
+class VerifyReport:
+    """Cluster consistency, with lagging replicas told apart from diverged.
+
+    ``diverged`` — (primary, replica) pairs that mismatch on a clean link:
+    a real correctness failure.  ``pending`` — pairs whose mismatch is
+    explained by journaled backlog / a down link (value = backlog depth):
+    lagging, and recoverable via :meth:`StorageCluster.heal_node`.
+    """
+
+    diverged: dict[tuple[int, int], int] = field(default_factory=dict)
+    pending: dict[tuple[int, int], int] = field(default_factory=dict)
+
+    @property
+    def consistent(self) -> bool:
+        """True when nothing has truly diverged (pending lag is fine)."""
+        return not self.diverged

@@ -51,6 +51,9 @@ class ReplicationJournal:
         self._entries: deque[_Entry] = deque()
         self._bytes = 0
         self._overflowed = False
+        #: lifetime counters used by the resilience layer for wire accounting
+        self.records_replayed_total = 0
+        self.bytes_replayed_total = 0
 
     @property
     def entry_count(self) -> int:
@@ -87,6 +90,11 @@ class ReplicationJournal:
         Returns the number of records replayed and clears the journal.
         Raises :class:`JournalOverflowError` if records were dropped — the
         caller must escalate to a digest or full sync instead.
+
+        Replay is *ship-then-pop*: an entry only leaves the journal once the
+        link accepted it, so a link failure mid-replay leaves the failing
+        entry (and everything behind it) buffered in order.  The caller can
+        simply retry :meth:`replay` later without losing records.
         """
         if self._overflowed:
             raise JournalOverflowError(
@@ -95,10 +103,13 @@ class ReplicationJournal:
             )
         replayed = 0
         while self._entries:
-            entry = self._entries.popleft()
+            entry = self._entries[0]
+            link.ship(entry.lba, entry.record)  # may raise: entry retained
+            self._entries.popleft()
             self._bytes -= entry.size
-            link.ship(entry.lba, entry.record)
             replayed += 1
+            self.records_replayed_total += 1
+            self.bytes_replayed_total += len(entry.record.pack())
         return replayed
 
     def clear(self) -> None:
@@ -151,6 +162,9 @@ class JournalingLink(ReplicaLink):
 
             return _ACK.pack(record.seq, ACK_APPLIED)
         return self._inner.ship(lba, record)
+
+    def sync_device(self):
+        return self._inner.sync_device()
 
     def close(self) -> None:
         self._inner.close()

@@ -31,6 +31,16 @@ class ReplicaLink(ABC):
     def ship(self, lba: int, record: ReplicationRecord) -> bytes:
         """Deliver ``record`` for ``lba``; return the replica's ack payload."""
 
+    def sync_device(self):
+        """The replica's block device, if locally reachable (else ``None``).
+
+        Resync escalation (:func:`repro.engine.sync.digest_sync` after a
+        backlog overflow) needs direct access to the replica's storage.
+        Links that merely decorate another link delegate; links that cross a
+        real network return ``None`` — their owner must resync out-of-band.
+        """
+        return None
+
     def close(self) -> None:
         """Release the channel (default: nothing to do)."""
 
@@ -69,6 +79,9 @@ class DirectLink(ReplicaLink):
         # Serialize and re-parse so the wire format is exercised and byte
         # counts match the socket path exactly.
         return self._replica.receive(lba, record.pack())
+
+    def sync_device(self):
+        return getattr(self._replica, "device", None)
 
 
 class ReplicaEngineLike:

@@ -9,16 +9,39 @@ LBA to replica nodes" (Sec. 2).
 so a file system or mini-DBMS mounts it exactly like a disk — replication
 is transparent to everything above, which is the paper's architectural
 point ("our implementation is file system and application independent").
+
+Two fan-out disciplines:
+
+* **strict** (default, ``resilience=None``) — any link failure aborts the
+  write with a typed :class:`~repro.common.errors.PartialReplicationError`
+  carrying exactly which links succeeded; the local write and the
+  successful shipments are charged to the accountant before raising, so
+  partial progress is never invisible;
+* **fault-tolerant** (``resilience=ResilienceConfig(...)``) — each link is
+  guarded by retry + circuit breaker + parity-delta backlog
+  (:mod:`repro.engine.resilience`); transient link faults degrade into
+  backlog instead of raising, and :meth:`heal_link` catches replicas up by
+  in-order replay or digest resync.
 """
 
 from __future__ import annotations
 
 from repro.block.device import BlockDevice
-from repro.common.errors import ReplicationError
+from repro.common.errors import (
+    ConfigurationError,
+    PartialReplicationError,
+    ReplicationError,
+)
 from repro.engine.accounting import TrafficAccountant
 from repro.engine.links import ReplicaLink
 from repro.engine.messages import RECORD_OVERHEAD, ReplicationRecord
 from repro.engine.replica import ReplicaEngine
+from repro.engine.resilience import (
+    GuardedLink,
+    LinkHealth,
+    ResilienceConfig,
+    ResyncOutcome,
+)
 from repro.engine.strategy import ReplicationStrategy
 from repro.raid.parity_base import ParityArrayBase
 
@@ -32,14 +55,21 @@ class PrimaryEngine(BlockDevice):
         strategy: ReplicationStrategy,
         links: list[ReplicaLink] | None = None,
         verify_acks: bool = True,
+        resilience: ResilienceConfig | None = None,
     ) -> None:
         super().__init__(device.block_size, device.num_blocks)
         self._device = device
         self._strategy = strategy
-        self._links: list[ReplicaLink] = list(links or [])
         self._verify_acks = verify_acks
         self._seq = 0
         self.accountant = TrafficAccountant()
+        self._resilience = resilience
+        self._links: list[ReplicaLink] = []
+        self._guards: list[GuardedLink] | None = (
+            [] if resilience is not None else None
+        )
+        for link in links or []:
+            self.add_link(link)
         # RAID parity arrays hand back P' for free on each write.
         self._raid = device if isinstance(device, ParityArrayBase) else None
 
@@ -58,9 +88,65 @@ class PrimaryEngine(BlockDevice):
         """The replica channels (one per replica node)."""
         return list(self._links)
 
+    @property
+    def resilience(self) -> ResilienceConfig | None:
+        """The fault-tolerance policy, or ``None`` for strict fan-out."""
+        return self._resilience
+
     def add_link(self, link: ReplicaLink) -> None:
         """Attach another replica channel."""
         self._links.append(link)
+        if self._guards is not None:
+            assert self._resilience is not None
+            self._guards.append(
+                GuardedLink(
+                    link,
+                    self._resilience,
+                    self.accountant,
+                    index=len(self._guards),
+                )
+            )
+
+    # -- health & recovery (fault-tolerant engines) ---------------------------
+
+    def _guard(self, index: int) -> GuardedLink:
+        if self._guards is None:
+            raise ConfigurationError(
+                "engine was built without a ResilienceConfig; "
+                "health tracking is not available"
+            )
+        return self._guards[index]
+
+    @property
+    def guards(self) -> tuple[GuardedLink, ...]:
+        """The per-link guards (empty for strict engines)."""
+        return tuple(self._guards or ())
+
+    def link_health(self) -> list[LinkHealth]:
+        """Health of every link (strict engines report all HEALTHY)."""
+        if self._guards is None:
+            return [LinkHealth.HEALTHY] * len(self._links)
+        return [guard.health for guard in self._guards]
+
+    def backlog_depth(self, index: int) -> int:
+        """Records backlogged for link ``index``."""
+        return self._guard(index).backlog_depth
+
+    def fail_link(self, index: int) -> None:
+        """Mark link ``index`` down: journal its traffic until healed."""
+        self._guard(index).fail()
+
+    def heal_link(self, index: int) -> ResyncOutcome:
+        """Reconnect link ``index`` and catch its replica up."""
+        return self._guard(index).heal(self._device)
+
+    def heal_all(self) -> list[ResyncOutcome]:
+        """Heal every link; returns one outcome per link."""
+        if self._guards is None:
+            raise ConfigurationError(
+                "engine was built without a ResilienceConfig; nothing to heal"
+            )
+        return [self.heal_link(i) for i in range(len(self._guards))]
 
     # -- BlockDevice interface ------------------------------------------------
 
@@ -86,21 +172,75 @@ class PrimaryEngine(BlockDevice):
             return
         self._seq += 1
         record = ReplicationRecord.for_block(self._seq, data, frame)
-        payload = record.pack()
-        for link in self._links:
-            ack = link.ship(lba, record)
+        payload_len = len(record.pack())
+        if self._guards is not None:
+            self._fan_out_guarded(lba, record, len(data), payload_len)
+        else:
+            self._fan_out_strict(lba, record, len(data), payload_len)
+
+    def _fan_out_strict(
+        self, lba: int, record: ReplicationRecord, data_len: int, payload_len: int
+    ) -> None:
+        """All-or-error fan-out: partial progress is recorded, then raised."""
+        succeeded: list[int] = []
+        for index, link in enumerate(self._links):
+            try:
+                ack = link.ship(lba, record)
+            except Exception as exc:
+                # Record what actually happened before surfacing the fault:
+                # the local write and every acked copy are real.
+                self._charge_fanout(data_len, payload_len, len(succeeded))
+                raise PartialReplicationError(
+                    lba=lba,
+                    seq=record.seq,
+                    succeeded=tuple(succeeded),
+                    failed_index=index,
+                    total_links=len(self._links),
+                    cause=exc,
+                ) from exc
             if self._verify_acks:
                 seq, _status = ReplicaEngine.parse_ack(ack)
                 if seq != record.seq:
+                    self._charge_fanout(data_len, payload_len, len(succeeded))
                     raise ReplicationError(
                         f"replica acked seq {seq}, expected {record.seq}"
                     )
-        # Traffic is charged once per replica copy (the paper's measurements
-        # replicate to one node; more links multiply the wire bytes).
-        copies = max(1, len(self._links))
-        self.accountant.record_write(len(data), len(payload))
-        for _ in range(copies - 1):
-            self.accountant.record_write(0, len(payload))
+            succeeded.append(index)
+        self._charge_fanout(data_len, payload_len, len(succeeded))
+
+    def _fan_out_guarded(
+        self, lba: int, record: ReplicationRecord, data_len: int, payload_len: int
+    ) -> None:
+        """Degrading fan-out: transient faults become backlog, not errors."""
+        assert self._guards is not None
+        delivered = 0
+        for guard in self._guards:
+            if guard.ship(lba, record, self._verify_acks):
+                delivered += 1
+        if delivered or not self._guards:
+            self._charge_fanout(data_len, payload_len, delivered)
+        else:
+            self.accountant.record_journaled_write(data_len)
+
+    def _charge_fanout(
+        self, data_len: int, payload_len: int, delivered: int
+    ) -> None:
+        """Charge one local write plus ``delivered`` wire copies.
+
+        Traffic is charged once per replica copy (the paper's measurements
+        replicate to one node; more links multiply the wire bytes).  An
+        engine with no links still charges one copy, matching the paper's
+        single-node traffic accounting.
+        """
+        if not self._links:
+            self.accountant.record_write(data_len, payload_len)
+            return
+        if delivered == 0:
+            self.accountant.record_failed_write(data_len)
+            return
+        self.accountant.record_write(data_len, payload_len)
+        for _ in range(delivered - 1):
+            self.accountant.record_write(0, payload_len)
 
     def close(self) -> None:
         if not self.closed:

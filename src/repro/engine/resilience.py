@@ -1,0 +1,676 @@
+"""Fault tolerance for the primary→replica path.
+
+The paper asserts the prototype is "fairly robust" under "extensive testing
+and experiments" (Sec. 6) but never says *how* a PRINS primary survives a
+flaky WAN link.  This module supplies the missing machinery, bottom-up:
+
+* :class:`FaultyLink` — fault *injection*: wraps any
+  :class:`~repro.engine.links.ReplicaLink` and drops, errors, delays, or
+  duplicate-delivers ships on command (mirroring
+  :class:`~repro.block.faulty.FaultyDevice`'s API for storage), so every
+  recovery behaviour below is testable deterministically;
+* :class:`RetryPolicy` / :class:`ResilientLink` — fault *masking*: bounded
+  retries with exponential backoff and deterministic jitter (seeded through
+  :func:`repro.common.rng.make_rng`), plus a per-attempt latency budget;
+* :class:`CircuitBreaker` / :class:`LinkHealth` — fault *containment*: a
+  HEALTHY → DEGRADED → DOWN state machine per link; a DOWN link stops
+  eating retry budgets and is only probed every ``probe_interval`` writes
+  (the classic half-open circuit);
+* :class:`GuardedLink` — fault *recovery*: owned by
+  :class:`~repro.engine.primary.PrimaryEngine`, it journals writes for an
+  unreachable replica as parity-delta backlog
+  (:class:`~repro.engine.journal.ReplicationJournal`), drains the backlog
+  in sequence order once the link answers again, and escalates to
+  :func:`~repro.engine.sync.digest_sync` when the backlog overflowed its
+  byte budget.  The wire cost of every recovery path (retries, backlog
+  replay, digest resync) is charged to the engine's
+  :class:`~repro.engine.accounting.TrafficAccountant` so benchmarks can
+  compare backlog-replay traffic against digest-resync traffic.
+
+Replay safety rests on the replica's idempotency: re-shipping an
+already-applied sequence number is acknowledged as ``ACK_DUPLICATE``
+instead of re-XORing the delta (see :class:`~repro.engine.replica
+.ReplicaEngine`).  Ordering safety rests on one invariant enforced by
+:class:`GuardedLink`: once *any* record for a link is backlogged, every
+subsequent record is backlogged behind it until the backlog drains —
+PRINS parity deltas are only invertible against the exact old block, so
+records must reach the replica in primary order.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable
+
+import numpy as np
+
+from repro.block.device import BlockDevice
+from repro.common.errors import (
+    ConfigurationError,
+    ReplicationError,
+    RetriesExhaustedError,
+    SyncError,
+)
+from repro.common.rng import make_rng
+from repro.engine.accounting import TrafficAccountant
+from repro.engine.journal import ReplicationJournal
+from repro.engine.links import ReplicaLink
+from repro.engine.messages import ReplicationRecord
+from repro.engine.replica import ReplicaEngine
+from repro.engine.sync import SyncReport, digest_sync
+from repro.iscsi.transport import TransportClosedError
+
+
+class InjectedLinkError(ReplicationError):
+    """The error raised for injected link failures.
+
+    ``delivered`` records whether the ship reached the replica before the
+    failure: a *drop* loses the record (``delivered=False``), an *error*
+    loses only the ack (``delivered=True``) — retrying the latter exercises
+    the replica's duplicate-suppression path.
+    """
+
+    def __init__(self, kind: str, lba: int, delivered: bool) -> None:
+        super().__init__(f"injected link {kind} shipping LBA {lba}")
+        self.kind = kind
+        self.lba = lba
+        self.delivered = delivered
+
+
+#: Exceptions a resilient link treats as transient (worth retrying).
+#: Anything else — CRC mismatches, protocol violations, programming
+#: errors — propagates immediately: retrying a deterministic failure
+#: only duplicates the damage.
+TRANSIENT_ERRORS: tuple[type[BaseException], ...] = (
+    InjectedLinkError,
+    TimeoutError,
+    TransportClosedError,
+    ConnectionError,
+    OSError,
+)
+
+
+# ---------------------------------------------------------------------------
+# Fault injection
+# ---------------------------------------------------------------------------
+
+
+class FaultyLink(ReplicaLink):
+    """Pass-through link wrapper with controllable fault injection.
+
+    The network-side sibling of :class:`~repro.block.faulty.FaultyDevice`:
+    probabilistic faults driven by a seeded generator plus targeted
+    one-shot faults, ``kill()``, and ``heal()``.  Four fault modes:
+
+    * **drop** — the record never reaches the replica; the caller sees an
+      :class:`InjectedLinkError` (as a real initiator would see a timeout);
+    * **error** — the record *is* applied but the ack is lost, so the
+      caller still sees an error.  A retry must be answered
+      ``ACK_DUPLICATE`` by the replica;
+    * **delay** — the record is delivered but ``delay_s`` of (simulated)
+      latency is charged; a :class:`ResilientLink` with a per-attempt
+      budget treats an over-budget ship as a timeout;
+    * **duplicate** — the record is delivered twice (a retransmitting
+      network); the replica must suppress the second copy.
+    """
+
+    def __init__(
+        self,
+        inner: ReplicaLink,
+        drop_probability: float = 0.0,
+        error_probability: float = 0.0,
+        delay_probability: float = 0.0,
+        duplicate_probability: float = 0.0,
+        delay_s: float = 0.25,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        probs = {
+            "drop": drop_probability,
+            "error": error_probability,
+            "delay": delay_probability,
+            "duplicate": duplicate_probability,
+        }
+        for name, p in probs.items():
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(
+                    f"{name}_probability must be in [0, 1], got {p}"
+                )
+        if sum(probs.values()) > 1.0:
+            raise ValueError(
+                f"fault probabilities must sum to <= 1, got {sum(probs.values())}"
+            )
+        self._inner = inner
+        self._probs = probs
+        self._delay_s = delay_s
+        self._rng = rng if rng is not None else make_rng(0, "faulty-link")
+        self._forced: list[str] = []  # pending one-shot faults (FIFO)
+        self._dead = False
+        self.ships_attempted = 0
+        self.faults_injected = 0
+        self.drops = 0
+        self.errors = 0
+        self.delays = 0
+        self.duplicates = 0
+        self.simulated_delay_s = 0.0
+        #: latency of the most recent *successful* ship (read by
+        #: :class:`ResilientLink` to enforce its per-attempt budget)
+        self.last_ship_delay_s = 0.0
+
+    @property
+    def inner(self) -> ReplicaLink:
+        """The wrapped link."""
+        return self._inner
+
+    # -- fault controls ----------------------------------------------------
+
+    def fail_next(self, count: int = 1, kind: str = "drop") -> None:
+        """Force the next ``count`` ships to fail with ``kind``.
+
+        ``kind`` is one of ``drop``/``error``/``delay``/``duplicate``.
+        Forced faults fire before any probabilistic draw, so tests can
+        script exact failure sequences.
+        """
+        if kind not in self._probs:
+            raise ValueError(f"unknown fault kind {kind!r}")
+        self._forced.extend([kind] * count)
+
+    def kill(self) -> None:
+        """Simulate link partition: every ship drops until :meth:`heal`."""
+        self._dead = True
+
+    def heal(self) -> None:
+        """Clear all injected faults (partition over, queue drained)."""
+        self._dead = False
+        self._forced.clear()
+
+    def _draw(self) -> str | None:
+        if self._dead:
+            return "drop"
+        if self._forced:
+            return self._forced.pop(0)
+        total = sum(self._probs.values())
+        if total <= 0.0:
+            return None
+        r = float(self._rng.random())
+        acc = 0.0
+        for kind, p in self._probs.items():
+            acc += p
+            if r < acc:
+                return kind
+        return None
+
+    # -- ReplicaLink -------------------------------------------------------
+
+    def ship(self, lba: int, record: ReplicationRecord) -> bytes:
+        self.ships_attempted += 1
+        self.last_ship_delay_s = 0.0
+        mode = self._draw()
+        if mode is None:
+            return self._inner.ship(lba, record)
+        self.faults_injected += 1
+        if mode == "drop":
+            self.drops += 1
+            raise InjectedLinkError("drop", lba, delivered=False)
+        if mode == "error":
+            self.errors += 1
+            self._inner.ship(lba, record)  # applied, but the ack is lost
+            raise InjectedLinkError("error", lba, delivered=True)
+        if mode == "delay":
+            self.delays += 1
+            self.simulated_delay_s += self._delay_s
+            self.last_ship_delay_s = self._delay_s
+            return self._inner.ship(lba, record)
+        # duplicate: the network retransmitted; replica sees it twice
+        self.duplicates += 1
+        ack = self._inner.ship(lba, record)
+        self._inner.ship(lba, record)
+        return ack
+
+    def sync_device(self):
+        return self._inner.sync_device()
+
+    def close(self) -> None:
+        self._inner.close()
+
+
+# ---------------------------------------------------------------------------
+# Retry with backoff
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff with deterministic jitter.
+
+    ``delay_s(i)`` for retry ``i`` (0-based) is
+    ``min(base_delay_s * multiplier**i, max_delay_s)`` scaled by a jitter
+    factor drawn uniformly from ``[1 - jitter, 1]``.  The draw comes from
+    the caller's seeded generator, so two runs with the same seed back off
+    identically — experiments stay reproducible even under injected faults.
+    """
+
+    max_attempts: int = 4
+    base_delay_s: float = 0.01
+    multiplier: float = 2.0
+    max_delay_s: float = 2.0
+    jitter: float = 0.5
+    #: a single attempt slower than this counts as a timeout (retryable)
+    attempt_budget_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ConfigurationError("backoff delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ConfigurationError(
+                f"multiplier must be >= 1, got {self.multiplier}"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ConfigurationError(
+                f"jitter must be in [0, 1], got {self.jitter}"
+            )
+
+    def delay_s(
+        self, retry_index: int, rng: np.random.Generator | None = None
+    ) -> float:
+        """Backoff before retry ``retry_index`` (0-based), jittered."""
+        if retry_index < 0:
+            raise ValueError(f"retry_index must be >= 0, got {retry_index}")
+        delay = min(
+            self.base_delay_s * self.multiplier**retry_index, self.max_delay_s
+        )
+        if self.jitter and rng is not None:
+            delay *= 1.0 - self.jitter * float(rng.random())
+        return delay
+
+    def schedule(self, rng: np.random.Generator | None = None) -> list[float]:
+        """The full backoff schedule for one exhausted retry budget."""
+        return [self.delay_s(i, rng) for i in range(self.max_attempts - 1)]
+
+
+class ResilientLink(ReplicaLink):
+    """Retry decorator around any :class:`~repro.engine.links.ReplicaLink`.
+
+    Transient failures (:data:`TRANSIENT_ERRORS`) are retried up to
+    ``policy.max_attempts`` times with the policy's jittered backoff;
+    everything else propagates untouched.  When the budget is exhausted a
+    :class:`~repro.common.errors.RetriesExhaustedError` wraps the last
+    transient error, which the engine's :class:`GuardedLink` treats as
+    "this replica is unreachable right now".
+
+    By default backoff time is *simulated* (accumulated in
+    :attr:`simulated_backoff_s`) so tests and traffic experiments never
+    sleep; pass ``sleep=time.sleep`` to block for real over a live network.
+    """
+
+    def __init__(
+        self,
+        inner: ReplicaLink,
+        policy: RetryPolicy | None = None,
+        rng: np.random.Generator | None = None,
+        sleep: Callable[[float], None] | None = None,
+        on_retry: Callable[[int], None] | None = None,
+    ) -> None:
+        self._inner = inner
+        self.policy = policy if policy is not None else RetryPolicy()
+        self._rng = rng if rng is not None else make_rng(0, "resilient-link")
+        self._sleep = sleep
+        self._on_retry = on_retry
+        self.ships = 0
+        self.retries = 0
+        self.giveups = 0
+        self.simulated_backoff_s = 0.0
+
+    @property
+    def inner(self) -> ReplicaLink:
+        """The wrapped link."""
+        return self._inner
+
+    def _backoff(self, retry_index: int) -> None:
+        delay = self.policy.delay_s(retry_index, self._rng)
+        if self._sleep is not None:
+            self._sleep(delay)
+        else:
+            self.simulated_backoff_s += delay
+
+    def _attempt(self, lba: int, record: ReplicationRecord) -> bytes:
+        started = time.perf_counter()
+        ack = self._inner.ship(lba, record)
+        budget = self.policy.attempt_budget_s
+        if budget is not None:
+            elapsed = time.perf_counter() - started
+            # injected (simulated) latency counts against the budget too
+            elapsed += getattr(self._inner, "last_ship_delay_s", 0.0)
+            if elapsed > budget:
+                raise TimeoutError(
+                    f"ship of LBA {lba} took {elapsed:.3f}s "
+                    f"(budget {budget:.3f}s); ack discarded"
+                )
+        return ack
+
+    def ship(self, lba: int, record: ReplicationRecord) -> bytes:
+        self.ships += 1
+        wire_len = len(record.pack()) + self.pdu_overhead
+        last: BaseException | None = None
+        for attempt in range(self.policy.max_attempts):
+            if attempt:
+                self._backoff(attempt - 1)
+                self.retries += 1
+                if self._on_retry is not None:
+                    self._on_retry(wire_len)
+            try:
+                return self._attempt(lba, record)
+            except TRANSIENT_ERRORS as exc:
+                last = exc
+        self.giveups += 1
+        assert last is not None
+        raise RetriesExhaustedError(lba, self.policy.max_attempts, last) from last
+
+    def sync_device(self):
+        return self._inner.sync_device()
+
+    def close(self) -> None:
+        self._inner.close()
+
+
+# ---------------------------------------------------------------------------
+# Health state machine
+# ---------------------------------------------------------------------------
+
+
+class LinkHealth(str, Enum):
+    """Per-link health as the primary sees it."""
+
+    HEALTHY = "healthy"
+    DEGRADED = "degraded"
+    DOWN = "down"
+
+
+class CircuitBreaker:
+    """HEALTHY → DEGRADED → DOWN with a half-open probe, by failure count.
+
+    ``degraded_after`` consecutive failures mark the link DEGRADED (still
+    shipped to, but visibly unwell); ``down_after`` open the circuit: the
+    link is skipped entirely except for one *probe* ship every
+    ``probe_interval`` suppressed attempts (the half-open state).  A probe
+    success closes the circuit; a probe failure re-opens it and restarts
+    the probe countdown.  Counting writes instead of wall-clock keeps the
+    machine deterministic under simulation.
+    """
+
+    def __init__(
+        self,
+        degraded_after: int = 1,
+        down_after: int = 3,
+        probe_interval: int = 4,
+    ) -> None:
+        if degraded_after < 1:
+            raise ConfigurationError(
+                f"degraded_after must be >= 1, got {degraded_after}"
+            )
+        if down_after < degraded_after:
+            raise ConfigurationError(
+                "down_after must be >= degraded_after "
+                f"({down_after} < {degraded_after})"
+            )
+        if probe_interval < 1:
+            raise ConfigurationError(
+                f"probe_interval must be >= 1, got {probe_interval}"
+            )
+        self._degraded_after = degraded_after
+        self._down_after = down_after
+        self._probe_interval = probe_interval
+        self._state = LinkHealth.HEALTHY
+        self._consecutive_failures = 0
+        self._suppressed = 0
+        self._half_open = False
+        self.transitions: list[tuple[LinkHealth, LinkHealth]] = []
+
+    @property
+    def state(self) -> LinkHealth:
+        """Current health."""
+        return self._state
+
+    @property
+    def half_open(self) -> bool:
+        """True while a probe ship is in flight for a DOWN link."""
+        return self._half_open
+
+    @property
+    def consecutive_failures(self) -> int:
+        """Failures since the last success."""
+        return self._consecutive_failures
+
+    def _move(self, new: LinkHealth) -> None:
+        if new is not self._state:
+            self.transitions.append((self._state, new))
+            self._state = new
+
+    def should_attempt(self) -> bool:
+        """Whether the next ship may go on the wire.
+
+        Always true while HEALTHY/DEGRADED.  While DOWN, every
+        ``probe_interval``-th call returns True (half-open probe); the rest
+        are suppressed so a dead replica costs almost nothing.
+        """
+        if self._state is not LinkHealth.DOWN:
+            return True
+        self._suppressed += 1
+        if self._suppressed >= self._probe_interval:
+            self._suppressed = 0
+            self._half_open = True
+            return True
+        return False
+
+    def record_success(self) -> None:
+        """An attempted ship was acked: close the circuit."""
+        self._consecutive_failures = 0
+        self._suppressed = 0
+        self._half_open = False
+        self._move(LinkHealth.HEALTHY)
+
+    def record_failure(self) -> None:
+        """An attempted ship failed (after any retries)."""
+        self._consecutive_failures += 1
+        self._suppressed = 0
+        self._half_open = False
+        if self._consecutive_failures >= self._down_after:
+            self._move(LinkHealth.DOWN)
+        elif self._consecutive_failures >= self._degraded_after:
+            self._move(LinkHealth.DEGRADED)
+
+    def force_down(self) -> None:
+        """Operator/cluster marked the replica down (no probes fire)."""
+        self._consecutive_failures = max(
+            self._consecutive_failures, self._down_after
+        )
+        self._half_open = False
+        self._move(LinkHealth.DOWN)
+
+
+# ---------------------------------------------------------------------------
+# Engine-side guard: breaker + backlog + resync escalation
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Tunables for a fault-tolerant :class:`PrimaryEngine`."""
+
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    degraded_after: int = 1
+    down_after: int = 3
+    probe_interval: int = 4
+    backlog_capacity_bytes: int = 1 << 20
+    seed: int = 0
+
+
+@dataclass(frozen=True)
+class ResyncOutcome:
+    """What one :meth:`GuardedLink.heal` did to catch the replica up."""
+
+    mode: str  # "none" | "replay" | "digest"
+    records_replayed: int = 0
+    bytes_replayed: int = 0
+    sync_report: SyncReport | None = None
+
+
+class GuardedLink:
+    """One replica channel under the engine's fault-tolerance policy.
+
+    Wraps the user's link in a :class:`ResilientLink` (unless it already is
+    one), owns the link's :class:`CircuitBreaker` and backlog journal, and
+    exposes a :meth:`ship` that *never raises on transient faults*: a ship
+    either reaches the replica now (returns True) or is journaled for later
+    (returns False).  Deterministic errors (CRC mismatches, bad acks) still
+    propagate — masking those would hide corruption.
+    """
+
+    def __init__(
+        self,
+        link: ReplicaLink,
+        config: ResilienceConfig,
+        accountant: TrafficAccountant,
+        index: int = 0,
+    ) -> None:
+        self.raw_link = link
+        if isinstance(link, ResilientLink):
+            self.link: ReplicaLink = link
+        elif config.retry.max_attempts > 1:
+            self.link = ResilientLink(
+                link,
+                config.retry,
+                rng=make_rng(config.seed, "retry", index),
+                on_retry=accountant.record_retry,
+            )
+        else:
+            self.link = link
+        self.breaker = CircuitBreaker(
+            degraded_after=config.degraded_after,
+            down_after=config.down_after,
+            probe_interval=config.probe_interval,
+        )
+        self.backlog = ReplicationJournal(config.backlog_capacity_bytes)
+        self.accountant = accountant
+        self.forced_down = False
+        self.last_error: BaseException | None = None
+
+    # -- state -------------------------------------------------------------
+
+    @property
+    def health(self) -> LinkHealth:
+        """Effective health (forced-down counts as DOWN)."""
+        return LinkHealth.DOWN if self.forced_down else self.breaker.state
+
+    @property
+    def backlog_depth(self) -> int:
+        """Records currently waiting in this link's backlog."""
+        return self.backlog.entry_count
+
+    @property
+    def needs_resync(self) -> bool:
+        """True when only a digest/full sync can restore this replica."""
+        return self.backlog.overflowed
+
+    # -- data path -----------------------------------------------------------
+
+    def ship(self, lba: int, record: ReplicationRecord, verify_acks: bool) -> bool:
+        """Deliver now if possible, else journal; True iff delivered."""
+        if self.forced_down or not self.breaker.should_attempt():
+            self._journal(lba, record)
+            return False
+        if self.backlog.overflowed:
+            # Only an explicit heal() (digest resync) can recover; keep
+            # journaling so post-overflow writes are at least countable.
+            self._journal(lba, record)
+            return False
+        try:
+            if self.backlog.entry_count:
+                # Drain in order first: PRINS deltas are order-sensitive.
+                self._drain_backlog()
+            ack = self.link.ship(lba, record)
+        except TRANSIENT_ERRORS + (RetriesExhaustedError,) as exc:
+            self.last_error = exc
+            self.breaker.record_failure()
+            self._journal(lba, record)
+            return False
+        if verify_acks:
+            seq, _status = ReplicaEngine.parse_ack(ack)
+            if seq != record.seq:
+                raise ReplicationError(
+                    f"replica acked seq {seq}, expected {record.seq}"
+                )
+        self.breaker.record_success()
+        return True
+
+    def _journal(self, lba: int, record: ReplicationRecord) -> None:
+        self.backlog.append(lba, record)
+        self.accountant.record_journaled_copy(len(record.pack()))
+
+    def _drain_backlog(self) -> int:
+        """Replay the backlog through the link, charging wire bytes.
+
+        Ship-then-pop replay means a mid-drain failure keeps the failing
+        record (and everything behind it) queued in order; the exception
+        propagates to the caller, which journals the current record behind
+        the retained backlog.
+        """
+        records_before = self.backlog.records_replayed_total
+        bytes_before = self.backlog.bytes_replayed_total
+        try:
+            return self.backlog.replay(self.link)
+        finally:
+            self.accountant.record_backlog_replay(
+                self.backlog.records_replayed_total - records_before,
+                self.backlog.bytes_replayed_total - bytes_before,
+            )
+
+    # -- recovery ------------------------------------------------------------
+
+    def fail(self) -> None:
+        """Operator marked the replica unreachable: journal everything."""
+        self.forced_down = True
+        self.breaker.force_down()
+
+    def heal(self, sync_source: BlockDevice) -> ResyncOutcome:
+        """Reconnect and catch the replica up; returns what it cost.
+
+        Backlog intact → replay in sequence order.  Backlog overflowed →
+        :func:`~repro.engine.sync.digest_sync` from ``sync_source`` (the
+        primary's device) into the replica's device, reachable through
+        :meth:`~repro.engine.links.ReplicaLink.sync_device`.  Raises
+        :class:`~repro.common.errors.SyncError` if the overflowed link
+        cannot expose its device (resync must then happen out-of-band).
+        """
+        self.forced_down = False
+        if self.backlog.overflowed:
+            dest = self.link.sync_device()
+            if dest is None:
+                raise SyncError(
+                    "backlog overflowed and the link does not expose the "
+                    "replica device; run digest_sync/full_sync out-of-band "
+                    "and clear() the backlog"
+                )
+            self.backlog.clear()
+            report = digest_sync(sync_source, dest)
+            self.accountant.record_resync(report.wire_bytes)
+            self.breaker.record_success()
+            return ResyncOutcome("digest", sync_report=report)
+        if self.backlog.entry_count:
+            records_before = self.backlog.records_replayed_total
+            bytes_before = self.backlog.bytes_replayed_total
+            self._drain_backlog()  # transient errors propagate to caller
+            self.breaker.record_success()
+            return ResyncOutcome(
+                "replay",
+                records_replayed=self.backlog.records_replayed_total
+                - records_before,
+                bytes_replayed=self.backlog.bytes_replayed_total - bytes_before,
+            )
+        self.breaker.record_success()
+        return ResyncOutcome("none")

@@ -70,6 +70,119 @@ class TransportClosedError(ProtocolError):
     """Raised when receiving on (or sending to) a closed transport."""
 
 
+class InjectedTransportError(ProtocolError):
+    """The error raised for injected transport (PDU pipe) failures."""
+
+    def __init__(self, kind: str) -> None:
+        super().__init__(f"injected transport {kind}")
+        self.kind = kind
+
+
+class FlakyTransport(Transport):
+    """Fault-injecting decorator around another transport.
+
+    The PDU-level sibling of :class:`~repro.engine.resilience.FaultyLink`:
+    it drops, errors, or duplicates *sent* PDUs so the full iSCSI path
+    (initiator → target → replication handler) can be exercised under
+    network faults.  A dropped PDU is silently discarded — the peer sees
+    nothing and the sender's next ``receive`` times out, exactly how loss
+    manifests on a real socket.  Byte counters on this wrapper reflect what
+    the application *tried* to send; the inner transport is bypassed for
+    dropped PDUs.
+    """
+
+    def __init__(
+        self,
+        inner: Transport,
+        drop_probability: float = 0.0,
+        error_probability: float = 0.0,
+        duplicate_probability: float = 0.0,
+        rng=None,
+    ) -> None:
+        super().__init__()
+        for name, p in (
+            ("drop", drop_probability),
+            ("error", error_probability),
+            ("duplicate", duplicate_probability),
+        ):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(
+                    f"{name}_probability must be in [0, 1], got {p}"
+                )
+        if drop_probability + error_probability + duplicate_probability > 1.0:
+            raise ValueError("fault probabilities must sum to <= 1")
+        self._inner = inner
+        self._drop_p = drop_probability
+        self._error_p = error_probability
+        self._duplicate_p = duplicate_probability
+        if rng is None:
+            from repro.common.rng import make_rng
+
+            rng = make_rng(0, "flaky-transport")
+        self._rng = rng
+        self._forced: list[str] = []
+        self._dead = False
+        self.drops = 0
+        self.errors = 0
+        self.duplicates = 0
+
+    @property
+    def inner(self) -> Transport:
+        """The wrapped transport."""
+        return self._inner
+
+    def fail_next(self, count: int = 1, kind: str = "error") -> None:
+        """Force the next ``count`` sends to fail with ``kind``."""
+        if kind not in ("drop", "error", "duplicate"):
+            raise ValueError(f"unknown fault kind {kind!r}")
+        self._forced.extend([kind] * count)
+
+    def kill(self) -> None:
+        """Drop every PDU until :meth:`heal` (network partition)."""
+        self._dead = True
+
+    def heal(self) -> None:
+        """Clear all injected faults."""
+        self._dead = False
+        self._forced.clear()
+
+    def _draw(self) -> str | None:
+        if self._dead:
+            return "drop"
+        if self._forced:
+            return self._forced.pop(0)
+        total = self._drop_p + self._error_p + self._duplicate_p
+        if total <= 0.0:
+            return None
+        r = float(self._rng.random())
+        if r < self._drop_p:
+            return "drop"
+        if r < self._drop_p + self._error_p:
+            return "error"
+        if r < total:
+            return "duplicate"
+        return None
+
+    def _send_raw(self, raw: bytes) -> None:
+        mode = self._draw()
+        if mode == "drop":
+            self.drops += 1
+            return  # peer never sees it; their receive() will time out
+        if mode == "error":
+            self.errors += 1
+            raise InjectedTransportError("send error")
+        self._inner._send_raw(raw)
+        if mode == "duplicate":
+            self.duplicates += 1
+            self._inner._send_raw(raw)
+
+    def _receive_pdu(self, timeout: float | None) -> Pdu:
+        return self._inner._receive_pdu(timeout)
+
+    def close(self) -> None:
+        self._inner.close()
+
+
 _CLOSE = object()  # sentinel placed on the queue when a peer closes
 
 

@@ -21,6 +21,7 @@ FAST_EXAMPLES = [
     "point_in_time_recovery.py",
     "wan_capacity_planning.py",
     "cluster_wide_pool.py",
+    "degraded_mode_recovery.py",
 ]
 
 
@@ -51,6 +52,13 @@ def test_quickstart_shows_prins_winning():
     result = run_example("quickstart.py")
     assert "prins" in result.stdout
     assert "byte-identical" in result.stdout
+
+
+def test_degraded_mode_recovery_converges():
+    result = run_example("degraded_mode_recovery.py")
+    assert "none raised" in result.stdout
+    assert "verify() mismatches: {}" in result.stdout
+    assert "recovery fully accounted" in result.stdout
 
 
 def test_traffic_study_smoke():

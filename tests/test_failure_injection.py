@@ -74,6 +74,32 @@ class TestFaultyDevice:
         with pytest.raises(ValueError):
             FaultyDevice(MemoryBlockDevice(BS, N), error_probability=1.5)
 
+    def test_corrupt_next_write_is_one_shot(self):
+        """An in-flight (firmware/DMA) corruption: the write 'succeeds' but
+        the stored bits differ; the following write stores cleanly."""
+        device = FaultyDevice(MemoryBlockDevice(BS, N))
+        device.corrupt_next_write(7)
+        payload = b"y" * BS
+        device.write_block(7, payload)  # no exception — the fault is silent
+        assert device.read_block(7) != payload
+        assert device.corruptions_injected == 1
+        device.write_block(7, payload)  # one-shot: this one lands intact
+        assert device.read_block(7) == payload
+        assert device.corruptions_injected == 1
+
+    def test_heal_cancels_pending_but_not_latent_corruption(self):
+        """heal() clears *pending* faults; bits already rotten on the medium
+        stay rotten (only a scrub/resync layer above can repair them)."""
+        device = FaultyDevice(MemoryBlockDevice(BS, N))
+        clean = b"z" * BS
+        device.write_block(1, clean)
+        device.corrupt_block(1)  # latent: already stored
+        device.corrupt_next_write(2)  # pending: not yet fired
+        device.heal()
+        assert device.read_block(1) != clean  # latent survives heal
+        device.write_block(2, clean)
+        assert device.read_block(2) == clean  # pending was cancelled
+
 
 class TestRaidUnderFaults:
     def test_silent_corruption_caught_by_scrub(self):

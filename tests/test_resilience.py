@@ -1,0 +1,877 @@
+"""Tests for the fault-tolerance layer (engine/resilience.py).
+
+Covers, bottom-up: fault injection (FaultyLink / FlakyTransport), retry
+schedules and their determinism under a fixed seed, circuit-breaker
+open/half-open/close transitions, backlog drain ordering and idempotent
+re-apply at the replica, backlog-overflow → digest_sync escalation, wire
+accounting for every recovery path, and the cluster-level end-to-end
+degradation story the ISSUE acceptance criteria demand.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.block import MemoryBlockDevice
+from repro.common.errors import (
+    ConfigurationError,
+    PartialReplicationError,
+    ReplicationError,
+    RetriesExhaustedError,
+    SyncError,
+)
+from repro.common.rng import make_rng
+from repro.engine import (
+    CircuitBreaker,
+    ClusterConfig,
+    DirectLink,
+    FaultyLink,
+    InjectedLinkError,
+    LinkHealth,
+    PrimaryEngine,
+    ReplicaEngine,
+    ResilienceConfig,
+    ResilientLink,
+    RetryPolicy,
+    StorageCluster,
+    make_strategy,
+    verify_consistency,
+)
+from repro.engine.replica import ACK_APPLIED, ACK_DUPLICATE
+from repro.engine.resilience import GuardedLink
+from repro.iscsi.transport import (
+    FlakyTransport,
+    InjectedTransportError,
+    transport_pair,
+)
+
+BS = 512
+N = 16
+
+
+def _pair(strategy_name: str = "prins"):
+    """A (replica_engine, replica_device, base_link) triple."""
+    strategy = make_strategy(strategy_name)
+    replica_dev = MemoryBlockDevice(BS, N)
+    replica = ReplicaEngine(replica_dev, strategy)
+    return replica, replica_dev, DirectLink(replica)
+
+
+def _engine(links, strategy_name: str = "prins", **kwargs):
+    strategy = make_strategy(strategy_name)
+    primary_dev = MemoryBlockDevice(BS, N)
+    engine = PrimaryEngine(primary_dev, strategy, links, **kwargs)
+    return engine, primary_dev
+
+
+def block(rng, size: int = BS) -> bytes:
+    return rng.integers(0, 256, size, dtype="u1").tobytes()
+
+
+# ---------------------------------------------------------------------------
+# FaultyLink — the injection wrapper everything else is tested through
+# ---------------------------------------------------------------------------
+
+
+class TestFaultyLink:
+    def test_passthrough_when_healthy(self):
+        replica, replica_dev, base = _pair()
+        engine, primary = _engine([FaultyLink(base)])
+        engine.write_block(0, b"a" * BS)
+        assert replica_dev.read_block(0) == b"a" * BS
+
+    def test_drop_raises_without_delivering(self):
+        replica, replica_dev, base = _pair()
+        link = FaultyLink(base)
+        link.fail_next(1, "drop")
+        engine, _ = _engine([link])
+        with pytest.raises(PartialReplicationError) as excinfo:
+            engine.write_block(0, b"b" * BS)
+        assert isinstance(excinfo.value.cause, InjectedLinkError)
+        assert not excinfo.value.cause.delivered
+        assert replica.records_applied == 0
+
+    def test_error_delivers_but_loses_ack(self):
+        replica, replica_dev, base = _pair()
+        link = FaultyLink(base)
+        link.fail_next(1, "error")
+        engine, _ = _engine([link])
+        with pytest.raises(PartialReplicationError):
+            engine.write_block(0, b"c" * BS)
+        # the record reached the replica even though the write "failed"
+        assert replica.records_applied == 1
+        assert replica_dev.read_block(0) == b"c" * BS
+
+    def test_duplicate_is_suppressed_by_replica(self):
+        replica, replica_dev, base = _pair()
+        link = FaultyLink(base)
+        link.fail_next(1, "duplicate")
+        engine, primary = _engine([link])
+        engine.write_block(0, b"d" * BS)  # no error: dup acked quietly
+        assert replica.records_applied == 1
+        assert replica.records_duplicate == 1
+        assert verify_consistency(primary, replica_dev) == []
+
+    def test_kill_and_heal(self):
+        replica, replica_dev, base = _pair()
+        link = FaultyLink(base)
+        link.kill()
+        with pytest.raises(InjectedLinkError):
+            link.ship(0, _record())
+        link.heal()
+        engine, _ = _engine([link])
+        engine.write_block(1, b"e" * BS)
+        assert replica_dev.read_block(1) == b"e" * BS
+
+    def test_probabilistic_faults_deterministic_under_seed(self):
+        def run():
+            _, _, base = _pair("traditional")
+            link = FaultyLink(
+                base, drop_probability=0.3, rng=make_rng(9, "flaky")
+            )
+            outcomes = []
+            for seq in range(50):
+                try:
+                    link.ship(0, _record(seq + 1))
+                    outcomes.append("ok")
+                except InjectedLinkError:
+                    outcomes.append("drop")
+            return outcomes
+
+        first, second = run(), run()
+        assert first == second
+        assert 5 < first.count("drop") < 25
+
+    def test_probability_validation(self):
+        _, _, base = _pair()
+        with pytest.raises(ValueError):
+            FaultyLink(base, drop_probability=1.5)
+        with pytest.raises(ValueError):
+            FaultyLink(base, drop_probability=0.7, error_probability=0.7)
+        with pytest.raises(ValueError):
+            FaultyLink(base).fail_next(1, "melt")
+
+
+def _record(seq: int = 1, data: bytes = b"x" * BS):
+    # a traditional full-block frame is simplest to apply standalone
+    # (ship hand-built records only at replicas built with "traditional")
+    from repro.engine.messages import ReplicationRecord
+
+    strategy = make_strategy("traditional")
+    frame = strategy.encode_update(data, b"")
+    return ReplicationRecord.for_block(seq, data, frame)
+
+
+# ---------------------------------------------------------------------------
+# RetryPolicy / ResilientLink
+# ---------------------------------------------------------------------------
+
+
+class TestRetryPolicy:
+    @pytest.mark.parametrize(
+        "max_attempts,expected_retries", [(1, 0), (2, 1), (4, 3), (7, 6)]
+    )
+    def test_schedule_length_matches_budget(self, max_attempts, expected_retries):
+        policy = RetryPolicy(max_attempts=max_attempts, jitter=0.0)
+        assert len(policy.schedule()) == expected_retries
+
+    def test_exponential_growth_capped(self):
+        policy = RetryPolicy(
+            max_attempts=8,
+            base_delay_s=0.01,
+            multiplier=2.0,
+            max_delay_s=0.05,
+            jitter=0.0,
+        )
+        schedule = policy.schedule()
+        assert schedule[0] == pytest.approx(0.01)
+        assert schedule[1] == pytest.approx(0.02)
+        assert schedule[2] == pytest.approx(0.04)
+        assert all(d == pytest.approx(0.05) for d in schedule[3:])
+
+    def test_jitter_deterministic_under_fixed_seed(self):
+        policy = RetryPolicy(max_attempts=6, jitter=0.5)
+        a = policy.schedule(make_rng(42, "backoff"))
+        b = policy.schedule(make_rng(42, "backoff"))
+        c = policy.schedule(make_rng(43, "backoff"))
+        assert a == b
+        assert a != c
+        # jitter only ever shortens the deterministic delay, never extends
+        unjittered = policy.schedule()
+        assert all(x <= y for x, y in zip(a, unjittered))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(jitter=2.0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(base_delay_s=-1.0)
+
+
+class TestResilientLink:
+    def test_masks_transient_faults(self):
+        replica, replica_dev, base = _pair()
+        flaky = FaultyLink(base)
+        flaky.fail_next(2, "drop")
+        link = ResilientLink(flaky, RetryPolicy(max_attempts=4))
+        engine, primary = _engine([link])
+        engine.write_block(0, b"r" * BS)  # two drops then success
+        assert link.retries == 2
+        assert verify_consistency(primary, replica_dev) == []
+
+    def test_attempt_counts_exhausted(self):
+        _, _, base = _pair("traditional")
+        flaky = FaultyLink(base)
+        flaky.fail_next(10, "drop")
+        link = ResilientLink(flaky, RetryPolicy(max_attempts=3))
+        with pytest.raises(RetriesExhaustedError) as excinfo:
+            link.ship(0, _record())
+        assert excinfo.value.attempts == 3
+        assert flaky.ships_attempted == 3
+        assert link.giveups == 1
+
+    def test_retry_after_lost_ack_yields_duplicate_ack(self):
+        """Delivered-but-unacked + retry = the idempotency story end-to-end."""
+        replica, replica_dev, base = _pair("traditional")
+        flaky = FaultyLink(base)
+        flaky.fail_next(1, "error")  # applied, ack lost
+        link = ResilientLink(flaky, RetryPolicy(max_attempts=2))
+        ack = link.ship(0, _record())
+        seq, status = ReplicaEngine.parse_ack(ack)
+        assert status == ACK_DUPLICATE  # replica refused to re-apply
+        assert replica.records_applied == 1
+        assert replica.records_duplicate == 1
+
+    def test_nontransient_errors_propagate_immediately(self):
+        class ExplodingLink(DirectLink):
+            def ship(self, lba, record):
+                raise ReplicationError("CRC mismatch — deterministic")
+
+        link = ResilientLink(ExplodingLink(None), RetryPolicy(max_attempts=5))
+        with pytest.raises(ReplicationError, match="CRC"):
+            link.ship(0, _record())
+        assert link.retries == 0  # no retry budget wasted on a hard error
+
+    def test_backoff_is_simulated_not_slept(self):
+        _, _, base = _pair("traditional")
+        flaky = FaultyLink(base)
+        flaky.fail_next(3, "drop")
+        link = ResilientLink(
+            flaky,
+            RetryPolicy(
+                max_attempts=4, base_delay_s=10.0, max_delay_s=40.0, jitter=0.0
+            ),
+        )
+        link.ship(0, _record())  # would sleep 70s if backoff were real
+        assert link.simulated_backoff_s == pytest.approx(70.0)
+
+    def test_slow_ship_counts_as_timeout(self):
+        _, _, base = _pair("traditional")
+        flaky = FaultyLink(base, delay_s=0.5)
+        flaky.fail_next(1, "delay")
+        link = ResilientLink(
+            flaky,
+            RetryPolicy(max_attempts=2, attempt_budget_s=0.1),
+        )
+        ack = link.ship(0, _record())  # 1st attempt over budget, 2nd clean
+        assert link.retries == 1
+        _, status = ReplicaEngine.parse_ack(ack)
+        assert status == ACK_DUPLICATE  # the slow ship did deliver
+
+    def test_on_retry_callback_charges_wire_bytes(self):
+        charged: list[int] = []
+        _, _, base = _pair("traditional")
+        flaky = FaultyLink(base)
+        flaky.fail_next(2, "drop")
+        link = ResilientLink(
+            flaky, RetryPolicy(max_attempts=3), on_retry=charged.append
+        )
+        record = _record()
+        link.ship(0, record)
+        wire = len(record.pack()) + link.pdu_overhead
+        assert charged == [wire, wire]
+
+
+# ---------------------------------------------------------------------------
+# CircuitBreaker
+# ---------------------------------------------------------------------------
+
+
+class TestCircuitBreaker:
+    def test_healthy_to_degraded_to_down(self):
+        breaker = CircuitBreaker(degraded_after=2, down_after=4)
+        for _ in range(1):
+            breaker.record_failure()
+        assert breaker.state is LinkHealth.HEALTHY
+        breaker.record_failure()
+        assert breaker.state is LinkHealth.DEGRADED
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state is LinkHealth.DOWN
+        assert breaker.transitions == [
+            (LinkHealth.HEALTHY, LinkHealth.DEGRADED),
+            (LinkHealth.DEGRADED, LinkHealth.DOWN),
+        ]
+
+    def test_success_resets_to_healthy(self):
+        breaker = CircuitBreaker(degraded_after=1, down_after=3)
+        breaker.record_failure()
+        assert breaker.state is LinkHealth.DEGRADED
+        breaker.record_success()
+        assert breaker.state is LinkHealth.HEALTHY
+        assert breaker.consecutive_failures == 0
+
+    def test_open_circuit_suppresses_until_probe(self):
+        breaker = CircuitBreaker(degraded_after=1, down_after=1, probe_interval=3)
+        breaker.record_failure()
+        assert breaker.state is LinkHealth.DOWN
+        attempts = [breaker.should_attempt() for _ in range(6)]
+        # every probe_interval-th call is the half-open probe
+        assert attempts == [False, False, True, False, False, True]
+
+    def test_half_open_probe_success_closes(self):
+        breaker = CircuitBreaker(degraded_after=1, down_after=1, probe_interval=1)
+        breaker.record_failure()
+        assert breaker.should_attempt()  # half-open probe
+        assert breaker.half_open
+        breaker.record_success()
+        assert breaker.state is LinkHealth.HEALTHY
+        assert not breaker.half_open
+
+    def test_half_open_probe_failure_reopens(self):
+        breaker = CircuitBreaker(degraded_after=1, down_after=1, probe_interval=2)
+        breaker.record_failure()
+        assert not breaker.should_attempt()
+        assert breaker.should_attempt()  # probe
+        breaker.record_failure()  # probe failed
+        assert breaker.state is LinkHealth.DOWN
+        assert not breaker.should_attempt()  # countdown restarted
+
+    def test_force_down(self):
+        breaker = CircuitBreaker()
+        breaker.force_down()
+        assert breaker.state is LinkHealth.DOWN
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(degraded_after=0)
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(degraded_after=3, down_after=2)
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(probe_interval=0)
+
+
+# ---------------------------------------------------------------------------
+# Fault-tolerant PrimaryEngine: backlog, drain, escalation
+# ---------------------------------------------------------------------------
+
+
+def _resilient_stack(
+    flaky_kwargs=None,
+    config: ResilienceConfig | None = None,
+    strategy_name: str = "prins",
+):
+    replica, replica_dev, base = _pair(strategy_name)
+    flaky = FaultyLink(base, **(flaky_kwargs or {}))
+    engine, primary = _engine(
+        [flaky],
+        strategy_name,
+        resilience=config or ResilienceConfig(),
+    )
+    return engine, primary, replica, replica_dev, flaky
+
+
+class TestGuardedEngine:
+    def test_transient_fault_degrades_instead_of_raising(self):
+        engine, primary, replica, replica_dev, flaky = _resilient_stack(
+            config=ResilienceConfig(retry=RetryPolicy(max_attempts=1))
+        )
+        flaky.fail_next(1, "drop")
+        engine.write_block(0, b"a" * BS)  # no raise
+        assert engine.link_health() == [LinkHealth.DEGRADED]
+        assert engine.backlog_depth(0) == 1
+        assert engine.accountant.writes_journaled == 1
+        assert engine.accountant.journaled_records == 1
+
+    def test_backlog_drains_in_order_on_next_write(self, rng):
+        engine, primary, replica, replica_dev, flaky = _resilient_stack(
+            config=ResilienceConfig(retry=RetryPolicy(max_attempts=1))
+        )
+        engine.write_block(3, block(rng))
+        flaky.fail_next(2, "drop")  # two writes fail -> journaled in order
+        for _ in range(2):
+            data = bytearray(engine.read_block(3))
+            data[0:30] = block(rng, 30)
+            engine.write_block(3, bytes(data))
+        assert engine.backlog_depth(0) == 2
+        # next healthy write drains the backlog first, then ships itself
+        data = bytearray(engine.read_block(3))
+        data[100:130] = block(rng, 30)
+        engine.write_block(3, bytes(data))
+        assert engine.backlog_depth(0) == 0
+        assert verify_consistency(primary, replica_dev) == []
+        assert engine.accountant.backlog_records_replayed == 2
+        assert engine.accountant.backlog_replay_bytes > 0
+
+    def test_ordering_preserved_when_drain_fails_midway(self, rng):
+        """Ship-then-pop: a drain interrupted by a fresh fault loses nothing."""
+        engine, primary, replica, replica_dev, flaky = _resilient_stack(
+            config=ResilienceConfig(
+                retry=RetryPolicy(max_attempts=1), down_after=100
+            )
+        )
+        engine.write_block(5, block(rng))
+        flaky.fail_next(3, "drop")
+        for _ in range(3):
+            data = bytearray(engine.read_block(5))
+            data[0:20] = block(rng, 20)
+            engine.write_block(5, bytes(data))
+        assert engine.backlog_depth(0) == 3
+        # drain attempt that dies after one replayed record
+        flaky.fail_next(1, "drop")  # hits the second replayed record? no —
+        # the first replay ship fails, so all 3 stay + the new write joins
+        data = bytearray(engine.read_block(5))
+        data[50:70] = block(rng, 20)
+        engine.write_block(5, bytes(data))
+        assert engine.backlog_depth(0) == 4
+        # healthy write finally drains everything, in order
+        engine.write_block(6, block(rng))
+        assert engine.backlog_depth(0) == 0
+        assert verify_consistency(primary, replica_dev) == []
+
+    def test_duplicate_replay_acked_as_duplicate(self, rng):
+        """A record applied-but-unacked is journaled; its replay must be
+        suppressed by the replica, not re-XORed into corruption."""
+        engine, primary, replica, replica_dev, flaky = _resilient_stack(
+            config=ResilienceConfig(retry=RetryPolicy(max_attempts=1))
+        )
+        engine.write_block(2, block(rng))
+        flaky.fail_next(1, "error")  # delivered, ack lost -> journaled anyway
+        data = bytearray(engine.read_block(2))
+        data[0:40] = block(rng, 40)
+        engine.write_block(2, bytes(data))
+        assert engine.backlog_depth(0) == 1
+        engine.write_block(7, block(rng))  # drains: replay is a duplicate
+        assert replica.records_duplicate >= 1
+        assert verify_consistency(primary, replica_dev) == []
+
+    def test_down_link_stops_burning_retries(self):
+        engine, primary, replica, replica_dev, flaky = _resilient_stack(
+            config=ResilienceConfig(
+                retry=RetryPolicy(max_attempts=2),
+                down_after=2,
+                probe_interval=100,
+            )
+        )
+        flaky.kill()
+        for lba in range(6):
+            engine.write_block(lba, bytes([lba + 1]) * BS)
+        assert engine.link_health() == [LinkHealth.DOWN]
+        # 2 failed fan-outs x 2 attempts each; the other 4 writes were
+        # suppressed by the open circuit (no wire attempts at all)
+        assert flaky.ships_attempted == 4
+        assert engine.backlog_depth(0) == 6
+
+    def test_half_open_probe_recovers_automatically(self, rng):
+        engine, primary, replica, replica_dev, flaky = _resilient_stack(
+            config=ResilienceConfig(
+                retry=RetryPolicy(max_attempts=1),
+                down_after=1,
+                probe_interval=2,
+            )
+        )
+        flaky.kill()
+        engine.write_block(0, block(rng))  # fails -> DOWN
+        flaky.heal()
+        engine.write_block(1, block(rng))  # suppressed (journaled)
+        assert engine.link_health() == [LinkHealth.DOWN]
+        engine.write_block(2, block(rng))  # probe: drains backlog + ships
+        assert engine.link_health() == [LinkHealth.HEALTHY]
+        assert engine.backlog_depth(0) == 0
+        assert verify_consistency(primary, replica_dev) == []
+
+    def test_heal_replays_backlog(self, rng):
+        engine, primary, replica, replica_dev, flaky = _resilient_stack()
+        engine.fail_link(0)
+        writes = {lba: block(rng) for lba in range(8)}
+        for lba, data in writes.items():
+            engine.write_block(lba, data)
+        assert engine.link_health() == [LinkHealth.DOWN]
+        assert verify_consistency(primary, replica_dev) != []
+        outcome = engine.heal_link(0)
+        assert outcome.mode == "replay"
+        assert outcome.records_replayed == 8
+        assert outcome.bytes_replayed > 0
+        assert engine.link_health() == [LinkHealth.HEALTHY]
+        assert verify_consistency(primary, replica_dev) == []
+
+    def test_backlog_overflow_escalates_to_digest_sync(self, rng):
+        engine, primary, replica, replica_dev, flaky = _resilient_stack(
+            config=ResilienceConfig(backlog_capacity_bytes=1500)
+        )
+        engine.fail_link(0)
+        for lba in range(N):
+            engine.write_block(lba, block(rng))  # overflow the tiny backlog
+        assert engine.guards[0].needs_resync
+        outcome = engine.heal_link(0)
+        assert outcome.mode == "digest"
+        assert outcome.sync_report is not None
+        assert outcome.sync_report.blocks_copied > 0
+        assert engine.accountant.resyncs == 1
+        assert engine.accountant.resync_bytes == outcome.sync_report.wire_bytes
+        assert verify_consistency(primary, replica_dev) == []
+
+    def test_overflow_without_sync_device_raises_sync_error(self):
+        class OpaqueLink(DirectLink):
+            def sync_device(self):
+                return None  # a real WAN link: no local device handle
+
+        strategy = make_strategy("prins")
+        replica_dev = MemoryBlockDevice(BS, N)
+        replica = ReplicaEngine(replica_dev, strategy)
+        engine, _ = _engine(
+            [OpaqueLink(replica)],
+            resilience=ResilienceConfig(backlog_capacity_bytes=600),
+        )
+        engine.fail_link(0)
+        for lba in range(N):
+            engine.write_block(lba, bytes([lba + 1]) * BS)
+        with pytest.raises(SyncError, match="out-of-band"):
+            engine.heal_link(0)
+
+    def test_wire_accounting_splits_recovery_paths(self, rng):
+        """Each recovery path lands in its own counter, so benchmarks can
+        weigh backlog replay against digest resync (Dimakis' question)."""
+        engine, primary, replica, replica_dev, flaky = _resilient_stack(
+            config=ResilienceConfig(retry=RetryPolicy(max_attempts=3))
+        )
+        acct = engine.accountant
+        # 1. retries
+        flaky.fail_next(1, "drop")
+        engine.write_block(0, block(rng))
+        assert acct.retries == 1 and acct.retry_bytes > 0
+        # 2. backlog replay
+        engine.fail_link(0)
+        engine.write_block(1, block(rng))
+        engine.heal_link(0)
+        assert acct.backlog_records_replayed == 1
+        assert acct.backlog_replay_bytes > 0
+        # 3. digest resync
+        small = _resilient_stack(
+            config=ResilienceConfig(backlog_capacity_bytes=400)
+        )
+        engine2 = small[0]
+        engine2.fail_link(0)
+        for lba in range(N):
+            engine2.write_block(lba, block(rng))
+        engine2.heal_link(0)
+        assert engine2.accountant.resync_bytes > 0
+        assert (
+            engine2.accountant.recovery_bytes
+            >= engine2.accountant.resync_bytes
+        )
+
+    def test_strict_engine_rejects_health_api(self):
+        engine, _ = _engine([_pair()[2]])
+        with pytest.raises(ConfigurationError):
+            engine.fail_link(0)
+        with pytest.raises(ConfigurationError):
+            engine.heal_all()
+        assert engine.link_health() == [LinkHealth.HEALTHY]
+
+
+# ---------------------------------------------------------------------------
+# Strict fan-out: typed partial-failure reporting (satellite)
+# ---------------------------------------------------------------------------
+
+
+class TestPartialReplication:
+    def test_partial_error_carries_progress(self):
+        r1, d1, l1 = _pair()
+        r2, d2, l2 = _pair()
+        bad = FaultyLink(l2)
+        bad.kill()
+        engine, primary = _engine([l1, bad])
+        with pytest.raises(PartialReplicationError) as excinfo:
+            engine.write_block(0, b"p" * BS)
+        err = excinfo.value
+        assert err.succeeded == (0,)
+        assert err.failed_index == 1
+        assert err.total_links == 2
+        assert err.lba == 0
+        # the first replica really does hold the data
+        assert d1.read_block(0) == b"p" * BS
+
+    def test_partial_progress_is_charged_to_accountant(self):
+        _, _, l1 = _pair()
+        bad = FaultyLink(_pair()[2])
+        bad.kill()
+        engine, _ = _engine([l1, bad])
+        with pytest.raises(PartialReplicationError):
+            engine.write_block(0, b"q" * BS)
+        acct = engine.accountant
+        assert acct.writes_total == 1
+        assert acct.data_bytes == BS
+        assert acct.writes_replicated == 1  # the one acked copy
+        assert acct.payload_bytes > 0
+
+    def test_zero_progress_failure_counts_as_failed_write(self):
+        bad = FaultyLink(_pair()[2])
+        bad.kill()
+        engine, _ = _engine([bad])
+        with pytest.raises(PartialReplicationError):
+            engine.write_block(0, b"z" * BS)
+        acct = engine.accountant
+        assert acct.writes_failed == 1
+        assert acct.writes_replicated == 0
+        assert acct.data_bytes == BS
+
+
+# ---------------------------------------------------------------------------
+# FlakyTransport (PDU-level injection)
+# ---------------------------------------------------------------------------
+
+
+class TestFlakyTransport:
+    def test_forced_error_raises(self):
+        a, b = transport_pair()
+        flaky = FlakyTransport(a)
+        flaky.fail_next(1, "error")
+        from repro.iscsi.pdu import Opcode, Pdu
+
+        with pytest.raises(InjectedTransportError):
+            flaky.send(Pdu(opcode=Opcode.NOP_OUT, itt=1))
+        assert flaky.errors == 1
+
+    def test_drop_loses_pdu_silently(self):
+        a, b = transport_pair()
+        flaky = FlakyTransport(a)
+        flaky.fail_next(1, "drop")
+        from repro.iscsi.pdu import Opcode, Pdu
+
+        flaky.send(Pdu(opcode=Opcode.NOP_OUT, itt=1))  # "succeeds" at the sender
+        with pytest.raises(TimeoutError):
+            b.receive(timeout=0.05)
+        flaky.send(Pdu(opcode=Opcode.NOP_OUT, itt=2))  # next one goes through
+        assert b.receive(timeout=1.0).itt == 2
+
+    def test_duplicate_delivers_twice(self):
+        a, b = transport_pair()
+        flaky = FlakyTransport(a)
+        flaky.fail_next(1, "duplicate")
+        from repro.iscsi.pdu import Opcode, Pdu
+
+        flaky.send(Pdu(opcode=Opcode.NOP_OUT, itt=7))
+        assert b.receive(timeout=1.0).itt == 7
+        assert b.receive(timeout=1.0).itt == 7
+
+    def test_kill_heal(self):
+        a, b = transport_pair()
+        flaky = FlakyTransport(a)
+        flaky.kill()
+        from repro.iscsi.pdu import Opcode, Pdu
+
+        flaky.send(Pdu(opcode=Opcode.NOP_OUT, itt=1))
+        assert flaky.drops == 1
+        flaky.heal()
+        flaky.send(Pdu(opcode=Opcode.NOP_OUT, itt=2))
+        assert b.receive(timeout=1.0).itt == 2
+
+    def test_validation(self):
+        a, _ = transport_pair()
+        with pytest.raises(ValueError):
+            FlakyTransport(a, drop_probability=-0.1)
+        with pytest.raises(ValueError):
+            FlakyTransport(a, drop_probability=0.6, error_probability=0.6)
+
+
+# ---------------------------------------------------------------------------
+# Cluster-level degradation (tentpole end-to-end + acceptance criteria)
+# ---------------------------------------------------------------------------
+
+
+def _flaky_cluster(
+    nodes: int = 4,
+    fail_fraction: float = 0.3,
+    seed: int = 11,
+    config: ResilienceConfig | None = None,
+    **cluster_overrides,
+):
+    cluster_config = ClusterConfig(
+        nodes=nodes,
+        replicas_per_node=2,
+        block_size=BS,
+        blocks_per_node=N,
+        **cluster_overrides,
+    )
+    faulty: dict[tuple[int, int], FaultyLink] = {}
+
+    def factory(primary_id, replica_id, link):
+        wrapped = FaultyLink(
+            link,
+            drop_probability=fail_fraction * 2 / 3,
+            error_probability=fail_fraction / 3,
+            rng=make_rng(seed, "flaky", primary_id, replica_id),
+        )
+        faulty[(primary_id, replica_id)] = wrapped
+        return wrapped
+
+    cluster = StorageCluster(
+        cluster_config,
+        resilience=config or ResilienceConfig(),
+        link_factory=factory,
+    )
+    return cluster, faulty
+
+
+class TestClusterDegradedMode:
+    def test_acceptance_200_writes_through_30pct_faulty_links(self):
+        """ISSUE acceptance: 4 nodes, 30% ship failures, 200 writes, no
+        raise; verify() empty after heal; retry+resync counters nonzero;
+        deterministic under the fixed seed."""
+        cluster, _ = _flaky_cluster(nodes=4, fail_fraction=0.3, seed=11)
+        rng = make_rng(2026, "acceptance")
+        for _ in range(200):
+            cluster.write(
+                int(rng.integers(0, 4)), int(rng.integers(0, N)), block(rng)
+            )
+        # graceful degradation: nothing raised; now converge and verify
+        cluster.heal_all()
+        assert cluster.verify() == {}
+        assert cluster.total_retry_bytes > 0
+        assert cluster.total_resync_bytes > 0
+        assert cluster.total_recovery_bytes == (
+            cluster.total_retry_bytes + cluster.total_resync_bytes
+        )
+
+    def test_acceptance_run_is_deterministic(self):
+        def run():
+            cluster, _ = _flaky_cluster(nodes=4, fail_fraction=0.3, seed=11)
+            rng = make_rng(2026, "acceptance")
+            for _ in range(200):
+                cluster.write(
+                    int(rng.integers(0, 4)), int(rng.integers(0, N)), block(rng)
+                )
+            cluster.heal_all()
+            return (
+                cluster.total_retry_bytes,
+                cluster.total_resync_bytes,
+                cluster.total_payload_bytes,
+            )
+
+        assert run() == run()
+
+    def test_fail_node_journals_then_heal_drains(self, rng):
+        cluster, _ = _flaky_cluster(fail_fraction=0.0)
+        cluster.fail_node(1)
+        for _ in range(40):
+            node = int(rng.integers(0, 4))
+            if node in cluster.down_nodes:
+                continue
+            cluster.write(node, int(rng.integers(0, N)), block(rng))
+        report = cluster.verify_detailed()
+        assert report.consistent  # lag is pending, not divergence
+        assert all(
+            replica_id == 1 for (_, replica_id) in report.pending
+        ) and report.pending
+        health = cluster.health()
+        assert all(
+            state is LinkHealth.DOWN
+            for (_, replica_id), state in health.items()
+            if replica_id == 1
+        )
+        outcomes = cluster.heal_node(1)
+        assert any(o.mode == "replay" for o in outcomes.values())
+        assert cluster.verify() == {}
+
+    def test_read_failover_to_next_replica(self):
+        cluster, _ = _flaky_cluster(fail_fraction=0.0)
+        cluster.write(0, 5, b"f" * BS)  # replicas of node 0: nodes 1 and 2
+        cluster.fail_node(1)
+        assert cluster.read_from_replica(0, 5) == b"f" * BS  # served by 2
+        cluster.fail_node(2)
+        with pytest.raises(ReplicationError, match="no replica can serve"):
+            cluster.read_from_replica(0, 5)
+
+    def test_degraded_read_routing(self):
+        cluster, _ = _flaky_cluster(fail_fraction=0.0)
+        cluster.write(0, 3, b"g" * BS)
+        cluster.fail_node(0)
+        # a read addressed to the down node is served by its replica set
+        assert cluster.read(0, 3) == b"g" * BS
+        with pytest.raises(ReplicationError, match="down"):
+            cluster.write(0, 3, b"h" * BS)
+        cluster.heal_node(0)
+        cluster.write(0, 3, b"h" * BS)
+        assert cluster.read(0, 3) == b"h" * BS
+
+    def test_strict_cluster_rejects_fault_api(self):
+        cluster = StorageCluster(
+            ClusterConfig(nodes=4, replicas_per_node=2, block_size=BS,
+                          blocks_per_node=N)
+        )
+        with pytest.raises(ConfigurationError):
+            cluster.fail_node(1)
+        with pytest.raises(ConfigurationError):
+            cluster.heal_all()
+
+    def test_unknown_node_rejected(self):
+        cluster, _ = _flaky_cluster()
+        with pytest.raises(ConfigurationError):
+            cluster.fail_node(99)
+
+
+# ---------------------------------------------------------------------------
+# Stress (excluded from tier-1: run with `pytest -m stress`)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.stress
+class TestStress:
+    def test_six_node_soak_converges_after_heal(self):
+        """500 writes through probabilistically faulty links on a 6-node
+        cluster, with mid-run node failures and heals; after heal_all the
+        whole cluster must converge to byte-identical replicas."""
+        cluster, faulty = _flaky_cluster(
+            nodes=6,
+            fail_fraction=0.25,
+            seed=5,
+            config=ResilienceConfig(
+                retry=RetryPolicy(max_attempts=2),
+                down_after=2,
+                probe_interval=3,
+                backlog_capacity_bytes=64 * 1024,
+            ),
+        )
+        def heal_with_retries(fn, attempts=50):
+            # Replay during heal still rides the (faulty) wire; a transient
+            # failure mid-drain retains the unshipped tail, so retrying the
+            # heal resumes where it stopped and converges quickly.
+            for _ in range(attempts):
+                try:
+                    return fn()
+                except ReplicationError:
+                    continue
+            return fn()
+
+        rng = make_rng(77, "soak")
+        for step in range(500):
+            if step == 150:
+                cluster.fail_node(2)
+            if step == 300:
+                heal_with_retries(lambda: cluster.heal_node(2))
+            if step == 350:
+                cluster.fail_node(5)
+            node = int(rng.integers(0, 6))
+            if node in cluster.down_nodes:
+                node = (node + 1) % 6
+            cluster.write(node, int(rng.integers(0, N)), block(rng))
+        report = cluster.verify_detailed()
+        assert report.consistent  # any mismatch must be explained backlog
+        heal_with_retries(cluster.heal_all)
+        assert cluster.verify() == {}
+        assert cluster.total_retry_bytes > 0
+        assert cluster.total_resync_bytes > 0
