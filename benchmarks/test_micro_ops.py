@@ -55,17 +55,24 @@ def test_raid5_small_write(benchmark, blocks):
     benchmark(array.write_block_with_delta, 17, new)
 
 
-@pytest.mark.parametrize("strategy_name", ["traditional", "compressed", "prins"])
-def test_engine_write_path(benchmark, blocks, strategy_name):
-    old, new = blocks
+def _make_engine(old: bytes, strategy_name: str, telemetry=None) -> PrimaryEngine:
     primary = MemoryBlockDevice(BLOCK_SIZE, 16)
     replica = MemoryBlockDevice(BLOCK_SIZE, 16)
     primary.write_block(3, old)
     replica.write_block(3, old)
     strategy = make_strategy(strategy_name)
-    engine = PrimaryEngine(
-        primary, strategy, [DirectLink(ReplicaEngine(replica, strategy))]
+    return PrimaryEngine(
+        primary,
+        strategy,
+        [DirectLink(ReplicaEngine(replica, strategy))],
+        telemetry=telemetry,
     )
+
+
+@pytest.mark.parametrize("strategy_name", ["traditional", "compressed", "prins"])
+def test_engine_write_path(benchmark, blocks, strategy_name):
+    old, new = blocks
+    engine = _make_engine(old, strategy_name)
     # alternate two contents so every write really changes the block
     state = {"flip": False}
 
@@ -74,3 +81,28 @@ def test_engine_write_path(benchmark, blocks, strategy_name):
         engine.write_block(3, new if state["flip"] else old)
 
     benchmark(write_once)
+
+
+@pytest.mark.parametrize("telemetry_mode", ["null", "live"])
+def test_engine_write_path_telemetry_overhead(benchmark, blocks, telemetry_mode):
+    """The same engine write with telemetry off vs on.
+
+    Comparing the two rows quantifies the instrumentation cost: the
+    ``null`` row goes through the shared no-op singletons (the default in
+    every benchmark above), the ``live`` row records full nested spans
+    plus registry counters on every write.
+    """
+    from repro.obs import NULL_TELEMETRY, Telemetry
+
+    old, new = blocks
+    telemetry = NULL_TELEMETRY if telemetry_mode == "null" else Telemetry()
+    engine = _make_engine(old, "prins", telemetry=telemetry)
+    state = {"flip": False}
+
+    def write_once():
+        state["flip"] = not state["flip"]
+        engine.write_block(3, new if state["flip"] else old)
+
+    benchmark(write_once)
+    if telemetry_mode == "live":
+        assert telemetry.snapshot()["spans"]["write"]["count"] > 0

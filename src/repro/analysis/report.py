@@ -57,6 +57,27 @@ class ExperimentResult:
         self.comparisons.append(comparison)
         return comparison
 
+    def to_dict(self) -> dict:
+        """JSON-safe view of the whole result (rows, comparisons, notes)."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "headers": list(self.headers),
+            "rows": [list(row) for row in self.rows],
+            "comparisons": [
+                {
+                    "metric": c.metric,
+                    "paper_value": c.paper_value,
+                    "measured_value": c.measured_value,
+                    "ratio": c.ratio,
+                    "within_tolerance": c.within_tolerance,
+                }
+                for c in self.comparisons
+            ],
+            "notes": list(self.notes),
+            "ok": all(c.within_tolerance for c in self.comparisons),
+        }
+
     def to_csv(self) -> str:
         """Render the data rows as CSV (header row first).
 

@@ -4,6 +4,11 @@ Every traffic experiment in the paper is ultimately a byte count; the
 :class:`CountingDevice` wrapper records reads/writes flowing through any
 device so the benchmark harness can report exact I/O volumes alongside the
 on-wire replication volumes from :mod:`repro.engine.accounting`.
+
+Counters can surface through the telemetry subsystem: pass a
+:class:`~repro.obs.telemetry.Telemetry` (or rely on the process default)
+and the device registers itself as a snapshot source, so device-level I/O
+appears in the same ``Telemetry.snapshot()`` as engine wire traffic.
 """
 
 from __future__ import annotations
@@ -11,22 +16,68 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.block.device import BlockDevice
+from repro.obs.telemetry import get_telemetry
 
 
 @dataclass
 class IoCounters:
-    """Mutable counters for one device's traffic."""
+    """Mutable counters for one device's traffic.
+
+    ``unique_lbas_written`` tracks write-footprint cardinality with an
+    optional cap (``max_unique_lbas``): once the set holds that many LBAs,
+    new LBAs are no longer added and ``unique_lbas_overflowed`` flips, so
+    a long-running simulation's memory stays bounded.  ``unique_lbas`` is
+    then a lower bound on the true cardinality.
+    """
 
     reads: int = 0
     writes: int = 0
     bytes_read: int = 0
     bytes_written: int = 0
     unique_lbas_written: set[int] = field(default_factory=set)
+    #: cardinality cap for ``unique_lbas_written`` (None = unbounded)
+    max_unique_lbas: int | None = None
+    #: True once the cap stopped a new LBA from being recorded
+    unique_lbas_overflowed: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_unique_lbas is not None and self.max_unique_lbas < 1:
+            raise ValueError(
+                f"max_unique_lbas must be >= 1, got {self.max_unique_lbas}"
+            )
 
     @property
     def total_ops(self) -> int:
         """Total number of block operations observed."""
         return self.reads + self.writes
+
+    @property
+    def unique_lbas(self) -> int:
+        """Distinct LBAs written (a lower bound once overflowed)."""
+        return len(self.unique_lbas_written)
+
+    def note_lba_written(self, lba: int) -> None:
+        """Record one written LBA, respecting the cardinality cap."""
+        if lba in self.unique_lbas_written:
+            return
+        if (
+            self.max_unique_lbas is not None
+            and len(self.unique_lbas_written) >= self.max_unique_lbas
+        ):
+            self.unique_lbas_overflowed = True
+            return
+        self.unique_lbas_written.add(lba)
+
+    def snapshot(self) -> dict:
+        """JSON-safe view for the telemetry registry."""
+        return {
+            "reads": self.reads,
+            "writes": self.writes,
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
+            "unique_lbas": self.unique_lbas,
+            "unique_lbas_overflowed": self.unique_lbas_overflowed,
+        }
 
     def reset(self) -> None:
         """Zero all counters."""
@@ -35,15 +86,25 @@ class IoCounters:
         self.bytes_read = 0
         self.bytes_written = 0
         self.unique_lbas_written.clear()
+        self.unique_lbas_overflowed = False
 
 
 class CountingDevice(BlockDevice):
     """Pass-through wrapper that counts every read and write."""
 
-    def __init__(self, inner: BlockDevice) -> None:
+    def __init__(
+        self,
+        inner: BlockDevice,
+        max_unique_lbas: int | None = None,
+        telemetry=None,
+        name: str = "device",
+    ) -> None:
         super().__init__(inner.block_size, inner.num_blocks)
         self._inner = inner
-        self.counters = IoCounters()
+        self.counters = IoCounters(max_unique_lbas=max_unique_lbas)
+        tel = telemetry if telemetry is not None else get_telemetry()
+        if tel.enabled:
+            tel.register_source(f"io.{name}", self.counters.snapshot)
 
     @property
     def inner(self) -> BlockDevice:
@@ -60,7 +121,7 @@ class CountingDevice(BlockDevice):
         self._inner.write_block(lba, data)
         self.counters.writes += 1
         self.counters.bytes_written += len(data)
-        self.counters.unique_lbas_written.add(lba)
+        self.counters.note_lba_written(lba)
 
     def close(self) -> None:
         if not self.closed:

@@ -4,12 +4,18 @@ Subcommands::
 
     prins list                       # available experiments
     prins testbed                    # the Fig. 2 environment inventory
-    prins experiment fig4 [--scale]  # reproduce one figure
+    prins experiment fig4 [--scale]  # reproduce one figure (--json for machines)
     prins all [--scale]              # reproduce everything
-    prins demo                       # 30-second PRINS-vs-traditional demo
+    prins demo [--workload tpcc]     # PRINS-vs-traditional demo (--json snapshot)
+    prins metrics [snapshot.json]    # render a telemetry snapshot (or live demo)
+    prins trace report snapshot.json # render recent write-path span trees
 
 The same experiment runners back the pytest benchmarks; the CLI exists so
-a user can regenerate any paper figure without touching pytest.
+a user can regenerate any paper figure without touching pytest.  Demo and
+experiment runs are instrumented through :mod:`repro.obs`; ``--json``
+emits the full telemetry snapshot (``-`` for stdout) for machine
+consumption, renderable later with ``prins metrics`` / ``prins trace
+report``.
 """
 
 from __future__ import annotations
@@ -20,6 +26,20 @@ import time
 
 from repro.experiments.figures import EXPERIMENTS, run_experiment
 from repro.experiments.testbed import testbed_table
+
+
+def _emit_snapshot(snapshot: dict, dest: str | None, quiet_note: bool = False) -> None:
+    """Write a telemetry snapshot to ``dest`` (``-`` = stdout)."""
+    if dest is None:
+        return
+    from repro.obs import save_snapshot, to_json
+
+    if dest == "-":
+        print(to_json(snapshot))
+    else:
+        save_snapshot(snapshot, dest)
+        if not quiet_note:
+            print(f"telemetry snapshot written to {dest}")
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -37,9 +57,24 @@ def _cmd_testbed(_args: argparse.Namespace) -> int:
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
     start = time.perf_counter()
-    result = run_experiment(args.id, scale=args.scale)
-    print(result.render())
-    print(f"\n({time.perf_counter() - start:.1f}s at scale={args.scale})")
+    if args.json is None:
+        result = run_experiment(args.id, scale=args.scale)
+        print(result.render())
+        print(f"\n({time.perf_counter() - start:.1f}s at scale={args.scale})")
+        return 0 if all(c.within_tolerance for c in result.comparisons) else 1
+
+    # --json: run under a live Telemetry so span timings and wire
+    # histograms ride along with the figure data.
+    from repro.obs import Telemetry, use_telemetry
+
+    telemetry = Telemetry()
+    with use_telemetry(telemetry):
+        result = run_experiment(args.id, scale=args.scale)
+    payload = {"result": result.to_dict(), "telemetry": telemetry.snapshot()}
+    if args.json != "-":
+        print(result.render())
+        print(f"\n({time.perf_counter() - start:.1f}s at scale={args.scale})")
+    _emit_snapshot(payload, args.json)
     return 0 if all(c.within_tolerance for c in result.comparisons) else 1
 
 
@@ -55,29 +90,88 @@ def _cmd_all(args: argparse.Namespace) -> int:
     return status
 
 
-def _cmd_demo(_args: argparse.Namespace) -> int:
+def _run_demo_workload(workload: str, ops: int | None, emit) -> None:
+    """Run the demo under the *current* telemetry handle.
+
+    Engines are built with a default :class:`ResilienceConfig` so the
+    resilience counters (``resilience.ships_delivered`` etc.) show up in
+    the snapshot, matching how a production deployment would run.
+    ``emit`` is a ``print``-like callable (no-op when ``--json -`` owns
+    stdout).
+    """
     from repro.block import MemoryBlockDevice
-    from repro.common.rng import make_rng
     from repro.common.units import format_bytes
-    from repro.engine import DirectLink, PrimaryEngine, ReplicaEngine, make_strategy
+    from repro.engine import (
+        DirectLink,
+        PrimaryEngine,
+        ReplicaEngine,
+        ResilienceConfig,
+        make_strategy,
+    )
+
+    def build_engine(name, primary, replica):
+        strategy = make_strategy(name)
+        return PrimaryEngine(
+            primary,
+            strategy,
+            [DirectLink(ReplicaEngine(replica, strategy))],
+            resilience=ResilienceConfig(),
+            telemetry_name=f"demo.{name}",
+        )
+
+    if workload == "tpcc":
+        from repro.experiments.figures import get_scale
+        from repro.experiments.harness import capture_tpcc_trace
+        from repro.workloads.trace import replay_trace
+
+        scale = get_scale("small")
+        capture = capture_tpcc_trace(
+            8192,
+            config=scale.tpcc_oracle,
+            transactions=ops or scale.tpcc_transactions,
+        )
+        emit(
+            f"TPC-C: {capture.trace.write_count} block writes "
+            f"({format_bytes(capture.trace.bytes_written)} of data), "
+            f"8192B blocks:\n"
+        )
+        for name in ("traditional", "compressed", "prins"):
+            primary = MemoryBlockDevice(
+                capture.trace.block_size, capture.trace.num_blocks
+            )
+            primary.load(capture.base_image)
+            replica = MemoryBlockDevice(
+                capture.trace.block_size, capture.trace.num_blocks
+            )
+            replica.load(capture.base_image)
+            engine = build_engine(name, primary, replica)
+            replay_trace(capture.trace, engine)
+            accountant = engine.accountant
+            emit(
+                f"  {name:12s} shipped "
+                f"{format_bytes(accountant.payload_bytes):>10s}  "
+                f"({accountant.reduction_vs_data:5.1f}x less than the data "
+                f"written)"
+            )
+        return
+
+    # synthetic: random 10%-mutation writes over a warm device
+    from repro.common.rng import make_rng
     from repro.workloads.content import mutate_fraction
 
-    block_size, blocks, writes = 8192, 256, 500
+    block_size, blocks, writes = 8192, 256, ops or 500
     rng = make_rng(1, "demo")
     base = [
         rng.integers(0, 256, block_size, dtype="u1").tobytes() for _ in range(blocks)
     ]
-    print(f"{writes} writes, {block_size}B blocks, 10% of each block changed:\n")
+    emit(f"{writes} writes, {block_size}B blocks, 10% of each block changed:\n")
     for name in ("traditional", "compressed", "prins"):
         primary = MemoryBlockDevice(block_size, blocks)
         replica = MemoryBlockDevice(block_size, blocks)
         for lba, data in enumerate(base):
             primary.write_block(lba, data)
             replica.write_block(lba, data)
-        strategy = make_strategy(name)
-        engine = PrimaryEngine(
-            primary, strategy, [DirectLink(ReplicaEngine(replica, strategy))]
-        )
+        engine = build_engine(name, primary, replica)
         write_rng = make_rng(2, "demo-writes")
         for _ in range(writes):
             lba = int(write_rng.integers(0, blocks))
@@ -85,15 +179,64 @@ def _cmd_demo(_args: argparse.Namespace) -> int:
                 lba, mutate_fraction(engine.read_block(lba), 0.10, write_rng)
             )
         accountant = engine.accountant
-        print(
+        emit(
             f"  {name:12s} shipped {format_bytes(accountant.payload_bytes):>10s}  "
             f"({accountant.reduction_vs_data:5.1f}x less than the data written)"
         )
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro.obs import Telemetry, use_telemetry
+
+    quiet = args.json == "-"
+    emit = (lambda *a, **k: None) if quiet else print
+    telemetry = Telemetry()
+    with use_telemetry(telemetry):
+        _run_demo_workload(args.workload, args.transactions, emit)
+    _emit_snapshot(telemetry.snapshot(), args.json, quiet_note=quiet)
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    """Render a telemetry snapshot (from a file, or from a live demo)."""
+    from repro.obs import (
+        Telemetry,
+        load_snapshot,
+        render_metrics_report,
+        to_json,
+        to_prometheus,
+        use_telemetry,
+    )
+
+    if args.path:
+        snapshot = load_snapshot(args.path)
+        # accept both raw snapshots and `prins experiment --json` payloads
+        snapshot = snapshot.get("telemetry", snapshot)
+    else:
+        telemetry = Telemetry()
+        with use_telemetry(telemetry):
+            _run_demo_workload("synthetic", 200, lambda *a, **k: None)
+        snapshot = telemetry.snapshot()
+    if args.format == "prometheus":
+        print(to_prometheus(snapshot))
+    elif args.format == "json":
+        print(to_json(snapshot))
+    else:
+        print(render_metrics_report(snapshot))
     return 0
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
-    """Capture a workload trace to a file, or replay one through a strategy."""
+    """Capture/replay a workload trace, or report spans from a snapshot."""
+    if args.action == "report":
+        from repro.obs import load_snapshot, render_trace_report
+
+        snapshot = load_snapshot(args.path)
+        # accept both raw snapshots and `prins experiment --json` payloads
+        snapshot = snapshot.get("telemetry", snapshot)
+        print(render_trace_report(snapshot))
+        return 0
+
     from repro.common.units import format_bytes
     from repro.workloads.tracefile import load_trace, save_trace
 
@@ -180,16 +323,52 @@ def main(argv: list[str] | None = None) -> int:
     p_exp = sub.add_parser("experiment", help="run one experiment")
     p_exp.add_argument("id", choices=sorted(EXPERIMENTS))
     p_exp.add_argument("--scale", default="small", choices=["small", "paper"])
+    p_exp.add_argument(
+        "--json",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="PATH",
+        help="emit {result, telemetry} JSON to PATH ('-' or bare = stdout)",
+    )
     p_exp.set_defaults(func=_cmd_experiment)
     p_all = sub.add_parser("all", help="run every experiment")
     p_all.add_argument("--scale", default="small", choices=["small", "paper"])
     p_all.set_defaults(func=_cmd_all)
-    sub.add_parser("demo", help="quick PRINS-vs-baselines demo").set_defaults(
-        func=_cmd_demo
+    p_demo = sub.add_parser("demo", help="quick PRINS-vs-baselines demo")
+    p_demo.add_argument(
+        "--workload", default="synthetic", choices=["synthetic", "tpcc"]
     )
-    p_trace = sub.add_parser("trace", help="capture or replay a write trace")
-    p_trace.add_argument("action", choices=["capture", "replay"])
-    p_trace.add_argument("path", help="trace file (.prtr)")
+    p_demo.add_argument(
+        "--transactions",
+        type=int,
+        default=None,
+        help="operation count override (synthetic writes / TPC-C transactions)",
+    )
+    p_demo.add_argument(
+        "--json",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="PATH",
+        help="emit the telemetry snapshot to PATH ('-' or bare = stdout)",
+    )
+    p_demo.set_defaults(func=_cmd_demo)
+    p_metrics = sub.add_parser(
+        "metrics", help="render a telemetry snapshot (default: live demo)"
+    )
+    p_metrics.add_argument(
+        "path", nargs="?", default=None, help="snapshot JSON from --json"
+    )
+    p_metrics.add_argument(
+        "--format", default="text", choices=["text", "prometheus", "json"]
+    )
+    p_metrics.set_defaults(func=_cmd_metrics)
+    p_trace = sub.add_parser(
+        "trace", help="capture/replay a write trace, or report snapshot spans"
+    )
+    p_trace.add_argument("action", choices=["capture", "replay", "report"])
+    p_trace.add_argument("path", help="trace file (.prtr) or snapshot JSON")
     p_trace.add_argument(
         "--workload", default="tpcc", choices=["tpcc", "tpcw", "fsmicro"]
     )

@@ -16,6 +16,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+from repro.obs.registry import Histogram
+
 #: Ethernet payload per packet, bytes (paper Sec. 3.3: "1.5Kbytes payload")
 PACKET_PAYLOAD = 1500
 #: Ethernet + IP + TCP header bytes per packet (paper: "0.112KB")
@@ -41,7 +43,15 @@ def ethernet_wire_bytes(payload_bytes: int, exact_packets: bool = False) -> floa
 
 @dataclass
 class TrafficAccountant:
-    """Accumulates per-primary replication traffic."""
+    """Accumulates per-primary replication traffic.
+
+    The per-write payload *distribution* is kept in a bounded log2-bucket
+    :class:`~repro.obs.registry.Histogram` (``payload_histogram``), so a
+    long-running engine's memory stays O(buckets) no matter how many
+    writes flow through.  The paper-figure benchmarks that need the exact
+    per-write sample (tail-latency simulation, empirical-distribution
+    queueing) opt back into the raw list with ``keep_raw=True``.
+    """
 
     writes_total: int = 0
     writes_replicated: int = 0
@@ -49,7 +59,14 @@ class TrafficAccountant:
     payload_bytes: int = 0
     pdu_bytes: int = 0
     data_bytes: int = 0  # logical (pre-encoding) block bytes written
+    #: exact per-write payload sample; only populated when ``keep_raw``
     per_write_payloads: list[int] = field(default_factory=list)
+    #: bounded distribution of per-write payload bytes (always maintained)
+    payload_histogram: Histogram = field(
+        default_factory=lambda: Histogram("per_write_payload_bytes")
+    )
+    #: keep the unbounded raw sample (paper-figure benchmarks only)
+    keep_raw: bool = False
     # -- fault-tolerance counters (engine/resilience.py) --------------------
     writes_failed: int = 0  # strict fan-outs aborted by a link exception
     writes_journaled: int = 0  # fan-outs where >=1 copy went to backlog
@@ -74,7 +91,9 @@ class TrafficAccountant:
         self.writes_replicated += 1
         self.payload_bytes += payload_len
         self.pdu_bytes += payload_len + pdu_overhead
-        self.per_write_payloads.append(payload_len)
+        self.payload_histogram.record(payload_len)
+        if self.keep_raw:
+            self.per_write_payloads.append(payload_len)
 
     # -- fault-tolerance accounting ----------------------------------------
 
@@ -117,8 +136,13 @@ class TrafficAccountant:
 
     @property
     def ethernet_bytes(self) -> float:
-        """Total wire bytes under the paper's Ethernet packet model."""
-        return sum(ethernet_wire_bytes(p) for p in self.per_write_payloads)
+        """Total wire bytes under the paper's Ethernet packet model.
+
+        The continuous model (Sec. 3.3) is linear in the payload, so the
+        per-write sum equals the model applied to the total — no raw
+        per-write sample needed.
+        """
+        return ethernet_wire_bytes(self.payload_bytes)
 
     @property
     def mean_payload(self) -> float:
@@ -134,6 +158,44 @@ class TrafficAccountant:
             return math.inf if self.data_bytes else 1.0
         return self.data_bytes / self.payload_bytes
 
+    def snapshot(self) -> dict:
+        """JSON-safe view of every counter plus the payload distribution.
+
+        This is what the engine registers as its telemetry *source*
+        (:meth:`repro.obs.telemetry.Telemetry.register_source`), so all
+        replication and fault-recovery accounting surfaces through one
+        ``Telemetry.snapshot()`` call.
+        """
+        return {
+            "writes_total": self.writes_total,
+            "writes_replicated": self.writes_replicated,
+            "writes_skipped": self.writes_skipped,
+            "writes_failed": self.writes_failed,
+            "writes_journaled": self.writes_journaled,
+            "payload_bytes": self.payload_bytes,
+            "pdu_bytes": self.pdu_bytes,
+            "data_bytes": self.data_bytes,
+            "ethernet_bytes": self.ethernet_bytes,
+            "mean_payload": self.mean_payload,
+            "reduction_vs_data": (
+                -1.0
+                if self.reduction_vs_data == math.inf
+                else self.reduction_vs_data
+            ),
+            "per_write_payload_bytes": self.payload_histogram.snapshot(),
+            "resilience": {
+                "journaled_records": self.journaled_records,
+                "journaled_bytes": self.journaled_bytes,
+                "retries": self.retries,
+                "retry_bytes": self.retry_bytes,
+                "backlog_records_replayed": self.backlog_records_replayed,
+                "backlog_replay_bytes": self.backlog_replay_bytes,
+                "resyncs": self.resyncs,
+                "resync_bytes": self.resync_bytes,
+                "recovery_bytes": self.recovery_bytes,
+            },
+        }
+
     def reset(self) -> None:
         """Zero every counter."""
         self.writes_total = 0
@@ -143,6 +205,7 @@ class TrafficAccountant:
         self.pdu_bytes = 0
         self.data_bytes = 0
         self.per_write_payloads.clear()
+        self.payload_histogram.reset()
         self.writes_failed = 0
         self.writes_journaled = 0
         self.journaled_records = 0

@@ -27,6 +27,7 @@ from repro.engine.replica import ReplicaEngine
 from repro.engine.resilience import LinkHealth, ResilienceConfig, ResyncOutcome
 from repro.engine.strategy import ReplicationStrategy, make_strategy
 from repro.engine.sync import verify_consistency
+from repro.obs.telemetry import get_telemetry
 
 #: hook for decorating each primary→replica channel, e.g. with a
 #: :class:`~repro.engine.resilience.FaultyLink`; called as
@@ -120,10 +121,12 @@ class StorageCluster:
         placement: dict[int, list[int]] | None = None,
         resilience: ResilienceConfig | None = None,
         link_factory: LinkFactory | None = None,
+        telemetry=None,
     ) -> None:
         self.config = config or ClusterConfig()
         self._strategy = make_strategy(self.config.strategy)
         self._resilience = resilience
+        self.telemetry = telemetry if telemetry is not None else get_telemetry()
         self.nodes = [
             ClusterNode(i, self.config, self._strategy)
             for i in range(self.config.nodes)
@@ -145,7 +148,11 @@ class StorageCluster:
                 self._strategy,
                 links,
                 resilience=resilience,
+                telemetry=self.telemetry,
+                telemetry_name=f"cluster.node{node.node_id}",
             )
+        if self.telemetry.enabled:
+            self.telemetry.register_source("cluster", self.telemetry_snapshot)
 
     @property
     def resilience(self) -> ResilienceConfig | None:
@@ -401,6 +408,29 @@ class StorageCluster:
             if node.engine is not None
         )
         return self.total_payload_bytes / writes if writes else 0.0
+
+    def telemetry_snapshot(self) -> dict:
+        """JSON-safe cluster aggregates + channel health map.
+
+        Registered as the ``cluster`` telemetry source; per-node detail
+        lives in the engines' own ``cluster.node<i>`` sources.
+        """
+        return {
+            "nodes": self.config.nodes,
+            "replicas_per_node": self.config.replicas_per_node,
+            "strategy": self.config.strategy,
+            "down_nodes": sorted(self._down_nodes),
+            "payload_bytes": self.total_payload_bytes,
+            "data_bytes": self.total_data_bytes,
+            "retry_bytes": self.total_retry_bytes,
+            "resync_bytes": self.total_resync_bytes,
+            "recovery_bytes": self.total_recovery_bytes,
+            "mean_payload_per_write": self.mean_payload_per_write(),
+            "link_health": {
+                f"{primary}->{replica}": health.value
+                for (primary, replica), health in sorted(self.health().items())
+            },
+        }
 
 
 @dataclass(frozen=True)

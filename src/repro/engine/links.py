@@ -31,6 +31,14 @@ class ReplicaLink(ABC):
     def ship(self, lba: int, record: ReplicationRecord) -> bytes:
         """Deliver ``record`` for ``lba``; return the replica's ack payload."""
 
+    def bind_telemetry(self, telemetry) -> None:
+        """Propagate a telemetry handle down the channel (default: no-op).
+
+        Decorating links forward to their inner link; transport-backed
+        links bind their transport so PDU-level counters and the
+        ``replica.apply`` spans share the engine's telemetry.
+        """
+
     def sync_device(self):
         """The replica's block device, if locally reachable (else ``None``).
 
@@ -65,6 +73,9 @@ class InitiatorLink(ReplicaLink):
     def ship(self, lba: int, record: ReplicationRecord) -> bytes:
         return self._initiator.send_replication_frame(lba, record.pack())
 
+    def bind_telemetry(self, telemetry) -> None:
+        self._initiator.transport.bind_telemetry(telemetry)
+
     def close(self) -> None:
         self._initiator.logout()
 
@@ -79,6 +90,11 @@ class DirectLink(ReplicaLink):
         # Serialize and re-parse so the wire format is exercised and byte
         # counts match the socket path exactly.
         return self._replica.receive(lba, record.pack())
+
+    def bind_telemetry(self, telemetry) -> None:
+        bind = getattr(self._replica, "bind_telemetry", None)
+        if bind is not None:
+            bind(telemetry)
 
     def sync_device(self):
         return getattr(self._replica, "device", None)

@@ -43,11 +43,21 @@ from repro.engine.resilience import (
     ResyncOutcome,
 )
 from repro.engine.strategy import ReplicationStrategy
+from repro.obs.telemetry import get_telemetry
 from repro.raid.parity_base import ParityArrayBase
 
 
 class PrimaryEngine(BlockDevice):
-    """Block device that replicates every write through a strategy."""
+    """Block device that replicates every write through a strategy.
+
+    ``telemetry`` (default: the process-wide handle, normally the no-op
+    null telemetry) instruments the full write path with nested spans —
+    ``write`` → ``write.local`` / ``write.delta`` / ``write.encode`` /
+    ``write.send`` — and registers the engine's accountant and per-link
+    health as a snapshot source named ``engine.<strategy>`` (or
+    ``telemetry_name``), so one ``Telemetry.snapshot()`` covers wire
+    traffic, recovery costs, and stage timings together.
+    """
 
     def __init__(
         self,
@@ -56,13 +66,23 @@ class PrimaryEngine(BlockDevice):
         links: list[ReplicaLink] | None = None,
         verify_acks: bool = True,
         resilience: ResilienceConfig | None = None,
+        accountant: TrafficAccountant | None = None,
+        telemetry=None,
+        telemetry_name: str | None = None,
     ) -> None:
         super().__init__(device.block_size, device.num_blocks)
         self._device = device
         self._strategy = strategy
         self._verify_acks = verify_acks
         self._seq = 0
-        self.accountant = TrafficAccountant()
+        self.accountant = accountant if accountant is not None else TrafficAccountant()
+        self.telemetry = telemetry if telemetry is not None else get_telemetry()
+        self._strategy.bind_telemetry(self.telemetry)
+        if self.telemetry.enabled:
+            self.telemetry.register_source(
+                telemetry_name or f"engine.{strategy.name}",
+                self.telemetry_snapshot,
+            )
         self._resilience = resilience
         self._links: list[ReplicaLink] = []
         self._guards: list[GuardedLink] | None = (
@@ -95,6 +115,7 @@ class PrimaryEngine(BlockDevice):
 
     def add_link(self, link: ReplicaLink) -> None:
         """Attach another replica channel."""
+        link.bind_telemetry(self.telemetry)
         self._links.append(link)
         if self._guards is not None:
             assert self._resilience is not None
@@ -104,6 +125,7 @@ class PrimaryEngine(BlockDevice):
                     self._resilience,
                     self.accountant,
                     index=len(self._guards),
+                    telemetry=self.telemetry,
                 )
             )
 
@@ -155,28 +177,35 @@ class PrimaryEngine(BlockDevice):
 
     def _write(self, lba: int, data: bytes) -> None:
         """Local write + replication: the paper's full write path."""
-        old_data: bytes | None = None
-        raid_delta: bytes | None = None
-        if self._raid is not None:
-            # The array's small-write path computes P' anyway (Eq. 1).
-            raid_delta = self._raid.write_block_with_delta(lba, data)
-        else:
-            if self._strategy.needs_old_data:
-                old_data = self._device.read_block(lba)
-            self._device.write_block(lba, data)
-        frame = self._strategy.encode_update(
-            data, old_data if old_data is not None else b"", raid_delta=raid_delta
-        )
-        if frame is None:
-            self.accountant.record_write(len(data), None)
-            return
-        self._seq += 1
-        record = ReplicationRecord.for_block(self._seq, data, frame)
-        payload_len = len(record.pack())
-        if self._guards is not None:
-            self._fan_out_guarded(lba, record, len(data), payload_len)
-        else:
-            self._fan_out_strict(lba, record, len(data), payload_len)
+        tel = self.telemetry
+        with tel.span("write", lba=lba, strategy=self._strategy.name) as span:
+            old_data: bytes | None = None
+            raid_delta: bytes | None = None
+            with tel.span("write.local"):
+                if self._raid is not None:
+                    # The array's small-write path computes P' anyway (Eq. 1).
+                    raid_delta = self._raid.write_block_with_delta(lba, data)
+                else:
+                    if self._strategy.needs_old_data:
+                        old_data = self._device.read_block(lba)
+                    self._device.write_block(lba, data)
+            frame = self._strategy.encode_update(
+                data,
+                old_data if old_data is not None else b"",
+                raid_delta=raid_delta,
+            )
+            if frame is None:
+                span.set("skipped", True)
+                self.accountant.record_write(len(data), None)
+                return
+            self._seq += 1
+            record = ReplicationRecord.for_block(self._seq, data, frame)
+            payload_len = len(record.pack())
+            span.set("payload_bytes", payload_len)
+            if self._guards is not None:
+                self._fan_out_guarded(lba, record, len(data), payload_len)
+            else:
+                self._fan_out_strict(lba, record, len(data), payload_len)
 
     def _fan_out_strict(
         self, lba: int, record: ReplicationRecord, data_len: int, payload_len: int
@@ -185,7 +214,8 @@ class PrimaryEngine(BlockDevice):
         succeeded: list[int] = []
         for index, link in enumerate(self._links):
             try:
-                ack = link.ship(lba, record)
+                with self.telemetry.span("write.send", link=index):
+                    ack = link.ship(lba, record)
             except Exception as exc:
                 # Record what actually happened before surfacing the fault:
                 # the local write and every acked copy are real.
@@ -214,9 +244,12 @@ class PrimaryEngine(BlockDevice):
         """Degrading fan-out: transient faults become backlog, not errors."""
         assert self._guards is not None
         delivered = 0
-        for guard in self._guards:
-            if guard.ship(lba, record, self._verify_acks):
-                delivered += 1
+        for index, guard in enumerate(self._guards):
+            with self.telemetry.span("write.send", link=index) as span:
+                if guard.ship(lba, record, self._verify_acks):
+                    delivered += 1
+                else:
+                    span.set("journaled", True)
         if delivered or not self._guards:
             self._charge_fanout(data_len, payload_len, delivered)
         else:
@@ -250,6 +283,30 @@ class PrimaryEngine(BlockDevice):
         super().close()
 
     # -- reporting ----------------------------------------------------------
+
+    def telemetry_snapshot(self) -> dict:
+        """JSON-safe engine state: accountant + per-link health/backlog.
+
+        Registered as this engine's telemetry source; everything the
+        accountant and the resilience layer count is readable through one
+        ``Telemetry.snapshot()``.
+        """
+        snapshot = {
+            "strategy": self._strategy.name,
+            "accountant": self.accountant.snapshot(),
+            "links": {
+                "count": len(self._links),
+                "health": [health.value for health in self.link_health()],
+            },
+        }
+        if self._guards:
+            snapshot["links"]["backlog_depths"] = [
+                guard.backlog_depth for guard in self._guards
+            ]
+            snapshot["links"]["needs_resync"] = [
+                guard.needs_resync for guard in self._guards
+            ]
+        return snapshot
 
     @property
     def frame_overhead(self) -> int:

@@ -20,6 +20,7 @@ import struct
 from repro.block.device import BlockDevice
 from repro.engine.messages import ReplicationRecord
 from repro.engine.strategy import ReplicationStrategy
+from repro.obs.telemetry import get_telemetry
 
 _ACK = struct.Struct("<QB")
 
@@ -30,12 +31,22 @@ ACK_DUPLICATE = 1
 class ReplicaEngine:
     """Applies replication records to a local block device."""
 
-    def __init__(self, device: BlockDevice, strategy: ReplicationStrategy) -> None:
+    def __init__(
+        self,
+        device: BlockDevice,
+        strategy: ReplicationStrategy,
+        telemetry=None,
+    ) -> None:
         self._device = device
         self._strategy = strategy
         self._applied_seq: dict[int, int] = {}  # lba -> highest applied seq
         self.records_applied = 0
         self.records_duplicate = 0
+        self.telemetry = telemetry if telemetry is not None else get_telemetry()
+
+    def bind_telemetry(self, telemetry) -> None:
+        """Adopt the primary's telemetry so apply spans nest under sends."""
+        self.telemetry = telemetry
 
     @property
     def device(self) -> BlockDevice:
@@ -54,19 +65,25 @@ class ReplicaEngine:
         replication handler (and called directly by
         :class:`~repro.engine.links.DirectLink`).
         """
-        record = ReplicationRecord.unpack(raw_record)
-        if self._applied_seq.get(lba, -1) >= record.seq:
-            self.records_duplicate += 1
-            return _ACK.pack(record.seq, ACK_DUPLICATE)
-        old_data = (
-            self._device.read_block(lba) if self._strategy.needs_old_data else None
-        )
-        new_data = self._strategy.apply_update(record.frame, old_data)
-        record.verify(new_data)
-        self._device.write_block(lba, new_data)
-        self._applied_seq[lba] = record.seq
-        self.records_applied += 1
-        return _ACK.pack(record.seq, ACK_APPLIED)
+        tel = self.telemetry
+        with tel.span("replica.apply", lba=lba) as span:
+            record = ReplicationRecord.unpack(raw_record)
+            if self._applied_seq.get(lba, -1) >= record.seq:
+                self.records_duplicate += 1
+                span.set("duplicate", True)
+                return _ACK.pack(record.seq, ACK_DUPLICATE)
+            old_data = (
+                self._device.read_block(lba)
+                if self._strategy.needs_old_data
+                else None
+            )
+            with tel.span("replica.decode"):
+                new_data = self._strategy.apply_update(record.frame, old_data)
+            record.verify(new_data)
+            self._device.write_block(lba, new_data)
+            self._applied_seq[lba] = record.seq
+            self.records_applied += 1
+            return _ACK.pack(record.seq, ACK_APPLIED)
 
     @staticmethod
     def parse_ack(payload: bytes) -> tuple[int, int]:

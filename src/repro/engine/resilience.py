@@ -61,6 +61,7 @@ from repro.engine.messages import ReplicationRecord
 from repro.engine.replica import ReplicaEngine
 from repro.engine.sync import SyncReport, digest_sync
 from repro.iscsi.transport import TransportClosedError
+from repro.obs.telemetry import NULL_TELEMETRY
 
 
 class InjectedLinkError(ReplicationError):
@@ -228,6 +229,9 @@ class FaultyLink(ReplicaLink):
         self._inner.ship(lba, record)
         return ack
 
+    def bind_telemetry(self, telemetry) -> None:
+        self._inner.bind_telemetry(telemetry)
+
     def sync_device(self):
         return self._inner.sync_device()
 
@@ -370,6 +374,9 @@ class ResilientLink(ReplicaLink):
         self.giveups += 1
         assert last is not None
         raise RetriesExhaustedError(lba, self.policy.max_attempts, last) from last
+
+    def bind_telemetry(self, telemetry) -> None:
+        self._inner.bind_telemetry(telemetry)
 
     def sync_device(self):
         return self._inner.sync_device()
@@ -537,7 +544,14 @@ class GuardedLink:
         config: ResilienceConfig,
         accountant: TrafficAccountant,
         index: int = 0,
+        telemetry=None,
     ) -> None:
+        tel = telemetry if telemetry is not None else NULL_TELEMETRY
+        # shared across links on purpose: these are engine-wide aggregates
+        self._delivered_counter = tel.counter("resilience.ships_delivered")
+        self._journaled_counter = tel.counter("resilience.ships_journaled")
+        self._suppressed_counter = tel.counter("resilience.ships_suppressed")
+        self._probe_counter = tel.counter("resilience.probe_ships")
         self.raw_link = link
         if isinstance(link, ResilientLink):
             self.link: ReplicaLink = link
@@ -582,8 +596,11 @@ class GuardedLink:
     def ship(self, lba: int, record: ReplicationRecord, verify_acks: bool) -> bool:
         """Deliver now if possible, else journal; True iff delivered."""
         if self.forced_down or not self.breaker.should_attempt():
+            self._suppressed_counter.inc()
             self._journal(lba, record)
             return False
+        if self.breaker.half_open:
+            self._probe_counter.inc()
         if self.backlog.overflowed:
             # Only an explicit heal() (digest resync) can recover; keep
             # journaling so post-overflow writes are at least countable.
@@ -606,10 +623,12 @@ class GuardedLink:
                     f"replica acked seq {seq}, expected {record.seq}"
                 )
         self.breaker.record_success()
+        self._delivered_counter.inc()
         return True
 
     def _journal(self, lba: int, record: ReplicationRecord) -> None:
         self.backlog.append(lba, record)
+        self._journaled_counter.inc()
         self.accountant.record_journaled_copy(len(record.pack()))
 
     def _drain_backlog(self) -> int:

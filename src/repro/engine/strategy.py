@@ -15,6 +15,7 @@ from abc import ABC, abstractmethod
 
 from repro.common.buffers import is_zero
 from repro.common.errors import ConfigurationError
+from repro.obs.telemetry import NULL_TELEMETRY
 from repro.parity.codecs import Codec, get_codec
 from repro.parity.delta import backward_parity, forward_parity
 from repro.parity.frame import decode_frame, encode_frame
@@ -27,6 +28,21 @@ class ReplicationStrategy(ABC):
     name: str = "abstract"
     #: True if ``apply_update`` needs the replica's old block contents
     needs_old_data: bool = False
+    #: telemetry handle (null by default); set via :meth:`bind_telemetry`
+    telemetry = NULL_TELEMETRY
+
+    def bind_telemetry(self, telemetry) -> None:
+        """Attach a telemetry handle so encode stages emit spans.
+
+        Called by :class:`~repro.engine.primary.PrimaryEngine` on
+        construction; also rebinds the strategy's codec when it supports
+        per-stage timing (:class:`~repro.parity.pipeline.PipelineCodec`).
+        """
+        self.telemetry = telemetry
+        codec = getattr(self, "_codec", None)
+        bind = getattr(codec, "bind_telemetry", None)
+        if bind is not None:
+            bind(telemetry)
 
     @abstractmethod
     def encode_update(
@@ -56,7 +72,8 @@ class FullBlockStrategy(ReplicationStrategy):
     def encode_update(
         self, new_data: bytes, old_data: bytes, raid_delta: bytes | None = None
     ) -> bytes | None:
-        return encode_frame(self._codec, new_data)
+        with self.telemetry.span("write.encode", codec=self._codec.name):
+            return encode_frame(self._codec, new_data)
 
     def apply_update(self, frame: bytes, old_data: bytes | None) -> bytes:
         return decode_frame(frame)
@@ -74,7 +91,8 @@ class CompressedBlockStrategy(ReplicationStrategy):
     def encode_update(
         self, new_data: bytes, old_data: bytes, raid_delta: bytes | None = None
     ) -> bytes | None:
-        return encode_frame(self._codec, new_data)
+        with self.telemetry.span("write.encode", codec=self._codec.name):
+            return encode_frame(self._codec, new_data)
 
     def apply_update(self, frame: bytes, old_data: bytes | None) -> bytes:
         return decode_frame(frame)
@@ -110,12 +128,15 @@ class PrinsStrategy(ReplicationStrategy):
     def encode_update(
         self, new_data: bytes, old_data: bytes, raid_delta: bytes | None = None
     ) -> bytes | None:
-        delta = raid_delta if raid_delta is not None else forward_parity(
-            new_data, old_data
-        )
+        if raid_delta is not None:
+            delta = raid_delta  # P' came free from the RAID small write
+        else:
+            with self.telemetry.span("write.delta"):
+                delta = forward_parity(new_data, old_data)
         if self._skip_unchanged and is_zero(delta):
             return None
-        return encode_frame(self._codec, delta)
+        with self.telemetry.span("write.encode", codec=self._codec.name):
+            return encode_frame(self._codec, delta)
 
     def apply_update(self, frame: bytes, old_data: bytes | None) -> bytes:
         if old_data is None:

@@ -153,7 +153,16 @@ def measure_strategies(
             else make_strategy(name)
         )
         replica = ReplicaEngine(replica_device, strategy)
-        engine = PrimaryEngine(primary_device, strategy, [DirectLink(replica)])
+        # keep_raw: the paper-figure benchmarks need the exact per-write
+        # payload sample (tail-latency sim, empirical queueing); everyone
+        # else gets the accountant's bounded histogram only.
+        engine = PrimaryEngine(
+            primary_device,
+            strategy,
+            [DirectLink(replica)],
+            accountant=TrafficAccountant(keep_raw=True),
+            telemetry_name=f"harness.{capture.workload_name}.{name}",
+        )
         replay_trace(capture.trace, engine)
         mismatches = verify_consistency(primary_device, replica_device)
         if mismatches:

@@ -19,23 +19,52 @@ from abc import ABC, abstractmethod
 
 from repro.common.errors import ProtocolError
 from repro.iscsi.pdu import BHS_SIZE, Pdu
+from repro.obs.registry import NULL_COUNTER, NULL_HISTOGRAM
+from repro.obs.telemetry import NULL_TELEMETRY
 
 
 class Transport(ABC):
-    """A bidirectional, ordered, reliable PDU pipe with byte accounting."""
+    """A bidirectional, ordered, reliable PDU pipe with byte accounting.
+
+    A transport can additionally feed the telemetry subsystem
+    (:meth:`bind_telemetry`): sent PDUs then emit ``transport.send`` spans
+    and aggregate ``transport.*`` counters plus a PDU-size histogram in
+    the bound registry.  Counters are registry-wide aggregates shared by
+    every transport bound to the same telemetry — matching how the paper
+    reports wire totals, not per-socket numbers.
+    """
 
     def __init__(self) -> None:
         self.bytes_sent = 0
         self.bytes_received = 0
         self.pdus_sent = 0
         self.pdus_received = 0
+        self._telemetry = NULL_TELEMETRY
+        self._tx_bytes = NULL_COUNTER
+        self._rx_bytes = NULL_COUNTER
+        self._tx_pdus = NULL_COUNTER
+        self._rx_pdus = NULL_COUNTER
+        self._pdu_hist = NULL_HISTOGRAM
+
+    def bind_telemetry(self, telemetry) -> None:
+        """Route this transport's counters/spans into ``telemetry``."""
+        self._telemetry = telemetry
+        self._tx_bytes = telemetry.counter("transport.bytes_sent")
+        self._rx_bytes = telemetry.counter("transport.bytes_received")
+        self._tx_pdus = telemetry.counter("transport.pdus_sent")
+        self._rx_pdus = telemetry.counter("transport.pdus_received")
+        self._pdu_hist = telemetry.histogram("transport.sent_pdu_bytes")
 
     def send(self, pdu: Pdu) -> None:
         """Send one PDU."""
         raw = pdu.pack()
-        self._send_raw(raw)
+        with self._telemetry.span("transport.send", bytes=len(raw)):
+            self._send_raw(raw)
         self.bytes_sent += len(raw)
         self.pdus_sent += 1
+        self._tx_bytes.inc(len(raw))
+        self._tx_pdus.inc()
+        self._pdu_hist.record(len(raw))
 
     def receive(self, timeout: float | None = None) -> Pdu:
         """Block until the next PDU arrives and return it.
@@ -45,6 +74,8 @@ class Transport(ABC):
         pdu = self._receive_pdu(timeout)
         self.bytes_received += pdu.wire_size
         self.pdus_received += 1
+        self._rx_bytes.inc(pdu.wire_size)
+        self._rx_pdus.inc()
         return pdu
 
     @abstractmethod

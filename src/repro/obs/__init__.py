@@ -1,0 +1,61 @@
+"""Telemetry for the PRINS engine: metrics, tracing, exporters.
+
+Every figure in the paper is a measurement; this package is where those
+measurements live at runtime.  Three layers:
+
+* :mod:`repro.obs.registry` — named counters, gauges, and log2-bucket
+  histograms (O(1) record, bounded memory);
+* :mod:`repro.obs.tracing` — nested, monotonic-clock spans covering the
+  full replicated write path, with a bounded ring buffer of raw spans and
+  exact per-stage aggregates;
+* :mod:`repro.obs.export` — JSON snapshots, Prometheus text format, and
+  the ``prins metrics`` / ``prins trace report`` terminal reports.
+
+:class:`~repro.obs.telemetry.Telemetry` fronts all of it; the
+:data:`~repro.obs.telemetry.NULL_TELEMETRY` twin is the default
+everywhere, so nothing pays for observability until it is switched on
+(``PrimaryEngine(..., telemetry=Telemetry())`` or process-wide via
+:func:`~repro.obs.telemetry.set_telemetry`).
+"""
+
+from repro.obs.export import (
+    load_snapshot,
+    render_metrics_report,
+    render_trace_report,
+    save_snapshot,
+    to_json,
+    to_prometheus,
+)
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.telemetry import (
+    NULL_TELEMETRY,
+    NullTelemetry,
+    Telemetry,
+    get_telemetry,
+    set_telemetry,
+    use_telemetry,
+)
+from repro.obs.tracing import NULL_SPAN, NullTracer, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "NULL_TELEMETRY",
+    "NullTelemetry",
+    "NullTracer",
+    "Span",
+    "Telemetry",
+    "Tracer",
+    "get_telemetry",
+    "load_snapshot",
+    "render_metrics_report",
+    "render_trace_report",
+    "save_snapshot",
+    "set_telemetry",
+    "to_json",
+    "to_prometheus",
+    "use_telemetry",
+]

@@ -1,0 +1,264 @@
+"""Exporters: JSON, Prometheus text format, and terminal reports.
+
+All three read the same :meth:`~repro.obs.telemetry.Telemetry.snapshot`
+dict, so a snapshot can be captured once (``prins demo --json out.json``)
+and rendered later in any format (``prins metrics out.json``, ``prins
+trace report out.json``) — the snapshot is the interchange format, not
+the live objects.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+
+__all__ = [
+    "load_snapshot",
+    "render_metrics_report",
+    "render_trace_report",
+    "save_snapshot",
+    "to_json",
+    "to_prometheus",
+]
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def to_json(snapshot: dict, indent: int | None = 2) -> str:
+    """Serialize a snapshot to JSON (stable key order)."""
+    return json.dumps(snapshot, indent=indent, sort_keys=True)
+
+
+def save_snapshot(snapshot: dict, path) -> None:
+    """Write :func:`to_json` output to ``path``."""
+    from pathlib import Path
+
+    Path(path).write_text(to_json(snapshot) + "\n", encoding="utf-8")
+
+
+def load_snapshot(path) -> dict:
+    """Read a snapshot previously written by :func:`save_snapshot`."""
+    from pathlib import Path
+
+    return json.loads(Path(path).read_text(encoding="utf-8"))
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text format
+# ---------------------------------------------------------------------------
+
+
+def _prom_name(*parts: str) -> str:
+    return _NAME_RE.sub("_", "_".join(p for p in parts if p)).strip("_")
+
+
+def _flatten_numeric(prefix: str, value, out: list[tuple[str, float]]) -> None:
+    """Collect numeric leaves of a nested source dict as (name, value)."""
+    if isinstance(value, bool):
+        out.append((prefix, 1.0 if value else 0.0))
+    elif isinstance(value, (int, float)):
+        out.append((prefix, float(value)))
+    elif isinstance(value, dict):
+        for key, sub in value.items():
+            _flatten_numeric(f"{prefix}_{key}" if prefix else str(key), sub, out)
+    # strings and lists are skipped: Prometheus carries numbers only
+
+
+def _emit_histogram(name: str, hist: dict, lines: list[str]) -> None:
+    lines.append(f"# TYPE {name} histogram")
+    cumulative = 0
+    for bucket in hist.get("buckets", []):
+        cumulative += bucket["count"]
+        le = bucket["le"]
+        le_text = "+Inf" if le == "inf" else str(le)
+        lines.append(f'{name}_bucket{{le="{le_text}"}} {cumulative}')
+    if not hist.get("buckets") or hist["buckets"][-1]["le"] != "inf":
+        lines.append(f'{name}_bucket{{le="+Inf"}} {cumulative}')
+    lines.append(f"{name}_sum {hist.get('sum', 0)}")
+    lines.append(f"{name}_count {hist.get('count', 0)}")
+
+
+def to_prometheus(snapshot: dict, prefix: str = "prins") -> str:
+    """Render a snapshot in the Prometheus exposition text format.
+
+    Registry counters/gauges/histograms map to their native types; span
+    aggregates become ``<prefix>_span_<name>_ns`` summaries; numeric
+    leaves of every snapshot source become gauges.
+    """
+    lines: list[str] = []
+    metrics = snapshot.get("metrics", {})
+    for name, value in metrics.get("counters", {}).items():
+        prom = _prom_name(prefix, name, "total")
+        lines.append(f"# TYPE {prom} counter")
+        lines.append(f"{prom} {value}")
+    for name, value in metrics.get("gauges", {}).items():
+        prom = _prom_name(prefix, name)
+        lines.append(f"# TYPE {prom} gauge")
+        lines.append(f"{prom} {value}")
+    for name, hist in metrics.get("histograms", {}).items():
+        _emit_histogram(_prom_name(prefix, name), hist, lines)
+    for name, stats in snapshot.get("spans", {}).items():
+        prom = _prom_name(prefix, "span", name, "ns")
+        lines.append(f"# TYPE {prom} summary")
+        for quantile, key in (("0.5", "p50_ns"), ("0.99", "p99_ns")):
+            lines.append(f'{prom}{{quantile="{quantile}"}} {stats.get(key, 0)}')
+        lines.append(f"{prom}_sum {stats.get('total_ns', 0)}")
+        lines.append(f"{prom}_count {stats.get('count', 0)}")
+    flat: list[tuple[str, float]] = []
+    for source, data in snapshot.get("sources", {}).items():
+        _flatten_numeric(_prom_name(prefix, "source", source), data, flat)
+    for name, value in flat:
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name} {value:g}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+# ---------------------------------------------------------------------------
+# Terminal reports
+# ---------------------------------------------------------------------------
+
+
+def _fmt_ns(ns: float) -> str:
+    if ns >= 1e9:
+        return f"{ns / 1e9:.2f}s"
+    if ns >= 1e6:
+        return f"{ns / 1e6:.2f}ms"
+    if ns >= 1e3:
+        return f"{ns / 1e3:.1f}us"
+    return f"{ns:.0f}ns"
+
+
+def render_metrics_report(snapshot: dict) -> str:
+    """Human-readable ``prins metrics`` report of one snapshot."""
+    lines: list[str] = []
+    if not snapshot.get("enabled", False):
+        lines.append("telemetry: disabled (null telemetry; nothing recorded)")
+        return "\n".join(lines)
+    metrics = snapshot.get("metrics", {})
+    counters = metrics.get("counters", {})
+    if counters:
+        lines.append("counters:")
+        for name, value in counters.items():
+            lines.append(f"  {name:44s} {value}")
+    gauges = metrics.get("gauges", {})
+    if gauges:
+        lines.append("gauges:")
+        for name, value in gauges.items():
+            lines.append(f"  {name:44s} {value:g}")
+    histograms = metrics.get("histograms", {})
+    if histograms:
+        lines.append("histograms:")
+        for name, hist in histograms.items():
+            lines.append(
+                f"  {name:44s} n={hist.get('count', 0)} "
+                f"mean={hist.get('mean', 0.0):.1f} "
+                f"p50={hist.get('p50', 0)} p99={hist.get('p99', 0)} "
+                f"max={hist.get('max', 0)}"
+            )
+    spans = snapshot.get("spans", {})
+    if spans:
+        lines.append("write-path spans (per stage):")
+        lines.append(
+            f"  {'stage':32s} {'count':>8s} {'mean':>10s} {'p50':>10s} "
+            f"{'p99':>10s} {'total':>10s}"
+        )
+        for name, stats in spans.items():
+            lines.append(
+                f"  {name:32s} {stats.get('count', 0):>8d} "
+                f"{_fmt_ns(stats.get('mean_ns', 0.0)):>10s} "
+                f"{_fmt_ns(stats.get('p50_ns', 0)):>10s} "
+                f"{_fmt_ns(stats.get('p99_ns', 0)):>10s} "
+                f"{_fmt_ns(stats.get('total_ns', 0)):>10s}"
+            )
+    sources = snapshot.get("sources", {})
+    if sources:
+        lines.append("sources:")
+        for name, data in sources.items():
+            lines.append(f"  {name}:")
+            lines.extend(_render_source(data, indent=4))
+    if not lines:
+        lines.append("telemetry: enabled but empty (no activity recorded)")
+    return "\n".join(lines)
+
+
+def _render_source(data, indent: int) -> list[str]:
+    pad = " " * indent
+    lines: list[str] = []
+    if not isinstance(data, dict):
+        return [f"{pad}{data}"]
+    for key, value in data.items():
+        if isinstance(value, dict):
+            if set(value) >= {"count", "buckets"}:  # histogram snapshot
+                lines.append(
+                    f"{pad}{key}: n={value.get('count', 0)} "
+                    f"mean={value.get('mean', 0.0):.1f} "
+                    f"p50={value.get('p50', 0)} p99={value.get('p99', 0)}"
+                )
+            else:
+                lines.append(f"{pad}{key}:")
+                lines.extend(_render_source(value, indent + 2))
+        elif isinstance(value, list):
+            lines.append(f"{pad}{key}: {value}")
+        else:
+            lines.append(f"{pad}{key}: {value}")
+    return lines
+
+
+def render_trace_report(snapshot: dict, max_traces: int = 10) -> str:
+    """Human-readable ``prins trace report``: the most recent span trees.
+
+    Spans whose parents were evicted from the ring buffer render as roots
+    of their own subtree (marked ``…``), so a partially retained trace is
+    still readable.
+    """
+    spans = snapshot.get("traces", [])
+    if not spans:
+        return "no spans recorded (telemetry disabled or nothing traced)"
+    by_trace: dict[int, list[dict]] = {}
+    for span in spans:
+        by_trace.setdefault(span["trace_id"], []).append(span)
+    trace_ids = list(by_trace)
+    shown_ids = trace_ids[-max_traces:]
+    lines = [
+        f"{len(spans)} buffered spans in {len(trace_ids)} traces "
+        f"(showing last {len(shown_ids)}):"
+    ]
+    for trace_id in shown_ids:
+        members = sorted(by_trace[trace_id], key=lambda s: s["start_ns"])
+        present = {span["span_id"] for span in members}
+        children: dict[int | None, list[dict]] = {}
+        roots: list[dict] = []
+        for span in members:
+            parent = span.get("parent_id")
+            if parent is None or parent not in present:
+                roots.append(span)
+            else:
+                children.setdefault(parent, []).append(span)
+        lines.append(f"trace {trace_id}:")
+        for root in roots:
+            truncated = root.get("parent_id") is not None
+            _render_span(root, children, lines, depth=1, truncated=truncated)
+    return "\n".join(lines)
+
+
+def _render_span(
+    span: dict,
+    children: dict,
+    lines: list[str],
+    depth: int,
+    truncated: bool = False,
+) -> None:
+    attrs = span.get("attrs") or {}
+    attr_text = (
+        " (" + ", ".join(f"{k}={v}" for k, v in attrs.items()) + ")"
+        if attrs
+        else ""
+    )
+    marker = "… " if truncated else ""
+    pad = "  " * depth
+    lines.append(
+        f"{pad}{marker}{span['name']}{attr_text}  "
+        f"{_fmt_ns(span['duration_ns'])}"
+    )
+    for child in children.get(span["span_id"], []):
+        _render_span(child, children, lines, depth + 1)

@@ -1,0 +1,398 @@
+"""Metric primitives and the registry that names them.
+
+Three metric kinds, mirroring the minimum a storage engine needs:
+
+* :class:`Counter` — a monotonically increasing integer (``inc``);
+* :class:`Gauge` — a settable point-in-time value, optionally backed by a
+  callback evaluated lazily at snapshot time (``gauge_fn``), which is how
+  the engine's existing accountants surface without double bookkeeping;
+* :class:`Histogram` — fixed log2 buckets.  ``record`` is O(1) (one
+  ``bit_length``, one list increment) and memory is bounded by the bucket
+  count regardless of how many samples arrive, which is what lets the
+  accountant drop its unbounded per-write payload list.
+
+Every metric lives in a :class:`MetricsRegistry` under a unique dotted
+name; ``snapshot()`` returns a JSON-safe dict (plain str/int/float/list/
+dict only) so the exporters never need to special-case types.
+
+The ``Null*`` twins at the bottom are shared, state-free singletons used
+by disabled telemetry: recording into them is a no-op method call, so
+instrumented hot paths cost ~nothing when observability is off.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_COUNTER",
+    "NULL_GAUGE",
+    "NULL_HISTOGRAM",
+    "NullMetricsRegistry",
+]
+
+
+class Counter:
+    """Monotonic integer counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease: {amount}")
+        self.value += amount
+
+    def reset(self) -> None:
+        """Zero the counter."""
+        self.value = 0
+
+
+class Gauge:
+    """Point-in-time value; set directly or backed by a callback."""
+
+    __slots__ = ("name", "_value", "_fn")
+
+    def __init__(
+        self, name: str, fn: Callable[[], float] | None = None
+    ) -> None:
+        self.name = name
+        self._value: float = 0.0
+        self._fn = fn
+
+    def set(self, value: float) -> None:
+        """Set the gauge (only for gauges without a callback)."""
+        if self._fn is not None:
+            raise ValueError(f"gauge {self.name!r} is callback-backed")
+        self._value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Adjust the gauge by ``amount`` (may be negative)."""
+        if self._fn is not None:
+            raise ValueError(f"gauge {self.name!r} is callback-backed")
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        """Current value (evaluates the callback if one is bound)."""
+        if self._fn is not None:
+            return float(self._fn())
+        return self._value
+
+    def reset(self) -> None:
+        """Zero a settable gauge (callback gauges reset with their source)."""
+        if self._fn is None:
+            self._value = 0.0
+
+
+class Histogram:
+    """Fixed log2-bucket histogram: O(1) record, bounded memory.
+
+    Bucket ``0`` counts the value ``0``; bucket ``i`` (1-based) counts
+    values whose ``bit_length`` is ``i``, i.e. ``2**(i-1) <= v <= 2**i - 1``
+    (upper bound ``2**i - 1``).  Values beyond ``2**max_exponent - 1`` land
+    in a final overflow bucket.  Log2 buckets suit both byte sizes and
+    nanosecond latencies: relative resolution is a constant 2x across ten
+    orders of magnitude with ~40 ints of state.
+    """
+
+    __slots__ = ("name", "_counts", "_max_exponent", "count", "sum", "min", "max")
+
+    def __init__(self, name: str, max_exponent: int = 40) -> None:
+        if max_exponent < 1:
+            raise ValueError(f"max_exponent must be >= 1, got {max_exponent}")
+        self.name = name
+        self._max_exponent = max_exponent
+        # index 0: value 0; 1..max_exponent: bit_length buckets; -1: overflow
+        self._counts = [0] * (max_exponent + 2)
+        self.count = 0
+        self.sum = 0
+        self.min: int | None = None
+        self.max: int | None = None
+
+    def record(self, value: int | float) -> None:
+        """Record one sample (floats are floored; must be >= 0)."""
+        v = int(value)
+        if v < 0:
+            raise ValueError(f"histogram {self.name!r} takes values >= 0, got {v}")
+        index = v.bit_length()
+        if index > self._max_exponent:
+            index = self._max_exponent + 1
+        self._counts[index] += 1
+        self.count += 1
+        self.sum += v
+        if self.min is None or v < self.min:
+            self.min = v
+        if self.max is None or v > self.max:
+            self.max = v
+
+    @property
+    def mean(self) -> float:
+        """Mean of all recorded samples (0.0 when empty)."""
+        return self.sum / self.count if self.count else 0.0
+
+    def bucket_upper_bound(self, index: int) -> int | None:
+        """Inclusive upper bound of bucket ``index`` (None = overflow)."""
+        if index == 0:
+            return 0
+        if index > self._max_exponent:
+            return None
+        return (1 << index) - 1
+
+    def quantile(self, q: float) -> int:
+        """Approximate ``q``-quantile: the upper bound of the covering bucket.
+
+        Exact up to bucket resolution (a factor of 2); the overflow bucket
+        reports the largest recorded value.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self.count:
+            return 0
+        target = math.ceil(q * self.count)
+        cumulative = 0
+        for index, bucket_count in enumerate(self._counts):
+            cumulative += bucket_count
+            if cumulative >= target and bucket_count:
+                bound = self.bucket_upper_bound(index)
+                if bound is None:
+                    return int(self.max or 0)
+                return min(bound, int(self.max or bound))
+        return int(self.max or 0)
+
+    def snapshot(self) -> dict:
+        """JSON-safe view: count/sum/min/max plus non-empty buckets."""
+        buckets = []
+        for index, bucket_count in enumerate(self._counts):
+            if not bucket_count:
+                continue
+            bound = self.bucket_upper_bound(index)
+            buckets.append(
+                {"le": "inf" if bound is None else bound, "count": bucket_count}
+            )
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": 0 if self.min is None else self.min,
+            "max": 0 if self.max is None else self.max,
+            "mean": self.mean,
+            "p50": self.quantile(0.50),
+            "p99": self.quantile(0.99),
+            "buckets": buckets,
+        }
+
+    def reset(self) -> None:
+        """Forget every sample."""
+        for index in range(len(self._counts)):
+            self._counts[index] = 0
+        self.count = 0
+        self.sum = 0
+        self.min = None
+        self.max = None
+
+
+class MetricsRegistry:
+    """Named counters, gauges, and histograms behind get-or-create APIs.
+
+    Names are dotted paths (``engine.prins.payload_bytes``); a name may be
+    registered under exactly one kind.  ``adopt_histogram`` registers an
+    externally owned :class:`Histogram` (e.g. the traffic accountant's
+    per-write payload histogram) so one recording feeds both its owner and
+    the registry.  Not thread-safe beyond CPython's int-increment atomicity
+    — matching the single-threaded measurement harness.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- registration -------------------------------------------------------
+
+    def _check_name(self, name: str, kind: dict) -> None:
+        if not name or not isinstance(name, str):
+            raise ValueError(f"metric name must be a non-empty str, got {name!r}")
+        for other in (self._counters, self._gauges, self._histograms):
+            if other is not kind and name in other:
+                raise ValueError(
+                    f"metric name {name!r} is already registered as another kind"
+                )
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter ``name``."""
+        existing = self._counters.get(name)
+        if existing is None:
+            self._check_name(name, self._counters)
+            existing = self._counters[name] = Counter(name)
+        return existing
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the settable gauge ``name``."""
+        existing = self._gauges.get(name)
+        if existing is None:
+            self._check_name(name, self._gauges)
+            existing = self._gauges[name] = Gauge(name)
+        return existing
+
+    def gauge_fn(self, name: str, fn: Callable[[], float]) -> Gauge:
+        """Register a callback-backed gauge (evaluated at snapshot time)."""
+        self._check_name(name, self._gauges)
+        if name in self._gauges:
+            raise ValueError(f"gauge {name!r} already registered")
+        gauge = self._gauges[name] = Gauge(name, fn=fn)
+        return gauge
+
+    def histogram(self, name: str, max_exponent: int = 40) -> Histogram:
+        """Get or create the histogram ``name``."""
+        existing = self._histograms.get(name)
+        if existing is None:
+            self._check_name(name, self._histograms)
+            existing = self._histograms[name] = Histogram(name, max_exponent)
+        return existing
+
+    def adopt_histogram(self, name: str, histogram: Histogram) -> Histogram:
+        """Register an externally owned histogram under ``name``."""
+        self._check_name(name, self._histograms)
+        if name in self._histograms and self._histograms[name] is not histogram:
+            raise ValueError(f"histogram {name!r} already registered")
+        self._histograms[name] = histogram
+        return histogram
+
+    def unique_name(self, base: str) -> str:
+        """A name not yet used by any metric: ``base``, ``base#2``, ..."""
+        taken = self._counters.keys() | self._gauges.keys() | self._histograms.keys()
+        if base not in taken:
+            return base
+        n = 2
+        while f"{base}#{n}" in taken:
+            n += 1
+        return f"{base}#{n}"
+
+    # -- reading ------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-safe view of every metric, callbacks evaluated now."""
+        return {
+            "counters": {
+                name: counter.value
+                for name, counter in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: gauge.value for name, gauge in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: histogram.snapshot()
+                for name, histogram in sorted(self._histograms.items())
+            },
+        }
+
+    def reset(self) -> None:
+        """Zero every metric (callback gauges reset with their sources)."""
+        for counter in self._counters.values():
+            counter.reset()
+        for gauge in self._gauges.values():
+            gauge.reset()
+        for histogram in self._histograms.values():
+            histogram.reset()
+
+
+# ---------------------------------------------------------------------------
+# Null twins: the disabled-telemetry fast path
+# ---------------------------------------------------------------------------
+
+
+class _NullCounter:
+    """Shared no-op counter."""
+
+    __slots__ = ()
+    name = "null"
+    value = 0
+
+    def inc(self, amount: int = 1) -> None:  # noqa: ARG002 - interface parity
+        pass
+
+    def reset(self) -> None:
+        pass
+
+
+class _NullGauge:
+    """Shared no-op gauge."""
+
+    __slots__ = ()
+    name = "null"
+    value = 0.0
+
+    def set(self, value: float) -> None:  # noqa: ARG002
+        pass
+
+    def inc(self, amount: float = 1.0) -> None:  # noqa: ARG002
+        pass
+
+    def reset(self) -> None:
+        pass
+
+
+class _NullHistogram:
+    """Shared no-op histogram."""
+
+    __slots__ = ()
+    name = "null"
+    count = 0
+    sum = 0
+    min = None
+    max = None
+    mean = 0.0
+
+    def record(self, value: int | float) -> None:  # noqa: ARG002
+        pass
+
+    def quantile(self, q: float) -> int:  # noqa: ARG002
+        return 0
+
+    def snapshot(self) -> dict:
+        return {"count": 0, "sum": 0, "buckets": []}
+
+    def reset(self) -> None:
+        pass
+
+
+NULL_COUNTER = _NullCounter()
+NULL_GAUGE = _NullGauge()
+NULL_HISTOGRAM = _NullHistogram()
+
+
+class NullMetricsRegistry:
+    """Registry twin that hands out shared no-op metrics."""
+
+    def counter(self, name: str) -> _NullCounter:  # noqa: ARG002
+        return NULL_COUNTER
+
+    def gauge(self, name: str) -> _NullGauge:  # noqa: ARG002
+        return NULL_GAUGE
+
+    def gauge_fn(self, name: str, fn: Callable[[], float]) -> _NullGauge:  # noqa: ARG002
+        return NULL_GAUGE
+
+    def histogram(self, name: str, max_exponent: int = 40) -> _NullHistogram:  # noqa: ARG002
+        return NULL_HISTOGRAM
+
+    def adopt_histogram(self, name: str, histogram) -> _NullHistogram:  # noqa: ARG002
+        return NULL_HISTOGRAM
+
+    def unique_name(self, base: str) -> str:
+        return base
+
+    def snapshot(self) -> dict:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def reset(self) -> None:
+        pass

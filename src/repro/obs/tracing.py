@@ -1,0 +1,260 @@
+"""Span-based tracing for the write path.
+
+A :class:`Span` times one stage of work on the monotonic clock
+(``time.perf_counter_ns``).  Spans are context managers and nest: the
+:class:`Tracer` keeps a per-thread stack, so a span opened while another
+is active becomes its child and shares its trace id.  The full PRINS
+write path therefore shows up as one tree per write::
+
+    write (lba=17)
+    ├─ write.local
+    ├─ write.delta
+    ├─ write.encode
+    └─ write.send (link=0)
+       └─ replica.apply
+          └─ replica.decode
+
+Finished spans go two places:
+
+* a bounded ring buffer (``capacity`` spans, oldest evicted) holding the
+  raw records for the ``prins trace`` report and the JSON exporter;
+* per-name aggregates (count / total / min / max plus a log2 latency
+  histogram) that survive ring-buffer eviction, so summary timings are
+  exact over the whole run even when only the last few traces are kept.
+
+:data:`NULL_SPAN` / :class:`NullTracer` are the disabled twins: a single
+shared span object whose enter/exit do nothing, so instrumentation left
+in the hot path costs one method call and no allocation when tracing is
+off.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+from repro.obs.registry import Histogram
+
+__all__ = ["Span", "Tracer", "NULL_SPAN", "NullSpan", "NullTracer"]
+
+
+class Span:
+    """One timed stage; use as a context manager via :meth:`Tracer.span`."""
+
+    __slots__ = (
+        "name",
+        "attrs",
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "start_ns",
+        "duration_ns",
+        "_tracer",
+    )
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.trace_id = 0
+        self.span_id = 0
+        self.parent_id: int | None = None
+        self.start_ns = 0
+        self.duration_ns = 0
+
+    def set(self, key: str, value) -> None:
+        """Attach one attribute (JSON-safe values only, by convention)."""
+        self.attrs[key] = value
+
+    def __enter__(self) -> "Span":
+        self._tracer._enter(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self.attrs["error"] = exc_type.__name__
+        self._tracer._exit(self)
+        return False
+
+    def to_dict(self) -> dict:
+        """JSON-safe record of the finished span."""
+        record = {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_ns": self.start_ns,
+            "duration_ns": self.duration_ns,
+        }
+        if self.attrs:
+            record["attrs"] = dict(self.attrs)
+        return record
+
+
+class _SpanStats:
+    """Aggregate timing for one span name."""
+
+    __slots__ = ("count", "total_ns", "min_ns", "max_ns", "histogram")
+
+    def __init__(self, name: str) -> None:
+        self.count = 0
+        self.total_ns = 0
+        self.min_ns: int | None = None
+        self.max_ns = 0
+        self.histogram = Histogram(f"span.{name}.ns", max_exponent=48)
+
+    def record(self, duration_ns: int) -> None:
+        self.count += 1
+        self.total_ns += duration_ns
+        if self.min_ns is None or duration_ns < self.min_ns:
+            self.min_ns = duration_ns
+        if duration_ns > self.max_ns:
+            self.max_ns = duration_ns
+        self.histogram.record(duration_ns)
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self.count,
+            "total_ns": self.total_ns,
+            "mean_ns": self.total_ns / self.count if self.count else 0.0,
+            "min_ns": self.min_ns or 0,
+            "max_ns": self.max_ns,
+            "p50_ns": self.histogram.quantile(0.50),
+            "p99_ns": self.histogram.quantile(0.99),
+        }
+
+
+class Tracer:
+    """Creates spans, tracks nesting, buffers and aggregates them."""
+
+    def __init__(self, capacity: int = 2048) -> None:
+        if capacity < 1:
+            raise ValueError(f"trace capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.finished: deque[dict] = deque(maxlen=capacity)
+        self._stats: dict[str, _SpanStats] = {}
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._next_id = 0
+        self.spans_started = 0
+        self.spans_finished = 0
+
+    # -- span lifecycle ------------------------------------------------------
+
+    def span(self, name: str, **attrs) -> Span:
+        """Open a new span; use ``with tracer.span("stage"): ...``."""
+        return Span(self, name, attrs)
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _enter(self, span: Span) -> None:
+        with self._lock:
+            self._next_id += 1
+            span.span_id = self._next_id
+        stack = self._stack()
+        if stack:
+            span.parent_id = stack[-1].span_id
+            span.trace_id = stack[-1].trace_id
+        else:
+            span.parent_id = None
+            span.trace_id = span.span_id
+        stack.append(span)
+        self.spans_started += 1
+        span.start_ns = time.perf_counter_ns()
+
+    def _exit(self, span: Span) -> None:
+        span.duration_ns = time.perf_counter_ns() - span.start_ns
+        stack = self._stack()
+        # normal case: LIFO discipline; tolerate misuse by searching back
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif span in stack:
+            stack.remove(span)
+        self.spans_finished += 1
+        self.finished.append(span.to_dict())
+        stats = self._stats.get(span.name)
+        if stats is None:
+            stats = self._stats[span.name] = _SpanStats(span.name)
+        stats.record(span.duration_ns)
+
+    @property
+    def current_span(self) -> Span | None:
+        """The innermost open span on this thread, if any."""
+        stack = getattr(self._local, "stack", None)
+        return stack[-1] if stack else None
+
+    # -- reading -------------------------------------------------------------
+
+    def summary(self) -> dict:
+        """Per-name aggregate timings (exact over the whole run)."""
+        return {
+            name: stats.snapshot() for name, stats in sorted(self._stats.items())
+        }
+
+    def export_spans(self, max_spans: int | None = None) -> list[dict]:
+        """The most recent finished spans (oldest first), JSON-safe."""
+        spans = list(self.finished)
+        if max_spans is not None and len(spans) > max_spans:
+            spans = spans[-max_spans:]
+        return spans
+
+    def reset(self) -> None:
+        """Drop buffered spans and aggregates (open spans unaffected)."""
+        self.finished.clear()
+        self._stats.clear()
+        self.spans_started = 0
+        self.spans_finished = 0
+
+
+# ---------------------------------------------------------------------------
+# Null twins
+# ---------------------------------------------------------------------------
+
+
+class NullSpan:
+    """Shared do-nothing span: enter/exit/set are no-ops."""
+
+    __slots__ = ()
+    name = "null"
+    duration_ns = 0
+
+    def set(self, key: str, value) -> None:  # noqa: ARG002
+        pass
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:  # noqa: ARG002
+        return False
+
+
+NULL_SPAN = NullSpan()
+
+
+class NullTracer:
+    """Tracer twin whose spans are the shared :data:`NULL_SPAN`."""
+
+    capacity = 0
+    spans_started = 0
+    spans_finished = 0
+
+    def span(self, name: str, **attrs) -> NullSpan:  # noqa: ARG002
+        return NULL_SPAN
+
+    @property
+    def current_span(self) -> None:
+        return None
+
+    def summary(self) -> dict:
+        return {}
+
+    def export_spans(self, max_spans: int | None = None) -> list:  # noqa: ARG002
+        return []
+
+    def reset(self) -> None:
+        pass

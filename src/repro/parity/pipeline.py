@@ -12,6 +12,7 @@ from __future__ import annotations
 import struct
 
 from repro.common.errors import CodecError
+from repro.obs.telemetry import NULL_TELEMETRY
 from repro.parity.codecs import Codec, register_codec
 from repro.parity.zero_rle import ZeroRleCodec
 from repro.parity.zlibcodec import ZlibCodec
@@ -23,15 +24,26 @@ class PipelineCodec(Codec):
     Wire format: one ``uint32`` intermediate length per stage after the
     first, then the final stage's payload.  (The first stage's input length
     is the frame's ``original_length``.)
+
+    When a telemetry handle is bound (:meth:`bind_telemetry`, done by the
+    owning strategy), every stage emits a ``codec.<stage>.encode`` /
+    ``codec.<stage>.decode`` span, so a ``prins trace`` report shows where
+    encoding time goes *inside* the composed codec.
     """
 
     codec_id = 4
     name = "rle+zlib"
+    #: telemetry handle (null by default)
+    telemetry = NULL_TELEMETRY
 
     def __init__(self, stages: list[Codec] | None = None) -> None:
         self._stages = stages if stages is not None else [ZeroRleCodec(), ZlibCodec()]
         if not self._stages:
             raise ValueError("pipeline needs at least one stage")
+
+    def bind_telemetry(self, telemetry) -> None:
+        """Attach a telemetry handle for per-stage span timing."""
+        self.telemetry = telemetry
 
     @property
     def stages(self) -> list[Codec]:
@@ -39,16 +51,19 @@ class PipelineCodec(Codec):
         return list(self._stages)
 
     def encode(self, data: bytes) -> bytes:
+        tel = self.telemetry
         lengths: list[int] = []
         current = data
         for stage in self._stages:
             lengths.append(len(current))
-            current = stage.encode(current)
+            with tel.span(f"codec.{stage.name}.encode"):
+                current = stage.encode(current)
         # lengths[0] equals the caller-known original length; skip it.
         header = struct.pack(f"<{len(lengths) - 1}I", *lengths[1:])
         return header + current
 
     def decode(self, payload: bytes, original_length: int) -> bytes:
+        tel = self.telemetry
         n_header = len(self._stages) - 1
         header_size = 4 * n_header
         if len(payload) < header_size:
@@ -57,7 +72,8 @@ class PipelineCodec(Codec):
         lengths += list(struct.unpack_from(f"<{n_header}I", payload, 0))
         current = payload[header_size:]
         for stage, length in zip(reversed(self._stages), reversed(lengths)):
-            current = stage.decode(current, length)
+            with tel.span(f"codec.{stage.name}.decode"):
+                current = stage.decode(current, length)
         return current
 
 
