@@ -1,0 +1,160 @@
+"""Batching ablation: PDU count, wire bytes, and wall-clock vs unbatched.
+
+Not a paper figure — the paper ships every parity delta as its own PDU —
+but the natural next lever once deltas are small: amortize the 48-byte
+PDU header over a window of writes and merge same-LBA deltas by XOR
+composition before paying the codec.
+
+Expected shape on both OLTP traces (TPC-C and TPC-W):
+
+* strictly fewer PDUs (one per window instead of one per write);
+* wire bytes no worse than unbatched (header amortization dominates the
+  8-byte batch header; same-LBA merges remove whole records);
+* replicas byte-identical to the unbatched run (the correctness bar —
+  also enforced as a property test in ``tests/test_batch_property.py``).
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import bench_scale
+
+from repro.block import MemoryBlockDevice
+from repro.common.units import format_bytes
+from repro.engine import (
+    BatchConfig,
+    DirectLink,
+    PrimaryEngine,
+    ReplicaEngine,
+    make_strategy,
+    verify_consistency,
+)
+from repro.experiments.figures import get_scale
+from repro.experiments.harness import capture_tpcc_trace, capture_tpcw_trace
+from repro.workloads.trace import replay_trace
+
+BLOCK_SIZE = 8192
+WINDOW = 16
+
+
+def _capture(workload: str):
+    s = get_scale(bench_scale())
+    if workload == "tpcc":
+        return capture_tpcc_trace(
+            BLOCK_SIZE, config=s.tpcc_oracle, transactions=s.tpcc_transactions
+        )
+    return capture_tpcw_trace(
+        BLOCK_SIZE, config=s.tpcw, interactions=s.tpcw_interactions
+    )
+
+
+def _replay(capture, batch: BatchConfig | None):
+    """Replay the trace through a PRINS engine; return (engine, replica, secs)."""
+    primary = MemoryBlockDevice(capture.trace.block_size, capture.trace.num_blocks)
+    primary.load(capture.base_image)
+    replica = MemoryBlockDevice(capture.trace.block_size, capture.trace.num_blocks)
+    replica.load(capture.base_image)
+    strategy = make_strategy("prins")
+    engine = PrimaryEngine(
+        primary,
+        strategy,
+        [DirectLink(ReplicaEngine(replica, strategy))],
+        batch=batch,
+    )
+    started = time.perf_counter()
+    replay_trace(capture.trace, engine)
+    engine.flush_batch()
+    elapsed = time.perf_counter() - started
+    return engine, replica, elapsed
+
+
+def _run_ablation(workload: str):
+    capture = _capture(workload)
+    plain_engine, plain_replica, plain_s = _replay(capture, None)
+    batched_engine, batched_replica, batched_s = _replay(
+        capture, BatchConfig(max_records=WINDOW)
+    )
+    a, b = plain_engine.accountant, batched_engine.accountant
+
+    print()
+    print(
+        f"{workload.upper()} ({capture.trace.write_count} writes, "
+        f"{BLOCK_SIZE}B blocks), PRINS unbatched vs batched "
+        f"(window={WINDOW}):"
+    )
+    print(
+        f"  {'':12s}{'PDUs':>8s}{'payload':>12s}{'pdu bytes':>12s}"
+        f"{'merged':>8s}{'secs':>8s}"
+    )
+    print(
+        f"  {'unbatched':12s}{a.pdus_shipped:>8d}"
+        f"{format_bytes(a.payload_bytes):>12s}"
+        f"{format_bytes(a.pdu_bytes):>12s}{a.writes_merged:>8d}"
+        f"{plain_s:>8.3f}"
+    )
+    print(
+        f"  {'batched':12s}{b.pdus_shipped:>8d}"
+        f"{format_bytes(b.payload_bytes):>12s}"
+        f"{format_bytes(b.pdu_bytes):>12s}{b.writes_merged:>8d}"
+        f"{batched_s:>8.3f}"
+    )
+
+    # Correctness bar: replicas byte-identical, both to primary and to
+    # each other (batching must not change what the replica stores).
+    assert verify_consistency(plain_engine.device, plain_replica) == []
+    assert verify_consistency(batched_engine.device, batched_replica) == []
+    assert plain_replica.snapshot() == batched_replica.snapshot()
+
+    # Acceptance: strictly fewer PDUs, no more wire bytes.
+    assert b.pdus_shipped < a.pdus_shipped
+    assert b.pdu_bytes <= a.pdu_bytes
+    assert a.writes_total == b.writes_total
+    return a, b
+
+
+def test_batching_tpcc(benchmark):
+    """TPC-C: batching must cut PDUs and never inflate wire bytes."""
+    a, b = benchmark.pedantic(
+        lambda: _run_ablation("tpcc"), rounds=1, iterations=1
+    )
+    benchmark.extra_info["pdus_unbatched"] = a.pdus_shipped
+    benchmark.extra_info["pdus_batched"] = b.pdus_shipped
+    benchmark.extra_info["pdu_bytes_unbatched"] = a.pdu_bytes
+    benchmark.extra_info["pdu_bytes_batched"] = b.pdu_bytes
+    benchmark.extra_info["writes_merged"] = b.writes_merged
+
+
+def test_batching_tpcw(benchmark):
+    """TPC-W: same shape as TPC-C on the browsing/ordering mix."""
+    a, b = benchmark.pedantic(
+        lambda: _run_ablation("tpcw"), rounds=1, iterations=1
+    )
+    benchmark.extra_info["pdus_unbatched"] = a.pdus_shipped
+    benchmark.extra_info["pdus_batched"] = b.pdus_shipped
+    benchmark.extra_info["writes_merged"] = b.writes_merged
+
+
+def test_paper_figures_unchanged_when_batching_disabled(benchmark):
+    """Guard: an engine built without ``batch=`` is bit-for-bit the old one.
+
+    The paper figures all build unbatched engines; this pins the
+    invariant that adding the batching subsystem changed none of their
+    numbers.
+    """
+
+    def run():
+        capture = _capture("tpcc")
+        engine, replica, _ = _replay(capture, None)
+        acct = engine.accountant
+        # no batching machinery was touched
+        assert acct.batches_shipped == 0
+        assert acct.writes_merged == 0
+        assert engine.pending_batch_writes == 0
+        # one PDU per replicated write, exactly as before batching existed
+        assert acct.pdus_shipped == acct.writes_replicated
+        assert acct.pdu_bytes == acct.payload_bytes + 48 * acct.writes_replicated
+        assert verify_consistency(engine.device, replica) == []
+        return acct
+
+    benchmark.pedantic(run, rounds=1, iterations=1)

@@ -90,23 +90,32 @@ def _cmd_all(args: argparse.Namespace) -> int:
     return status
 
 
-def _run_demo_workload(workload: str, ops: int | None, emit) -> None:
+def _run_demo_workload(
+    workload: str, ops: int | None, emit, batch_window: int | None = None
+) -> None:
     """Run the demo under the *current* telemetry handle.
 
     Engines are built with a default :class:`ResilienceConfig` so the
     resilience counters (``resilience.ships_delivered`` etc.) show up in
     the snapshot, matching how a production deployment would run.
-    ``emit`` is a ``print``-like callable (no-op when ``--json -`` owns
-    stdout).
+    ``batch_window`` (``--batch-window N``) enables batched delta
+    shipping with an N-record window; the per-strategy report then adds
+    PDU counts and merge-elision numbers.  ``emit`` is a ``print``-like
+    callable (no-op when ``--json -`` owns stdout).
     """
     from repro.block import MemoryBlockDevice
     from repro.common.units import format_bytes
     from repro.engine import (
+        BatchConfig,
         DirectLink,
         PrimaryEngine,
         ReplicaEngine,
         ResilienceConfig,
         make_strategy,
+    )
+
+    batch = (
+        BatchConfig(max_records=batch_window) if batch_window else None
     )
 
     def build_engine(name, primary, replica):
@@ -117,7 +126,22 @@ def _run_demo_workload(workload: str, ops: int | None, emit) -> None:
             [DirectLink(ReplicaEngine(replica, strategy))],
             resilience=ResilienceConfig(),
             telemetry_name=f"demo.{name}",
+            batch=batch,
         )
+
+    def emit_traffic(name, engine):
+        engine.flush_batch()
+        accountant = engine.accountant
+        line = (
+            f"  {name:12s} shipped {format_bytes(accountant.payload_bytes):>10s}  "
+            f"({accountant.reduction_vs_data:5.1f}x less than the data written)"
+        )
+        if batch is not None:
+            line += (
+                f"  [{accountant.pdus_shipped} PDUs, "
+                f"{accountant.writes_merged} writes merged]"
+            )
+        emit(line)
 
     if workload == "tpcc":
         from repro.experiments.figures import get_scale
@@ -146,13 +170,7 @@ def _run_demo_workload(workload: str, ops: int | None, emit) -> None:
             replica.load(capture.base_image)
             engine = build_engine(name, primary, replica)
             replay_trace(capture.trace, engine)
-            accountant = engine.accountant
-            emit(
-                f"  {name:12s} shipped "
-                f"{format_bytes(accountant.payload_bytes):>10s}  "
-                f"({accountant.reduction_vs_data:5.1f}x less than the data "
-                f"written)"
-            )
+            emit_traffic(name, engine)
         return
 
     # synthetic: random 10%-mutation writes over a warm device
@@ -178,11 +196,7 @@ def _run_demo_workload(workload: str, ops: int | None, emit) -> None:
             engine.write_block(
                 lba, mutate_fraction(engine.read_block(lba), 0.10, write_rng)
             )
-        accountant = engine.accountant
-        emit(
-            f"  {name:12s} shipped {format_bytes(accountant.payload_bytes):>10s}  "
-            f"({accountant.reduction_vs_data:5.1f}x less than the data written)"
-        )
+        emit_traffic(name, engine)
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
@@ -192,7 +206,9 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     emit = (lambda *a, **k: None) if quiet else print
     telemetry = Telemetry()
     with use_telemetry(telemetry):
-        _run_demo_workload(args.workload, args.transactions, emit)
+        _run_demo_workload(
+            args.workload, args.transactions, emit, batch_window=args.batch_window
+        )
     _emit_snapshot(telemetry.snapshot(), args.json, quiet_note=quiet)
     return 0
 
@@ -338,6 +354,13 @@ def main(argv: list[str] | None = None) -> int:
     p_demo = sub.add_parser("demo", help="quick PRINS-vs-baselines demo")
     p_demo.add_argument(
         "--workload", default="synthetic", choices=["synthetic", "tpcc"]
+    )
+    p_demo.add_argument(
+        "--batch-window",
+        type=int,
+        default=None,
+        metavar="N",
+        help="enable batched delta shipping with an N-record window",
     )
     p_demo.add_argument(
         "--transactions",

@@ -11,8 +11,10 @@ from repro.common.buffers import (
     count_nonzero,
     is_zero,
     nonzero_fraction,
+    xor_blocks_pairwise,
     xor_bytes,
     xor_into,
+    xor_reduce_blocks,
 )
 from repro.common.errors import (
     BlockRangeError,
@@ -45,6 +47,8 @@ __all__ = [
     "make_rng",
     "nonzero_fraction",
     "parse_size",
+    "xor_blocks_pairwise",
     "xor_bytes",
     "xor_into",
+    "xor_reduce_blocks",
 ]

@@ -9,6 +9,8 @@ with a pure-bytes fallback for tiny buffers where numpy overhead dominates.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 _NUMPY_CUTOFF = 128  # below this many bytes, plain Python wins
@@ -47,6 +49,76 @@ def xor_into(target: bytearray, source: bytes) -> None:
     tv = np.frombuffer(target, dtype=np.uint8)
     sv = np.frombuffer(source, dtype=np.uint8)
     np.bitwise_xor(tv, sv, out=tv)
+
+
+def xor_reduce_blocks(blocks: "Sequence[bytes]") -> bytes:
+    """XOR-fold many equal-length buffers into one, in a single numpy kernel.
+
+    This is the batch form of :func:`xor_bytes`: stacking the buffers into
+    one ``(n, block_size)`` matrix and reducing along axis 0 replaces
+    ``n - 1`` Python-level XOR calls with one vectorized pass.  It is the
+    kernel behind same-LBA delta merging in
+    :class:`repro.engine.batch.ShipBatcher` — XOR is associative, so the
+    fold of parity deltas ``P'₁ ⊕ P'₂ ⊕ …`` is itself a valid parity delta
+    against the replica's original block (paper Eqs. 1–2 compose).
+    """
+    if not blocks:
+        raise ValueError("xor_reduce_blocks needs at least one buffer")
+    size = len(blocks[0])
+    for i, b in enumerate(blocks[1:], start=1):
+        if len(b) != size:
+            raise ValueError(
+                f"xor_reduce_blocks: length mismatch at index {i} "
+                f"({len(b)} != {size})"
+            )
+    if len(blocks) == 1:
+        return bytes(blocks[0])
+    if size == 0:
+        return b""
+    if size * len(blocks) < _NUMPY_CUTOFF:
+        acc = bytearray(blocks[0])
+        for b in blocks[1:]:
+            for i, byte in enumerate(b):
+                acc[i] ^= byte
+        return bytes(acc)
+    mat = np.frombuffer(b"".join(blocks), dtype=np.uint8).reshape(
+        len(blocks), size
+    )
+    return np.bitwise_xor.reduce(mat, axis=0).tobytes()
+
+
+def xor_blocks_pairwise(
+    lhs: "Sequence[bytes]", rhs: "Sequence[bytes]"
+) -> list[bytes]:
+    """XOR many equal-length pairs ``lhs[i] ^ rhs[i]`` in one 2-D numpy op.
+
+    The vectorized form of mapping :func:`xor_bytes` over two equal-length
+    sequences: both sides are stacked into ``(n, block_size)`` matrices and
+    XORed in a single kernel, amortizing numpy dispatch over the whole
+    batch (many small forward-parity computations per call instead of one).
+    """
+    if len(lhs) != len(rhs):
+        raise ValueError(
+            f"xor_blocks_pairwise: {len(lhs)} lhs buffers vs {len(rhs)} rhs"
+        )
+    if not lhs:
+        return []
+    size = len(lhs[0])
+    for seq_name, seq in (("lhs", lhs), ("rhs", rhs)):
+        for i, b in enumerate(seq):
+            if len(b) != size:
+                raise ValueError(
+                    f"xor_blocks_pairwise: {seq_name}[{i}] is {len(b)} bytes, "
+                    f"expected {size}"
+                )
+    if size == 0:
+        return [b""] * len(lhs)
+    if size * len(lhs) < _NUMPY_CUTOFF:
+        return [xor_bytes(a, b) for a, b in zip(lhs, rhs)]
+    a = np.frombuffer(b"".join(lhs), dtype=np.uint8).reshape(len(lhs), size)
+    b = np.frombuffer(b"".join(rhs), dtype=np.uint8).reshape(len(rhs), size)
+    out = np.bitwise_xor(a, b)
+    return [out[i].tobytes() for i in range(out.shape[0])]
 
 
 def is_zero(buf: bytes) -> bool:

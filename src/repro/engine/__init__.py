@@ -20,6 +20,13 @@ The three strategies correspond exactly to the paper's three bars:
 
 from repro.common.errors import PartialReplicationError, RetriesExhaustedError
 from repro.engine.accounting import TrafficAccountant, ethernet_wire_bytes
+from repro.engine.batch import (
+    BatchConfig,
+    BatchEntry,
+    FlushResult,
+    ShipBatch,
+    ShipBatcher,
+)
 from repro.engine.cluster import ClusterConfig, StorageCluster, VerifyReport
 from repro.engine.erasure import ErasureConfig, ErasurePool
 from repro.engine.journal import JournalingLink, ReplicationJournal
@@ -51,6 +58,8 @@ from repro.engine.sync import digest_sync, full_sync, verify_consistency
 __all__ = [
     "AsyncPrimaryEngine",
     "AsyncReplicator",
+    "BatchConfig",
+    "BatchEntry",
     "CircuitBreaker",
     "ClusterConfig",
     "CompressedBlockStrategy",
@@ -58,6 +67,7 @@ __all__ = [
     "ErasureConfig",
     "ErasurePool",
     "FaultyLink",
+    "FlushResult",
     "GuardedLink",
     "InjectedLinkError",
     "JournalingLink",
@@ -69,6 +79,8 @@ __all__ = [
     "ResyncOutcome",
     "RetriesExhaustedError",
     "RetryPolicy",
+    "ShipBatch",
+    "ShipBatcher",
     "StorageCluster",
     "FullBlockStrategy",
     "InitiatorLink",

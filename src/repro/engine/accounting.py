@@ -59,6 +59,7 @@ class TrafficAccountant:
     payload_bytes: int = 0
     pdu_bytes: int = 0
     data_bytes: int = 0  # logical (pre-encoding) block bytes written
+    pdus_shipped: int = 0  # wire PDUs carrying replication traffic
     #: exact per-write payload sample; only populated when ``keep_raw``
     per_write_payloads: list[int] = field(default_factory=list)
     #: bounded distribution of per-write payload bytes (always maintained)
@@ -78,6 +79,13 @@ class TrafficAccountant:
     backlog_replay_bytes: int = 0  # wire bytes of backlog replay
     resyncs: int = 0  # digest/full resync escalations
     resync_bytes: int = 0  # wire bytes (digests + copied blocks) of resyncs
+    # -- batching counters (engine/batch.py) --------------------------------
+    batches_shipped: int = 0  # batch PDUs put on the wire (per copy)
+    batched_records: int = 0  # post-merge records framed into batches
+    batched_payload_bytes: int = 0  # batch payload bytes (subset of payload_bytes)
+    batched_pdu_bytes: int = 0  # batch payload + PDU headers (subset of pdu_bytes)
+    writes_merged: int = 0  # logical writes elided by same-LBA XOR merging
+    records_elided: int = 0  # post-merge records dropped as no-ops
 
     def record_write(
         self, data_len: int, payload_len: int | None, pdu_overhead: int = 48
@@ -91,9 +99,58 @@ class TrafficAccountant:
         self.writes_replicated += 1
         self.payload_bytes += payload_len
         self.pdu_bytes += payload_len + pdu_overhead
+        self.pdus_shipped += 1
         self.payload_histogram.record(payload_len)
         if self.keep_raw:
             self.per_write_payloads.append(payload_len)
+
+    def record_batch(
+        self,
+        logical_writes: int,
+        data_len: int,
+        records: int,
+        payload_len: int,
+        merged: int = 0,
+        elided: int = 0,
+        copies: int = 1,
+        journaled: bool = False,
+        pdu_overhead: int = 48,
+    ) -> None:
+        """Record one drained batch window: its logical writes and wire cost.
+
+        ``payload_len`` is the packed batch (header + segments);
+        ``copies`` is how many replica links it shipped to (``0`` when
+        the fan-out failed — or, with ``journaled``, when every copy was
+        deferred to a backlog).  ``records == 0`` means the whole window
+        merged away to no-ops: the logical writes count as skipped,
+        mirroring the unbatched all-zero-delta skip.  Batched traffic
+        also accrues into the global ``payload_bytes``/``pdu_bytes``
+        totals so the paper's traffic views stay comparable; the
+        per-write payload histogram is *not* fed (there is no per-write
+        wire cost once writes merge — use ``batched_*`` instead).
+        """
+        self.writes_total += logical_writes
+        self.data_bytes += data_len
+        self.writes_merged += merged
+        self.records_elided += elided
+        if records == 0:
+            self.writes_skipped += logical_writes
+            return
+        if copies == 0:
+            if journaled:
+                self.writes_journaled += logical_writes
+            else:
+                self.writes_failed += logical_writes
+            return
+        self.writes_replicated += logical_writes
+        self.batched_records += records
+        wire = payload_len * copies
+        self.batches_shipped += copies
+        self.pdus_shipped += copies
+        self.batched_payload_bytes += wire
+        self.batched_pdu_bytes += wire + pdu_overhead * copies
+        self.payload_bytes += wire
+        self.pdu_bytes += wire + pdu_overhead * copies
 
     # -- fault-tolerance accounting ----------------------------------------
 
@@ -175,6 +232,7 @@ class TrafficAccountant:
             "payload_bytes": self.payload_bytes,
             "pdu_bytes": self.pdu_bytes,
             "data_bytes": self.data_bytes,
+            "pdus_shipped": self.pdus_shipped,
             "ethernet_bytes": self.ethernet_bytes,
             "mean_payload": self.mean_payload,
             "reduction_vs_data": (
@@ -183,6 +241,14 @@ class TrafficAccountant:
                 else self.reduction_vs_data
             ),
             "per_write_payload_bytes": self.payload_histogram.snapshot(),
+            "batching": {
+                "batches_shipped": self.batches_shipped,
+                "batched_records": self.batched_records,
+                "batched_payload_bytes": self.batched_payload_bytes,
+                "batched_pdu_bytes": self.batched_pdu_bytes,
+                "writes_merged": self.writes_merged,
+                "records_elided": self.records_elided,
+            },
             "resilience": {
                 "journaled_records": self.journaled_records,
                 "journaled_bytes": self.journaled_bytes,
@@ -216,3 +282,10 @@ class TrafficAccountant:
         self.backlog_replay_bytes = 0
         self.resyncs = 0
         self.resync_bytes = 0
+        self.pdus_shipped = 0
+        self.batches_shipped = 0
+        self.batched_records = 0
+        self.batched_payload_bytes = 0
+        self.batched_pdu_bytes = 0
+        self.writes_merged = 0
+        self.records_elided = 0

@@ -21,6 +21,7 @@ from typing import Callable
 from repro.block.device import BlockDevice
 from repro.block.memory import MemoryBlockDevice
 from repro.common.errors import ConfigurationError, ReplicationError
+from repro.engine.batch import BatchConfig
 from repro.engine.links import DirectLink, ReplicaLink
 from repro.engine.primary import PrimaryEngine
 from repro.engine.replica import ReplicaEngine
@@ -122,10 +123,12 @@ class StorageCluster:
         resilience: ResilienceConfig | None = None,
         link_factory: LinkFactory | None = None,
         telemetry=None,
+        batch: BatchConfig | None = None,
     ) -> None:
         self.config = config or ClusterConfig()
         self._strategy = make_strategy(self.config.strategy)
         self._resilience = resilience
+        self._batch = batch
         self.telemetry = telemetry if telemetry is not None else get_telemetry()
         self.nodes = [
             ClusterNode(i, self.config, self._strategy)
@@ -150,6 +153,7 @@ class StorageCluster:
                 resilience=resilience,
                 telemetry=self.telemetry,
                 telemetry_name=f"cluster.node{node.node_id}",
+                batch=batch,
             )
         if self.telemetry.enabled:
             self.telemetry.register_source("cluster", self.telemetry_snapshot)
@@ -158,6 +162,19 @@ class StorageCluster:
     def resilience(self) -> ResilienceConfig | None:
         """The cluster-wide fault-tolerance policy (``None`` = strict)."""
         return self._resilience
+
+    @property
+    def batching(self) -> BatchConfig | None:
+        """The cluster-wide batch window (``None`` = per-write shipping)."""
+        return self._batch
+
+    def flush(self) -> None:
+        """Flush every live node's pending batch window (commit boundary)."""
+        for node in self.nodes:
+            if node.node_id in self._down_nodes:
+                continue
+            assert node.engine is not None
+            node.engine.flush_batch()
 
     def _validate_placement(self) -> None:
         for node_id, replicas in self.placement.items():

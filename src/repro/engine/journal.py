@@ -36,6 +36,7 @@ class _Entry:
 
     @property
     def size(self) -> int:
+        """Wire bytes this entry occupies (record + PDU header)."""
         return len(self.record.frame) + 24
 
 
@@ -154,6 +155,7 @@ class JournalingLink(ReplicaLink):
         return replayed
 
     def ship(self, lba: int, record: ReplicationRecord) -> bytes:
+        """Append to the journal, then ship through the inner link."""
         if not self._connected:
             self.journal.append(lba, record)
             # A journaled record is acknowledged locally; the real ack
@@ -164,7 +166,9 @@ class JournalingLink(ReplicaLink):
         return self._inner.ship(lba, record)
 
     def sync_device(self):
+        """Expose the inner link's replica device (for resync)."""
         return self._inner.sync_device()
 
     def close(self) -> None:
+        """Close the inner link."""
         self._inner.close()

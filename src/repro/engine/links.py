@@ -16,7 +16,9 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 
+from repro.engine.batch import ShipBatch, pack_batch_ack
 from repro.engine.messages import ReplicationRecord
+from repro.engine.replica import ACK_DUPLICATE, ReplicaEngine
 from repro.iscsi.initiator import Initiator
 from repro.iscsi.pdu import BHS_SIZE
 
@@ -30,6 +32,26 @@ class ReplicaLink(ABC):
     @abstractmethod
     def ship(self, lba: int, record: ReplicationRecord) -> bytes:
         """Deliver ``record`` for ``lba``; return the replica's ack payload."""
+
+    def ship_batch(self, batch: ShipBatch) -> bytes:
+        """Deliver a multi-segment batch; return the replica's batch ack.
+
+        Default implementation degrades gracefully: it ships each
+        segment individually through :meth:`ship` and synthesizes the
+        batch ack, so link decorators that predate batching keep
+        working (they just forfeit the PDU amortization).  Transport
+        links override this to ship the whole batch as one PDU.
+        """
+        applied = 0
+        duplicates = 0
+        for entry in batch:
+            ack = self.ship(entry.lba, entry.record)
+            _, status = ReplicaEngine.parse_ack(ack)
+            if status == ACK_DUPLICATE:
+                duplicates += 1
+            else:
+                applied += 1
+        return pack_batch_ack(batch.last_seq, applied, duplicates)
 
     def bind_telemetry(self, telemetry) -> None:
         """Propagate a telemetry handle down the channel (default: no-op).
@@ -71,12 +93,21 @@ class InitiatorLink(ReplicaLink):
         return self._initiator
 
     def ship(self, lba: int, record: ReplicationRecord) -> bytes:
+        """Ship one record as a REPL_DATA_OUT PDU; return the ack payload."""
         return self._initiator.send_replication_frame(lba, record.pack())
 
+    def ship_batch(self, batch: ShipBatch) -> bytes:
+        """Ship the whole batch as one REPL_BATCH_OUT PDU."""
+        return self._initiator.send_replication_batch(
+            batch.pack(), batch.record_count
+        )
+
     def bind_telemetry(self, telemetry) -> None:
+        """Bind the session transport so PDU counters share the telemetry."""
         self._initiator.transport.bind_telemetry(telemetry)
 
     def close(self) -> None:
+        """Log the session out."""
         self._initiator.logout()
 
 
@@ -87,16 +118,28 @@ class DirectLink(ReplicaLink):
         self._replica = replica
 
     def ship(self, lba: int, record: ReplicationRecord) -> bytes:
-        # Serialize and re-parse so the wire format is exercised and byte
-        # counts match the socket path exactly.
+        """Serialize, deliver in-process, and return the replica's ack.
+
+        Serialize and re-parse so the wire format is exercised and byte
+        counts match the socket path exactly.
+        """
         return self._replica.receive(lba, record.pack())
 
+    def ship_batch(self, batch: ShipBatch) -> bytes:
+        """Deliver a packed batch to the replica's unbatch path in-process."""
+        receive_batch = getattr(self._replica, "receive_batch", None)
+        if receive_batch is None:
+            return super().ship_batch(batch)
+        return receive_batch(batch.pack())
+
     def bind_telemetry(self, telemetry) -> None:
+        """Share the engine telemetry with the replica's apply spans."""
         bind = getattr(self._replica, "bind_telemetry", None)
         if bind is not None:
             bind(telemetry)
 
     def sync_device(self):
+        """Expose the replica's device for local resync escalation."""
         return getattr(self._replica, "device", None)
 
 
@@ -104,4 +147,5 @@ class ReplicaEngineLike:
     """Structural interface DirectLink expects (avoids a circular import)."""
 
     def receive(self, lba: int, raw_record: bytes) -> bytes:
+        """Apply one wire record and return the ack payload."""
         raise NotImplementedError

@@ -200,10 +200,12 @@ class AsyncPrimaryEngine:
 
     @property
     def block_size(self) -> int:
+        """Block size of the wrapped engine."""
         return self._engine.block_size
 
     @property
     def num_blocks(self) -> int:
+        """Capacity of the wrapped engine, in blocks."""
         return self._engine.num_blocks
 
     @property
@@ -212,6 +214,7 @@ class AsyncPrimaryEngine:
         return list(self._replicators)
 
     def read_block(self, lba: int) -> bytes:
+        """Read one block from the wrapped engine (reads are synchronous)."""
         return self._engine.read_block(lba)
 
     def write_block(self, lba: int, data: bytes) -> None:
@@ -224,6 +227,7 @@ class AsyncPrimaryEngine:
             replicator.drain(timeout=timeout)
 
     def close(self) -> None:
+        """Drain the replication queue, then close the wrapped engine."""
         for replicator in self._replicators:
             replicator.close()
         self._engine.device.close()
@@ -242,8 +246,10 @@ class _EnqueueLink(ReplicaLink):
         self._replicator = replicator
 
     def ship(self, lba: int, record: ReplicationRecord) -> bytes:
+        """Queue the record for the background replicator thread."""
         self._replicator.submit(lba, record)
         return b""  # ack handled by the shipper thread
 
     def close(self) -> None:
+        """No-op: the replicator owns the real link's lifetime."""
         pass  # lifecycle owned by AsyncPrimaryEngine.close

@@ -26,6 +26,8 @@ Two fan-out disciplines:
 
 from __future__ import annotations
 
+import zlib
+
 from repro.block.device import BlockDevice
 from repro.common.errors import (
     ConfigurationError,
@@ -33,6 +35,12 @@ from repro.common.errors import (
     ReplicationError,
 )
 from repro.engine.accounting import TrafficAccountant
+from repro.engine.batch import (
+    BatchConfig,
+    FlushResult,
+    ShipBatcher,
+    unpack_batch_ack,
+)
 from repro.engine.links import ReplicaLink
 from repro.engine.messages import RECORD_OVERHEAD, ReplicationRecord
 from repro.engine.replica import ReplicaEngine
@@ -69,12 +77,14 @@ class PrimaryEngine(BlockDevice):
         accountant: TrafficAccountant | None = None,
         telemetry=None,
         telemetry_name: str | None = None,
+        batch: BatchConfig | None = None,
     ) -> None:
         super().__init__(device.block_size, device.num_blocks)
         self._device = device
         self._strategy = strategy
         self._verify_acks = verify_acks
         self._seq = 0
+        self._batcher = ShipBatcher(batch, strategy) if batch is not None else None
         self.accountant = accountant if accountant is not None else TrafficAccountant()
         self.telemetry = telemetry if telemetry is not None else get_telemetry()
         self._strategy.bind_telemetry(self.telemetry)
@@ -112,6 +122,16 @@ class PrimaryEngine(BlockDevice):
     def resilience(self) -> ResilienceConfig | None:
         """The fault-tolerance policy, or ``None`` for strict fan-out."""
         return self._resilience
+
+    @property
+    def batching(self) -> BatchConfig | None:
+        """The batch window policy, or ``None`` for per-write shipping."""
+        return self._batcher.config if self._batcher is not None else None
+
+    @property
+    def pending_batch_writes(self) -> int:
+        """Records buffered but not yet flushed (0 when unbatched)."""
+        return len(self._batcher) if self._batcher is not None else 0
 
     def add_link(self, link: ReplicaLink) -> None:
         """Attach another replica channel."""
@@ -189,6 +209,24 @@ class PrimaryEngine(BlockDevice):
                     if self._strategy.needs_old_data:
                         old_data = self._device.read_block(lba)
                     self._device.write_block(lba, data)
+            if self._batcher is not None:
+                payload = self._strategy.make_update(
+                    data,
+                    old_data if old_data is not None else b"",
+                    raid_delta=raid_delta,
+                )
+                if payload is None:
+                    span.set("skipped", True)
+                    self.accountant.record_write(len(data), None)
+                    return
+                self._seq += 1
+                with tel.span("write.batch", lba=lba):
+                    window_full = self._batcher.add(
+                        lba, self._seq, zlib.crc32(data), payload, len(data)
+                    )
+                if window_full:
+                    self.flush_batch()
+                return
             frame = self._strategy.encode_update(
                 data,
                 old_data if old_data is not None else b"",
@@ -255,6 +293,137 @@ class PrimaryEngine(BlockDevice):
         else:
             self.accountant.record_journaled_write(data_len)
 
+    # -- batched shipping -----------------------------------------------------
+
+    def flush_batch(self) -> FlushResult | None:
+        """Drain the pending window and ship it as one multi-segment PDU.
+
+        Safe to call at any commit boundary: a no-op (returning ``None``)
+        when the engine is unbatched or the window is empty.  Same-LBA
+        payloads merge before encoding (XOR composition for PRINS); a
+        window that merges away entirely ships nothing but is still
+        accounted.  Failed batches follow the engine's fan-out
+        discipline — strict raises
+        :class:`~repro.common.errors.PartialReplicationError`, guarded
+        re-journals the batch's constituent records individually.
+        """
+        if self._batcher is None or len(self._batcher) == 0:
+            return None
+        tel = self.telemetry
+        with tel.span("batch.flush", strategy=self._strategy.name) as span:
+            result = self._batcher.drain()
+            records = result.batch.record_count if result.batch else 0
+            span.set("records", records)
+            span.set("merged_writes", result.merged_writes)
+            if tel.enabled:
+                tel.counter("batch.flushes").inc()
+                tel.counter("batch.records").inc(records)
+                tel.counter("batch.merged_writes").inc(result.merged_writes)
+                tel.histogram("batch.records_per_flush").record(records)
+                tel.histogram("batch.merged_per_flush").record(
+                    result.merged_writes
+                )
+            if result.batch is None:
+                # every record merged to a no-op: nothing on the wire
+                self.accountant.record_batch(
+                    result.logical_writes,
+                    result.data_bytes,
+                    records=0,
+                    payload_len=0,
+                    merged=result.merged_writes,
+                    elided=result.elided_records,
+                )
+                return result
+            payload_len = len(result.batch.pack())
+            span.set("payload_bytes", payload_len)
+            if self._guards is not None:
+                self._ship_batch_guarded(result, payload_len)
+            else:
+                self._ship_batch_strict(result, payload_len)
+        return result
+
+    def _ship_batch_strict(self, result: FlushResult, payload_len: int) -> None:
+        """All-or-error batch fan-out, mirroring :meth:`_fan_out_strict`."""
+        batch = result.batch
+        assert batch is not None
+        succeeded: list[int] = []
+        for index, link in enumerate(self._links):
+            try:
+                with self.telemetry.span(
+                    "write.send", link=index, batched=True
+                ):
+                    ack = link.ship_batch(batch)
+            except Exception as exc:
+                self._charge_batch(result, payload_len, len(succeeded))
+                raise PartialReplicationError(
+                    lba=batch.entries[0].lba,
+                    seq=batch.last_seq,
+                    succeeded=tuple(succeeded),
+                    failed_index=index,
+                    total_links=len(self._links),
+                    cause=exc,
+                ) from exc
+            if self._verify_acks:
+                last_seq, _applied, _dups = unpack_batch_ack(ack)
+                if last_seq != batch.last_seq:
+                    self._charge_batch(result, payload_len, len(succeeded))
+                    raise ReplicationError(
+                        f"replica acked batch seq {last_seq}, "
+                        f"expected {batch.last_seq}"
+                    )
+            succeeded.append(index)
+        self._charge_batch(result, payload_len, len(succeeded))
+
+    def _ship_batch_guarded(self, result: FlushResult, payload_len: int) -> None:
+        """Degrading batch fan-out: failures re-journal constituents."""
+        assert self._guards is not None
+        batch = result.batch
+        assert batch is not None
+        delivered = 0
+        for index, guard in enumerate(self._guards):
+            with self.telemetry.span(
+                "write.send", link=index, batched=True
+            ) as span:
+                if guard.ship_batch(batch, self._verify_acks):
+                    delivered += 1
+                else:
+                    span.set("journaled", True)
+        if delivered or not self._guards:
+            self._charge_batch(result, payload_len, delivered)
+        else:
+            self.accountant.record_batch(
+                result.logical_writes,
+                result.data_bytes,
+                records=batch.record_count,
+                payload_len=payload_len,
+                merged=result.merged_writes,
+                elided=result.elided_records,
+                copies=0,
+                journaled=True,
+            )
+
+    def _charge_batch(
+        self, result: FlushResult, payload_len: int, delivered: int
+    ) -> None:
+        """Charge one drained window plus ``delivered`` wire copies.
+
+        Mirrors :meth:`_charge_fanout`: an engine with no links still
+        charges one copy; a fan-out with zero deliveries records the
+        window's logical writes as failed.
+        """
+        batch = result.batch
+        assert batch is not None
+        copies = 1 if not self._links else delivered
+        self.accountant.record_batch(
+            result.logical_writes,
+            result.data_bytes,
+            records=batch.record_count,
+            payload_len=payload_len,
+            merged=result.merged_writes,
+            elided=result.elided_records,
+            copies=copies,
+        )
+
     def _charge_fanout(
         self, data_len: int, payload_len: int, delivered: int
     ) -> None:
@@ -276,7 +445,9 @@ class PrimaryEngine(BlockDevice):
             self.accountant.record_write(0, payload_len)
 
     def close(self) -> None:
+        """Flush any pending batch, then close links and the device."""
         if not self.closed:
+            self.flush_batch()
             for link in self._links:
                 link.close()
             self._device.close()
@@ -299,6 +470,13 @@ class PrimaryEngine(BlockDevice):
                 "health": [health.value for health in self.link_health()],
             },
         }
+        if self._batcher is not None:
+            snapshot["batch"] = {
+                "max_records": self._batcher.config.max_records,
+                "max_bytes": self._batcher.config.max_bytes,
+                "pending_records": len(self._batcher),
+                "pending_bytes": self._batcher.pending_bytes,
+            }
         if self._guards:
             snapshot["links"]["backlog_depths"] = [
                 guard.backlog_depth for guard in self._guards

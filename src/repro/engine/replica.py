@@ -18,6 +18,7 @@ from __future__ import annotations
 import struct
 
 from repro.block.device import BlockDevice
+from repro.engine.batch import ShipBatch, pack_batch_ack
 from repro.engine.messages import ReplicationRecord
 from repro.engine.strategy import ReplicationStrategy
 from repro.obs.telemetry import get_telemetry
@@ -84,6 +85,28 @@ class ReplicaEngine:
             self._applied_seq[lba] = record.seq
             self.records_applied += 1
             return _ACK.pack(record.seq, ACK_APPLIED)
+
+    def receive_batch(self, raw_batch: bytes) -> bytes:
+        """Unbatch and apply a multi-segment batch; returns the batch ack.
+
+        Verifies the batch digest, then applies each segment through the
+        same idempotent per-record path as :meth:`receive` (so a
+        redelivered batch acks its duplicates instead of re-XORing them).
+        Registered as the iSCSI target's batch handler.
+        """
+        with self.telemetry.span("replica.apply_batch") as span:
+            batch = ShipBatch.unpack(raw_batch)
+            span.set("records", batch.record_count)
+            applied = 0
+            duplicates = 0
+            for entry in batch:
+                ack = self.receive(entry.lba, entry.record.pack())
+                _, status = _ACK.unpack(ack)
+                if status == ACK_DUPLICATE:
+                    duplicates += 1
+                else:
+                    applied += 1
+            return pack_batch_ack(batch.last_seq, applied, duplicates)
 
     @staticmethod
     def parse_ack(payload: bytes) -> tuple[int, int]:

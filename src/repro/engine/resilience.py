@@ -55,6 +55,7 @@ from repro.common.errors import (
 )
 from repro.common.rng import make_rng
 from repro.engine.accounting import TrafficAccountant
+from repro.engine.batch import ShipBatch, unpack_batch_ack
 from repro.engine.journal import ReplicationJournal
 from repro.engine.links import ReplicaLink
 from repro.engine.messages import ReplicationRecord
@@ -205,6 +206,7 @@ class FaultyLink(ReplicaLink):
     # -- ReplicaLink -------------------------------------------------------
 
     def ship(self, lba: int, record: ReplicationRecord) -> bytes:
+        """Ship through the inner link unless a fault draw intervenes."""
         self.ships_attempted += 1
         self.last_ship_delay_s = 0.0
         mode = self._draw()
@@ -229,13 +231,47 @@ class FaultyLink(ReplicaLink):
         self._inner.ship(lba, record)
         return ack
 
+    def ship_batch(self, batch: ShipBatch) -> bytes:
+        """Ship a batch through the same fault draw as single records.
+
+        A *drop* loses the whole batch; an *error* applies it but loses
+        the ack; *duplicate* redelivers the batch (the replica's
+        per-record idempotency must absorb every segment).
+        """
+        self.ships_attempted += 1
+        self.last_ship_delay_s = 0.0
+        lba = batch.entries[0].lba if batch.entries else 0
+        mode = self._draw()
+        if mode is None:
+            return self._inner.ship_batch(batch)
+        self.faults_injected += 1
+        if mode == "drop":
+            self.drops += 1
+            raise InjectedLinkError("drop", lba, delivered=False)
+        if mode == "error":
+            self.errors += 1
+            self._inner.ship_batch(batch)  # applied, but the ack is lost
+            raise InjectedLinkError("error", lba, delivered=True)
+        if mode == "delay":
+            self.delays += 1
+            self.simulated_delay_s += self._delay_s
+            self.last_ship_delay_s = self._delay_s
+            return self._inner.ship_batch(batch)
+        self.duplicates += 1
+        ack = self._inner.ship_batch(batch)
+        self._inner.ship_batch(batch)
+        return ack
+
     def bind_telemetry(self, telemetry) -> None:
+        """Forward the telemetry handle to the wrapped link."""
         self._inner.bind_telemetry(telemetry)
 
     def sync_device(self):
+        """Expose the wrapped link's replica device (for resync)."""
         return self._inner.sync_device()
 
     def close(self) -> None:
+        """Close the wrapped link."""
         self._inner.close()
 
 
@@ -358,6 +394,7 @@ class ResilientLink(ReplicaLink):
         return ack
 
     def ship(self, lba: int, record: ReplicationRecord) -> bytes:
+        """Ship with bounded retries; raises RetriesExhaustedError on give-up."""
         self.ships += 1
         wire_len = len(record.pack()) + self.pdu_overhead
         last: BaseException | None = None
@@ -375,13 +412,51 @@ class ResilientLink(ReplicaLink):
         assert last is not None
         raise RetriesExhaustedError(lba, self.policy.max_attempts, last) from last
 
+    def ship_batch(self, batch: ShipBatch) -> bytes:
+        """Ship a batch with the same retry budget as a single record.
+
+        The whole batch is the retry unit: the replica's per-record
+        duplicate suppression makes a partial re-delivery harmless.
+        """
+        self.ships += 1
+        lba = batch.entries[0].lba if batch.entries else 0
+        wire_len = len(batch.pack()) + self.pdu_overhead
+        last: BaseException | None = None
+        for attempt in range(self.policy.max_attempts):
+            if attempt:
+                self._backoff(attempt - 1)
+                self.retries += 1
+                if self._on_retry is not None:
+                    self._on_retry(wire_len)
+            try:
+                started = time.perf_counter()
+                ack = self._inner.ship_batch(batch)
+                budget = self.policy.attempt_budget_s
+                if budget is not None:
+                    elapsed = time.perf_counter() - started
+                    elapsed += getattr(self._inner, "last_ship_delay_s", 0.0)
+                    if elapsed > budget:
+                        raise TimeoutError(
+                            f"batch ship of {batch.record_count} records took "
+                            f"{elapsed:.3f}s (budget {budget:.3f}s); ack discarded"
+                        )
+                return ack
+            except TRANSIENT_ERRORS as exc:
+                last = exc
+        self.giveups += 1
+        assert last is not None
+        raise RetriesExhaustedError(lba, self.policy.max_attempts, last) from last
+
     def bind_telemetry(self, telemetry) -> None:
+        """Forward the telemetry handle to the wrapped link."""
         self._inner.bind_telemetry(telemetry)
 
     def sync_device(self):
+        """Expose the wrapped link's replica device (for resync)."""
         return self._inner.sync_device()
 
     def close(self) -> None:
+        """Close the wrapped link."""
         self._inner.close()
 
 
@@ -625,6 +700,50 @@ class GuardedLink:
         self.breaker.record_success()
         self._delivered_counter.inc()
         return True
+
+    def ship_batch(self, batch: ShipBatch, verify_acks: bool) -> bool:
+        """Deliver a batch now if possible, else journal its constituents.
+
+        Mirrors :meth:`ship`, with one crucial difference on failure: the
+        batch is *disaggregated* — each constituent record is journaled
+        individually, in order, so a later heal replays them through the
+        ordinary record path (replay code needs no batch awareness and
+        the replica applies them in the original sequence order).
+        """
+        if self.forced_down or not self.breaker.should_attempt():
+            self._suppressed_counter.inc()
+            self._journal_batch(batch)
+            return False
+        if self.breaker.half_open:
+            self._probe_counter.inc()
+        if self.backlog.overflowed:
+            self._journal_batch(batch)
+            return False
+        try:
+            if self.backlog.entry_count:
+                # Drain in order first: PRINS deltas are order-sensitive.
+                self._drain_backlog()
+            ack = self.link.ship_batch(batch)
+        except TRANSIENT_ERRORS + (RetriesExhaustedError,) as exc:
+            self.last_error = exc
+            self.breaker.record_failure()
+            self._journal_batch(batch)
+            return False
+        if verify_acks:
+            last_seq, _applied, _dups = unpack_batch_ack(ack)
+            if last_seq != batch.last_seq:
+                raise ReplicationError(
+                    f"replica acked batch seq {last_seq}, "
+                    f"expected {batch.last_seq}"
+                )
+        self.breaker.record_success()
+        self._delivered_counter.inc()
+        return True
+
+    def _journal_batch(self, batch: ShipBatch) -> None:
+        """Re-journal a failed batch's records individually, in order."""
+        for entry in batch:
+            self._journal(entry.lba, entry.record)
 
     def _journal(self, lba: int, record: ReplicationRecord) -> None:
         self.backlog.append(lba, record)

@@ -12,8 +12,9 @@ or a parity delta that must be XORed with the replica's old block.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from typing import Sequence
 
-from repro.common.buffers import is_zero
+from repro.common.buffers import is_zero, xor_reduce_blocks
 from repro.common.errors import ConfigurationError
 from repro.obs.telemetry import NULL_TELEMETRY
 from repro.parity.codecs import Codec, get_codec
@@ -45,15 +46,58 @@ class ReplicationStrategy(ABC):
             bind(telemetry)
 
     @abstractmethod
+    def make_update(
+        self, new_data: bytes, old_data: bytes, raid_delta: bytes | None = None
+    ) -> bytes | None:
+        """Return the pre-encoding update payload for this write, or None to skip.
+
+        The payload is the *mergeable* form of the write: a parity delta
+        for PRINS (Eq. 1), the full block for the baseline strategies.
+        ``raid_delta`` is the free ``P'`` term from a RAID small-write, when
+        the primary's device provides one (see
+        :meth:`repro.raid.parity_base.ParityArrayBase.write_block_with_delta`).
+        ``None`` means the write changed nothing worth replicating.
+        """
+
+    @abstractmethod
+    def encode_payload(self, payload: bytes) -> bytes:
+        """Encode a :meth:`make_update` payload into a self-describing frame."""
+
     def encode_update(
         self, new_data: bytes, old_data: bytes, raid_delta: bytes | None = None
     ) -> bytes | None:
         """Return the frame to ship for this write, or None to skip.
 
-        ``raid_delta`` is the free ``P'`` term from a RAID small-write, when
-        the primary's device provides one (see
-        :meth:`repro.raid.parity_base.ParityArrayBase.write_block_with_delta`).
+        Equivalent to :meth:`encode_payload` over :meth:`make_update`; the
+        two halves are exposed separately so the batching layer
+        (:mod:`repro.engine.batch`) can merge same-LBA payloads *before*
+        paying the encoding cost.
         """
+        payload = self.make_update(new_data, old_data, raid_delta=raid_delta)
+        if payload is None:
+            return None
+        return self.encode_payload(payload)
+
+    def merge_updates(self, payloads: Sequence[bytes]) -> bytes:
+        """Coalesce same-LBA update payloads, oldest first, into one.
+
+        Default: last-writer-wins — correct for any strategy whose payload
+        is the full block.  :class:`PrinsStrategy` overrides with XOR
+        composition (deltas compose: ``P'₁ ⊕ P'₂`` is a valid delta
+        against the replica's original block).
+        """
+        if not payloads:
+            raise ValueError("merge_updates needs at least one payload")
+        return payloads[-1]
+
+    def update_is_noop(self, payload: bytes) -> bool:
+        """True if shipping ``payload`` would leave the replica unchanged.
+
+        Only delta-shipping strategies can detect this (an all-zero merged
+        delta); full-block strategies always return False.
+        """
+        del payload
+        return False
 
     @abstractmethod
     def apply_update(self, frame: bytes, old_data: bytes | None) -> bytes:
@@ -69,13 +113,20 @@ class FullBlockStrategy(ReplicationStrategy):
     def __init__(self) -> None:
         self._codec = get_codec("raw")
 
-    def encode_update(
+    def make_update(
         self, new_data: bytes, old_data: bytes, raid_delta: bytes | None = None
     ) -> bytes | None:
+        """The update payload is the new block itself (no delta, no skip)."""
+        del old_data, raid_delta
+        return new_data
+
+    def encode_payload(self, payload: bytes) -> bytes:
+        """Wrap the block in a raw (identity-codec) frame."""
         with self.telemetry.span("write.encode", codec=self._codec.name):
-            return encode_frame(self._codec, new_data)
+            return encode_frame(self._codec, payload)
 
     def apply_update(self, frame: bytes, old_data: bytes | None) -> bytes:
+        """Unwrap the shipped block; ``old_data`` is not needed."""
         return decode_frame(frame)
 
 
@@ -88,13 +139,20 @@ class CompressedBlockStrategy(ReplicationStrategy):
     def __init__(self, codec: Codec | str = "zlib") -> None:
         self._codec = get_codec(codec) if isinstance(codec, str) else codec
 
-    def encode_update(
+    def make_update(
         self, new_data: bytes, old_data: bytes, raid_delta: bytes | None = None
     ) -> bytes | None:
+        """The update payload is the new block (compression happens at encode)."""
+        del old_data, raid_delta
+        return new_data
+
+    def encode_payload(self, payload: bytes) -> bytes:
+        """Compress the block and wrap it in a self-describing frame."""
         with self.telemetry.span("write.encode", codec=self._codec.name):
-            return encode_frame(self._codec, new_data)
+            return encode_frame(self._codec, payload)
 
     def apply_update(self, frame: bytes, old_data: bytes | None) -> bytes:
+        """Decompress the shipped block; ``old_data`` is not needed."""
         return decode_frame(frame)
 
 
@@ -125,9 +183,14 @@ class PrinsStrategy(ReplicationStrategy):
         """The codec applied to parity deltas."""
         return self._codec
 
-    def encode_update(
+    def make_update(
         self, new_data: bytes, old_data: bytes, raid_delta: bytes | None = None
     ) -> bytes | None:
+        """Return the parity delta ``P' = A_new XOR A_old`` (paper Eq. 1).
+
+        Uses the precomputed RAID ``raid_delta`` when available; returns
+        None when the delta is all zeros and ``skip_unchanged`` is set.
+        """
         if raid_delta is not None:
             delta = raid_delta  # P' came free from the RAID small write
         else:
@@ -135,10 +198,30 @@ class PrinsStrategy(ReplicationStrategy):
                 delta = forward_parity(new_data, old_data)
         if self._skip_unchanged and is_zero(delta):
             return None
+        return delta
+
+    def encode_payload(self, payload: bytes) -> bytes:
+        """Encode a parity delta with the sparse-aware codec into a frame."""
         with self.telemetry.span("write.encode", codec=self._codec.name):
-            return encode_frame(self._codec, delta)
+            return encode_frame(self._codec, payload)
+
+    def merge_updates(self, payloads: Sequence[bytes]) -> bytes:
+        """XOR-compose same-LBA parity deltas into one (Eqs. 1–2 compose).
+
+        ``P'₁ ⊕ P'₂ ⊕ …`` is itself a valid delta against the replica's
+        original block, so N overwrites of a hot block ship as one delta.
+        Vectorized via :func:`repro.common.buffers.xor_reduce_blocks`.
+        """
+        if not payloads:
+            raise ValueError("merge_updates needs at least one payload")
+        return xor_reduce_blocks(payloads)
+
+    def update_is_noop(self, payload: bytes) -> bool:
+        """A merged all-zero delta means the overwrites cancelled out."""
+        return self._skip_unchanged and is_zero(payload)
 
     def apply_update(self, frame: bytes, old_data: bytes | None) -> bytes:
+        """Recover ``A_new = P' XOR A_old`` at the replica (paper Eq. 2)."""
         if old_data is None:
             raise ConfigurationError(
                 "PRINS apply_update needs the replica's old block "

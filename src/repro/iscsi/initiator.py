@@ -110,6 +110,23 @@ class Initiator:
         )
         return response.data
 
+    def send_replication_batch(self, payload: bytes, record_count: int) -> bytes:
+        """Ship a packed multi-segment batch; returns the batch ack payload.
+
+        One PDU carries ``record_count`` replication records (count is
+        advertised in ``transfer_length`` for wire-level introspection);
+        the per-record LBAs travel inside the batch segments.
+        """
+        response = self._roundtrip(
+            Pdu(
+                opcode=Opcode.REPL_BATCH_OUT,
+                transfer_length=record_count,
+                data=payload,
+            ),
+            expect=Opcode.REPL_BATCH_ACK,
+        )
+        return response.data
+
     # -- plumbing ------------------------------------------------------------------
 
     def _roundtrip(self, request: Pdu, expect: Opcode) -> Pdu:

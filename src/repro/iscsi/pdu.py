@@ -47,6 +47,8 @@ class Opcode(enum.IntEnum):
     LOGOUT_RESPONSE = 0x26
     REPL_DATA_OUT = 0x1C  # vendor-specific: PRINS replication frame
     REPL_ACK = 0x3C  # vendor-specific: replica acknowledgement
+    REPL_BATCH_OUT = 0x1E  # vendor-specific: multi-segment PRINS batch
+    REPL_BATCH_ACK = 0x3E  # vendor-specific: batch acknowledgement
 
 
 class ScsiOp(enum.IntEnum):

@@ -28,6 +28,9 @@ logger = logging.getLogger(__name__)
 #: Called with (lba, frame_bytes); returns ack payload (usually empty).
 ReplicationHandler = Callable[[int, bytes], bytes]
 
+#: Called with (packed_batch_bytes); returns the batch ack payload.
+BatchHandler = Callable[[bytes], bytes]
+
 
 class Target:
     """Protocol engine for one session against one LUN."""
@@ -37,10 +40,12 @@ class Target:
         device: BlockDevice,
         name: str = "iqn.2006-01.edu.uri.hpcl:prins",
         replication_handler: ReplicationHandler | None = None,
+        batch_handler: BatchHandler | None = None,
     ) -> None:
         self._device = device
         self._name = name
         self._replication_handler = replication_handler
+        self._batch_handler = batch_handler
         self._logged_in = False
         self._stat_sn = 0
 
@@ -57,6 +62,10 @@ class Target:
     def set_replication_handler(self, handler: ReplicationHandler) -> None:
         """Install the callback invoked for every ``REPL_DATA_OUT`` PDU."""
         self._replication_handler = handler
+
+    def set_batch_handler(self, handler: BatchHandler) -> None:
+        """Install the callback invoked for every ``REPL_BATCH_OUT`` PDU."""
+        self._batch_handler = handler
 
     # -- session loop -------------------------------------------------------
 
@@ -83,6 +92,7 @@ class Target:
             Opcode.LOGIN_REQUEST: self._handle_login,
             Opcode.SCSI_COMMAND: self._handle_scsi,
             Opcode.REPL_DATA_OUT: self._handle_replication,
+            Opcode.REPL_BATCH_OUT: self._handle_batch,
             Opcode.NOP_OUT: self._handle_nop,
             Opcode.LOGOUT_REQUEST: self._handle_logout,
         }
@@ -138,6 +148,15 @@ class Target:
         ack_payload = self._replication_handler(request.lba, request.data)
         return self._respond(request, Opcode.REPL_ACK, data=ack_payload)
 
+    def _handle_batch(self, request: Pdu) -> Pdu:
+        if self._batch_handler is None:
+            logger.warning("replication batch received but no handler installed")
+            return self._respond(
+                request, Opcode.REPL_BATCH_ACK, status=Status.PROTOCOL_VIOLATION
+            )
+        ack_payload = self._batch_handler(request.data)
+        return self._respond(request, Opcode.REPL_BATCH_ACK, data=ack_payload)
+
     def _handle_nop(self, request: Pdu) -> Pdu:
         return self._respond(request, Opcode.NOP_IN, data=request.data)
 
@@ -172,10 +191,12 @@ class TargetServer:
         port: int = 0,
         name: str = "iqn.2006-01.edu.uri.hpcl:prins",
         replication_handler: ReplicationHandler | None = None,
+        batch_handler: BatchHandler | None = None,
     ) -> None:
         self._device = device
         self._name = name
         self._replication_handler = replication_handler
+        self._batch_handler = batch_handler
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._listener.bind((host, port))
@@ -208,6 +229,7 @@ class TargetServer:
                 self._device,
                 name=self._name,
                 replication_handler=self._replication_handler,
+                batch_handler=self._batch_handler,
             )
             thread = threading.Thread(
                 target=target.serve,

@@ -318,9 +318,11 @@ class _NullCounter:
     value = 0
 
     def inc(self, amount: int = 1) -> None:  # noqa: ARG002 - interface parity
+        """No-op (disabled telemetry)."""
         pass
 
     def reset(self) -> None:
+        """No-op (disabled telemetry)."""
         pass
 
 
@@ -332,12 +334,15 @@ class _NullGauge:
     value = 0.0
 
     def set(self, value: float) -> None:  # noqa: ARG002
+        """No-op (disabled telemetry)."""
         pass
 
     def inc(self, amount: float = 1.0) -> None:  # noqa: ARG002
+        """No-op (disabled telemetry)."""
         pass
 
     def reset(self) -> None:
+        """No-op (disabled telemetry)."""
         pass
 
 
@@ -353,15 +358,19 @@ class _NullHistogram:
     mean = 0.0
 
     def record(self, value: int | float) -> None:  # noqa: ARG002
+        """No-op (disabled telemetry)."""
         pass
 
     def quantile(self, q: float) -> int:  # noqa: ARG002
+        """Always 0.0 (disabled telemetry)."""
         return 0
 
     def snapshot(self) -> dict:
+        """Always empty (disabled telemetry)."""
         return {"count": 0, "sum": 0, "buckets": []}
 
     def reset(self) -> None:
+        """No-op (disabled telemetry)."""
         pass
 
 
@@ -374,25 +383,33 @@ class NullMetricsRegistry:
     """Registry twin that hands out shared no-op metrics."""
 
     def counter(self, name: str) -> _NullCounter:  # noqa: ARG002
+        """Return the shared no-op counter."""
         return NULL_COUNTER
 
     def gauge(self, name: str) -> _NullGauge:  # noqa: ARG002
+        """Return the shared no-op gauge."""
         return NULL_GAUGE
 
     def gauge_fn(self, name: str, fn: Callable[[], float]) -> _NullGauge:  # noqa: ARG002
+        """Ignore the callable; return the shared no-op gauge."""
         return NULL_GAUGE
 
     def histogram(self, name: str, max_exponent: int = 40) -> _NullHistogram:  # noqa: ARG002
+        """Return the shared no-op histogram."""
         return NULL_HISTOGRAM
 
     def adopt_histogram(self, name: str, histogram) -> _NullHistogram:  # noqa: ARG002
+        """Return the histogram unregistered (disabled telemetry)."""
         return NULL_HISTOGRAM
 
     def unique_name(self, base: str) -> str:
+        """Return the base name unchanged (no registry to collide in)."""
         return base
 
     def snapshot(self) -> dict:
+        """Always empty (disabled telemetry)."""
         return {"counters": {}, "gauges": {}, "histograms": {}}
 
     def reset(self) -> None:
+        """No-op (disabled telemetry)."""
         pass

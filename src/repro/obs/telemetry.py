@@ -133,28 +133,36 @@ class NullTelemetry:
         self.tracer = NullTracer()
 
     def span(self, name: str, **attrs):  # noqa: ARG002
+        """Return the shared no-op span (no timing recorded)."""
         return NULL_SPAN
 
     def counter(self, name: str):
+        """Return the shared no-op counter."""
         return self.registry.counter(name)
 
     def gauge(self, name: str):
+        """Return the shared no-op gauge."""
         return self.registry.gauge(name)
 
     def histogram(self, name: str, max_exponent: int = 40):
+        """Return the shared no-op histogram."""
         return self.registry.histogram(name, max_exponent)
 
     def register_source(self, name: str, fn: SourceFn) -> str:  # noqa: ARG002
+        """Ignore the source; return its name unchanged."""
         return name
 
     def unregister_source(self, name: str) -> None:
+        """No-op (disabled telemetry)."""
         pass
 
     @property
     def source_names(self) -> list[str]:
+        """Always empty (disabled telemetry)."""
         return []
 
     def snapshot(self, max_spans: int = 512) -> dict:  # noqa: ARG002
+        """Return an empty, well-formed snapshot shell."""
         return {
             "enabled": False,
             "metrics": self.registry.snapshot(),
@@ -164,6 +172,7 @@ class NullTelemetry:
         }
 
     def reset(self) -> None:
+        """No-op (disabled telemetry)."""
         pass
 
 

@@ -105,6 +105,7 @@ class _SpanStats:
         self.histogram = Histogram(f"span.{name}.ns", max_exponent=48)
 
     def record(self, duration_ns: int) -> None:
+        """Fold one span duration into the running aggregate."""
         self.count += 1
         self.total_ns += duration_ns
         if self.min_ns is None or duration_ns < self.min_ns:
@@ -114,6 +115,7 @@ class _SpanStats:
         self.histogram.record(duration_ns)
 
     def snapshot(self) -> dict:
+        """JSON-safe aggregate: count plus total/min/max/mean millis."""
         return {
             "count": self.count,
             "total_ns": self.total_ns,
@@ -224,6 +226,7 @@ class NullSpan:
     duration_ns = 0
 
     def set(self, key: str, value) -> None:  # noqa: ARG002
+        """Discard the attribute (disabled tracing)."""
         pass
 
     def __enter__(self) -> "NullSpan":
@@ -244,17 +247,22 @@ class NullTracer:
     spans_finished = 0
 
     def span(self, name: str, **attrs) -> NullSpan:  # noqa: ARG002
+        """Return the shared no-op span context."""
         return NULL_SPAN
 
     @property
     def current_span(self) -> None:
+        """Always the no-op span (disabled tracing)."""
         return None
 
     def summary(self) -> dict:
+        """Always empty (disabled tracing)."""
         return {}
 
     def export_spans(self, max_spans: int | None = None) -> list:  # noqa: ARG002
+        """Always empty (disabled tracing)."""
         return []
 
     def reset(self) -> None:
+        """No-op (disabled tracing)."""
         pass

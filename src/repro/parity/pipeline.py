@@ -51,6 +51,7 @@ class PipelineCodec(Codec):
         return list(self._stages)
 
     def encode(self, data: bytes) -> bytes:
+        """Run the delta through every stage in order, timing each."""
         tel = self.telemetry
         lengths: list[int] = []
         current = data
@@ -63,6 +64,7 @@ class PipelineCodec(Codec):
         return header + current
 
     def decode(self, payload: bytes, original_length: int) -> bytes:
+        """Invert the stages in reverse order, timing each."""
         tel = self.telemetry
         n_header = len(self._stages) - 1
         header_size = 4 * n_header

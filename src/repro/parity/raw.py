@@ -17,9 +17,11 @@ class RawCodec(Codec):
     name = "raw"
 
     def encode(self, data: bytes) -> bytes:
+        """Identity: return the delta unchanged."""
         return data
 
     def decode(self, payload: bytes, original_length: int) -> bytes:
+        """Identity: return the payload unchanged."""
         if len(payload) != original_length:
             raise CodecError(
                 f"raw payload is {len(payload)} bytes, expected {original_length}"

@@ -53,6 +53,7 @@ class SparseSegmentCodec(Codec):
         return merged
 
     def encode(self, data: bytes) -> bytes:
+        """Emit (offset, length, bytes) segments for each nonzero run."""
         segs = self.segments(data)
         out = bytearray(struct.pack("<I", len(segs)))
         for offset, length in segs:
@@ -61,6 +62,7 @@ class SparseSegmentCodec(Codec):
         return bytes(out)
 
     def decode(self, payload: bytes, original_length: int) -> bytes:
+        """Rebuild the delta by writing each segment into a zero buffer."""
         if len(payload) < 4:
             raise CodecError("sparse payload shorter than its count field")
         (count,) = struct.unpack_from("<I", payload, 0)

@@ -69,6 +69,7 @@ class ZeroRleCodec(Codec):
         return self._merge_gap
 
     def encode(self, data: bytes) -> bytes:
+        """Run-length encode the delta's zero gaps (Sec. 2's sparse P')."""
         out = bytearray()
         cursor = 0
         for offset, length in nonzero_runs(data, merge_gap=self._merge_gap):
@@ -79,6 +80,7 @@ class ZeroRleCodec(Codec):
         return bytes(out)
 
     def decode(self, payload: bytes, original_length: int) -> bytes:
+        """Expand zero runs and literals back into the original delta."""
         out = bytearray(original_length)
         pos = 0
         cursor = 0

@@ -31,9 +31,11 @@ class ZlibCodec(Codec):
         return self._level
 
     def encode(self, data: bytes) -> bytes:
+        """Deflate the buffer at the configured level."""
         return zlib.compress(data, self._level)
 
     def decode(self, payload: bytes, original_length: int) -> bytes:
+        """Inflate and verify the original length."""
         try:
             data = zlib.decompress(payload)
         except zlib.error as exc:

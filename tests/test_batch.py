@@ -1,0 +1,480 @@
+"""Batched delta shipping: wire format, merging, engine wiring, recovery.
+
+Covers the `repro.engine.batch` subsystem end to end: ShipBatch
+pack/unpack with digest verification, ShipBatcher window policy and
+same-LBA XOR merging, PrimaryEngine flush semantics (strict and
+guarded), the multi-segment iSCSI PDU path, accounting, telemetry
+counters, and the CLI flag.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.block import MemoryBlockDevice
+from repro.common.errors import ConfigurationError, ReplicationError
+from repro.common.rng import make_rng
+from repro.engine import (
+    BatchConfig,
+    BatchEntry,
+    DirectLink,
+    FaultyLink,
+    PrimaryEngine,
+    PrinsStrategy,
+    ReplicaEngine,
+    ReplicationRecord,
+    ResilienceConfig,
+    ShipBatch,
+    ShipBatcher,
+    make_strategy,
+    verify_consistency,
+)
+from repro.engine.batch import (
+    BATCH_OVERHEAD,
+    SEGMENT_OVERHEAD,
+    pack_batch_ack,
+    unpack_batch_ack,
+)
+
+BS = 256
+N = 32
+
+
+def _record(seq: int, frame: bytes = b"\x00\x01\x02") -> ReplicationRecord:
+    return ReplicationRecord(seq=seq, block_crc=zlib.crc32(frame), frame=frame)
+
+
+def _rand_block(rng, size: int = BS) -> bytes:
+    return bytes(rng.integers(0, 256, size, dtype=np.uint8))
+
+
+def _build(batch=None, resilience=None, strategy_name="prins"):
+    primary = MemoryBlockDevice(BS, N)
+    replica_dev = MemoryBlockDevice(BS, N)
+    strategy = make_strategy(strategy_name)
+    replica = ReplicaEngine(replica_dev, strategy)
+    engine = PrimaryEngine(
+        primary,
+        strategy,
+        [DirectLink(replica)],
+        batch=batch,
+        resilience=resilience,
+    )
+    return engine, replica_dev, replica
+
+
+# ---------------------------------------------------------------------------
+# Wire format
+# ---------------------------------------------------------------------------
+
+
+class TestWireFormat:
+    def test_round_trip(self):
+        entries = tuple(
+            BatchEntry(lba=i * 7, record=_record(i + 1, bytes([i]) * 5))
+            for i in range(4)
+        )
+        batch = ShipBatch(entries=entries, merged_writes=3)
+        raw = batch.pack()
+        back = ShipBatch.unpack(raw)
+        assert back.entries == entries
+        assert back.merged_writes == 3
+        assert back.record_count == 4
+        assert back.last_seq == 4
+
+    def test_pack_is_cached(self):
+        batch = ShipBatch(entries=(BatchEntry(0, _record(1)),))
+        assert batch.pack() is batch.pack()
+
+    def test_digest_corruption_detected(self):
+        batch = ShipBatch(entries=(BatchEntry(3, _record(9)),))
+        raw = bytearray(batch.pack())
+        raw[-1] ^= 0xFF  # flip a bit in the last segment byte
+        with pytest.raises(ReplicationError, match="digest"):
+            ShipBatch.unpack(bytes(raw))
+
+    def test_truncated_batch_detected(self):
+        batch = ShipBatch(entries=(BatchEntry(3, _record(9)),))
+        with pytest.raises(ReplicationError):
+            ShipBatch.unpack(batch.pack()[: BATCH_OVERHEAD + 2])
+
+    def test_empty_batch_cannot_pack(self):
+        with pytest.raises(ReplicationError):
+            ShipBatch(entries=()).pack()
+
+    def test_overheads(self):
+        rec = _record(1, b"xyz")
+        batch = ShipBatch(entries=(BatchEntry(0, rec),))
+        assert len(batch.pack()) == (
+            BATCH_OVERHEAD + SEGMENT_OVERHEAD + len(rec.pack())
+        )
+
+    def test_batch_ack_round_trip(self):
+        raw = pack_batch_ack(77, 5, 2)
+        assert unpack_batch_ack(raw) == (77, 5, 2)
+        with pytest.raises(ReplicationError):
+            unpack_batch_ack(raw + b"x")
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            BatchConfig(max_records=0)
+        with pytest.raises(ConfigurationError):
+            BatchConfig(max_bytes=0)
+        with pytest.raises(ConfigurationError):
+            BatchConfig(max_records=1 << 16)
+
+
+# ---------------------------------------------------------------------------
+# Batcher window + merging
+# ---------------------------------------------------------------------------
+
+
+class TestShipBatcher:
+    def test_count_window_triggers(self):
+        b = ShipBatcher(BatchConfig(max_records=3), PrinsStrategy())
+        assert not b.add(0, 1, 0, b"\x01" * BS, BS)
+        assert not b.add(1, 2, 0, b"\x01" * BS, BS)
+        assert b.add(2, 3, 0, b"\x01" * BS, BS)
+
+    def test_byte_window_triggers(self):
+        b = ShipBatcher(
+            BatchConfig(max_records=100, max_bytes=2 * BS), PrinsStrategy()
+        )
+        assert not b.add(0, 1, 0, b"\x01" * BS, BS)
+        assert b.add(1, 2, 0, b"\x01" * BS, BS)
+
+    def test_same_lba_counts_once_toward_count_window(self):
+        b = ShipBatcher(BatchConfig(max_records=2), PrinsStrategy())
+        assert not b.add(5, 1, 0, b"\x01" * BS, BS)
+        assert not b.add(5, 2, 0, b"\x02" * BS, BS)  # same LBA: merges
+        assert len(b) == 1
+        assert b.add(6, 3, 0, b"\x01" * BS, BS)
+
+    def test_xor_merge_composes_deltas(self):
+        rng = make_rng(7, "merge")
+        strategy = PrinsStrategy()
+        old = _rand_block(rng)
+        mid = _rand_block(rng)
+        new = _rand_block(rng)
+        d1 = strategy.make_update(mid, old)
+        d2 = strategy.make_update(new, mid)
+        b = ShipBatcher(BatchConfig(max_records=8), strategy)
+        b.add(0, 1, zlib.crc32(mid), d1, BS)
+        b.add(0, 2, zlib.crc32(new), d2, BS)
+        result = b.drain()
+        assert result.merged_writes == 1
+        assert result.logical_writes == 2
+        assert result.batch is not None and result.batch.record_count == 1
+        record = result.batch.entries[0].record
+        assert record.seq == 2  # newest seq wins
+        # the merged delta applies against the ORIGINAL block
+        applied = strategy.apply_update(record.frame, old)
+        assert applied == new
+        record.verify(applied)
+
+    def test_cancelling_overwrites_elide_entirely(self):
+        rng = make_rng(8, "elide")
+        strategy = PrinsStrategy()
+        old = _rand_block(rng)
+        mid = _rand_block(rng)
+        d1 = strategy.make_update(mid, old)
+        d2 = strategy.make_update(old, mid)  # write back the original
+        b = ShipBatcher(BatchConfig(max_records=8), strategy)
+        b.add(0, 1, zlib.crc32(mid), d1, BS)
+        b.add(0, 2, zlib.crc32(old), d2, BS)
+        result = b.drain()
+        assert result.batch is None
+        assert result.elided_records == 1
+        assert result.merged_writes == 1
+        assert result.logical_writes == 2
+
+    def test_full_block_strategy_merges_last_writer_wins(self):
+        strategy = make_strategy("traditional")
+        b = ShipBatcher(BatchConfig(max_records=8), strategy)
+        first, last = b"\x01" * BS, b"\x02" * BS
+        b.add(0, 1, zlib.crc32(first), first, BS)
+        b.add(0, 2, zlib.crc32(last), last, BS)
+        result = b.drain()
+        assert result.batch is not None
+        record = result.batch.entries[0].record
+        assert strategy.apply_update(record.frame, None) == last
+
+    def test_drain_resets_window(self):
+        b = ShipBatcher(BatchConfig(max_records=8), PrinsStrategy())
+        b.add(0, 1, 0, b"\x01" * BS, BS)
+        b.drain()
+        assert len(b) == 0
+        assert b.pending_bytes == 0
+        assert b.drain().logical_writes == 0
+
+
+# ---------------------------------------------------------------------------
+# Engine wiring
+# ---------------------------------------------------------------------------
+
+
+class TestEngineBatching:
+    def _writes(self, count: int, lbas: int, seed: int = 3):
+        rng = make_rng(seed, "writes")
+        return [
+            (int(rng.integers(0, lbas)), _rand_block(rng)) for _ in range(count)
+        ]
+
+    def test_batched_replica_matches_unbatched(self):
+        writes = self._writes(200, 6)
+        plain, plain_dev, _ = _build()
+        batched, batched_dev, _ = _build(batch=BatchConfig(max_records=8))
+        for lba, data in writes:
+            plain.write_block(lba, data)
+            batched.write_block(lba, data)
+        batched.flush_batch()
+        assert verify_consistency(plain.device, plain_dev) == []
+        assert verify_consistency(batched.device, batched_dev) == []
+        assert plain_dev.snapshot() == batched_dev.snapshot()
+
+    def test_batching_ships_fewer_pdus_and_bytes(self):
+        writes = self._writes(200, 6)
+        plain, _, _ = _build()
+        batched, _, _ = _build(batch=BatchConfig(max_records=8))
+        for lba, data in writes:
+            plain.write_block(lba, data)
+            batched.write_block(lba, data)
+        batched.flush_batch()
+        a, b = plain.accountant, batched.accountant
+        assert b.pdus_shipped < a.pdus_shipped
+        assert b.pdu_bytes <= a.pdu_bytes
+        assert b.writes_merged > 0
+        assert b.batches_shipped == b.pdus_shipped
+        assert a.writes_total == b.writes_total == 200
+
+    def test_flush_on_window_boundary(self):
+        engine, replica_dev, _ = _build(batch=BatchConfig(max_records=4))
+        rng = make_rng(11, "w")
+        for lba in range(4):  # distinct LBAs: fills the window exactly
+            engine.write_block(lba, _rand_block(rng))
+        # window auto-flushed: replica already has all four blocks
+        assert engine.pending_batch_writes == 0
+        assert verify_consistency(engine.device, replica_dev) == []
+
+    def test_flush_batch_is_noop_when_unbatched_or_empty(self):
+        engine, _, _ = _build()
+        assert engine.flush_batch() is None
+        engine2, _, _ = _build(batch=BatchConfig(max_records=4))
+        assert engine2.flush_batch() is None
+
+    def test_close_flushes_pending(self):
+        engine, replica_dev, _ = _build(batch=BatchConfig(max_records=100))
+        rng = make_rng(12, "w")
+        image = {}
+        for lba in range(3):
+            data = _rand_block(rng)
+            image[lba] = data
+            engine.write_block(lba, data)
+        assert engine.pending_batch_writes == 3
+        engine.close()
+        for lba, data in image.items():
+            assert replica_dev.read_block(lba) == data
+
+    def test_accounting_totals_conserved(self):
+        engine, _, _ = _build(batch=BatchConfig(max_records=8))
+        writes = self._writes(50, 4, seed=9)
+        for lba, data in writes:
+            engine.write_block(lba, data)
+        engine.flush_batch()
+        acct = engine.accountant
+        assert (
+            acct.writes_replicated + acct.writes_skipped == acct.writes_total
+        )
+        assert acct.data_bytes == 50 * BS
+        assert acct.batched_payload_bytes == acct.payload_bytes
+        assert acct.batched_pdu_bytes == acct.pdu_bytes
+        snap = acct.snapshot()
+        assert snap["batching"]["batches_shipped"] == acct.batches_shipped
+        assert snap["batching"]["writes_merged"] == acct.writes_merged
+
+    def test_telemetry_counters_emitted(self):
+        from repro.obs import Telemetry
+
+        telemetry = Telemetry()
+        primary = MemoryBlockDevice(BS, N)
+        replica_dev = MemoryBlockDevice(BS, N)
+        strategy = PrinsStrategy()
+        engine = PrimaryEngine(
+            primary,
+            strategy,
+            [DirectLink(ReplicaEngine(replica_dev, strategy))],
+            batch=BatchConfig(max_records=4),
+            telemetry=telemetry,
+        )
+        rng = make_rng(13, "w")
+        for i in range(8):  # LBAs 0,0,1,1,2,2,3,3: window fills with merges
+            engine.write_block(i // 2, _rand_block(rng))
+        engine.flush_batch()
+        counters = telemetry.registry.snapshot()["counters"]
+        assert counters["batch.flushes"] >= 2
+        assert counters["batch.records"] >= 4
+        assert counters["batch.merged_writes"] >= 1
+        snap = engine.telemetry_snapshot()
+        assert snap["batch"]["pending_records"] == 0
+
+    def test_raid_primary_batches_free_deltas(self):
+        from repro.raid import Raid5Array
+
+        raid = Raid5Array([MemoryBlockDevice(BS, N) for _ in range(4)])
+        replica_dev = MemoryBlockDevice(BS, raid.num_blocks)
+        strategy = PrinsStrategy()
+        engine = PrimaryEngine(
+            raid,
+            strategy,
+            [DirectLink(ReplicaEngine(replica_dev, strategy))],
+            batch=BatchConfig(max_records=4),
+        )
+        rng = make_rng(14, "w")
+        for _ in range(20):
+            engine.write_block(int(rng.integers(0, 8)), _rand_block(rng))
+        engine.flush_batch()
+        assert verify_consistency(raid, replica_dev) == []
+
+
+# ---------------------------------------------------------------------------
+# Resilience: failed batches re-journal constituents individually
+# ---------------------------------------------------------------------------
+
+
+class TestBatchResilience:
+    def test_failed_batch_journals_each_record(self):
+        primary = MemoryBlockDevice(BS, N)
+        replica_dev = MemoryBlockDevice(BS, N)
+        strategy = PrinsStrategy()
+        replica = ReplicaEngine(replica_dev, strategy)
+        faulty = FaultyLink(DirectLink(replica))
+        engine = PrimaryEngine(
+            primary,
+            strategy,
+            [faulty],
+            batch=BatchConfig(max_records=4),
+            resilience=ResilienceConfig(),
+        )
+        rng = make_rng(15, "w")
+        faulty.kill()
+        for lba in range(4):  # exactly one window; flush fails
+            engine.write_block(lba, _rand_block(rng))
+        guard = engine.guards[0]
+        # the batch was disaggregated: one journal entry per record
+        assert guard.backlog_depth == 4
+        assert engine.accountant.writes_journaled == 4
+        faulty.heal()
+        outcome = engine.heal_link(0)
+        assert outcome.mode == "replay"
+        assert outcome.records_replayed == 4
+        assert verify_consistency(primary, replica_dev) == []
+
+    def test_transient_fault_then_recovery_converges(self):
+        primary = MemoryBlockDevice(BS, N)
+        replica_dev = MemoryBlockDevice(BS, N)
+        strategy = PrinsStrategy()
+        replica = ReplicaEngine(replica_dev, strategy)
+        faulty = FaultyLink(DirectLink(replica))
+        engine = PrimaryEngine(
+            primary,
+            strategy,
+            [faulty],
+            batch=BatchConfig(max_records=2),
+            resilience=ResilienceConfig(),
+        )
+        rng = make_rng(16, "w")
+        for lba in range(2):
+            engine.write_block(lba, _rand_block(rng))  # healthy flush
+        faulty.fail_next(8, kind="drop")  # exhaust the retry budget
+        for lba in range(2, 4):
+            engine.write_block(lba, _rand_block(rng))  # journaled flush
+        assert engine.guards[0].backlog_depth == 2
+        faulty.heal()
+        engine.heal_link(0)
+        for lba in range(4, 6):
+            engine.write_block(lba, _rand_block(rng))  # back to batches
+        engine.flush_batch()
+        assert verify_consistency(primary, replica_dev) == []
+
+    def test_batch_ack_error_lost_then_duplicate_suppressed(self):
+        primary = MemoryBlockDevice(BS, N)
+        replica_dev = MemoryBlockDevice(BS, N)
+        strategy = PrinsStrategy()
+        replica = ReplicaEngine(replica_dev, strategy)
+        faulty = FaultyLink(DirectLink(replica))
+        engine = PrimaryEngine(
+            primary,
+            strategy,
+            [faulty],
+            batch=BatchConfig(max_records=2),
+            resilience=ResilienceConfig(),
+        )
+        rng = make_rng(17, "w")
+        faulty.fail_next(1, kind="error")  # applied, ack lost; retried
+        engine.write_block(0, _rand_block(rng))
+        engine.write_block(1, _rand_block(rng))
+        # retry redelivered the batch; replica suppressed both segments
+        assert replica.records_duplicate == 2
+        assert verify_consistency(primary, replica_dev) == []
+
+
+# ---------------------------------------------------------------------------
+# iSCSI transport path
+# ---------------------------------------------------------------------------
+
+
+class TestBatchOverIscsi:
+    def test_single_pdu_carries_whole_batch(self):
+        from repro.engine import InitiatorLink
+        from repro.iscsi.initiator import Initiator
+        from repro.iscsi.target import Target
+        from repro.iscsi.transport import transport_pair
+
+        replica_dev = MemoryBlockDevice(BS, N)
+        strategy = PrinsStrategy()
+        replica = ReplicaEngine(replica_dev, strategy)
+        target = Target(
+            replica_dev,
+            replication_handler=replica.receive,
+            batch_handler=replica.receive_batch,
+        )
+        client, server = transport_pair()
+        import threading
+
+        thread = threading.Thread(target=target.serve, args=(server,), daemon=True)
+        thread.start()
+        initiator = Initiator(client)
+        primary = MemoryBlockDevice(BS, N)
+        engine = PrimaryEngine(
+            primary,
+            strategy,
+            [InitiatorLink(initiator)],
+            batch=BatchConfig(max_records=8),
+        )
+        rng = make_rng(18, "w")
+        pdus_before = client.pdus_sent
+        for lba in range(8):
+            engine.write_block(lba, _rand_block(rng))
+        # the window auto-flushed once: exactly one REPL_BATCH_OUT PDU
+        assert client.pdus_sent - pdus_before == 1
+        assert verify_consistency(primary, replica_dev) == []
+        engine.close()
+        thread.join(timeout=5)
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+class TestCli:
+    def test_demo_batch_window_flag(self, capsys):
+        from repro.cli import main
+
+        assert main(["demo", "--batch-window", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "PDUs" in out
+        assert "merged" in out
