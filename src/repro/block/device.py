@@ -62,12 +62,51 @@ class BlockDevice(ABC):
         assert len(data) == self._block_size
         return data
 
+    def read_block_into(self, lba: int, out) -> None:
+        """Read block ``lba`` directly into the writable buffer ``out``.
+
+        ``out`` (a ``bytearray`` or writable ``memoryview``) must be exactly
+        ``block_size`` bytes.  The default copies through :meth:`_read`;
+        contiguous devices override to copy straight from their backing
+        store without materializing an intermediate ``bytes``.  This is the
+        replica-side Eq. 2 fast path's way of loading ``A_old`` into the
+        scratch block it will XOR in place.
+        """
+        self._check_lba(lba)
+        view = out if isinstance(out, memoryview) else memoryview(out)
+        if view.nbytes != self._block_size:
+            raise BlockSizeError(self._block_size, view.nbytes)
+        view[:] = self._read(lba)
+
     def write_block(self, lba: int, data: bytes) -> None:
-        """Overwrite block ``lba`` with ``data`` (must be ``block_size`` bytes)."""
+        """Overwrite block ``lba`` with ``data`` (must be ``block_size`` bytes).
+
+        ``data`` may be any buffer-protocol object; it is snapshotted to
+        immutable ``bytes`` before reaching :meth:`_write` (a no-op when it
+        already is ``bytes``), so devices that retain references — caches,
+        sparse stores — never alias a caller-owned mutable buffer.
+        """
         self._check_lba(lba)
         if len(data) != self._block_size:
             raise BlockSizeError(self._block_size, len(data))
         self._write(lba, bytes(data))
+
+    def write_block_from(self, lba: int, buf) -> None:
+        """Write block ``lba`` from a caller-owned scratch buffer.
+
+        Like :meth:`write_block` but documented for reuse of a mutable
+        scratch buffer (``bytearray`` / ``memoryview``): the device must
+        copy the contents during the call and must NOT retain a reference.
+        The default snapshots to ``bytes`` exactly like :meth:`write_block`;
+        contiguous devices override it to copy straight from the buffer,
+        skipping the intermediate snapshot — the replica-side apply loop
+        uses this to write its scratch block without a second 64 KB copy.
+        """
+        self._check_lba(lba)
+        view = buf if isinstance(buf, memoryview) else memoryview(buf)
+        if view.nbytes != self._block_size:
+            raise BlockSizeError(self._block_size, view.nbytes)
+        self._write(lba, view.tobytes())
 
     def read_blocks(self, lba: int, count: int) -> bytes:
         """Read ``count`` consecutive blocks starting at ``lba``."""

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from repro.block.device import BlockDevice
+from repro.common.errors import BlockSizeError
 
 
 class MemoryBlockDevice(BlockDevice):
@@ -21,9 +22,36 @@ class MemoryBlockDevice(BlockDevice):
         offset = lba * self._block_size
         return bytes(self._data[offset : offset + self._block_size])
 
+    def read_block_into(self, lba: int, out) -> None:
+        """Copy block ``lba`` straight from the backing bytearray into ``out``.
+
+        Overrides the base implementation to skip the intermediate
+        ``bytes`` object — one slice-assign from the contiguous image.
+        """
+        self._check_lba(lba)
+        view = out if isinstance(out, memoryview) else memoryview(out)
+        if view.nbytes != self._block_size:
+            raise BlockSizeError(self._block_size, view.nbytes)
+        offset = lba * self._block_size
+        view[:] = memoryview(self._data)[offset : offset + self._block_size]
+
     def _write(self, lba: int, data: bytes) -> None:
         offset = lba * self._block_size
         self._data[offset : offset + self._block_size] = data
+
+    def write_block_from(self, lba: int, buf) -> None:
+        """Copy a scratch buffer straight into the backing bytearray.
+
+        Overrides the base implementation to skip the intermediate
+        ``bytes`` snapshot — the contiguous image copies from any buffer
+        in one slice-assign, and nothing retains a reference to ``buf``.
+        """
+        self._check_lba(lba)
+        view = buf if isinstance(buf, memoryview) else memoryview(buf)
+        if view.nbytes != self._block_size:
+            raise BlockSizeError(self._block_size, view.nbytes)
+        offset = lba * self._block_size
+        self._data[offset : offset + self._block_size] = view
 
     def snapshot(self) -> bytes:
         """Return an immutable copy of the whole device image."""

@@ -91,7 +91,11 @@ def _cmd_all(args: argparse.Namespace) -> int:
 
 
 def _run_demo_workload(
-    workload: str, ops: int | None, emit, batch_window: int | None = None
+    workload: str,
+    ops: int | None,
+    emit,
+    batch_window: int | None = None,
+    old_block_cache: int | None = None,
 ) -> None:
     """Run the demo under the *current* telemetry handle.
 
@@ -100,8 +104,12 @@ def _run_demo_workload(
     the snapshot, matching how a production deployment would run.
     ``batch_window`` (``--batch-window N``) enables batched delta
     shipping with an N-record window; the per-strategy report then adds
-    PDU counts and merge-elision numbers.  ``emit`` is a ``print``-like
-    callable (no-op when ``--json -`` owns stdout).
+    PDU counts and merge-elision numbers.  ``old_block_cache``
+    (``--old-block-cache N``) gives delta-computing strategies an
+    N-slot LRU serving ``A_old`` reads, and the report adds the hit
+    rate; the default (``None``) keeps the read-before-write behaviour
+    unchanged.  ``emit`` is a ``print``-like callable (no-op when
+    ``--json -`` owns stdout).
     """
     from repro.block import MemoryBlockDevice
     from repro.common.units import format_bytes
@@ -127,6 +135,7 @@ def _run_demo_workload(
             resilience=ResilienceConfig(),
             telemetry_name=f"demo.{name}",
             batch=batch,
+            old_block_cache=old_block_cache,
         )
 
     def emit_traffic(name, engine):
@@ -141,6 +150,10 @@ def _run_demo_workload(
                 f"  [{accountant.pdus_shipped} PDUs, "
                 f"{accountant.writes_merged} writes merged]"
             )
+        cache = engine.old_block_cache
+        if cache is not None:
+            snap = cache.snapshot()
+            line += f"  [A_old cache hit rate {snap['hit_rate']:.0%}]"
         emit(line)
 
     if workload == "tpcc":
@@ -207,7 +220,11 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     telemetry = Telemetry()
     with use_telemetry(telemetry):
         _run_demo_workload(
-            args.workload, args.transactions, emit, batch_window=args.batch_window
+            args.workload,
+            args.transactions,
+            emit,
+            batch_window=args.batch_window,
+            old_block_cache=args.old_block_cache,
         )
     _emit_snapshot(telemetry.snapshot(), args.json, quiet_note=quiet)
     return 0
@@ -361,6 +378,13 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         metavar="N",
         help="enable batched delta shipping with an N-record window",
+    )
+    p_demo.add_argument(
+        "--old-block-cache",
+        type=int,
+        default=None,
+        metavar="N",
+        help="N-slot LRU for A_old reads (skips read-before-write on hits)",
     )
     p_demo.add_argument(
         "--transactions",

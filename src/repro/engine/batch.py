@@ -135,11 +135,13 @@ class ShipBatch:
             raise ReplicationError(
                 f"batch of {len(self.entries)} records exceeds wire limit"
             )
+        # Writev-style assembly: per-record (header, frame) segment lists
+        # are joined exactly once — no per-record concatenation.
         parts = []
         for entry in self.entries:
-            raw = entry.record.pack()
-            parts.append(_SEGMENT_HEADER.pack(entry.lba, len(raw)))
-            parts.append(raw)
+            record = entry.record
+            parts.append(_SEGMENT_HEADER.pack(entry.lba, record.wire_size))
+            parts.extend(record.parts())
         body = b"".join(parts)
         merged = min(self.merged_writes, 0xFFFF)
         raw_batch = (
@@ -286,21 +288,36 @@ class ShipBatcher:
         data_bytes = self._data_bytes
         merged_writes = 0
         elided_records = 0
-        entries: list[BatchEntry] = []
+        survivors: list[tuple[int, _PendingLba]] = []
+        payloads: list[bytes] = []
         for lba, slot in self._pending.items():
             if len(slot.payloads) > 1:
                 merged_writes += len(slot.payloads) - 1
                 payload = self.strategy.merge_updates(slot.payloads)
+                # Only a *merged* payload can newly become a no-op (two
+                # deltas XOR-cancelling); single payloads were already
+                # noop-checked before they entered the window, so don't
+                # pay a second full-block zero scan per record here.
+                if self.strategy.update_is_noop(payload):
+                    elided_records += 1
+                    continue
             else:
                 payload = slot.payloads[0]
-            if self.strategy.update_is_noop(payload):
-                elided_records += 1
-                continue
-            frame = self.strategy.encode_payload(payload)
-            record = ReplicationRecord(
-                seq=slot.seq, block_crc=slot.block_crc, frame=frame
+            survivors.append((lba, slot))
+            payloads.append(payload)
+        # One batched codec pass over the surviving payloads: the window's
+        # frames come back from a single encode_payloads call instead of a
+        # per-record encode (vectorized codecs amortize dispatch here).
+        frames = self.strategy.encode_payloads(payloads) if payloads else []
+        entries = [
+            BatchEntry(
+                lba=lba,
+                record=ReplicationRecord(
+                    seq=slot.seq, block_crc=slot.block_crc, frame=frame
+                ),
             )
-            entries.append(BatchEntry(lba=lba, record=record))
+            for (lba, slot), frame in zip(survivors, frames)
+        ]
         self._pending.clear()
         self._pending_bytes = 0
         self._logical_writes = 0
@@ -337,5 +354,5 @@ def unpack_batch_ack(raw: bytes) -> tuple[int, int, int]:
 def batch_wire_size(records: Sequence[ReplicationRecord]) -> int:
     """Bytes a batch of these records occupies on the wire (sans PDU header)."""
     return BATCH_OVERHEAD + sum(
-        SEGMENT_OVERHEAD + len(r.pack()) for r in records
+        SEGMENT_OVERHEAD + r.wire_size for r in records
     )

@@ -45,6 +45,7 @@ class ClusterConfig:
     block_size: int = 8192
     blocks_per_node: int = 256
     strategy: str = "prins"
+    old_block_cache: int | None = None  # LRU slots for A_old; None = off
 
     def __post_init__(self) -> None:
         if self.nodes < 2:
@@ -52,6 +53,10 @@ class ClusterConfig:
         if not 1 <= self.replicas_per_node < self.nodes:
             raise ConfigurationError(
                 "replicas_per_node must be in [1, nodes-1]"
+            )
+        if self.old_block_cache is not None and self.old_block_cache < 1:
+            raise ConfigurationError(
+                "old_block_cache must be a positive capacity (or None)"
             )
 
     @property
@@ -154,6 +159,7 @@ class StorageCluster:
                 telemetry=self.telemetry,
                 telemetry_name=f"cluster.node{node.node_id}",
                 batch=batch,
+                old_block_cache=self.config.old_block_cache,
             )
         if self.telemetry.enabled:
             self.telemetry.register_source("cluster", self.telemetry_snapshot)

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import struct
 import zlib
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.common.errors import ReplicationError
 
@@ -32,10 +32,29 @@ class ReplicationRecord:
     seq: int
     block_crc: int
     frame: bytes
+    _packed: bytes | None = field(default=None, repr=False, compare=False)
+
+    @property
+    def wire_size(self) -> int:
+        """Bytes this record occupies on the wire, without serializing."""
+        return RECORD_OVERHEAD + len(self.frame)
+
+    def parts(self) -> tuple[bytes, bytes]:
+        """Writev-style segment list ``(header, frame)`` for zero-copy framing.
+
+        Callers that assemble a larger message (batch bodies, PDUs) extend
+        their own part list with these segments and pay one ``b"".join``
+        at the end instead of concatenating per record.
+        """
+        return _HEADER.pack(self.seq, self.block_crc), self.frame
 
     def pack(self) -> bytes:
-        """Serialize to wire bytes."""
-        return _HEADER.pack(self.seq, self.block_crc) + self.frame
+        """Serialize to wire bytes (cached — records are immutable)."""
+        packed = object.__getattribute__(self, "_packed")
+        if packed is None:
+            packed = _HEADER.pack(self.seq, self.block_crc) + self.frame
+            object.__setattr__(self, "_packed", packed)
+        return packed
 
     @classmethod
     def unpack(cls, raw: bytes) -> "ReplicationRecord":

@@ -27,9 +27,12 @@ Two fan-out disciplines:
 from __future__ import annotations
 
 import zlib
+from typing import Sequence
 
 from repro.block.device import BlockDevice
+from repro.block.lru import BlockCache
 from repro.common.errors import (
+    BlockSizeError,
     ConfigurationError,
     PartialReplicationError,
     ReplicationError,
@@ -78,6 +81,7 @@ class PrimaryEngine(BlockDevice):
         telemetry=None,
         telemetry_name: str | None = None,
         batch: BatchConfig | None = None,
+        old_block_cache: int | None = None,
     ) -> None:
         super().__init__(device.block_size, device.num_blocks)
         self._device = device
@@ -85,6 +89,15 @@ class PrimaryEngine(BlockDevice):
         self._verify_acks = verify_acks
         self._seq = 0
         self._batcher = ShipBatcher(batch, strategy) if batch is not None else None
+        # Bounded LRU of last-written block images: serves A_old (the Eq. 1
+        # read-before-write) from memory for hot LBAs.  Only useful when the
+        # strategy actually consumes old data; RAID primaries get P' free
+        # from the small-write path and never read A_old here.
+        self._old_cache = (
+            BlockCache(old_block_cache)
+            if old_block_cache and strategy.needs_old_data
+            else None
+        )
         self.accountant = accountant if accountant is not None else TrafficAccountant()
         self.telemetry = telemetry if telemetry is not None else get_telemetry()
         self._strategy.bind_telemetry(self.telemetry)
@@ -127,6 +140,11 @@ class PrimaryEngine(BlockDevice):
     def batching(self) -> BatchConfig | None:
         """The batch window policy, or ``None`` for per-write shipping."""
         return self._batcher.config if self._batcher is not None else None
+
+    @property
+    def old_block_cache(self) -> BlockCache | None:
+        """The ``A_old`` LRU cache, or ``None`` when disabled/inapplicable."""
+        return self._old_cache
 
     @property
     def pending_batch_writes(self) -> int:
@@ -195,25 +213,53 @@ class PrimaryEngine(BlockDevice):
     def _read(self, lba: int) -> bytes:
         return self._device.read_block(lba)
 
+    def _read_old_block(self, lba: int) -> tuple[bytes, bool | None]:
+        """Fetch ``A_old`` for ``lba``, consulting the LRU cache first.
+
+        Returns ``(old_data, cache_hit)``; ``cache_hit`` is None when no
+        cache is configured (so the span attribute is only emitted for
+        cache-enabled engines) and the telemetry cache counters tick on
+        every consult.
+        """
+        cache = self._old_cache
+        if cache is None:
+            return self._device.read_block(lba), None
+        old_data = cache.get(lba)
+        tel = self.telemetry
+        if old_data is not None:
+            if tel.enabled:
+                tel.counter("cache.old_block.hits").inc()
+            return old_data, True
+        if tel.enabled:
+            tel.counter("cache.old_block.misses").inc()
+        return self._device.read_block(lba), False
+
     def _write(self, lba: int, data: bytes) -> None:
         """Local write + replication: the paper's full write path."""
         tel = self.telemetry
         with tel.span("write", lba=lba, strategy=self._strategy.name) as span:
             old_data: bytes | None = None
             raid_delta: bytes | None = None
+            cache_hit: bool | None = None
             with tel.span("write.local"):
                 if self._raid is not None:
                     # The array's small-write path computes P' anyway (Eq. 1).
                     raid_delta = self._raid.write_block_with_delta(lba, data)
                 else:
                     if self._strategy.needs_old_data:
-                        old_data = self._device.read_block(lba)
+                        old_data, cache_hit = self._read_old_block(lba)
                     self._device.write_block(lba, data)
+                    if self._old_cache is not None:
+                        # data is already immutable bytes (write_block's
+                        # contract), so the cache holds a reference, not a
+                        # copy: the block just written IS the next A_old.
+                        self._old_cache.put(lba, data)
             if self._batcher is not None:
                 payload = self._strategy.make_update(
                     data,
                     old_data if old_data is not None else b"",
                     raid_delta=raid_delta,
+                    cache_hit=cache_hit,
                 )
                 if payload is None:
                     span.set("skipped", True)
@@ -231,6 +277,7 @@ class PrimaryEngine(BlockDevice):
                 data,
                 old_data if old_data is not None else b"",
                 raid_delta=raid_delta,
+                cache_hit=cache_hit,
             )
             if frame is None:
                 span.set("skipped", True)
@@ -238,12 +285,87 @@ class PrimaryEngine(BlockDevice):
                 return
             self._seq += 1
             record = ReplicationRecord.for_block(self._seq, data, frame)
-            payload_len = len(record.pack())
+            payload_len = record.wire_size
             span.set("payload_bytes", payload_len)
             if self._guards is not None:
                 self._fan_out_guarded(lba, record, len(data), payload_len)
             else:
                 self._fan_out_strict(lba, record, len(data), payload_len)
+
+    def write_many(self, writes: Sequence[tuple[int, bytes]]) -> None:
+        """Write a window of ``(lba, data)`` pairs through one batched pass.
+
+        Semantically identical to calling :meth:`write_block` in order
+        (same replica bytes, same accounting, same sequence numbers), but
+        the per-write compute is vectorized: all ``A_old`` reads resolve
+        up front (cache → device, with same-window staging so the second
+        write to an LBA sees the first as its old data), every Eq. 1 XOR
+        collapses into one
+        :meth:`~repro.engine.strategy.ReplicationStrategy.make_updates`
+        kernel call, and — on batched engines — the payloads land in the
+        :class:`~repro.engine.batch.ShipBatcher` whose drain encodes the
+        whole window in one codec pass.  RAID-backed engines fall back to
+        the sequential path (their per-write small-write already yields
+        ``P'`` for free).
+        """
+        if not writes:
+            return
+        if self._raid is not None:
+            for lba, data in writes:
+                self.write_block(lba, data)
+            return
+        tel = self.telemetry
+        strategy = self._strategy
+        with tel.span(
+            "write.many", count=len(writes), strategy=strategy.name
+        ):
+            datas: list[bytes] = []
+            lbas: list[int] = []
+            for lba, data in writes:
+                self._check_lba(lba)
+                if len(data) != self._block_size:
+                    raise BlockSizeError(self._block_size, len(data))
+                lbas.append(lba)
+                datas.append(data if isinstance(data, bytes) else bytes(data))
+            cache = self._old_cache
+            olds: list[bytes] = []
+            if strategy.needs_old_data:
+                with tel.span("write.local", batch=len(writes)):
+                    staged: dict[int, bytes] = {}
+                    for lba, data in zip(lbas, datas):
+                        prev = staged.get(lba)
+                        if prev is not None:
+                            olds.append(prev)
+                        else:
+                            olds.append(self._read_old_block(lba)[0])
+                        staged[lba] = data
+                        self._device.write_block(lba, data)
+                        if cache is not None:
+                            cache.put(lba, data)
+            else:
+                with tel.span("write.local", batch=len(writes)):
+                    for lba, data in zip(lbas, datas):
+                        self._device.write_block(lba, data)
+                olds = [b""] * len(datas)
+            payloads = strategy.make_updates(datas, olds)
+            for lba, data, payload in zip(lbas, datas, payloads):
+                if payload is None:
+                    self.accountant.record_write(len(data), None)
+                    continue
+                self._seq += 1
+                if self._batcher is not None:
+                    if self._batcher.add(
+                        lba, self._seq, zlib.crc32(data), payload, len(data)
+                    ):
+                        self.flush_batch()
+                    continue
+                frame = strategy.encode_payload(payload)
+                record = ReplicationRecord.for_block(self._seq, data, frame)
+                payload_len = record.wire_size
+                if self._guards is not None:
+                    self._fan_out_guarded(lba, record, len(data), payload_len)
+                else:
+                    self._fan_out_strict(lba, record, len(data), payload_len)
 
     def _fan_out_strict(
         self, lba: int, record: ReplicationRecord, data_len: int, payload_len: int
@@ -477,6 +599,8 @@ class PrimaryEngine(BlockDevice):
                 "pending_records": len(self._batcher),
                 "pending_bytes": self._batcher.pending_bytes,
             }
+        if self._old_cache is not None:
+            snapshot["old_block_cache"] = self._old_cache.snapshot()
         if self._guards:
             snapshot["links"]["backlog_depths"] = [
                 guard.backlog_depth for guard in self._guards

@@ -66,22 +66,32 @@ class ReplicaEngine:
         replication handler (and called directly by
         :class:`~repro.engine.links.DirectLink`).
         """
+        return self.apply_record(lba, ReplicationRecord.unpack(raw_record))
+
+    def apply_record(self, lba: int, record: ReplicationRecord) -> bytes:
+        """Apply one parsed record idempotently; returns the packed ack.
+
+        The core of :meth:`receive`, split out so the batch path can apply
+        the records :class:`~repro.engine.batch.ShipBatch.unpack` already
+        parsed without a per-record pack/unpack round trip.
+        """
         tel = self.telemetry
         with tel.span("replica.apply", lba=lba) as span:
-            record = ReplicationRecord.unpack(raw_record)
             if self._applied_seq.get(lba, -1) >= record.seq:
                 self.records_duplicate += 1
                 span.set("duplicate", True)
                 return _ACK.pack(record.seq, ACK_DUPLICATE)
-            old_data = (
-                self._device.read_block(lba)
-                if self._strategy.needs_old_data
-                else None
-            )
+            # Zero-copy apply: one scratch block holds A_old (when the
+            # strategy needs it), the strategy scatters/XORs the decoded
+            # frame into it in place, and the same buffer is verified and
+            # written back — no decoded-delta or new-block intermediates.
+            block = bytearray(self._device.block_size)
+            if self._strategy.needs_old_data:
+                self._device.read_block_into(lba, block)
             with tel.span("replica.decode"):
-                new_data = self._strategy.apply_update(record.frame, old_data)
-            record.verify(new_data)
-            self._device.write_block(lba, new_data)
+                self._strategy.apply_update_into(record.frame, block)
+            record.verify(block)
+            self._device.write_block_from(lba, block)
             self._applied_seq[lba] = record.seq
             self.records_applied += 1
             return _ACK.pack(record.seq, ACK_APPLIED)
@@ -100,7 +110,7 @@ class ReplicaEngine:
             applied = 0
             duplicates = 0
             for entry in batch:
-                ack = self.receive(entry.lba, entry.record.pack())
+                ack = self.apply_record(entry.lba, entry.record)
                 _, status = _ACK.unpack(ack)
                 if status == ACK_DUPLICATE:
                     duplicates += 1

@@ -14,12 +14,20 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Sequence
 
-from repro.common.buffers import is_zero, xor_reduce_blocks
+from typing import Union
+
+from repro.common.buffers import is_zero, xor_blocks_pairwise, xor_reduce_blocks
 from repro.common.errors import ConfigurationError
 from repro.obs.telemetry import NULL_TELEMETRY
-from repro.parity.codecs import Codec, get_codec
+from repro.parity.codecs import Buffer, Codec, get_codec
 from repro.parity.delta import backward_parity, forward_parity
-from repro.parity.frame import decode_frame, encode_frame
+from repro.parity.frame import (
+    decode_frame,
+    decode_frame_into,
+    decode_frame_xor_into,
+    encode_frame,
+    encode_frames,
+)
 
 
 class ReplicationStrategy(ABC):
@@ -47,7 +55,11 @@ class ReplicationStrategy(ABC):
 
     @abstractmethod
     def make_update(
-        self, new_data: bytes, old_data: bytes, raid_delta: bytes | None = None
+        self,
+        new_data: Buffer,
+        old_data: Buffer,
+        raid_delta: bytes | None = None,
+        cache_hit: bool | None = None,
     ) -> bytes | None:
         """Return the pre-encoding update payload for this write, or None to skip.
 
@@ -57,14 +69,48 @@ class ReplicationStrategy(ABC):
         the primary's device provides one (see
         :meth:`repro.raid.parity_base.ParityArrayBase.write_block_with_delta`).
         ``None`` means the write changed nothing worth replicating.
+        ``cache_hit`` reports whether ``old_data`` came from the engine's
+        :class:`~repro.block.lru.BlockCache` (None when no cache is
+        configured); delta strategies surface it as the
+        ``write.delta`` span's ``cache_hit`` attribute.
         """
+
+    def make_updates(
+        self,
+        new_datas: Sequence[Buffer],
+        old_datas: Sequence[Buffer],
+    ) -> list[bytes | None]:
+        """Batch form of :meth:`make_update` for a whole flush window.
+
+        ``old_datas`` must align with ``new_datas`` (pass ``b""`` entries
+        for strategies that ignore old data).  The default loops; delta
+        strategies override to compute every forward parity in one
+        vectorized pass (:func:`repro.common.buffers.xor_blocks_pairwise`).
+        """
+        return [
+            self.make_update(new, old)
+            for new, old in zip(new_datas, old_datas)
+        ]
 
     @abstractmethod
     def encode_payload(self, payload: bytes) -> bytes:
         """Encode a :meth:`make_update` payload into a self-describing frame."""
 
+    def encode_payloads(self, payloads: Sequence[bytes]) -> list[bytes]:
+        """Batch form of :meth:`encode_payload`; default maps it.
+
+        Codec-backed strategies override to push the whole window through
+        :meth:`~repro.parity.codecs.Codec.encode_many` under a single
+        ``write.encode`` span, amortizing dispatch across the batch.
+        """
+        return [self.encode_payload(p) for p in payloads]
+
     def encode_update(
-        self, new_data: bytes, old_data: bytes, raid_delta: bytes | None = None
+        self,
+        new_data: Buffer,
+        old_data: Buffer,
+        raid_delta: bytes | None = None,
+        cache_hit: bool | None = None,
     ) -> bytes | None:
         """Return the frame to ship for this write, or None to skip.
 
@@ -73,7 +119,9 @@ class ReplicationStrategy(ABC):
         (:mod:`repro.engine.batch`) can merge same-LBA payloads *before*
         paying the encoding cost.
         """
-        payload = self.make_update(new_data, old_data, raid_delta=raid_delta)
+        payload = self.make_update(
+            new_data, old_data, raid_delta=raid_delta, cache_hit=cache_hit
+        )
         if payload is None:
             return None
         return self.encode_payload(payload)
@@ -103,6 +151,22 @@ class ReplicationStrategy(ABC):
     def apply_update(self, frame: bytes, old_data: bytes | None) -> bytes:
         """Invert :meth:`encode_update` at the replica; returns the new block."""
 
+    def apply_update_into(
+        self, frame: bytes, block: Union[bytearray, memoryview]
+    ) -> None:
+        """In-place form of :meth:`apply_update` for the replica fast path.
+
+        ``block`` must hold ``A_old`` on entry when :attr:`needs_old_data`
+        is set (zeroed scratch otherwise) and holds ``A_new`` on exit.
+        The default round-trips through :meth:`apply_update`; strategies
+        override to scatter the decoded frame directly — for PRINS only
+        the changed spans of the block are ever touched (Eq. 2 applied
+        segment-wise), so apply cost tracks dirtiness, not block size.
+        """
+        view = block if isinstance(block, memoryview) else memoryview(block)
+        old = bytes(view) if self.needs_old_data else None
+        view[:] = self.apply_update(frame, old)
+
 
 class FullBlockStrategy(ReplicationStrategy):
     """The paper's *traditional replication*: ship every changed block whole."""
@@ -114,20 +178,37 @@ class FullBlockStrategy(ReplicationStrategy):
         self._codec = get_codec("raw")
 
     def make_update(
-        self, new_data: bytes, old_data: bytes, raid_delta: bytes | None = None
+        self,
+        new_data: Buffer,
+        old_data: Buffer,
+        raid_delta: bytes | None = None,
+        cache_hit: bool | None = None,
     ) -> bytes | None:
         """The update payload is the new block itself (no delta, no skip)."""
-        del old_data, raid_delta
-        return new_data
+        del old_data, raid_delta, cache_hit
+        return new_data if isinstance(new_data, bytes) else bytes(new_data)
 
     def encode_payload(self, payload: bytes) -> bytes:
         """Wrap the block in a raw (identity-codec) frame."""
         with self.telemetry.span("write.encode", codec=self._codec.name):
             return encode_frame(self._codec, payload)
 
+    def encode_payloads(self, payloads: Sequence[bytes]) -> list[bytes]:
+        """Frame the whole window under one span (identity codec)."""
+        with self.telemetry.span(
+            "write.encode", codec=self._codec.name, batch=len(payloads)
+        ):
+            return encode_frames(self._codec, list(payloads))
+
     def apply_update(self, frame: bytes, old_data: bytes | None) -> bytes:
         """Unwrap the shipped block; ``old_data`` is not needed."""
         return decode_frame(frame)
+
+    def apply_update_into(
+        self, frame: bytes, block: Union[bytearray, memoryview]
+    ) -> None:
+        """Scatter the shipped block straight into ``block``."""
+        decode_frame_into(frame, block)
 
 
 class CompressedBlockStrategy(ReplicationStrategy):
@@ -140,20 +221,37 @@ class CompressedBlockStrategy(ReplicationStrategy):
         self._codec = get_codec(codec) if isinstance(codec, str) else codec
 
     def make_update(
-        self, new_data: bytes, old_data: bytes, raid_delta: bytes | None = None
+        self,
+        new_data: Buffer,
+        old_data: Buffer,
+        raid_delta: bytes | None = None,
+        cache_hit: bool | None = None,
     ) -> bytes | None:
         """The update payload is the new block (compression happens at encode)."""
-        del old_data, raid_delta
-        return new_data
+        del old_data, raid_delta, cache_hit
+        return new_data if isinstance(new_data, bytes) else bytes(new_data)
 
     def encode_payload(self, payload: bytes) -> bytes:
         """Compress the block and wrap it in a self-describing frame."""
         with self.telemetry.span("write.encode", codec=self._codec.name):
             return encode_frame(self._codec, payload)
 
+    def encode_payloads(self, payloads: Sequence[bytes]) -> list[bytes]:
+        """Compress and frame the whole window under one span."""
+        with self.telemetry.span(
+            "write.encode", codec=self._codec.name, batch=len(payloads)
+        ):
+            return encode_frames(self._codec, list(payloads))
+
     def apply_update(self, frame: bytes, old_data: bytes | None) -> bytes:
         """Decompress the shipped block; ``old_data`` is not needed."""
         return decode_frame(frame)
+
+    def apply_update_into(
+        self, frame: bytes, block: Union[bytearray, memoryview]
+    ) -> None:
+        """Decompress the shipped block straight into ``block``."""
+        decode_frame_into(frame, block)
 
 
 class PrinsStrategy(ReplicationStrategy):
@@ -184,26 +282,59 @@ class PrinsStrategy(ReplicationStrategy):
         return self._codec
 
     def make_update(
-        self, new_data: bytes, old_data: bytes, raid_delta: bytes | None = None
+        self,
+        new_data: Buffer,
+        old_data: Buffer,
+        raid_delta: bytes | None = None,
+        cache_hit: bool | None = None,
     ) -> bytes | None:
         """Return the parity delta ``P' = A_new XOR A_old`` (paper Eq. 1).
 
         Uses the precomputed RAID ``raid_delta`` when available; returns
         None when the delta is all zeros and ``skip_unchanged`` is set.
+        When the engine consulted its ``A_old`` cache, ``cache_hit``
+        lands on the ``write.delta`` span so traces show which writes
+        skipped the read-before-write.
         """
         if raid_delta is not None:
             delta = raid_delta  # P' came free from the RAID small write
         else:
-            with self.telemetry.span("write.delta"):
+            with self.telemetry.span("write.delta") as span:
+                if cache_hit is not None:
+                    span.set("cache_hit", cache_hit)
                 delta = forward_parity(new_data, old_data)
         if self._skip_unchanged and is_zero(delta):
             return None
         return delta
 
+    def make_updates(
+        self,
+        new_datas: Sequence[Buffer],
+        old_datas: Sequence[Buffer],
+    ) -> list[bytes | None]:
+        """Forward-parity a whole window in one 2-D numpy kernel.
+
+        All the window's Eq. 1 XORs collapse into a single
+        :func:`~repro.common.buffers.xor_blocks_pairwise` call, with the
+        all-zero (skip) test folded into the same kernel so the hot delta
+        is scanned while it is still a live numpy array.
+        """
+        with self.telemetry.span("write.delta", batch=len(new_datas)):
+            return xor_blocks_pairwise(
+                new_datas, old_datas, skip_zero=self._skip_unchanged
+            )
+
     def encode_payload(self, payload: bytes) -> bytes:
         """Encode a parity delta with the sparse-aware codec into a frame."""
         with self.telemetry.span("write.encode", codec=self._codec.name):
             return encode_frame(self._codec, payload)
+
+    def encode_payloads(self, payloads: Sequence[bytes]) -> list[bytes]:
+        """Encode the window's deltas through one batched codec pass."""
+        with self.telemetry.span(
+            "write.encode", codec=self._codec.name, batch=len(payloads)
+        ):
+            return encode_frames(self._codec, list(payloads))
 
     def merge_updates(self, payloads: Sequence[bytes]) -> bytes:
         """XOR-compose same-LBA parity deltas into one (Eqs. 1–2 compose).
@@ -229,6 +360,17 @@ class PrinsStrategy(ReplicationStrategy):
             )
         delta = decode_frame(frame)
         return backward_parity(delta, old_data)
+
+    def apply_update_into(
+        self, frame: bytes, block: Union[bytearray, memoryview]
+    ) -> None:
+        """XOR the delta's literal spans into ``block`` in place (Eq. 2).
+
+        ``block`` holds ``A_old`` on entry and ``A_new`` on exit; the
+        delta's zero gaps are XOR identities, so neither a decoded delta
+        nor an intermediate block copy is ever materialized.
+        """
+        decode_frame_xor_into(frame, block)
 
 
 _STRATEGIES = {

@@ -16,7 +16,13 @@ This package implements the core of PRINS:
 
 from repro.parity.codecs import Codec, available_codecs, get_codec, register_codec
 from repro.parity.delta import backward_parity, forward_parity
-from repro.parity.frame import decode_frame, encode_frame
+from repro.parity.frame import (
+    decode_frame,
+    decode_frame_into,
+    decode_frame_xor_into,
+    encode_frame,
+    encode_frames,
+)
 from repro.parity.pipeline import PipelineCodec
 from repro.parity.raw import RawCodec
 from repro.parity.sparse_codec import SparseSegmentCodec
@@ -33,7 +39,10 @@ __all__ = [
     "available_codecs",
     "backward_parity",
     "decode_frame",
+    "decode_frame_into",
+    "decode_frame_xor_into",
     "encode_frame",
+    "encode_frames",
     "forward_parity",
     "get_codec",
     "register_codec",

@@ -10,8 +10,19 @@ configuration.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from typing import Sequence, Union
 
+from repro.common.buffers import xor_into
 from repro.common.errors import CodecError
+
+#: any C-contiguous buffer-protocol object a codec accepts on its hot path
+Buffer = Union[bytes, bytearray, memoryview]
+
+
+def _writable_view(out: Union[bytearray, memoryview]) -> memoryview:
+    """Normalize a decode target to a flat writable byte view."""
+    view = out if isinstance(out, memoryview) else memoryview(out)
+    return view.cast("B")
 
 
 class Codec(ABC):
@@ -20,6 +31,10 @@ class Codec(ABC):
     Implementations must be lossless: ``decode(encode(b), len(b)) == b`` for
     every input.  ``decode`` receives the original length because several
     codecs (zero-RLE, sparse segments) do not store it themselves.
+
+    ``encode`` accepts any buffer-protocol object (``bytes``, ``bytearray``,
+    ``memoryview``) so the zero-copy write path can pass views straight
+    through; the wire payload is byte-identical regardless of input type.
     """
 
     #: one-byte wire identifier; unique across registered codecs
@@ -28,15 +43,52 @@ class Codec(ABC):
     name: str = "abstract"
 
     @abstractmethod
-    def encode(self, data: bytes) -> bytes:
+    def encode(self, data: Buffer) -> bytes:
         """Encode ``data`` into an on-wire payload."""
 
     @abstractmethod
     def decode(self, payload: bytes, original_length: int) -> bytes:
         """Invert :meth:`encode`; must return exactly ``original_length`` bytes."""
 
-    def ratio(self, data: bytes) -> float:
+    def encode_many(self, datas: "Sequence[Buffer]") -> list[bytes]:
+        """Encode a batch of deltas; equivalent to mapping :meth:`encode`.
+
+        The default loops; vectorized codecs override to amortize their
+        per-call dispatch across the whole flush window (the batched path
+        :class:`repro.engine.batch.ShipBatcher` drains through).
+        """
+        return [self.encode(d) for d in datas]
+
+    def decode_into(
+        self, payload: bytes, out: Union[bytearray, memoryview]
+    ) -> None:
+        """Decode ``payload`` directly into the writable buffer ``out``.
+
+        ``out`` must be exactly ``original_length`` bytes and is fully
+        overwritten.  The default materializes :meth:`decode` and copies;
+        sparse codecs override to scatter segments without building the
+        zero-filled intermediate.
+        """
+        view = _writable_view(out)
+        view[:] = self.decode(payload, view.nbytes)
+
+    def decode_xor_into(
+        self, payload: bytes, out: Union[bytearray, memoryview]
+    ) -> None:
+        """XOR the decoded delta into ``out`` in place (``out ^= decode``).
+
+        This is the replica's Eq. 2 fast path: with ``out`` holding
+        ``A_old``, the result is ``A_new`` without materializing either the
+        full delta or an intermediate copy of the block.  Sparse codecs
+        override to XOR only the literal (changed) segments — the zero gaps
+        of the delta are XOR no-ops and never touch memory.
+        """
+        view = _writable_view(out)
+        xor_into(view, self.decode(payload, view.nbytes))
+
+    def ratio(self, data: Buffer) -> float:
         """Convenience: encoded size / original size (lower is better)."""
+        data = bytes(data)
         if not data:
             return 1.0
         return len(self.encode(data)) / len(data)

@@ -15,9 +15,10 @@ Frame layout (little-endian)::
 from __future__ import annotations
 
 import struct
+from typing import Union
 
 from repro.common.errors import CodecError
-from repro.parity.codecs import Codec, get_codec
+from repro.parity.codecs import Buffer, Codec, _writable_view, get_codec
 
 _HEADER = struct.Struct("<BI")
 
@@ -25,10 +26,25 @@ _HEADER = struct.Struct("<BI")
 FRAME_OVERHEAD = _HEADER.size
 
 
-def encode_frame(codec: Codec, data: bytes) -> bytes:
+def encode_frame(codec: Codec, data: Buffer) -> bytes:
     """Encode ``data`` with ``codec`` and wrap it in a frame."""
     payload = codec.encode(data)
     return _HEADER.pack(codec.codec_id, len(data)) + payload
+
+
+def encode_frames(codec: Codec, datas: "list[Buffer]") -> list[bytes]:
+    """Encode a batch of deltas into frames via :meth:`Codec.encode_many`.
+
+    Equivalent to mapping :func:`encode_frame`, but pays the codec's
+    per-call dispatch once for the whole flush window.
+    """
+    payloads = codec.encode_many(datas)
+    pack = _HEADER.pack
+    codec_id = codec.codec_id
+    return [
+        pack(codec_id, len(data)) + payload
+        for data, payload in zip(datas, payloads)
+    ]
 
 
 def decode_frame(frame: bytes) -> bytes:
@@ -38,6 +54,46 @@ def decode_frame(frame: bytes) -> bytes:
     codec_id, original_length = _HEADER.unpack_from(frame, 0)
     codec = get_codec(codec_id)
     return codec.decode(frame[_HEADER.size :], original_length)
+
+
+def _frame_target(
+    frame: bytes, out: Union[bytearray, memoryview]
+) -> tuple[Codec, bytes, memoryview]:
+    """Validate a frame against a writable target; return codec + payload."""
+    if len(frame) < _HEADER.size:
+        raise CodecError(f"frame too short ({len(frame)} bytes)")
+    codec_id, original_length = _HEADER.unpack_from(frame, 0)
+    view = _writable_view(out)
+    if view.nbytes != original_length:
+        raise CodecError(
+            f"frame decodes to {original_length} bytes but the target "
+            f"buffer holds {view.nbytes}"
+        )
+    return get_codec(codec_id), frame[_HEADER.size :], view
+
+
+def decode_frame_into(frame: bytes, out: Union[bytearray, memoryview]) -> None:
+    """Decode a frame directly into the writable buffer ``out``.
+
+    ``out`` must be exactly the frame's ``original_length``; it is fully
+    overwritten.  Sparse codecs scatter their segments straight into the
+    target instead of materializing an intermediate block.
+    """
+    codec, payload, view = _frame_target(frame, out)
+    codec.decode_into(payload, view)
+
+
+def decode_frame_xor_into(
+    frame: bytes, out: Union[bytearray, memoryview]
+) -> None:
+    """XOR a frame's decoded delta into ``out`` in place.
+
+    The replica-side Eq. 2 fast path: with ``out`` holding ``A_old`` this
+    leaves ``A_new`` in place, touching only the changed spans for sparse
+    codecs.
+    """
+    codec, payload, view = _frame_target(frame, out)
+    codec.decode_xor_into(payload, view)
 
 
 def best_frame(codecs: list[Codec], data: bytes) -> bytes:

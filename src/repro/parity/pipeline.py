@@ -13,7 +13,7 @@ import struct
 
 from repro.common.errors import CodecError
 from repro.obs.telemetry import NULL_TELEMETRY
-from repro.parity.codecs import Codec, register_codec
+from repro.parity.codecs import Buffer, Codec, register_codec
 from repro.parity.zero_rle import ZeroRleCodec
 from repro.parity.zlibcodec import ZlibCodec
 
@@ -50,11 +50,11 @@ class PipelineCodec(Codec):
         """The codecs applied in encode order."""
         return list(self._stages)
 
-    def encode(self, data: bytes) -> bytes:
+    def encode(self, data: Buffer) -> bytes:
         """Run the delta through every stage in order, timing each."""
         tel = self.telemetry
         lengths: list[int] = []
-        current = data
+        current: Buffer = data
         for stage in self._stages:
             lengths.append(len(current))
             with tel.span(f"codec.{stage.name}.encode"):

@@ -7,7 +7,7 @@ block is transmitted whole.
 from __future__ import annotations
 
 from repro.common.errors import CodecError
-from repro.parity.codecs import Codec, register_codec
+from repro.parity.codecs import Buffer, Codec, register_codec
 
 
 class RawCodec(Codec):
@@ -16,9 +16,9 @@ class RawCodec(Codec):
     codec_id = 0
     name = "raw"
 
-    def encode(self, data: bytes) -> bytes:
-        """Identity: return the delta unchanged."""
-        return data
+    def encode(self, data: Buffer) -> bytes:
+        """Identity: return the delta unchanged (one copy only for views)."""
+        return data if isinstance(data, bytes) else bytes(data)
 
     def decode(self, payload: bytes, original_length: int) -> bytes:
         """Identity: return the payload unchanged."""

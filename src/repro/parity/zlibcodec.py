@@ -11,7 +11,7 @@ from __future__ import annotations
 import zlib
 
 from repro.common.errors import CodecError
-from repro.parity.codecs import Codec, register_codec
+from repro.parity.codecs import Buffer, Codec, register_codec
 
 
 class ZlibCodec(Codec):
@@ -30,8 +30,12 @@ class ZlibCodec(Codec):
         """Configured compression level (0–9)."""
         return self._level
 
-    def encode(self, data: bytes) -> bytes:
-        """Deflate the buffer at the configured level."""
+    def encode(self, data: Buffer) -> bytes:
+        """Deflate the buffer at the configured level.
+
+        ``zlib.compress`` consumes any buffer-protocol object directly, so
+        views pass through without an intermediate copy.
+        """
         return zlib.compress(data, self._level)
 
     def decode(self, payload: bytes, original_length: int) -> bytes:

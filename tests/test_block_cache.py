@@ -1,0 +1,114 @@
+"""Tests for the bounded LRU block cache serving A_old reads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.block import BlockCache
+
+
+class TestBlockCacheBasics:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            BlockCache(0)
+        with pytest.raises(ValueError):
+            BlockCache(-3)
+
+    def test_miss_then_hit(self):
+        cache = BlockCache(4)
+        assert cache.get(7) is None
+        cache.put(7, b"seven")
+        assert cache.get(7) == b"seven"
+        snap = cache.snapshot()
+        assert snap["hits"] == 1
+        assert snap["misses"] == 1
+        assert snap["evictions"] == 0
+
+    def test_put_overwrites(self):
+        cache = BlockCache(2)
+        cache.put(1, b"a")
+        cache.put(1, b"b")
+        assert cache.get(1) == b"b"
+        assert len(cache) == 1
+
+    def test_contains_and_len(self):
+        cache = BlockCache(2)
+        cache.put(5, b"x")
+        assert 5 in cache
+        assert 6 not in cache
+        assert len(cache) == 1
+
+    def test_repr_mentions_occupancy(self):
+        cache = BlockCache(3)
+        cache.put(1, b"x")
+        assert "capacity=3" in repr(cache)
+        assert "size=1" in repr(cache)
+
+
+class TestBlockCacheLru:
+    def test_evicts_least_recently_used(self):
+        cache = BlockCache(2)
+        cache.put(1, b"a")
+        cache.put(2, b"b")
+        cache.get(1)  # 1 becomes most recently used
+        cache.put(3, b"c")  # evicts 2
+        assert 2 not in cache
+        assert cache.get(1) == b"a"
+        assert cache.get(3) == b"c"
+        assert cache.snapshot()["evictions"] == 1
+
+    def test_put_refreshes_recency(self):
+        cache = BlockCache(2)
+        cache.put(1, b"a")
+        cache.put(2, b"b")
+        cache.put(1, b"a2")  # re-put refreshes 1
+        cache.put(3, b"c")  # evicts 2, not 1
+        assert 1 in cache and 3 in cache and 2 not in cache
+
+    def test_capacity_one(self):
+        cache = BlockCache(1)
+        cache.put(1, b"a")
+        cache.put(2, b"b")
+        assert 1 not in cache
+        assert cache.get(2) == b"b"
+
+
+class TestBlockCacheInvalidate:
+    def test_invalidate_single(self):
+        cache = BlockCache(4)
+        cache.put(1, b"a")
+        cache.put(2, b"b")
+        cache.invalidate(1)
+        assert 1 not in cache
+        assert 2 in cache
+
+    def test_invalidate_missing_is_noop(self):
+        cache = BlockCache(4)
+        cache.put(1, b"a")
+        cache.invalidate(9)
+        assert 1 in cache
+
+    def test_invalidate_all(self):
+        cache = BlockCache(4)
+        cache.put(1, b"a")
+        cache.put(2, b"b")
+        cache.invalidate()
+        assert len(cache) == 0
+
+
+class TestBlockCacheSnapshot:
+    def test_snapshot_fields(self):
+        cache = BlockCache(8)
+        cache.put(1, b"a")
+        cache.get(1)
+        cache.get(2)
+        snap = cache.snapshot()
+        assert snap["capacity"] == 8
+        assert snap["size"] == 1
+        assert snap["hits"] == 1
+        assert snap["misses"] == 1
+        assert snap["evictions"] == 0
+        assert snap["hit_rate"] == pytest.approx(0.5)
+
+    def test_hit_rate_zero_without_lookups(self):
+        assert BlockCache(2).snapshot()["hit_rate"] == 0.0

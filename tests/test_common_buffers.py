@@ -11,8 +11,11 @@ from repro.common.buffers import (
     is_zero,
     nonzero_fraction,
     nonzero_runs,
+    nonzero_spans,
+    xor_blocks_pairwise,
     xor_bytes,
     xor_into,
+    xor_reduce_blocks,
 )
 
 
@@ -126,3 +129,141 @@ class TestNonzeroRuns:
             segment = data[offset : offset + length]
             assert segment[0] != 0 and segment[-1] != 0
             previous_end = offset + length - 1
+
+
+class TestBufferProtocolInputs:
+    """Every helper must accept bytes, bytearray, and memoryview alike."""
+
+    DATA = bytes(500) + b"\x07\x09" + bytes(500) + b"\xff" * 30 + bytes(100)
+
+    @pytest.mark.parametrize("wrap", [bytes, bytearray, memoryview])
+    def test_xor_bytes_any_buffer(self, wrap):
+        a, b = self.DATA, self.DATA[::-1]
+        assert xor_bytes(wrap(a), wrap(b)) == xor_bytes(a, b)
+
+    @pytest.mark.parametrize("wrap", [bytes, bytearray, memoryview])
+    def test_zero_predicates_any_buffer(self, wrap):
+        assert not is_zero(wrap(self.DATA))
+        assert is_zero(wrap(bytes(1000)))
+        assert count_nonzero(wrap(self.DATA)) == count_nonzero(self.DATA)
+        assert nonzero_fraction(wrap(self.DATA)) == nonzero_fraction(self.DATA)
+
+    @pytest.mark.parametrize("wrap", [bytes, bytearray, memoryview])
+    def test_runs_any_buffer(self, wrap):
+        assert nonzero_runs(wrap(self.DATA), 4) == nonzero_runs(self.DATA, 4)
+
+    def test_xor_into_writable_memoryview(self):
+        target = bytearray(self.DATA)
+        xor_into(memoryview(target), self.DATA)
+        assert is_zero(target)
+
+
+class TestXorBlocksPairwise:
+    def test_matches_per_pair_xor_across_paths(self):
+        # sizes straddling the int/numpy cutoff and the stacking threshold
+        for size in (16, 511, 512, 4096, 8192, 8193, 65536):
+            lhs = [bytes([i % 251] * size) for i in range(5)]
+            rhs = [bytes([(i * 7 + 3) % 251] * size) for i in range(5)]
+            expect = [xor_bytes(a, b) for a, b in zip(lhs, rhs)]
+            assert xor_blocks_pairwise(lhs, rhs) == expect
+
+    def test_empty_sequences(self):
+        assert xor_blocks_pairwise([], []) == []
+
+    def test_zero_size_blocks(self):
+        assert xor_blocks_pairwise([b"", b""], [b"", b""]) == [b"", b""]
+
+    def test_count_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            xor_blocks_pairwise([b"ab"], [b"ab", b"cd"])
+
+    def test_length_mismatch_raises_even_with_zero_size_first(self):
+        # regression: a zero-size first block must not bypass the
+        # per-element length validation of the remaining blocks
+        with pytest.raises(ValueError):
+            xor_blocks_pairwise([b"", b"ab"], [b"", b"ab"])
+        with pytest.raises(ValueError):
+            xor_blocks_pairwise([b"ab", b"ab"], [b"ab", b"a"])
+
+    def test_skip_zero_marks_identical_pairs_none(self):
+        blocks = [b"\x01" * 4096, b"\x02" * 4096, b"\x03" * 4096]
+        same = [blocks[0], b"\x00" * 4096, blocks[2]]
+        out = xor_blocks_pairwise(blocks, same, skip_zero=True)
+        assert out[0] is None
+        assert out[1] == b"\x02" * 4096
+        assert out[2] is None
+
+    def test_skip_zero_small_and_large_paths_agree(self):
+        for size in (8, 600, 65536):
+            lhs = [b"\x05" * size, b"\x09" * size]
+            rhs = [b"\x05" * size, b"\x00" * size]
+            assert xor_blocks_pairwise(lhs, rhs, skip_zero=True) == [
+                None,
+                b"\x09" * size,
+            ]
+
+    @given(st.lists(st.binary(min_size=33, max_size=33), min_size=0, max_size=6))
+    def test_matches_map_property(self, blocks):
+        mirrored = list(reversed(blocks))
+        assert xor_blocks_pairwise(blocks, mirrored) == [
+            xor_bytes(a, b) for a, b in zip(blocks, mirrored)
+        ]
+
+
+class TestXorReduceBlocks:
+    def test_single_block_copies(self):
+        block = bytearray(b"\x11" * 64)
+        out = xor_reduce_blocks([block])
+        assert out == bytes(block)
+        block[0] = 0  # result must not alias the input
+        assert out[0] == 0x11
+
+    def test_fold_matches_sequential(self):
+        blocks = [bytes([i + 1] * 700) for i in range(5)]
+        acc = blocks[0]
+        for b in blocks[1:]:
+            acc = xor_bytes(acc, b)
+        assert xor_reduce_blocks(blocks) == acc
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            xor_reduce_blocks([b"abc", b"ab"])
+
+
+class TestNonzeroSpans:
+    def test_matches_runs(self):
+        data = bytes(100) + b"\x01\x02" + bytes(3) + b"\x03" + bytes(200)
+        starts, ends = nonzero_spans(data)
+        assert [(int(s), int(e - s)) for s, e in zip(starts, ends)] == (
+            nonzero_runs(data)
+        )
+
+    def test_edges_start_and_end_nonzero(self):
+        starts, ends = nonzero_spans(b"\x01" + bytes(10) + b"\x02")
+        assert list(starts) == [0, 11]
+        assert list(ends) == [1, 12]
+
+    def test_merge_gap_coalesces(self):
+        data = bytearray(50)
+        data[10] = 1
+        data[14] = 2  # gap of 3 zeros
+        starts, ends = nonzero_spans(bytes(data), merge_gap=3)
+        assert list(starts) == [10] and list(ends) == [15]
+        starts, ends = nonzero_spans(bytes(data), merge_gap=2)
+        assert list(starts) == [10, 14]
+
+    def test_negative_merge_gap_raises(self):
+        with pytest.raises(ValueError):
+            nonzero_spans(b"\x01", merge_gap=-1)
+
+    def test_empty_buffer(self):
+        starts, ends = nonzero_spans(b"")
+        assert starts.size == 0 and ends.size == 0
+
+    @given(st.binary(min_size=0, max_size=300), st.integers(0, 5))
+    def test_spans_reconstruct_buffer(self, data, gap):
+        starts, ends = nonzero_spans(data, merge_gap=gap)
+        rebuilt = bytearray(len(data))
+        for s, e in zip(starts.tolist(), ends.tolist()):
+            rebuilt[s:e] = data[s:e]
+        assert bytes(rebuilt) == data
