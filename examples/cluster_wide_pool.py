@@ -12,9 +12,9 @@ cluster's population (nodes × replicas, exactly the paper's Sec. 3.3).
 Run:  python examples/cluster_wide_pool.py
 """
 
+from repro import ReplicationConfig, open_cluster
 from repro.common.rng import make_rng
 from repro.common.units import format_bytes
-from repro.engine import ClusterConfig, StorageCluster
 from repro.queueing import ReplicationNetworkModel, StrategyTraffic, T1
 
 NODES = 6
@@ -23,17 +23,17 @@ BLOCK_SIZE = 4096
 
 
 def main() -> None:
-    config = ClusterConfig(
+    config = ReplicationConfig(
+        strategy="prins",
         nodes=NODES,
         replicas_per_node=REPLICAS,
         block_size=BLOCK_SIZE,
-        blocks_per_node=128,
-        strategy="prins",
+        num_blocks=128,
     )
-    cluster = StorageCluster(config)
+    cluster = open_cluster(config)
     print(
         f"cluster: {NODES} nodes x {REPLICAS} replicas "
-        f"(queueing population {config.population})"
+        f"(queueing population {cluster.config.population})"
     )
     for node_id, replicas in sorted(cluster.placement.items()):
         print(f"  node {node_id} -> replicas {replicas}")
@@ -77,8 +77,8 @@ def main() -> None:
     )
     print(
         f"\nmeasured mean payload {mean_payload:.0f} B/write -> modeled "
-        f"replication response time at population {config.population} on T1: "
-        f"{model.response_time(config.population) * 1000:.1f} ms"
+        f"replication response time at population {cluster.config.population} on T1: "
+        f"{model.response_time(cluster.config.population) * 1000:.1f} ms"
     )
 
 

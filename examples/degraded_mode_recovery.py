@@ -21,15 +21,10 @@ Everything is seeded — rerunning prints identical numbers.
 Run:  python examples/degraded_mode_recovery.py
 """
 
+from repro import ReplicationConfig, open_cluster
 from repro.common.rng import make_rng
 from repro.common.units import format_bytes
-from repro.engine import (
-    ClusterConfig,
-    FaultyLink,
-    ResilienceConfig,
-    RetryPolicy,
-    StorageCluster,
-)
+from repro.engine import FaultyLink, ResilienceConfig, RetryPolicy
 
 NODES = 4
 REPLICAS = 2
@@ -41,13 +36,16 @@ SEED = 23
 
 
 def main() -> None:
-    config = ClusterConfig(
+    config = ReplicationConfig(
+        strategy="prins",
         nodes=NODES,
         replicas_per_node=REPLICAS,
         block_size=BLOCK_SIZE,
-        blocks_per_node=BLOCKS,
-        strategy="prins",
+        num_blocks=BLOCKS,
+        resilient=True,
     )
+    # the fault thresholds the flat config doesn't expose ride along as a
+    # hand-tuned policy override
     resilience = ResilienceConfig(
         retry=RetryPolicy(max_attempts=4, base_delay_s=0.01, jitter=0.5),
         degraded_after=1,
@@ -69,7 +67,7 @@ def main() -> None:
         faulty[(primary_id, replica_id)] = wrapped
         return wrapped
 
-    cluster = StorageCluster(config, resilience=resilience, link_factory=wrap)
+    cluster = open_cluster(config, resilience=resilience, link_factory=wrap)
     print(
         f"cluster: {NODES} nodes x {REPLICAS} replicas, "
         f"{FAIL_FRACTION:.0%} of ships faulted"

@@ -1,24 +1,16 @@
 #!/usr/bin/env python
 """Quickstart: replicate writes three ways and compare the wire bytes.
 
-Builds a primary and a replica block device, wires them with each of the
-paper's three strategies — traditional (full block), compressed (zlib),
-and PRINS (encoded parity delta) — pushes the same partial-overwrite
-workload through each, and prints the traffic. This is the paper's core
-claim in ~60 lines.
+Opens a primary/replica pair through the :mod:`repro.api` front door with
+each of the paper's three strategies — traditional (full block),
+compressed (zlib), and PRINS (encoded parity delta) — pushes the same
+partial-overwrite workload through each, and prints the traffic.  This is
+the paper's core claim in ~50 lines.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import (
-    DirectLink,
-    MemoryBlockDevice,
-    PrimaryEngine,
-    ReplicaEngine,
-    full_sync,
-    make_strategy,
-    verify_consistency,
-)
+from repro import MemoryBlockDevice, ReplicationConfig, open_primary
 from repro.common.rng import make_rng
 from repro.common.units import format_bytes
 from repro.experiments.testbed import testbed_table
@@ -45,28 +37,28 @@ def main() -> None:
         f"{CHANGE_FRACTION:.0%} of each block changed per write:\n"
     )
     for name in ("traditional", "compressed", "prins"):
-        primary = MemoryBlockDevice(BLOCK_SIZE, NUM_BLOCKS)
-        primary.load(initial.snapshot())
-        replica = MemoryBlockDevice(BLOCK_SIZE, NUM_BLOCKS)
-        full_sync(primary, replica)  # the paper's "initial sync"
-
-        strategy = make_strategy(name)
-        engine = PrimaryEngine(
-            primary, strategy, [DirectLink(ReplicaEngine(replica, strategy))]
+        config = ReplicationConfig(
+            strategy=name, block_size=BLOCK_SIZE, num_blocks=NUM_BLOCKS
         )
-        write_rng = make_rng(2007, "quickstart-writes")
-        for _ in range(WRITES):
-            lba = int(write_rng.integers(0, NUM_BLOCKS))
-            old = engine.read_block(lba)
-            engine.write_block(lba, mutate_fraction(old, CHANGE_FRACTION, write_rng))
+        # initial_image = the paper's "initial sync": the factory loads the
+        # primary and full-syncs the replica before any write ships.
+        with open_primary(config, initial_image=initial.snapshot()) as stack:
+            engine = stack.engine
+            write_rng = make_rng(2007, "quickstart-writes")
+            for _ in range(WRITES):
+                lba = int(write_rng.integers(0, NUM_BLOCKS))
+                old = engine.read_block(lba)
+                engine.write_block(
+                    lba, mutate_fraction(old, CHANGE_FRACTION, write_rng)
+                )
 
-        assert verify_consistency(primary, replica) == [], "replica diverged!"
-        accountant = engine.accountant
-        print(
-            f"  {name:12s} shipped {format_bytes(accountant.payload_bytes):>10}"
-            f"   ({accountant.reduction_vs_data:5.1f}x less than the "
-            f"{format_bytes(accountant.data_bytes)} written)"
-        )
+            assert stack.verify(), "replica diverged!"
+            accountant = engine.accountant
+            print(
+                f"  {name:12s} shipped {format_bytes(accountant.payload_bytes):>10}"
+                f"   ({accountant.reduction_vs_data:5.1f}x less than the "
+                f"{format_bytes(accountant.data_bytes)} written)"
+            )
 
     print("\nreplicas verified byte-identical to their primaries under all "
           "three strategies")

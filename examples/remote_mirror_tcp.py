@@ -18,9 +18,9 @@ from repro import (
     MemoryBlockDevice,
     PrimaryEngine,
     ReplicaEngine,
+    ReplicationConfig,
     TargetServer,
     TcpTransport,
-    make_strategy,
     verify_consistency,
 )
 from repro.common.units import format_bytes
@@ -29,11 +29,18 @@ from repro.minidb import Column, ColumnType, Schema
 BLOCK_SIZE = 4096
 NUM_BLOCKS = 1024
 
+#: one config drives both ends of the mirror; a custom transport is the
+#: one topology :func:`repro.api.open_primary` doesn't wire for you, so
+#: this example derives the pieces from the config and assembles by hand
+CONFIG = ReplicationConfig(
+    strategy="prins", block_size=BLOCK_SIZE, num_blocks=NUM_BLOCKS
+)
+
 
 def main() -> None:
     # ---- replica node: block device + replica engine inside an iSCSI target
     replica_disk = MemoryBlockDevice(BLOCK_SIZE, NUM_BLOCKS)
-    strategy = make_strategy("prins")
+    strategy = CONFIG.strategy_instance()
     replica_engine = ReplicaEngine(replica_disk, strategy)
     server = TargetServer(
         replica_disk,
@@ -47,7 +54,14 @@ def main() -> None:
     initiator = Initiator(TcpTransport.connect(host, port))
     initiator.login("iqn.2006-01.edu.uri.hpcl:replica")
     primary_disk = MemoryBlockDevice(BLOCK_SIZE, NUM_BLOCKS)
-    engine = PrimaryEngine(primary_disk, strategy, [InitiatorLink(initiator)])
+    engine = PrimaryEngine(
+        primary_disk,
+        strategy,
+        [InitiatorLink(initiator)],
+        verify_acks=CONFIG.verify_acks,
+        batch=CONFIG.batch_config(),
+        old_block_cache=CONFIG.old_block_cache,
+    )
 
     # ---- application: a small accounts database on the replicated device
     db = Database(engine, pool_capacity=64)

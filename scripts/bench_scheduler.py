@@ -1,0 +1,212 @@
+#!/usr/bin/env python
+"""Fan-out scheduler micro-benchmark: sequential vs pipelined shipping.
+
+Two measurements, both against real in-memory replicas:
+
+* **makespan** (sim mode) — the deterministic simulated wall-clock of a
+  write burst fanned out to N latency-bearing replicas, sequential
+  (``LatencyLink`` + ``SimClock`` metering: every ship serializes behind
+  the previous ack) vs pipelined (``SchedulerConfig`` window: up to W
+  submissions ride each link concurrently).  The speedup here is the
+  tentpole claim: ``≈ min(W, burst)`` until the wire saturates.
+
+* **overhead** (real time) — ops/s of zero-latency shipping through the
+  scheduler vs the plain sequential loop, i.e. what the window machinery
+  itself costs when there is no latency to hide.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_scheduler.py            # full table
+    PYTHONPATH=src python scripts/bench_scheduler.py --smoke    # CI smoke
+    PYTHONPATH=src python scripts/bench_scheduler.py --smoke \
+        --min-speedup 2.0                                       # gate
+
+``--min-speedup`` makes the exit status a regression gate: the pipelined
+makespan must beat sequential by at least that factor at the largest
+measured window (deterministic in sim mode, so the gate is exact, not a
+timing roll of the dice).
+
+Only the standard library + the repo itself are required.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.block import MemoryBlockDevice  # noqa: E402
+from repro.common.rng import make_rng  # noqa: E402
+from repro.engine import (  # noqa: E402
+    DirectLink,
+    LatencyLink,
+    PrimaryEngine,
+    ReplicaEngine,
+    SchedulerConfig,
+    SimClock,
+    make_strategy,
+)
+
+BLOCK_SIZE = 4096
+
+
+def _build(
+    num_blocks: int,
+    replicas: int,
+    latency_s: float,
+    scheduler: SchedulerConfig | None,
+    clock: SimClock | None,
+):
+    """One primary + N replicas; latency via LatencyLink (seq) or scheduler."""
+    strategy = make_strategy("prins")
+    links = []
+    devices = []
+    for _ in range(replicas):
+        device = MemoryBlockDevice(BLOCK_SIZE, num_blocks)
+        devices.append(device)
+        link = DirectLink(ReplicaEngine(device, strategy))
+        if scheduler is None and latency_s:
+            link = LatencyLink(link, latency_s, clock=clock)
+        links.append(link)
+    engine = PrimaryEngine(
+        MemoryBlockDevice(BLOCK_SIZE, num_blocks),
+        strategy,
+        links,
+        scheduler=scheduler,
+    )
+    return engine, devices
+
+
+def _burst(engine, writes: int) -> None:
+    rng = make_rng(7, "bench-sched")
+    num_blocks = engine.num_blocks
+    for _ in range(writes):
+        lba = int(rng.integers(0, num_blocks))
+        engine.write_block(lba, rng.integers(0, 256, BLOCK_SIZE, "u1").tobytes())
+
+
+def bench_makespan(
+    writes: int, replicas: int, latency_s: float, window: int
+) -> dict:
+    """Deterministic simulated makespan: sequential vs one pipelined window."""
+    clock = SimClock()
+    seq_engine, seq_devices = _build(256, replicas, latency_s, None, clock)
+    _burst(seq_engine, writes)
+    sequential_s = clock.now
+
+    config = SchedulerConfig(window=window, link_latency_s=latency_s)
+    pip_engine, pip_devices = _build(256, replicas, latency_s, config, None)
+    _burst(pip_engine, writes)
+    pip_engine.drain()
+    pipelined_s = pip_engine.scheduler.now
+
+    assert (
+        seq_engine.accountant.payload_bytes
+        == pip_engine.accountant.payload_bytes
+    ), "pipelined fan-out changed the wire bytes"
+    for seq_dev, pip_dev in zip(seq_devices, pip_devices):
+        assert seq_dev.snapshot() == pip_dev.snapshot(), "images diverged"
+
+    return {
+        "window": window,
+        "sequential_s": sequential_s,
+        "pipelined_s": pipelined_s,
+        "speedup": sequential_s / pipelined_s if pipelined_s else float("inf"),
+    }
+
+
+def bench_overhead(writes: int, replicas: int, window: int) -> dict:
+    """Real-time ops/s at zero latency: scheduler machinery vs plain loop."""
+
+    def timed(scheduler):
+        engine, _ = _build(256, replicas, 0.0, scheduler, None)
+        start = time.perf_counter()
+        _burst(engine, writes)
+        engine.drain()
+        return writes / (time.perf_counter() - start)
+
+    sequential_ops = timed(None)
+    pipelined_ops = timed(SchedulerConfig(window=window))
+    return {
+        "sequential_ops_s": sequential_ops,
+        "pipelined_ops_s": pipelined_ops,
+        "overhead_x": sequential_ops / pipelined_ops,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true", help="small sizes for CI"
+    )
+    parser.add_argument(
+        "--replicas", type=int, default=4, help="fan-out width (default 4)"
+    )
+    parser.add_argument(
+        "--latency-ms", type=float, default=2.0, help="per-link ack latency"
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="fail unless pipelined beats sequential by this factor",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="PATH", help="write results JSON"
+    )
+    args = parser.parse_args(argv)
+
+    writes = 64 if args.smoke else 256
+    latency_s = args.latency_ms / 1000.0
+    windows = (1, 2, 4, 8) if args.smoke else (1, 2, 4, 8, 16)
+
+    print(
+        f"fan-out scheduler bench: {writes} writes x {args.replicas} replicas, "
+        f"{args.latency_ms:g} ms ack latency\n"
+    )
+    print(f"{'window':>7} {'sequential':>12} {'pipelined':>12} {'speedup':>9}")
+    rows = []
+    for window in windows:
+        row = bench_makespan(writes, args.replicas, latency_s, window)
+        rows.append(row)
+        print(
+            f"{row['window']:>7} {row['sequential_s']:>11.3f}s "
+            f"{row['pipelined_s']:>11.3f}s {row['speedup']:>8.2f}x"
+        )
+
+    overhead = bench_overhead(writes, args.replicas, windows[-1])
+    print(
+        f"\nzero-latency overhead: sequential "
+        f"{overhead['sequential_ops_s']:,.0f} ops/s, pipelined "
+        f"{overhead['pipelined_ops_s']:,.0f} ops/s "
+        f"({overhead['overhead_x']:.2f}x machinery cost)"
+    )
+
+    if args.out:
+        payload = {"makespan": rows, "overhead": overhead}
+        Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"results written to {args.out}")
+
+    if args.min_speedup is not None:
+        best = rows[-1]["speedup"]
+        if best < args.min_speedup:
+            print(
+                f"FAIL: window={rows[-1]['window']} speedup {best:.2f}x < "
+                f"required {args.min_speedup:.2f}x",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"gate OK: window={rows[-1]['window']} speedup {best:.2f}x >= "
+            f"{args.min_speedup:.2f}x"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

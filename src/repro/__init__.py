@@ -5,25 +5,24 @@ Internet Storages* (ICDCS 2006): a block-level replication scheme that
 ships the encoded parity delta ``P' = A_new XOR A_old`` instead of the
 block itself, recovering ``A_new = P' XOR A_old`` at each replica.
 
-Quick start::
+Quick start (the :mod:`repro.api` front door)::
 
-    from repro import (
-        MemoryBlockDevice, PrimaryEngine, ReplicaEngine, DirectLink,
-        make_strategy, full_sync,
-    )
+    from repro import ReplicationConfig, open_primary
 
-    primary_disk = MemoryBlockDevice(block_size=8192, num_blocks=1024)
-    replica_disk = MemoryBlockDevice(block_size=8192, num_blocks=1024)
-    strategy = make_strategy("prins")
-    replica = ReplicaEngine(replica_disk, strategy)
-    engine = PrimaryEngine(primary_disk, strategy, [DirectLink(replica)])
-    engine.write_block(0, b"x" * 8192)      # replicated as a tiny delta
-    print(engine.accountant.payload_bytes)  # bytes that crossed the wire
+    config = ReplicationConfig(strategy="prins", block_size=8192)
+    with open_primary(config) as stack:
+        stack.engine.write_block(0, b"x" * 8192)   # ships a tiny delta
+        print(stack.engine.accountant.payload_bytes)
+
+The pieces the factory wires (``MemoryBlockDevice``, ``PrimaryEngine``,
+``ReplicaEngine``, ``DirectLink``, ``make_strategy``, …) stay public for
+hand-assembly when an experiment needs a custom topology.
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record of every figure.
 """
 
+from repro.api import PrimaryStack, ReplicationConfig, open_cluster, open_primary
 from repro.block import (
     BlockDevice,
     CachedDevice,
@@ -75,6 +74,7 @@ __all__ = [
     "MemoryBlockDevice",
     "ParityLog",
     "PrimaryEngine",
+    "PrimaryStack",
     "PrinsStrategy",
     "Raid0Array",
     "Raid1Array",
@@ -82,6 +82,7 @@ __all__ = [
     "Raid5Array",
     "RecoveryPoint",
     "ReplicaEngine",
+    "ReplicationConfig",
     "ReplicationNetworkModel",
     "Schema",
     "SparseBlockDevice",
@@ -98,6 +99,8 @@ __all__ = [
     "full_sync",
     "get_codec",
     "make_strategy",
+    "open_cluster",
+    "open_primary",
     "recover_block",
     "recover_image",
     "transport_pair",

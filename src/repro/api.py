@@ -1,0 +1,365 @@
+"""The front door: one config object, two factories, zero wiring.
+
+Everything the PRINS engine can do — strategy choice, delta codecs,
+batched shipping, the A_old cache, fault tolerance, pipelined fan-out,
+telemetry — is reachable from a single frozen
+:class:`ReplicationConfig`.  Hand it to :func:`open_primary` for a
+one-primary/N-replica mirror stack, or to :func:`open_cluster` for the
+paper's Fig. 1 multi-node pool, and the factory does all the wiring the
+examples used to do by hand.
+
+Quick start::
+
+    from repro.api import ReplicationConfig, open_primary
+
+    config = ReplicationConfig(strategy="prins", replicas=2)
+    with open_primary(config) as stack:
+        stack.engine.write_block(0, b"x" * config.block_size)
+        print(stack.engine.accountant.payload_bytes)
+
+Configs round-trip losslessly through plain dicts
+(:meth:`ReplicationConfig.to_dict` / :meth:`ReplicationConfig.from_dict`),
+so an experiment can be pinned in a JSON file and rebuilt bit-identically.
+
+The lower-level constructors (:class:`~repro.engine.primary.PrimaryEngine`,
+:class:`~repro.engine.cluster.StorageCluster`, …) remain public and
+stable; this module is sugar over them, not a replacement.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.block.memory import MemoryBlockDevice
+from repro.common.errors import ConfigurationError
+from repro.engine.batch import BatchConfig
+from repro.engine.cluster import ClusterConfig, StorageCluster
+from repro.engine.links import DirectLink, ReplicaLink
+from repro.engine.primary import PrimaryEngine
+from repro.engine.replica import ReplicaEngine
+from repro.engine.resilience import ResilienceConfig, RetryPolicy
+from repro.engine.scheduler import SchedulerConfig
+from repro.engine.strategy import ReplicationStrategy, make_strategy
+from repro.engine.sync import full_sync
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry, get_telemetry
+
+__all__ = [
+    "PrimaryStack",
+    "ReplicationConfig",
+    "open_cluster",
+    "open_primary",
+]
+
+#: fan-out modes accepted by :attr:`ReplicationConfig.fanout`
+_FANOUT_MODES = ("sequential", "pipelined")
+
+#: scheduler execution modes accepted by :attr:`ReplicationConfig.scheduler_mode`
+_SCHEDULER_MODES = ("sim", "threads")
+
+
+@dataclass(frozen=True)
+class ReplicationConfig:
+    """Every replication knob, in one frozen, dict-round-trippable place.
+
+    The defaults reproduce the paper's baseline: PRINS strategy with the
+    zero-RLE delta codec, strict sequential fan-out, per-write shipping,
+    no fault tolerance, telemetry off.  Groups of fields:
+
+    * **strategy** — ``strategy`` (traditional / compressed / prins) and
+      ``codec`` (``None`` = the strategy's default codec);
+    * **geometry** — ``block_size`` / ``num_blocks`` (per device) and
+      ``replicas`` (mirror width for :func:`open_primary`); clusters use
+      ``nodes`` / ``replicas_per_node`` instead;
+    * **write path** — ``batch_records`` / ``batch_bytes`` (the
+      :class:`~repro.engine.batch.ShipBatcher` window; ``batch_records=None``
+      ships per-write) and ``old_block_cache`` (A_old LRU slots);
+    * **fan-out** — ``fanout`` (``sequential`` or ``pipelined``) plus the
+      window policy: ``window``, ``scheduler_mode`` (``sim``/``threads``),
+      ``link_latency_s``, ``per_link_latency_s``, ``latency_jitter``;
+    * **fault policy** — ``resilient`` switches the engine to guarded
+      links; ``max_attempts`` and ``backlog_capacity_bytes`` tune it;
+    * **observability** — ``telemetry`` installs a live
+      :class:`~repro.obs.telemetry.Telemetry` registry; ``verify_acks``
+      keeps end-to-end CRC checks on;
+    * **determinism** — ``seed`` feeds every jitter draw.
+    """
+
+    # -- strategy --------------------------------------------------------------
+    strategy: str = "prins"
+    codec: str | None = None
+    # -- geometry --------------------------------------------------------------
+    block_size: int = 8192
+    num_blocks: int = 256
+    replicas: int = 1
+    nodes: int = 4
+    replicas_per_node: int = 2
+    # -- write path ------------------------------------------------------------
+    batch_records: int | None = None
+    batch_bytes: int = 256 * 1024
+    old_block_cache: int | None = None
+    # -- fan-out ---------------------------------------------------------------
+    fanout: str = "sequential"
+    window: int = 8
+    scheduler_mode: str = "sim"
+    link_latency_s: float = 0.0
+    per_link_latency_s: tuple[float, ...] = field(default=())
+    latency_jitter: float = 0.0
+    # -- fault policy ----------------------------------------------------------
+    resilient: bool = False
+    max_attempts: int = 4
+    backlog_capacity_bytes: int = 1 << 20
+    # -- observability / determinism -------------------------------------------
+    verify_acks: bool = True
+    telemetry: bool = False
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        """Validate the cheap invariants; deeper ones live in the builders."""
+        if self.fanout not in _FANOUT_MODES:
+            raise ConfigurationError(
+                f"fanout must be one of {_FANOUT_MODES}, got {self.fanout!r}"
+            )
+        if self.scheduler_mode not in _SCHEDULER_MODES:
+            raise ConfigurationError(
+                f"scheduler_mode must be one of {_SCHEDULER_MODES}, "
+                f"got {self.scheduler_mode!r}"
+            )
+        if self.replicas < 1:
+            raise ConfigurationError(
+                f"replicas must be >= 1, got {self.replicas}"
+            )
+        if self.block_size < 1 or self.num_blocks < 1:
+            raise ConfigurationError(
+                "block_size and num_blocks must be positive"
+            )
+        if self.codec is not None and self.strategy == "traditional":
+            raise ConfigurationError(
+                "the traditional strategy ships raw blocks and takes no codec"
+            )
+        # normalise list → tuple so from_dict round-trips frozen-hashable
+        if isinstance(self.per_link_latency_s, list):
+            object.__setattr__(
+                self, "per_link_latency_s", tuple(self.per_link_latency_s)
+            )
+
+    # -- serialisation ---------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-safe dict capturing every field (tuples become lists)."""
+        raw = dataclasses.asdict(self)
+        raw["per_link_latency_s"] = list(self.per_link_latency_s)
+        return raw
+
+    @classmethod
+    def from_dict(cls, raw: dict[str, Any]) -> "ReplicationConfig":
+        """Rebuild a config from :meth:`to_dict` output; rejects unknown keys."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(raw) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown ReplicationConfig keys: {sorted(unknown)}"
+            )
+        return cls(**raw)
+
+    # -- derived engine configs ------------------------------------------------
+
+    def strategy_instance(self) -> ReplicationStrategy:
+        """Build the configured :class:`~repro.engine.strategy.ReplicationStrategy`."""
+        if self.codec is None:
+            return make_strategy(self.strategy)
+        return make_strategy(self.strategy, codec=self.codec)
+
+    def batch_config(self) -> BatchConfig | None:
+        """The ship-batch window, or ``None`` for per-write shipping."""
+        if self.batch_records is None:
+            return None
+        return BatchConfig(
+            max_records=self.batch_records, max_bytes=self.batch_bytes
+        )
+
+    def resilience_config(self) -> ResilienceConfig | None:
+        """The fault-tolerance policy, or ``None`` for a strict engine."""
+        if not self.resilient:
+            return None
+        return ResilienceConfig(
+            retry=RetryPolicy(max_attempts=self.max_attempts),
+            backlog_capacity_bytes=self.backlog_capacity_bytes,
+            seed=self.seed,
+        )
+
+    def scheduler_config(self) -> SchedulerConfig | None:
+        """The pipelined fan-out window policy, or ``None`` when sequential."""
+        if self.fanout != "pipelined":
+            return None
+        return SchedulerConfig(
+            mode=self.scheduler_mode,
+            window=self.window,
+            link_latency_s=self.link_latency_s,
+            per_link_latency_s=self.per_link_latency_s,
+            latency_jitter=self.latency_jitter,
+            seed=self.seed,
+        )
+
+    def cluster_config(self) -> ClusterConfig:
+        """The multi-node shape for :func:`open_cluster`."""
+        return ClusterConfig(
+            nodes=self.nodes,
+            replicas_per_node=self.replicas_per_node,
+            block_size=self.block_size,
+            blocks_per_node=self.num_blocks,
+            strategy=self.strategy,
+            codec=self.codec,
+            old_block_cache=self.old_block_cache,
+        )
+
+    def telemetry_instance(self) -> Any:
+        """A live registry when ``telemetry=True``, else the process default."""
+        if self.telemetry:
+            return Telemetry()
+        return get_telemetry()
+
+
+@dataclass
+class PrimaryStack:
+    """What :func:`open_primary` hands back: the engine plus its replicas.
+
+    ``engine`` is the wired :class:`~repro.engine.primary.PrimaryEngine`;
+    ``device`` its local store; ``replica_devices`` the N mirror devices
+    (inspect them to verify byte-identity); ``replica_engines`` and
+    ``links`` the plumbing in between, exposed so tests can wrap or fail
+    individual channels.  Usable as a context manager — exit drains
+    in-flight fan-out and closes the engine.
+    """
+
+    engine: PrimaryEngine
+    device: MemoryBlockDevice
+    replica_devices: list[MemoryBlockDevice]
+    replica_engines: list[ReplicaEngine]
+    links: list[ReplicaLink]
+    config: ReplicationConfig
+    telemetry: Any = NULL_TELEMETRY
+
+    def __enter__(self) -> "PrimaryStack":
+        """Enter: nothing to do — construction already wired everything."""
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        """Exit: drain and close the engine (flushes batches, joins workers)."""
+        self.engine.close()
+
+    def drain(self) -> None:
+        """Flush the batch window and drain pipelined fan-out to quiescence."""
+        self.engine.drain()
+
+    def verify(self) -> bool:
+        """True when every replica is byte-identical to the primary."""
+        snapshot = self.device.snapshot()
+        return all(
+            replica.snapshot() == snapshot for replica in self.replica_devices
+        )
+
+
+def open_primary(
+    config: ReplicationConfig | None = None,
+    *,
+    initial_image: bytes | None = None,
+    link_factory: Any = None,
+    telemetry_name: str | None = None,
+    accountant: Any = None,
+    resilience: ResilienceConfig | None = None,
+) -> PrimaryStack:
+    """Build a primary engine mirrored to ``config.replicas`` in-memory replicas.
+
+    ``initial_image`` preloads the primary and full-syncs every replica
+    (the paper's "after the initial sync" baseline).  ``link_factory``
+    decorates each base channel — called as
+    ``link_factory(replica_index, base_link)``; use it to interpose
+    :class:`~repro.engine.resilience.FaultyLink` or a custom transport.
+    ``telemetry_name`` overrides the engine's source name in snapshots
+    (default ``api.primary`` when telemetry is live).  ``accountant``
+    substitutes a pre-built
+    :class:`~repro.engine.accounting.TrafficAccountant` (e.g. with
+    ``keep_raw=True`` for per-write payload samples).  ``resilience``
+    overrides the config-derived fault policy with a hand-tuned
+    :class:`~repro.engine.resilience.ResilienceConfig` (thresholds the
+    flat config deliberately doesn't expose).
+    """
+    config = config or ReplicationConfig()
+    strategy = config.strategy_instance()
+    device = MemoryBlockDevice(config.block_size, config.num_blocks)
+    if initial_image is not None:
+        device.load(initial_image)
+    replica_devices: list[MemoryBlockDevice] = []
+    replica_engines: list[ReplicaEngine] = []
+    links: list[ReplicaLink] = []
+    for index in range(config.replicas):
+        replica_device = MemoryBlockDevice(config.block_size, config.num_blocks)
+        if initial_image is not None:
+            full_sync(device, replica_device)
+        replica_engine = ReplicaEngine(replica_device, strategy)
+        link: ReplicaLink = DirectLink(replica_engine)
+        if link_factory is not None:
+            link = link_factory(index, link)
+        replica_devices.append(replica_device)
+        replica_engines.append(replica_engine)
+        links.append(link)
+    telemetry = config.telemetry_instance()
+    engine = PrimaryEngine(
+        device,
+        strategy,
+        links,
+        verify_acks=config.verify_acks,
+        resilience=resilience
+        if resilience is not None
+        else config.resilience_config(),
+        accountant=accountant,
+        telemetry=telemetry,
+        telemetry_name=telemetry_name
+        or ("api.primary" if config.telemetry else None),
+        batch=config.batch_config(),
+        old_block_cache=config.old_block_cache,
+        fanout=config.fanout,
+        scheduler=config.scheduler_config(),
+    )
+    return PrimaryStack(
+        engine=engine,
+        device=device,
+        replica_devices=replica_devices,
+        replica_engines=replica_engines,
+        links=links,
+        config=config,
+        telemetry=telemetry,
+    )
+
+
+def open_cluster(
+    config: ReplicationConfig | None = None,
+    *,
+    placement: dict[int, list[int]] | None = None,
+    link_factory: Any = None,
+    resilience: ResilienceConfig | None = None,
+) -> StorageCluster:
+    """Build the Fig. 1 multi-node pool from one :class:`ReplicationConfig`.
+
+    Returns a fully wired :class:`~repro.engine.cluster.StorageCluster`;
+    ``placement`` and ``link_factory`` pass straight through to it.  A
+    ``resilient=True`` config enables per-channel journaling and the
+    fail/heal node lifecycle (``resilience=`` substitutes a hand-tuned
+    policy); ``fanout="pipelined"`` gives every node a credit-window
+    scheduler.
+    """
+    config = config or ReplicationConfig()
+    return StorageCluster(
+        config.cluster_config(),
+        placement=placement,
+        resilience=resilience
+        if resilience is not None
+        else config.resilience_config(),
+        link_factory=link_factory,
+        telemetry=config.telemetry_instance(),
+        batch=config.batch_config(),
+        fanout=config.fanout,
+        scheduler=config.scheduler_config(),
+    )

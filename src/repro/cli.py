@@ -7,6 +7,8 @@ Subcommands::
     prins experiment fig4 [--scale]  # reproduce one figure (--json for machines)
     prins all [--scale]              # reproduce everything
     prins demo [--workload tpcc]     # PRINS-vs-traditional demo (--json snapshot)
+    prins demo --fanout pipelined    # demo under the credit-window scheduler
+    prins demo --config cfg.json     # demo from a pinned ReplicationConfig
     prins metrics [snapshot.json]    # render a telemetry snapshot (or live demo)
     prins trace report snapshot.json # render recent write-path span trees
 
@@ -94,63 +96,55 @@ def _run_demo_workload(
     workload: str,
     ops: int | None,
     emit,
-    batch_window: int | None = None,
-    old_block_cache: int | None = None,
+    base_config=None,
 ) -> None:
     """Run the demo under the *current* telemetry handle.
 
-    Engines are built with a default :class:`ResilienceConfig` so the
-    resilience counters (``resilience.ships_delivered`` etc.) show up in
-    the snapshot, matching how a production deployment would run.
-    ``batch_window`` (``--batch-window N``) enables batched delta
-    shipping with an N-record window; the per-strategy report then adds
-    PDU counts and merge-elision numbers.  ``old_block_cache``
-    (``--old-block-cache N``) gives delta-computing strategies an
-    N-slot LRU serving ``A_old`` reads, and the report adds the hit
-    rate; the default (``None``) keeps the read-before-write behaviour
-    unchanged.  ``emit`` is a ``print``-like callable (no-op when
-    ``--json -`` owns stdout).
+    Everything is constructed through the :mod:`repro.api` front door:
+    ``base_config`` is a :class:`~repro.api.ReplicationConfig` carrying
+    the user's knobs (batch window, A_old cache, fan-out mode, replica
+    count, …); the demo re-targets it per strategy with
+    :func:`dataclasses.replace` and hands it to
+    :func:`~repro.api.open_primary`.  Engines run with ``resilient=True``
+    so the resilience counters show up in the snapshot, matching a
+    production deployment.  ``emit`` is a ``print``-like callable (no-op
+    when ``--json -`` owns stdout).
     """
-    from repro.block import MemoryBlockDevice
+    import dataclasses as _dc
+
+    from repro.api import ReplicationConfig, open_primary
     from repro.common.units import format_bytes
-    from repro.engine import (
-        BatchConfig,
-        DirectLink,
-        PrimaryEngine,
-        ReplicaEngine,
-        ResilienceConfig,
-        make_strategy,
-    )
 
-    batch = (
-        BatchConfig(max_records=batch_window) if batch_window else None
-    )
+    base = base_config or ReplicationConfig()
 
-    def build_engine(name, primary, replica):
-        strategy = make_strategy(name)
-        return PrimaryEngine(
-            primary,
-            strategy,
-            [DirectLink(ReplicaEngine(replica, strategy))],
-            resilience=ResilienceConfig(),
-            telemetry_name=f"demo.{name}",
-            batch=batch,
-            old_block_cache=old_block_cache,
+    def build_stack(name, block_size, num_blocks, image):
+        config = _dc.replace(
+            base,
+            strategy=name,
+            # traditional ships raw blocks; a pinned codec only applies to
+            # the delta/compression strategies
+            codec=base.codec if name != "traditional" else None,
+            block_size=block_size,
+            num_blocks=num_blocks,
+            resilient=True,
+        )
+        return open_primary(
+            config, initial_image=image, telemetry_name=f"demo.{name}"
         )
 
-    def emit_traffic(name, engine):
-        engine.flush_batch()
-        accountant = engine.accountant
+    def emit_traffic(name, stack):
+        stack.drain()
+        accountant = stack.engine.accountant
         line = (
             f"  {name:12s} shipped {format_bytes(accountant.payload_bytes):>10s}  "
             f"({accountant.reduction_vs_data:5.1f}x less than the data written)"
         )
-        if batch is not None:
+        if base.batch_records is not None:
             line += (
                 f"  [{accountant.pdus_shipped} PDUs, "
                 f"{accountant.writes_merged} writes merged]"
             )
-        cache = engine.old_block_cache
+        cache = stack.engine.old_block_cache
         if cache is not None:
             snap = cache.snapshot()
             line += f"  [A_old cache hit rate {snap['hit_rate']:.0%}]"
@@ -173,43 +167,72 @@ def _run_demo_workload(
             f"8192B blocks:\n"
         )
         for name in ("traditional", "compressed", "prins"):
-            primary = MemoryBlockDevice(
-                capture.trace.block_size, capture.trace.num_blocks
+            stack = build_stack(
+                name,
+                capture.trace.block_size,
+                capture.trace.num_blocks,
+                capture.base_image,
             )
-            primary.load(capture.base_image)
-            replica = MemoryBlockDevice(
-                capture.trace.block_size, capture.trace.num_blocks
-            )
-            replica.load(capture.base_image)
-            engine = build_engine(name, primary, replica)
-            replay_trace(capture.trace, engine)
-            emit_traffic(name, engine)
+            replay_trace(capture.trace, stack.engine)
+            emit_traffic(name, stack)
         return
 
     # synthetic: random 10%-mutation writes over a warm device
+    from repro.block import MemoryBlockDevice
     from repro.common.rng import make_rng
     from repro.workloads.content import mutate_fraction
 
     block_size, blocks, writes = 8192, 256, ops or 500
     rng = make_rng(1, "demo")
-    base = [
-        rng.integers(0, 256, block_size, dtype="u1").tobytes() for _ in range(blocks)
-    ]
+    warm = MemoryBlockDevice(block_size, blocks)
+    for lba in range(blocks):
+        warm.write_block(
+            lba, rng.integers(0, 256, block_size, dtype="u1").tobytes()
+        )
+    base_image = warm.snapshot()
     emit(f"{writes} writes, {block_size}B blocks, 10% of each block changed:\n")
     for name in ("traditional", "compressed", "prins"):
-        primary = MemoryBlockDevice(block_size, blocks)
-        replica = MemoryBlockDevice(block_size, blocks)
-        for lba, data in enumerate(base):
-            primary.write_block(lba, data)
-            replica.write_block(lba, data)
-        engine = build_engine(name, primary, replica)
+        stack = build_stack(name, block_size, blocks, base_image)
+        engine = stack.engine
         write_rng = make_rng(2, "demo-writes")
         for _ in range(writes):
             lba = int(write_rng.integers(0, blocks))
             engine.write_block(
                 lba, mutate_fraction(engine.read_block(lba), 0.10, write_rng)
             )
-        emit_traffic(name, engine)
+        emit_traffic(name, stack)
+
+
+def _demo_config(args: argparse.Namespace):
+    """Fold the demo flags (and an optional ``--config`` JSON) into one config.
+
+    ``--config PATH`` seeds a :class:`~repro.api.ReplicationConfig` from a
+    :meth:`~repro.api.ReplicationConfig.to_dict`-shaped JSON file; explicit
+    flags then override it, so a pinned experiment file and ad-hoc knobs
+    compose.
+    """
+    import dataclasses as _dc
+    import json
+
+    from repro.api import ReplicationConfig
+
+    if args.config is not None:
+        with open(args.config, encoding="utf-8") as handle:
+            base = ReplicationConfig.from_dict(json.load(handle))
+    else:
+        base = ReplicationConfig()
+    overrides: dict = {}
+    if args.batch_window is not None:
+        overrides["batch_records"] = args.batch_window
+    if args.old_block_cache is not None:
+        overrides["old_block_cache"] = args.old_block_cache
+    if args.fanout is not None:
+        overrides["fanout"] = args.fanout
+    if args.window is not None:
+        overrides["window"] = args.window
+    if args.replicas is not None:
+        overrides["replicas"] = args.replicas
+    return _dc.replace(base, **overrides) if overrides else base
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
@@ -223,8 +246,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
             args.workload,
             args.transactions,
             emit,
-            batch_window=args.batch_window,
-            old_block_cache=args.old_block_cache,
+            base_config=_demo_config(args),
         )
     _emit_snapshot(telemetry.snapshot(), args.json, quiet_note=quiet)
     return 0
@@ -310,13 +332,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         return 0
 
     # replay
-    from repro.block import MemoryBlockDevice
-    from repro.engine import (
-        DirectLink,
-        PrimaryEngine,
-        ReplicaEngine,
-        make_strategy,
-    )
+    from repro.api import ReplicationConfig, open_primary
     from repro.workloads.trace import replay_trace
 
     trace = load_trace(args.path)
@@ -325,17 +341,18 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         f"{format_bytes(trace.bytes_written)} of data"
     )
     for name in ("traditional", "compressed", "prins"):
-        primary = MemoryBlockDevice(trace.block_size, trace.num_blocks)
-        replica = MemoryBlockDevice(trace.block_size, trace.num_blocks)
-        strategy = make_strategy(name)
-        engine = PrimaryEngine(
-            primary, strategy, [DirectLink(ReplicaEngine(replica, strategy))]
+        config = ReplicationConfig(
+            strategy=name,
+            block_size=trace.block_size,
+            num_blocks=trace.num_blocks,
         )
-        replay_trace(trace, engine)
-        print(
-            f"  {name:12s} {format_bytes(engine.accountant.payload_bytes):>10} "
-            f"on the wire"
-        )
+        with open_primary(config) as stack:
+            replay_trace(trace, stack.engine)
+            print(
+                f"  {name:12s} "
+                f"{format_bytes(stack.engine.accountant.payload_bytes):>10} "
+                f"on the wire"
+            )
     return 0
 
 
@@ -391,6 +408,32 @@ def main(argv: list[str] | None = None) -> int:
         type=int,
         default=None,
         help="operation count override (synthetic writes / TPC-C transactions)",
+    )
+    p_demo.add_argument(
+        "--fanout",
+        default=None,
+        choices=["sequential", "pipelined"],
+        help="replica fan-out mode (pipelined = credit-window scheduler)",
+    )
+    p_demo.add_argument(
+        "--window",
+        type=int,
+        default=None,
+        metavar="N",
+        help="per-replica in-flight window for --fanout pipelined",
+    )
+    p_demo.add_argument(
+        "--replicas",
+        type=int,
+        default=None,
+        metavar="N",
+        help="number of mirror replicas per engine (default 1)",
+    )
+    p_demo.add_argument(
+        "--config",
+        default=None,
+        metavar="PATH",
+        help="ReplicationConfig JSON (repro.api to_dict shape); flags override",
     )
     p_demo.add_argument(
         "--json",

@@ -19,7 +19,12 @@ The three strategies correspond exactly to the paper's three bars:
 """
 
 from repro.common.errors import PartialReplicationError, RetriesExhaustedError
-from repro.engine.accounting import TrafficAccountant, ethernet_wire_bytes
+from repro.engine.accounting import (
+    ConservationError,
+    ReplicaTraffic,
+    TrafficAccountant,
+    ethernet_wire_bytes,
+)
 from repro.engine.batch import (
     BatchConfig,
     BatchEntry,
@@ -46,6 +51,13 @@ from repro.engine.resilience import (
     ResyncOutcome,
     RetryPolicy,
 )
+from repro.engine.scheduler import (
+    FanoutScheduler,
+    LatencyLink,
+    ReplicaChannel,
+    SchedulerConfig,
+    SimClock,
+)
 from repro.engine.strategy import (
     CompressedBlockStrategy,
     FullBlockStrategy,
@@ -54,6 +66,7 @@ from repro.engine.strategy import (
     make_strategy,
 )
 from repro.engine.sync import digest_sync, full_sync, verify_consistency
+from repro.engine.work import ShipWork
 
 __all__ = [
     "AsyncPrimaryEngine",
@@ -63,24 +76,32 @@ __all__ = [
     "CircuitBreaker",
     "ClusterConfig",
     "CompressedBlockStrategy",
+    "ConservationError",
     "DirectLink",
     "ErasureConfig",
     "ErasurePool",
+    "FanoutScheduler",
     "FaultyLink",
     "FlushResult",
     "GuardedLink",
     "InjectedLinkError",
     "JournalingLink",
+    "LatencyLink",
     "LinkHealth",
     "PartialReplicationError",
+    "ReplicaChannel",
+    "ReplicaTraffic",
     "ReplicationJournal",
     "ResilienceConfig",
     "ResilientLink",
     "ResyncOutcome",
     "RetriesExhaustedError",
     "RetryPolicy",
+    "SchedulerConfig",
     "ShipBatch",
     "ShipBatcher",
+    "ShipWork",
+    "SimClock",
     "StorageCluster",
     "FullBlockStrategy",
     "InitiatorLink",

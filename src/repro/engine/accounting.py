@@ -16,6 +16,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+from repro.common.errors import ReplicationError
 from repro.obs.registry import Histogram
 
 #: Ethernet payload per packet, bytes (paper Sec. 3.3: "1.5Kbytes payload")
@@ -39,6 +40,71 @@ def ethernet_wire_bytes(payload_bytes: int, exact_packets: bool = False) -> floa
         packets = math.ceil(payload_bytes / PACKET_PAYLOAD)
         return float(payload_bytes + packets * PACKET_HEADERS)
     return payload_bytes * (1 + PACKET_HEADERS / PACKET_PAYLOAD)
+
+
+#: replica key used when a recovery charge arrives without attribution
+UNATTRIBUTED_REPLICA = -1
+
+
+class ConservationError(ReplicationError):
+    """A traffic conservation law does not balance.
+
+    Raised by :meth:`TrafficAccountant.verify_conservation` when the
+    per-replica itemization disagrees with the global counters or a
+    replica's journaled bytes cannot be accounted for as replayed +
+    dropped + still-pending.  This is always a bookkeeping bug, never a
+    network condition.
+    """
+
+
+@dataclass
+class ReplicaTraffic:
+    """Per-replica itemization of shipped and recovery traffic.
+
+    Every byte the global :class:`TrafficAccountant` counters aggregate
+    is also attributed to the replica channel that caused it, so the
+    conservation law stays checkable when replicas recover *out of
+    order* — previously recovery bytes were only attributed globally at
+    journal-replay time, and an overflowed-then-resynced replica leaked
+    its journaled bytes forever.
+    """
+
+    shipped_payload_bytes: int = 0  # payload bytes acked by this replica
+    ships: int = 0  # submissions (records or batches) this replica acked
+    journaled_records: int = 0
+    journaled_bytes: int = 0  # payload bytes deferred to this replica's backlog
+    replayed_records: int = 0
+    replayed_bytes: int = 0  # payload bytes drained from the backlog
+    dropped_bytes: int = 0  # payload bytes evicted/cleared, covered by resync
+    retries: int = 0
+    retry_bytes: int = 0
+    resyncs: int = 0
+    resync_bytes: int = 0
+
+    def outstanding_bytes(self) -> int:
+        """Journaled payload bytes not yet replayed or dropped.
+
+        Must equal the live backlog's ``payload_bytes_pending`` — the
+        per-replica conservation law.
+        """
+        return self.journaled_bytes - self.replayed_bytes - self.dropped_bytes
+
+    def snapshot(self) -> dict:
+        """JSON-safe view of this replica's itemized counters."""
+        return {
+            "shipped_payload_bytes": self.shipped_payload_bytes,
+            "ships": self.ships,
+            "journaled_records": self.journaled_records,
+            "journaled_bytes": self.journaled_bytes,
+            "replayed_records": self.replayed_records,
+            "replayed_bytes": self.replayed_bytes,
+            "dropped_bytes": self.dropped_bytes,
+            "outstanding_bytes": self.outstanding_bytes(),
+            "retries": self.retries,
+            "retry_bytes": self.retry_bytes,
+            "resyncs": self.resyncs,
+            "resync_bytes": self.resync_bytes,
+        }
 
 
 @dataclass
@@ -86,6 +152,22 @@ class TrafficAccountant:
     batched_pdu_bytes: int = 0  # batch payload + PDU headers (subset of pdu_bytes)
     writes_merged: int = 0  # logical writes elided by same-LBA XOR merging
     records_elided: int = 0  # post-merge records dropped as no-ops
+    # -- per-replica itemization (conservation under OOO recovery) ----------
+    per_replica: dict[int, ReplicaTraffic] = field(default_factory=dict)
+    dropped_bytes: int = 0  # journaled payload bytes evicted/cleared unreplayed
+
+    def replica(self, index: int | None) -> ReplicaTraffic:
+        """The itemized ledger for replica ``index`` (created on demand).
+
+        ``None`` maps to :data:`UNATTRIBUTED_REPLICA`, keeping the
+        itemized sums equal to the global counters even for callers that
+        predate attribution.
+        """
+        key = UNATTRIBUTED_REPLICA if index is None else index
+        ledger = self.per_replica.get(key)
+        if ledger is None:
+            ledger = self.per_replica[key] = ReplicaTraffic()
+        return ledger
 
     def record_write(
         self, data_len: int, payload_len: int | None, pdu_overhead: int = 48
@@ -166,25 +248,152 @@ class TrafficAccountant:
         self.data_bytes += data_len
         self.writes_journaled += 1
 
-    def record_journaled_copy(self, payload_len: int) -> None:
+    def record_replica_ship(
+        self, payload_len: int, replica: int | None = None
+    ) -> None:
+        """Attribute one acked submission's payload bytes to ``replica``.
+
+        Itemization only — the global ``payload_bytes`` totals are charged
+        separately by ``record_write``/``record_batch``; this keeps the
+        hot-path charging unchanged while making per-replica byte flows
+        auditable (and conservation checkable under pipelined fan-out).
+        """
+        ledger = self.replica(replica)
+        ledger.ships += 1
+        ledger.shipped_payload_bytes += payload_len
+
+    def record_journaled_copy(
+        self, payload_len: int, replica: int | None = None
+    ) -> None:
         """One replica copy deferred to backlog (wire cost paid at replay)."""
         self.journaled_records += 1
         self.journaled_bytes += payload_len
+        ledger = self.replica(replica)
+        ledger.journaled_records += 1
+        ledger.journaled_bytes += payload_len
 
-    def record_retry(self, wire_len: int) -> None:
+    def record_retry(self, wire_len: int, replica: int | None = None) -> None:
         """One re-ship attempt of ``wire_len`` bytes by a resilient link."""
         self.retries += 1
         self.retry_bytes += wire_len
+        ledger = self.replica(replica)
+        ledger.retries += 1
+        ledger.retry_bytes += wire_len
 
-    def record_backlog_replay(self, records: int, wire_bytes: int) -> None:
+    def record_backlog_replay(
+        self, records: int, wire_bytes: int, replica: int | None = None
+    ) -> None:
         """A backlog drain shipped ``records`` records / ``wire_bytes``."""
         self.backlog_records_replayed += records
         self.backlog_replay_bytes += wire_bytes
+        ledger = self.replica(replica)
+        ledger.replayed_records += records
+        ledger.replayed_bytes += wire_bytes
 
-    def record_resync(self, wire_bytes: int) -> None:
+    def record_backlog_drop(
+        self, payload_bytes: int, replica: int | None = None
+    ) -> None:
+        """Journaled payload bytes left the backlog unreplayable.
+
+        Charged at eviction (overflow) or wholesale clear (pre-resync)
+        time — *not* at replay time — which is what lets the conservation
+        law balance when replicas complete out of order: a replica whose
+        backlog overflowed and was digest-resynced closes its journaled
+        ledger with dropped bytes instead of leaking them.
+        """
+        self.dropped_bytes += payload_bytes
+        self.replica(replica).dropped_bytes += payload_bytes
+
+    def record_resync(self, wire_bytes: int, replica: int | None = None) -> None:
         """A digest/full resync escalation moved ``wire_bytes`` on the wire."""
         self.resyncs += 1
         self.resync_bytes += wire_bytes
+        ledger = self.replica(replica)
+        ledger.resyncs += 1
+        ledger.resync_bytes += wire_bytes
+
+    def verify_conservation(
+        self,
+        pending_by_replica: dict[int, int] | None = None,
+        expect_full_attribution: bool = False,
+    ) -> dict[int, int]:
+        """Assert the per-replica ledgers balance; return outstanding bytes.
+
+        Checks, raising :class:`ConservationError` on the first violation:
+
+        1. every itemized counter sums to its global twin (journaled,
+           replayed, dropped, retry, resync bytes and record counts);
+        2. per replica, ``journaled == replayed + dropped + outstanding``
+           with ``outstanding >= 0``;
+        3. when ``pending_by_replica`` is supplied (live backlog byte
+           counts, e.g. from the engine's guards), each replica's
+           outstanding bytes equal its live backlog exactly;
+        4. with ``expect_full_attribution``, no recovery byte may sit in
+           the unattributed ledger.
+
+        Returns ``{replica: outstanding_bytes}`` for every known replica.
+        """
+
+        def _sum(attr: str) -> int:
+            return sum(getattr(r, attr) for r in self.per_replica.values())
+
+        pairs = [
+            ("journaled_bytes", self.journaled_bytes, _sum("journaled_bytes")),
+            (
+                "journaled_records",
+                self.journaled_records,
+                _sum("journaled_records"),
+            ),
+            (
+                "backlog_replay_bytes",
+                self.backlog_replay_bytes,
+                _sum("replayed_bytes"),
+            ),
+            (
+                "backlog_records_replayed",
+                self.backlog_records_replayed,
+                _sum("replayed_records"),
+            ),
+            ("dropped_bytes", self.dropped_bytes, _sum("dropped_bytes")),
+            ("retry_bytes", self.retry_bytes, _sum("retry_bytes")),
+            ("resync_bytes", self.resync_bytes, _sum("resync_bytes")),
+        ]
+        for name, total, itemized in pairs:
+            if total != itemized:
+                raise ConservationError(
+                    f"{name} itemization does not balance: "
+                    f"global {total} != per-replica sum {itemized}"
+                )
+        if expect_full_attribution:
+            stray = self.per_replica.get(UNATTRIBUTED_REPLICA)
+            if stray is not None and (
+                stray.journaled_bytes
+                or stray.replayed_bytes
+                or stray.retry_bytes
+                or stray.resync_bytes
+                or stray.dropped_bytes
+            ):
+                raise ConservationError(
+                    "recovery bytes recorded without replica attribution: "
+                    f"{stray.snapshot()}"
+                )
+        outstanding: dict[int, int] = {}
+        for index, ledger in self.per_replica.items():
+            balance = ledger.outstanding_bytes()
+            if balance < 0:
+                raise ConservationError(
+                    f"replica {index} replayed/dropped more than it "
+                    f"journaled (outstanding {balance})"
+                )
+            outstanding[index] = balance
+            if pending_by_replica is not None and index != UNATTRIBUTED_REPLICA:
+                live = pending_by_replica.get(index, 0)
+                if balance != live:
+                    raise ConservationError(
+                        f"replica {index} outstanding bytes {balance} != "
+                        f"live backlog {live}"
+                    )
+        return outstanding
 
     @property
     def recovery_bytes(self) -> int:
@@ -252,6 +461,7 @@ class TrafficAccountant:
             "resilience": {
                 "journaled_records": self.journaled_records,
                 "journaled_bytes": self.journaled_bytes,
+                "dropped_bytes": self.dropped_bytes,
                 "retries": self.retries,
                 "retry_bytes": self.retry_bytes,
                 "backlog_records_replayed": self.backlog_records_replayed,
@@ -259,6 +469,10 @@ class TrafficAccountant:
                 "resyncs": self.resyncs,
                 "resync_bytes": self.resync_bytes,
                 "recovery_bytes": self.recovery_bytes,
+            },
+            "per_replica": {
+                str(index): ledger.snapshot()
+                for index, ledger in sorted(self.per_replica.items())
             },
         }
 
@@ -289,3 +503,5 @@ class TrafficAccountant:
         self.batched_pdu_bytes = 0
         self.writes_merged = 0
         self.records_elided = 0
+        self.per_replica.clear()
+        self.dropped_bytes = 0

@@ -26,6 +26,7 @@ from repro.engine.links import DirectLink, ReplicaLink
 from repro.engine.primary import PrimaryEngine
 from repro.engine.replica import ReplicaEngine
 from repro.engine.resilience import LinkHealth, ResilienceConfig, ResyncOutcome
+from repro.engine.scheduler import SchedulerConfig
 from repro.engine.strategy import ReplicationStrategy, make_strategy
 from repro.engine.sync import verify_consistency
 from repro.obs.telemetry import get_telemetry
@@ -45,6 +46,7 @@ class ClusterConfig:
     block_size: int = 8192
     blocks_per_node: int = 256
     strategy: str = "prins"
+    codec: str | None = None  # delta/compression codec; None = strategy default
     old_block_cache: int | None = None  # LRU slots for A_old; None = off
 
     def __post_init__(self) -> None:
@@ -57,6 +59,10 @@ class ClusterConfig:
         if self.old_block_cache is not None and self.old_block_cache < 1:
             raise ConfigurationError(
                 "old_block_cache must be a positive capacity (or None)"
+            )
+        if self.codec is not None and self.strategy == "traditional":
+            raise ConfigurationError(
+                "the traditional strategy ships raw blocks and takes no codec"
             )
 
     @property
@@ -129,11 +135,19 @@ class StorageCluster:
         link_factory: LinkFactory | None = None,
         telemetry=None,
         batch: BatchConfig | None = None,
+        fanout: str = "sequential",
+        scheduler: SchedulerConfig | None = None,
     ) -> None:
         self.config = config or ClusterConfig()
-        self._strategy = make_strategy(self.config.strategy)
+        self._strategy = (
+            make_strategy(self.config.strategy, codec=self.config.codec)
+            if self.config.codec is not None
+            else make_strategy(self.config.strategy)
+        )
         self._resilience = resilience
         self._batch = batch
+        self._fanout = "pipelined" if scheduler is not None else fanout
+        self._scheduler_config = scheduler
         self.telemetry = telemetry if telemetry is not None else get_telemetry()
         self.nodes = [
             ClusterNode(i, self.config, self._strategy)
@@ -160,6 +174,8 @@ class StorageCluster:
                 telemetry_name=f"cluster.node{node.node_id}",
                 batch=batch,
                 old_block_cache=self.config.old_block_cache,
+                fanout=fanout,
+                scheduler=scheduler,
             )
         if self.telemetry.enabled:
             self.telemetry.register_source("cluster", self.telemetry_snapshot)
@@ -174,6 +190,16 @@ class StorageCluster:
         """The cluster-wide batch window (``None`` = per-write shipping)."""
         return self._batch
 
+    @property
+    def fanout(self) -> str:
+        """The cluster-wide fan-out mode (``sequential`` or ``pipelined``)."""
+        return self._fanout
+
+    @property
+    def scheduler(self) -> SchedulerConfig | None:
+        """The pipelined fan-out window policy (``None`` = sequential)."""
+        return self._scheduler_config
+
     def flush(self) -> None:
         """Flush every live node's pending batch window (commit boundary)."""
         for node in self.nodes:
@@ -181,6 +207,26 @@ class StorageCluster:
                 continue
             assert node.engine is not None
             node.engine.flush_batch()
+
+    def drain(self) -> None:
+        """Quiesce every live node: flush batches and drain in-flight fan-out.
+
+        A no-op beyond :meth:`flush` in sequential mode; under
+        ``fanout="pipelined"`` it blocks until every node's scheduler has
+        resolved all outstanding window slots (the cluster-wide commit
+        barrier).
+        """
+        for node in self.nodes:
+            if node.node_id in self._down_nodes:
+                continue
+            assert node.engine is not None
+            node.engine.drain()
+
+    def close(self) -> None:
+        """Drain and release every node's engine (schedulers, devices)."""
+        for node in self.nodes:
+            assert node.engine is not None
+            node.engine.close()
 
     def _validate_placement(self) -> None:
         for node_id, replicas in self.placement.items():

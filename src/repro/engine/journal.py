@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from repro.common.errors import ReplicationError
 from repro.engine.links import ReplicaLink
 from repro.engine.messages import ReplicationRecord
+from repro.engine.work import ShipWork
 
 
 class JournalOverflowError(ReplicationError):
@@ -55,6 +56,12 @@ class ReplicationJournal:
         #: lifetime counters used by the resilience layer for wire accounting
         self.records_replayed_total = 0
         self.bytes_replayed_total = 0
+        #: payload (record wire) bytes currently buffered — the accountant's
+        #: conservation law balances journaled == replayed + dropped + this
+        self.payload_bytes_pending = 0
+        #: payload bytes that left the journal unreplayable (evicted on
+        #: overflow, or cleared wholesale before a digest resync)
+        self.payload_bytes_dropped_total = 0
 
     @property
     def entry_count(self) -> int:
@@ -80,9 +87,12 @@ class ReplicationJournal:
         entry = _Entry(lba, record)
         self._entries.append(entry)
         self._bytes += entry.size
+        self.payload_bytes_pending += record.wire_size
         while self._bytes > self._capacity and self._entries:
             victim = self._entries.popleft()
             self._bytes -= victim.size
+            self.payload_bytes_pending -= victim.record.wire_size
+            self.payload_bytes_dropped_total += victim.record.wire_size
             self._overflowed = True
 
     def replay(self, link: ReplicaLink) -> int:
@@ -105,16 +115,25 @@ class ReplicationJournal:
         replayed = 0
         while self._entries:
             entry = self._entries[0]
-            link.ship(entry.lba, entry.record)  # may raise: entry retained
+            # may raise: entry retained
+            link.submit(ShipWork.for_record(entry.lba, entry.record))
             self._entries.popleft()
             self._bytes -= entry.size
+            self.payload_bytes_pending -= entry.record.wire_size
             replayed += 1
             self.records_replayed_total += 1
             self.bytes_replayed_total += len(entry.record.pack())
         return replayed
 
     def clear(self) -> None:
-        """Drop all buffered records and reset the overflow flag."""
+        """Drop all buffered records and reset the overflow flag.
+
+        The buffered payload bytes count as *dropped*: they will never be
+        replayed, so the caller must cover them out-of-band (digest/full
+        sync) — exactly what the conservation law tracks.
+        """
+        self.payload_bytes_dropped_total += self.payload_bytes_pending
+        self.payload_bytes_pending = 0
         self._entries.clear()
         self._bytes = 0
         self._overflowed = False
@@ -154,8 +173,8 @@ class JournalingLink(ReplicaLink):
         self._connected = True
         return replayed
 
-    def ship(self, lba: int, record: ReplicationRecord) -> bytes:
-        """Append to the journal, then ship through the inner link."""
+    def _submit_record(self, lba: int, record: ReplicationRecord) -> bytes:
+        """Journal while disconnected, else ship through the inner link."""
         if not self._connected:
             self.journal.append(lba, record)
             # A journaled record is acknowledged locally; the real ack
@@ -163,7 +182,7 @@ class JournalingLink(ReplicaLink):
             from repro.engine.replica import _ACK, ACK_APPLIED
 
             return _ACK.pack(record.seq, ACK_APPLIED)
-        return self._inner.ship(lba, record)
+        return self._inner.submit(ShipWork.for_record(lba, record))
 
     def sync_device(self):
         """Expose the inner link's replica device (for resync)."""

@@ -10,11 +10,24 @@ Two implementations behind one interface:
   traffic experiments, where tens of thousands of writes through real
   threads would only add noise; byte accounting is identical because the
   record is still fully serialized.
+
+**Submission surface.**  Every link is driven through one method —
+:meth:`ReplicaLink.submit`, taking a :class:`~repro.engine.work.ShipWork`
+(a single record or a multi-segment batch).  The historical split pair
+``ship(lba, record)`` / ``ship_batch(batch)`` survives as thin deprecated
+shims that forward to :meth:`~ReplicaLink.submit` and emit a
+:class:`DeprecationWarning` once per process (removal is planned for the
+next major release).  Subclasses implement :meth:`ReplicaLink._submit_record`
+(and optionally :meth:`ReplicaLink._submit_batch`); legacy subclasses that
+still override ``ship``/``ship_batch`` keep working — the default hooks
+detect and route to their overrides.
 """
 
 from __future__ import annotations
 
-from abc import ABC, abstractmethod
+import warnings
+from abc import ABC
+from typing import TYPE_CHECKING
 
 from repro.engine.batch import ShipBatch, pack_batch_ack
 from repro.engine.messages import ReplicationRecord
@@ -22,36 +35,125 @@ from repro.engine.replica import ACK_DUPLICATE, ReplicaEngine
 from repro.iscsi.initiator import Initiator
 from repro.iscsi.pdu import BHS_SIZE
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.work import ShipWork
+
+#: method names whose deprecation warning already fired this process
+_DEPRECATION_WARNED: set[str] = set()
+
+
+def _warn_deprecated(old: str, new: str) -> None:
+    """Emit the ``old``-name deprecation warning, at most once per name."""
+    if old in _DEPRECATION_WARNED:
+        return
+    _DEPRECATION_WARNED.add(old)
+    warnings.warn(
+        f"{old} is deprecated and will be removed in the next major "
+        f"release; use {new} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def reset_deprecation_warnings() -> None:
+    """Re-arm the once-per-process link deprecation warnings (test hook)."""
+    _DEPRECATION_WARNED.clear()
+
 
 class ReplicaLink(ABC):
-    """One primary→replica channel."""
+    """One primary→replica channel.
+
+    The single submission surface is :meth:`submit`; ``ship`` and
+    ``ship_batch`` are deprecated aliases kept for one release.
+    """
 
     #: PDU header bytes charged per shipped record
     pdu_overhead: int = BHS_SIZE
 
-    @abstractmethod
-    def ship(self, lba: int, record: ReplicationRecord) -> bytes:
-        """Deliver ``record`` for ``lba``; return the replica's ack payload."""
+    # -- unified submission --------------------------------------------------
 
-    def ship_batch(self, batch: ShipBatch) -> bytes:
+    def submit(self, work: "ShipWork") -> bytes:
+        """Deliver one unit of work (record or batch); return the ack payload.
+
+        This is the only entry point the engine, the resilience layer,
+        and the fan-out scheduler use.  Decorating links override it
+        wholesale; transport links implement the
+        :meth:`_submit_record` / :meth:`_submit_batch` hooks instead.
+        Legacy subclasses that still override ``ship``/``ship_batch`` are
+        detected here and routed to their overrides (which must not call
+        ``super().ship`` — the base methods are shims over ``submit``).
+        """
+        if work.batch is not None:
+            legacy_batch = type(self).ship_batch
+            if legacy_batch is not ReplicaLink.ship_batch:
+                return legacy_batch(self, work.batch)
+            return self._submit_batch(work.batch)
+        assert work.record is not None
+        return self._route_record(work.lba, work.record)
+
+    def _route_record(self, lba: int, record: ReplicationRecord) -> bytes:
+        """Dispatch one record to a legacy ``ship`` override or the hook."""
+        legacy = type(self).ship
+        if legacy is not ReplicaLink.ship:
+            return legacy(self, lba, record)
+        return self._submit_record(lba, record)
+
+    def _submit_record(self, lba: int, record: ReplicationRecord) -> bytes:
+        """Deliver a single record; return the replica's ack payload."""
+        raise NotImplementedError(
+            f"{type(self).__name__} implements neither _submit_record nor "
+            "a legacy ship override"
+        )
+
+    def _submit_batch(self, batch: ShipBatch) -> bytes:
         """Deliver a multi-segment batch; return the replica's batch ack.
 
-        Default implementation degrades gracefully: it ships each
-        segment individually through :meth:`ship` and synthesizes the
-        batch ack, so link decorators that predate batching keep
-        working (they just forfeit the PDU amortization).  Transport
-        links override this to ship the whole batch as one PDU.
+        The default degrades gracefully: each segment ships individually
+        through the record path and the batch ack is synthesized, so link
+        implementations that predate batching keep working (they just
+        forfeit the PDU amortization).
         """
         applied = 0
         duplicates = 0
         for entry in batch:
-            ack = self.ship(entry.lba, entry.record)
+            ack = self._route_record(entry.lba, entry.record)
             _, status = ReplicaEngine.parse_ack(ack)
             if status == ACK_DUPLICATE:
                 duplicates += 1
             else:
                 applied += 1
         return pack_batch_ack(batch.last_seq, applied, duplicates)
+
+    # -- deprecated split surface -------------------------------------------
+
+    def ship(self, lba: int, record: ReplicationRecord) -> bytes:
+        """Deliver ``record`` for ``lba``; return the replica's ack payload.
+
+        .. deprecated:: 1.1
+           Use ``submit(ShipWork.for_record(lba, record))`` instead.
+        """
+        from repro.engine.work import ShipWork
+
+        _warn_deprecated(
+            "ReplicaLink.ship()", "ReplicaLink.submit(ShipWork.for_record(...))"
+        )
+        return self.submit(ShipWork.for_record(lba, record))
+
+    def ship_batch(self, batch: ShipBatch) -> bytes:
+        """Deliver a multi-segment batch; return the replica's batch ack.
+
+        .. deprecated:: 1.1
+           Use ``submit(ShipWork.for_batch(batch))`` instead.
+        """
+        from repro.engine.work import ShipWork
+
+        _warn_deprecated(
+            "ReplicaLink.ship_batch()",
+            "ReplicaLink.submit(ShipWork.for_batch(...))",
+        )
+        return self.submit(ShipWork.for_batch(batch))
+
+    # -- channel plumbing ----------------------------------------------------
 
     def bind_telemetry(self, telemetry) -> None:
         """Propagate a telemetry handle down the channel (default: no-op).
@@ -92,11 +194,11 @@ class InitiatorLink(ReplicaLink):
         """The underlying session (exposes transport byte counters)."""
         return self._initiator
 
-    def ship(self, lba: int, record: ReplicationRecord) -> bytes:
+    def _submit_record(self, lba: int, record: ReplicationRecord) -> bytes:
         """Ship one record as a REPL_DATA_OUT PDU; return the ack payload."""
         return self._initiator.send_replication_frame(lba, record.pack())
 
-    def ship_batch(self, batch: ShipBatch) -> bytes:
+    def _submit_batch(self, batch: ShipBatch) -> bytes:
         """Ship the whole batch as one REPL_BATCH_OUT PDU."""
         return self._initiator.send_replication_batch(
             batch.pack(), batch.record_count
@@ -117,7 +219,7 @@ class DirectLink(ReplicaLink):
     def __init__(self, replica: "ReplicaEngineLike") -> None:
         self._replica = replica
 
-    def ship(self, lba: int, record: ReplicationRecord) -> bytes:
+    def _submit_record(self, lba: int, record: ReplicationRecord) -> bytes:
         """Serialize, deliver in-process, and return the replica's ack.
 
         Serialize and re-parse so the wire format is exercised and byte
@@ -125,11 +227,11 @@ class DirectLink(ReplicaLink):
         """
         return self._replica.receive(lba, record.pack())
 
-    def ship_batch(self, batch: ShipBatch) -> bytes:
+    def _submit_batch(self, batch: ShipBatch) -> bytes:
         """Deliver a packed batch to the replica's unbatch path in-process."""
         receive_batch = getattr(self._replica, "receive_batch", None)
         if receive_batch is None:
-            return super().ship_batch(batch)
+            return super()._submit_batch(batch)
         return receive_batch(batch.pack())
 
     def bind_telemetry(self, telemetry) -> None:

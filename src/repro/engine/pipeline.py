@@ -31,6 +31,7 @@ from repro.common.errors import ReplicationError
 from repro.engine.links import ReplicaLink
 from repro.engine.messages import ReplicationRecord
 from repro.engine.replica import ReplicaEngine
+from repro.engine.work import ShipWork
 
 logger = logging.getLogger(__name__)
 
@@ -137,7 +138,7 @@ class AsyncReplicator:
     def _ship_one(self, lba: int, record: ReplicationRecord) -> None:
         for attempt in range(self._max_retries + 1):
             try:
-                ack = self._link.ship(lba, record)
+                ack = self._link.submit(ShipWork.for_record(lba, record))
                 if self._verify_acks:
                     seq, _status = ReplicaEngine.parse_ack(ack)
                     if seq != record.seq:
@@ -245,7 +246,7 @@ class _EnqueueLink(ReplicaLink):
     def __init__(self, replicator: AsyncReplicator) -> None:
         self._replicator = replicator
 
-    def ship(self, lba: int, record: ReplicationRecord) -> bytes:
+    def _submit_record(self, lba: int, record: ReplicationRecord) -> bytes:
         """Queue the record for the background replicator thread."""
         self._replicator.submit(lba, record)
         return b""  # ack handled by the shipper thread

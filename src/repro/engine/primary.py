@@ -27,7 +27,7 @@ Two fan-out disciplines:
 from __future__ import annotations
 
 import zlib
-from typing import Sequence
+from typing import Callable, Sequence
 
 from repro.block.device import BlockDevice
 from repro.block.lru import BlockCache
@@ -38,22 +38,18 @@ from repro.common.errors import (
     ReplicationError,
 )
 from repro.engine.accounting import TrafficAccountant
-from repro.engine.batch import (
-    BatchConfig,
-    FlushResult,
-    ShipBatcher,
-    unpack_batch_ack,
-)
+from repro.engine.batch import BatchConfig, FlushResult, ShipBatcher
 from repro.engine.links import ReplicaLink
 from repro.engine.messages import RECORD_OVERHEAD, ReplicationRecord
-from repro.engine.replica import ReplicaEngine
 from repro.engine.resilience import (
     GuardedLink,
     LinkHealth,
     ResilienceConfig,
     ResyncOutcome,
 )
+from repro.engine.scheduler import FanoutScheduler, SchedulerConfig
 from repro.engine.strategy import ReplicationStrategy
+from repro.engine.work import ShipWork
 from repro.obs.telemetry import get_telemetry
 from repro.raid.parity_base import ParityArrayBase
 
@@ -82,6 +78,8 @@ class PrimaryEngine(BlockDevice):
         telemetry_name: str | None = None,
         batch: BatchConfig | None = None,
         old_block_cache: int | None = None,
+        fanout: str = "sequential",
+        scheduler: "SchedulerConfig | None" = None,
     ) -> None:
         super().__init__(device.block_size, device.num_blocks)
         self._device = device
@@ -111,8 +109,34 @@ class PrimaryEngine(BlockDevice):
         self._guards: list[GuardedLink] | None = (
             [] if resilience is not None else None
         )
+        if scheduler is not None and fanout == "sequential":
+            fanout = "pipelined"  # a scheduler config implies pipelining
+        if fanout not in ("sequential", "pipelined"):
+            raise ConfigurationError(
+                f"fanout must be 'sequential' or 'pipelined', got {fanout!r}"
+            )
+        self._fanout = fanout
+        self._scheduler: FanoutScheduler | None = None
         for link in links or []:
             self.add_link(link)
+        if fanout == "pipelined":
+            cfg = scheduler if scheduler is not None else SchedulerConfig()
+            if self._guards is not None:
+                self._scheduler = FanoutScheduler(
+                    cfg,
+                    guards=self._guards,
+                    verify_acks=verify_acks,
+                    telemetry=self.telemetry,
+                    accountant=self.accountant,
+                )
+            else:
+                self._scheduler = FanoutScheduler(
+                    cfg,
+                    links=self._links,
+                    verify_acks=verify_acks,
+                    telemetry=self.telemetry,
+                    accountant=self.accountant,
+                )
         # RAID parity arrays hand back P' for free on each write.
         self._raid = device if isinstance(device, ParityArrayBase) else None
 
@@ -142,6 +166,16 @@ class PrimaryEngine(BlockDevice):
         return self._batcher.config if self._batcher is not None else None
 
     @property
+    def fanout(self) -> str:
+        """The fan-out discipline: ``"sequential"`` or ``"pipelined"``."""
+        return self._fanout
+
+    @property
+    def scheduler(self) -> FanoutScheduler | None:
+        """The pipelined fan-out scheduler (``None`` in sequential mode)."""
+        return self._scheduler
+
+    @property
     def old_block_cache(self) -> BlockCache | None:
         """The ``A_old`` LRU cache, or ``None`` when disabled/inapplicable."""
         return self._old_cache
@@ -166,6 +200,11 @@ class PrimaryEngine(BlockDevice):
                     telemetry=self.telemetry,
                 )
             )
+        if self._scheduler is not None:
+            if self._guards is not None:
+                self._scheduler.add_channel(guard=self._guards[-1])
+            else:
+                self._scheduler.add_channel(link=link)
 
     # -- health & recovery (fault-tolerant engines) ---------------------------
 
@@ -287,10 +326,7 @@ class PrimaryEngine(BlockDevice):
             record = ReplicationRecord.for_block(self._seq, data, frame)
             payload_len = record.wire_size
             span.set("payload_bytes", payload_len)
-            if self._guards is not None:
-                self._fan_out_guarded(lba, record, len(data), payload_len)
-            else:
-                self._fan_out_strict(lba, record, len(data), payload_len)
+            self._dispatch_record(lba, record, len(data), payload_len)
 
     def write_many(self, writes: Sequence[tuple[int, bytes]]) -> None:
         """Write a window of ``(lba, data)`` pairs through one batched pass.
@@ -362,58 +398,105 @@ class PrimaryEngine(BlockDevice):
                 frame = strategy.encode_payload(payload)
                 record = ReplicationRecord.for_block(self._seq, data, frame)
                 payload_len = record.wire_size
-                if self._guards is not None:
-                    self._fan_out_guarded(lba, record, len(data), payload_len)
-                else:
-                    self._fan_out_strict(lba, record, len(data), payload_len)
+                self._dispatch_record(lba, record, len(data), payload_len)
 
-    def _fan_out_strict(
+    def _dispatch_record(
         self, lba: int, record: ReplicationRecord, data_len: int, payload_len: int
+    ) -> None:
+        """Fan one record out, with charging bound to this record's sizes."""
+        self._dispatch(
+            ShipWork.for_record(lba, record),
+            lambda delivered: self._charge_fanout(
+                data_len, payload_len, delivered
+            ),
+            lambda: self.accountant.record_journaled_write(data_len),
+        )
+
+    def _dispatch(
+        self,
+        work: ShipWork,
+        charge: Callable[[int], None],
+        journal_charge: Callable[[], None],
+    ) -> None:
+        """Route one submission through the active fan-out discipline.
+
+        ``charge(delivered)`` records the submission's traffic once its
+        fate across all links is known; ``journal_charge()`` records the
+        all-links-journaled case.  Factoring charging into callbacks lets
+        the pipelined scheduler defer both until acks resolve while the
+        sequential paths invoke them inline — byte accounting is identical
+        either way.
+        """
+        scheduler = self._scheduler
+        if scheduler is not None:
+            scheduler.submit(work, charge, journal_charge)
+            return
+        if self._guards is not None:
+            self._dispatch_guarded(work, charge, journal_charge)
+        else:
+            self._dispatch_strict(work, charge)
+
+    def _send_span_attrs(self, work: ShipWork, index: int) -> dict:
+        """Span attributes for one ``write.send`` (batched only when true)."""
+        attrs: dict = {"link": index}
+        if work.is_batch:
+            attrs["batched"] = True
+        return attrs
+
+    def _dispatch_strict(
+        self, work: ShipWork, charge: Callable[[int], None]
     ) -> None:
         """All-or-error fan-out: partial progress is recorded, then raised."""
         succeeded: list[int] = []
         for index, link in enumerate(self._links):
             try:
-                with self.telemetry.span("write.send", link=index):
-                    ack = link.ship(lba, record)
+                with self.telemetry.span(
+                    "write.send", **self._send_span_attrs(work, index)
+                ):
+                    ack = link.submit(work)
             except Exception as exc:
                 # Record what actually happened before surfacing the fault:
                 # the local write and every acked copy are real.
-                self._charge_fanout(data_len, payload_len, len(succeeded))
+                charge(len(succeeded))
                 raise PartialReplicationError(
-                    lba=lba,
-                    seq=record.seq,
+                    lba=work.lba,
+                    seq=work.last_seq,
                     succeeded=tuple(succeeded),
                     failed_index=index,
                     total_links=len(self._links),
                     cause=exc,
                 ) from exc
             if self._verify_acks:
-                seq, _status = ReplicaEngine.parse_ack(ack)
-                if seq != record.seq:
-                    self._charge_fanout(data_len, payload_len, len(succeeded))
-                    raise ReplicationError(
-                        f"replica acked seq {seq}, expected {record.seq}"
-                    )
+                try:
+                    work.verify_ack(ack)
+                except ReplicationError:
+                    charge(len(succeeded))
+                    raise
             succeeded.append(index)
-        self._charge_fanout(data_len, payload_len, len(succeeded))
+            self.accountant.record_replica_ship(work.wire_size, replica=index)
+        charge(len(succeeded))
 
-    def _fan_out_guarded(
-        self, lba: int, record: ReplicationRecord, data_len: int, payload_len: int
+    def _dispatch_guarded(
+        self,
+        work: ShipWork,
+        charge: Callable[[int], None],
+        journal_charge: Callable[[], None],
     ) -> None:
         """Degrading fan-out: transient faults become backlog, not errors."""
         assert self._guards is not None
         delivered = 0
         for index, guard in enumerate(self._guards):
-            with self.telemetry.span("write.send", link=index) as span:
-                if guard.ship(lba, record, self._verify_acks):
+            with self.telemetry.span(
+                "write.send", **self._send_span_attrs(work, index)
+            ) as span:
+                if guard.submit(work, self._verify_acks):
                     delivered += 1
                 else:
                     span.set("journaled", True)
         if delivered or not self._guards:
-            self._charge_fanout(data_len, payload_len, delivered)
+            charge(delivered)
         else:
-            self.accountant.record_journaled_write(data_len)
+            journal_charge()
 
     # -- batched shipping -----------------------------------------------------
 
@@ -458,71 +541,31 @@ class PrimaryEngine(BlockDevice):
                 return result
             payload_len = len(result.batch.pack())
             span.set("payload_bytes", payload_len)
-            if self._guards is not None:
-                self._ship_batch_guarded(result, payload_len)
-            else:
-                self._ship_batch_strict(result, payload_len)
+            self._dispatch(
+                ShipWork.for_batch(result.batch),
+                lambda delivered: self._charge_batch(
+                    result, payload_len, delivered
+                ),
+                lambda: self._charge_batch_journaled(result, payload_len),
+            )
         return result
 
-    def _ship_batch_strict(self, result: FlushResult, payload_len: int) -> None:
-        """All-or-error batch fan-out, mirroring :meth:`_fan_out_strict`."""
+    def _charge_batch_journaled(
+        self, result: FlushResult, payload_len: int
+    ) -> None:
+        """Charge a drained window that every link journaled (0 copies)."""
         batch = result.batch
         assert batch is not None
-        succeeded: list[int] = []
-        for index, link in enumerate(self._links):
-            try:
-                with self.telemetry.span(
-                    "write.send", link=index, batched=True
-                ):
-                    ack = link.ship_batch(batch)
-            except Exception as exc:
-                self._charge_batch(result, payload_len, len(succeeded))
-                raise PartialReplicationError(
-                    lba=batch.entries[0].lba,
-                    seq=batch.last_seq,
-                    succeeded=tuple(succeeded),
-                    failed_index=index,
-                    total_links=len(self._links),
-                    cause=exc,
-                ) from exc
-            if self._verify_acks:
-                last_seq, _applied, _dups = unpack_batch_ack(ack)
-                if last_seq != batch.last_seq:
-                    self._charge_batch(result, payload_len, len(succeeded))
-                    raise ReplicationError(
-                        f"replica acked batch seq {last_seq}, "
-                        f"expected {batch.last_seq}"
-                    )
-            succeeded.append(index)
-        self._charge_batch(result, payload_len, len(succeeded))
-
-    def _ship_batch_guarded(self, result: FlushResult, payload_len: int) -> None:
-        """Degrading batch fan-out: failures re-journal constituents."""
-        assert self._guards is not None
-        batch = result.batch
-        assert batch is not None
-        delivered = 0
-        for index, guard in enumerate(self._guards):
-            with self.telemetry.span(
-                "write.send", link=index, batched=True
-            ) as span:
-                if guard.ship_batch(batch, self._verify_acks):
-                    delivered += 1
-                else:
-                    span.set("journaled", True)
-        if delivered or not self._guards:
-            self._charge_batch(result, payload_len, delivered)
-        else:
-            self.accountant.record_batch(
-                result.logical_writes,
-                result.data_bytes,
-                records=batch.record_count,
-                payload_len=payload_len,
-                merged=result.merged_writes,
-                elided=result.elided_records,
-                copies=0,
-                journaled=True,
-            )
+        self.accountant.record_batch(
+            result.logical_writes,
+            result.data_bytes,
+            records=batch.record_count,
+            payload_len=payload_len,
+            merged=result.merged_writes,
+            elided=result.elided_records,
+            copies=0,
+            journaled=True,
+        )
 
     def _charge_batch(
         self, result: FlushResult, payload_len: int, delivered: int
@@ -566,10 +609,46 @@ class PrimaryEngine(BlockDevice):
         for _ in range(delivered - 1):
             self.accountant.record_write(0, payload_len)
 
+    def verify_traffic_conservation(self) -> dict[int, int]:
+        """Check the accountant's per-replica ledgers against live backlogs.
+
+        Raises :class:`~repro.engine.accounting.ConservationError` when a
+        ledger fails to balance; returns ``{replica: outstanding_bytes}``
+        on success.  For guarded engines every recovery byte must carry a
+        replica attribution and each replica's outstanding journaled bytes
+        must equal its backlog's pending payload exactly — the invariant
+        that held only for in-order recovery before per-replica
+        itemization landed.
+        """
+        if self._guards is None:
+            return self.accountant.verify_conservation()
+        pending = {
+            guard.index: guard.backlog.payload_bytes_pending
+            for guard in self._guards
+        }
+        return self.accountant.verify_conservation(
+            pending_by_replica=pending, expect_full_attribution=True
+        )
+
+    def drain(self) -> None:
+        """Resolve all outstanding replication before a consistency point.
+
+        Flushes any pending batch window into the fan-out path, then — on
+        pipelined engines — runs the scheduler until every in-flight
+        submission has resolved, surfacing any stashed strict-mode
+        failure.  A no-op on unbatched sequential engines: their write
+        path is already synchronous.
+        """
+        self.flush_batch()
+        if self._scheduler is not None:
+            self._scheduler.drain()
+
     def close(self) -> None:
-        """Flush any pending batch, then close links and the device."""
+        """Drain outstanding replication, then close links and the device."""
         if not self.closed:
             self.flush_batch()
+            if self._scheduler is not None:
+                self._scheduler.close()
             for link in self._links:
                 link.close()
             self._device.close()
@@ -601,6 +680,8 @@ class PrimaryEngine(BlockDevice):
             }
         if self._old_cache is not None:
             snapshot["old_block_cache"] = self._old_cache.snapshot()
+        if self._scheduler is not None:
+            snapshot["scheduler"] = self._scheduler.snapshot()
         if self._guards:
             snapshot["links"]["backlog_depths"] = [
                 guard.backlog_depth for guard in self._guards

@@ -55,12 +55,12 @@ from repro.common.errors import (
 )
 from repro.common.rng import make_rng
 from repro.engine.accounting import TrafficAccountant
-from repro.engine.batch import ShipBatch, unpack_batch_ack
+from repro.engine.batch import ShipBatch
 from repro.engine.journal import ReplicationJournal
-from repro.engine.links import ReplicaLink
+from repro.engine.links import ReplicaLink, _warn_deprecated
 from repro.engine.messages import ReplicationRecord
-from repro.engine.replica import ReplicaEngine
 from repro.engine.sync import SyncReport, digest_sync
+from repro.engine.work import ShipWork
 from repro.iscsi.transport import TransportClosedError
 from repro.obs.telemetry import NULL_TELEMETRY
 
@@ -205,61 +205,36 @@ class FaultyLink(ReplicaLink):
 
     # -- ReplicaLink -------------------------------------------------------
 
-    def ship(self, lba: int, record: ReplicationRecord) -> bytes:
-        """Ship through the inner link unless a fault draw intervenes."""
-        self.ships_attempted += 1
-        self.last_ship_delay_s = 0.0
-        mode = self._draw()
-        if mode is None:
-            return self._inner.ship(lba, record)
-        self.faults_injected += 1
-        if mode == "drop":
-            self.drops += 1
-            raise InjectedLinkError("drop", lba, delivered=False)
-        if mode == "error":
-            self.errors += 1
-            self._inner.ship(lba, record)  # applied, but the ack is lost
-            raise InjectedLinkError("error", lba, delivered=True)
-        if mode == "delay":
-            self.delays += 1
-            self.simulated_delay_s += self._delay_s
-            self.last_ship_delay_s = self._delay_s
-            return self._inner.ship(lba, record)
-        # duplicate: the network retransmitted; replica sees it twice
-        self.duplicates += 1
-        ack = self._inner.ship(lba, record)
-        self._inner.ship(lba, record)
-        return ack
+    def submit(self, work: ShipWork) -> bytes:
+        """Submit through the inner link unless a fault draw intervenes.
 
-    def ship_batch(self, batch: ShipBatch) -> bytes:
-        """Ship a batch through the same fault draw as single records.
-
-        A *drop* loses the whole batch; an *error* applies it but loses
-        the ack; *duplicate* redelivers the batch (the replica's
-        per-record idempotency must absorb every segment).
+        One fault draw covers single records and batches alike.  A *drop*
+        loses the whole submission; an *error* applies it but loses the
+        ack; *duplicate* redelivers it (the replica's per-record
+        idempotency must absorb every segment).
         """
         self.ships_attempted += 1
         self.last_ship_delay_s = 0.0
-        lba = batch.entries[0].lba if batch.entries else 0
         mode = self._draw()
         if mode is None:
-            return self._inner.ship_batch(batch)
+            return self._inner.submit(work)
         self.faults_injected += 1
         if mode == "drop":
             self.drops += 1
-            raise InjectedLinkError("drop", lba, delivered=False)
+            raise InjectedLinkError("drop", work.lba, delivered=False)
         if mode == "error":
             self.errors += 1
-            self._inner.ship_batch(batch)  # applied, but the ack is lost
-            raise InjectedLinkError("error", lba, delivered=True)
+            self._inner.submit(work)  # applied, but the ack is lost
+            raise InjectedLinkError("error", work.lba, delivered=True)
         if mode == "delay":
             self.delays += 1
             self.simulated_delay_s += self._delay_s
             self.last_ship_delay_s = self._delay_s
-            return self._inner.ship_batch(batch)
+            return self._inner.submit(work)
+        # duplicate: the network retransmitted; replica sees it twice
         self.duplicates += 1
-        ack = self._inner.ship_batch(batch)
-        self._inner.ship_batch(batch)
+        ack = self._inner.submit(work)
+        self._inner.submit(work)
         return ack
 
     def bind_telemetry(self, telemetry) -> None:
@@ -378,49 +353,35 @@ class ResilientLink(ReplicaLink):
         else:
             self.simulated_backoff_s += delay
 
-    def _attempt(self, lba: int, record: ReplicationRecord) -> bytes:
+    def _attempt(self, work: ShipWork) -> bytes:
         started = time.perf_counter()
-        ack = self._inner.ship(lba, record)
+        ack = self._inner.submit(work)
         budget = self.policy.attempt_budget_s
         if budget is not None:
             elapsed = time.perf_counter() - started
             # injected (simulated) latency counts against the budget too
             elapsed += getattr(self._inner, "last_ship_delay_s", 0.0)
             if elapsed > budget:
+                what = (
+                    f"batch ship of {work.record_count} records"
+                    if work.is_batch
+                    else f"ship of LBA {work.lba}"
+                )
                 raise TimeoutError(
-                    f"ship of LBA {lba} took {elapsed:.3f}s "
+                    f"{what} took {elapsed:.3f}s "
                     f"(budget {budget:.3f}s); ack discarded"
                 )
         return ack
 
-    def ship(self, lba: int, record: ReplicationRecord) -> bytes:
-        """Ship with bounded retries; raises RetriesExhaustedError on give-up."""
-        self.ships += 1
-        wire_len = len(record.pack()) + self.pdu_overhead
-        last: BaseException | None = None
-        for attempt in range(self.policy.max_attempts):
-            if attempt:
-                self._backoff(attempt - 1)
-                self.retries += 1
-                if self._on_retry is not None:
-                    self._on_retry(wire_len)
-            try:
-                return self._attempt(lba, record)
-            except TRANSIENT_ERRORS as exc:
-                last = exc
-        self.giveups += 1
-        assert last is not None
-        raise RetriesExhaustedError(lba, self.policy.max_attempts, last) from last
+    def submit(self, work: ShipWork) -> bytes:
+        """Submit with bounded retries; raises RetriesExhaustedError on give-up.
 
-    def ship_batch(self, batch: ShipBatch) -> bytes:
-        """Ship a batch with the same retry budget as a single record.
-
-        The whole batch is the retry unit: the replica's per-record
-        duplicate suppression makes a partial re-delivery harmless.
+        The whole submission is the retry unit — for a batch, the
+        replica's per-record duplicate suppression makes a partial
+        re-delivery harmless.
         """
         self.ships += 1
-        lba = batch.entries[0].lba if batch.entries else 0
-        wire_len = len(batch.pack()) + self.pdu_overhead
+        wire_len = work.wire_size + self.pdu_overhead
         last: BaseException | None = None
         for attempt in range(self.policy.max_attempts):
             if attempt:
@@ -429,23 +390,14 @@ class ResilientLink(ReplicaLink):
                 if self._on_retry is not None:
                     self._on_retry(wire_len)
             try:
-                started = time.perf_counter()
-                ack = self._inner.ship_batch(batch)
-                budget = self.policy.attempt_budget_s
-                if budget is not None:
-                    elapsed = time.perf_counter() - started
-                    elapsed += getattr(self._inner, "last_ship_delay_s", 0.0)
-                    if elapsed > budget:
-                        raise TimeoutError(
-                            f"batch ship of {batch.record_count} records took "
-                            f"{elapsed:.3f}s (budget {budget:.3f}s); ack discarded"
-                        )
-                return ack
+                return self._attempt(work)
             except TRANSIENT_ERRORS as exc:
                 last = exc
         self.giveups += 1
         assert last is not None
-        raise RetriesExhaustedError(lba, self.policy.max_attempts, last) from last
+        raise RetriesExhaustedError(
+            work.lba, self.policy.max_attempts, last
+        ) from last
 
     def bind_telemetry(self, telemetry) -> None:
         """Forward the telemetry handle to the wrapped link."""
@@ -607,10 +559,11 @@ class GuardedLink:
 
     Wraps the user's link in a :class:`ResilientLink` (unless it already is
     one), owns the link's :class:`CircuitBreaker` and backlog journal, and
-    exposes a :meth:`ship` that *never raises on transient faults*: a ship
-    either reaches the replica now (returns True) or is journaled for later
-    (returns False).  Deterministic errors (CRC mismatches, bad acks) still
-    propagate — masking those would hide corruption.
+    exposes a :meth:`submit` that *never raises on transient faults*: a
+    submission either reaches the replica now (returns True) or is
+    journaled for later (returns False).  Deterministic errors (CRC
+    mismatches, bad acks) still propagate — masking those would hide
+    corruption.
     """
 
     def __init__(
@@ -635,7 +588,9 @@ class GuardedLink:
                 link,
                 config.retry,
                 rng=make_rng(config.seed, "retry", index),
-                on_retry=accountant.record_retry,
+                on_retry=lambda wire_len: accountant.record_retry(
+                    wire_len, replica=index
+                ),
             )
         else:
             self.link = link
@@ -646,6 +601,8 @@ class GuardedLink:
         )
         self.backlog = ReplicationJournal(config.backlog_capacity_bytes)
         self.accountant = accountant
+        #: fan-out position of this channel (per-replica accounting key)
+        self.index = index
         self.forced_down = False
         self.last_error: BaseException | None = None
 
@@ -668,87 +625,85 @@ class GuardedLink:
 
     # -- data path -----------------------------------------------------------
 
-    def ship(self, lba: int, record: ReplicationRecord, verify_acks: bool) -> bool:
-        """Deliver now if possible, else journal; True iff delivered."""
+    def submit(self, work: ShipWork, verify_acks: bool) -> bool:
+        """Deliver now if possible, else journal; True iff delivered.
+
+        One entry point for single records and batches.  On failure a
+        batch submission is *disaggregated* — each constituent record is
+        journaled individually, in order, so a later heal replays them
+        through the ordinary record path (replay code needs no batch
+        awareness and the replica applies them in the original sequence
+        order).
+        """
         if self.forced_down or not self.breaker.should_attempt():
             self._suppressed_counter.inc()
-            self._journal(lba, record)
+            self._journal_work(work)
             return False
         if self.breaker.half_open:
             self._probe_counter.inc()
         if self.backlog.overflowed:
             # Only an explicit heal() (digest resync) can recover; keep
             # journaling so post-overflow writes are at least countable.
-            self._journal(lba, record)
+            self._journal_work(work)
             return False
         try:
             if self.backlog.entry_count:
                 # Drain in order first: PRINS deltas are order-sensitive.
                 self._drain_backlog()
-            ack = self.link.ship(lba, record)
+            ack = self.link.submit(work)
         except TRANSIENT_ERRORS + (RetriesExhaustedError,) as exc:
             self.last_error = exc
             self.breaker.record_failure()
-            self._journal(lba, record)
+            self._journal_work(work)
             return False
         if verify_acks:
-            seq, _status = ReplicaEngine.parse_ack(ack)
-            if seq != record.seq:
-                raise ReplicationError(
-                    f"replica acked seq {seq}, expected {record.seq}"
-                )
+            work.verify_ack(ack)
         self.breaker.record_success()
         self._delivered_counter.inc()
+        self.accountant.record_replica_ship(work.wire_size, replica=self.index)
         return True
+
+    def ship(self, lba: int, record: ReplicationRecord, verify_acks: bool) -> bool:
+        """Deliver one record now if possible, else journal it.
+
+        .. deprecated:: 1.1
+           Use ``submit(ShipWork.for_record(lba, record), verify_acks)``.
+        """
+        _warn_deprecated(
+            "GuardedLink.ship()",
+            "GuardedLink.submit(ShipWork.for_record(...), verify_acks)",
+        )
+        return self.submit(ShipWork.for_record(lba, record), verify_acks)
 
     def ship_batch(self, batch: ShipBatch, verify_acks: bool) -> bool:
         """Deliver a batch now if possible, else journal its constituents.
 
-        Mirrors :meth:`ship`, with one crucial difference on failure: the
-        batch is *disaggregated* — each constituent record is journaled
-        individually, in order, so a later heal replays them through the
-        ordinary record path (replay code needs no batch awareness and
-        the replica applies them in the original sequence order).
+        .. deprecated:: 1.1
+           Use ``submit(ShipWork.for_batch(batch), verify_acks)``.
         """
-        if self.forced_down or not self.breaker.should_attempt():
-            self._suppressed_counter.inc()
-            self._journal_batch(batch)
-            return False
-        if self.breaker.half_open:
-            self._probe_counter.inc()
-        if self.backlog.overflowed:
-            self._journal_batch(batch)
-            return False
-        try:
-            if self.backlog.entry_count:
-                # Drain in order first: PRINS deltas are order-sensitive.
-                self._drain_backlog()
-            ack = self.link.ship_batch(batch)
-        except TRANSIENT_ERRORS + (RetriesExhaustedError,) as exc:
-            self.last_error = exc
-            self.breaker.record_failure()
-            self._journal_batch(batch)
-            return False
-        if verify_acks:
-            last_seq, _applied, _dups = unpack_batch_ack(ack)
-            if last_seq != batch.last_seq:
-                raise ReplicationError(
-                    f"replica acked batch seq {last_seq}, "
-                    f"expected {batch.last_seq}"
-                )
-        self.breaker.record_success()
-        self._delivered_counter.inc()
-        return True
+        _warn_deprecated(
+            "GuardedLink.ship_batch()",
+            "GuardedLink.submit(ShipWork.for_batch(...), verify_acks)",
+        )
+        return self.submit(ShipWork.for_batch(batch), verify_acks)
 
-    def _journal_batch(self, batch: ShipBatch) -> None:
-        """Re-journal a failed batch's records individually, in order."""
-        for entry in batch:
-            self._journal(entry.lba, entry.record)
+    def _journal_work(self, work: ShipWork) -> None:
+        """Journal a failed submission's records individually, in order."""
+        for lba, record in work.records():
+            self._journal(lba, record)
 
     def _journal(self, lba: int, record: ReplicationRecord) -> None:
+        dropped_before = self.backlog.payload_bytes_dropped_total
         self.backlog.append(lba, record)
         self._journaled_counter.inc()
-        self.accountant.record_journaled_copy(len(record.pack()))
+        self.accountant.record_journaled_copy(
+            record.wire_size, replica=self.index
+        )
+        dropped = self.backlog.payload_bytes_dropped_total - dropped_before
+        if dropped:
+            # Overflow eviction: those bytes will never replay — close the
+            # ledger now so conservation holds under out-of-order recovery.
+            self.accountant.record_backlog_drop(dropped, replica=self.index)
 
     def _drain_backlog(self) -> int:
         """Replay the backlog through the link, charging wire bytes.
@@ -766,6 +721,7 @@ class GuardedLink:
             self.accountant.record_backlog_replay(
                 self.backlog.records_replayed_total - records_before,
                 self.backlog.bytes_replayed_total - bytes_before,
+                replica=self.index,
             )
 
     # -- recovery ------------------------------------------------------------
@@ -794,9 +750,14 @@ class GuardedLink:
                     "replica device; run digest_sync/full_sync out-of-band "
                     "and clear() the backlog"
                 )
+            # The cleared backlog's bytes are covered by the resync, not a
+            # replay: charge them as dropped so the ledger closes.
+            self.accountant.record_backlog_drop(
+                self.backlog.payload_bytes_pending, replica=self.index
+            )
             self.backlog.clear()
             report = digest_sync(sync_source, dest)
-            self.accountant.record_resync(report.wire_bytes)
+            self.accountant.record_resync(report.wire_bytes, replica=self.index)
             self.breaker.record_success()
             return ResyncOutcome("digest", sync_report=report)
         if self.backlog.entry_count:

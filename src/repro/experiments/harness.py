@@ -18,13 +18,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.api import ReplicationConfig, open_primary
 from repro.block.memory import MemoryBlockDevice
 from repro.common.errors import ReplicationError
 from repro.engine.accounting import TrafficAccountant
-from repro.engine.links import DirectLink
-from repro.engine.primary import PrimaryEngine
-from repro.engine.replica import ReplicaEngine
-from repro.engine.strategy import make_strategy, strategy_names
+from repro.engine.strategy import strategy_names
 from repro.engine.sync import verify_consistency
 from repro.fs.filesystem import FileSystem
 from repro.minidb.db import Database
@@ -139,38 +137,29 @@ def measure_strategies(
     """
     results: dict[str, StrategyMeasurement] = {}
     for name in strategies or strategy_names():
-        primary_device = MemoryBlockDevice(
-            capture.trace.block_size, capture.trace.num_blocks
+        config = ReplicationConfig(
+            strategy=name,
+            codec=prins_codec if name == "prins" else None,
+            block_size=capture.trace.block_size,
+            num_blocks=capture.trace.num_blocks,
         )
-        primary_device.load(capture.base_image)
-        replica_device = MemoryBlockDevice(
-            capture.trace.block_size, capture.trace.num_blocks
-        )
-        replica_device.load(capture.base_image)  # replica after initial sync
-        strategy = (
-            make_strategy(name, codec=prins_codec)
-            if name == "prins"
-            else make_strategy(name)
-        )
-        replica = ReplicaEngine(replica_device, strategy)
         # keep_raw: the paper-figure benchmarks need the exact per-write
         # payload sample (tail-latency sim, empirical queueing); everyone
         # else gets the accountant's bounded histogram only.
-        engine = PrimaryEngine(
-            primary_device,
-            strategy,
-            [DirectLink(replica)],
-            accountant=TrafficAccountant(keep_raw=True),
+        stack = open_primary(
+            config,
+            initial_image=capture.base_image,  # replica after initial sync
             telemetry_name=f"harness.{capture.workload_name}.{name}",
+            accountant=TrafficAccountant(keep_raw=True),
         )
-        replay_trace(capture.trace, engine)
-        mismatches = verify_consistency(primary_device, replica_device)
+        replay_trace(capture.trace, stack.engine)
+        mismatches = verify_consistency(stack.device, stack.replica_devices[0])
         if mismatches:
             raise ReplicationError(
                 f"strategy {name!r} left {len(mismatches)} inconsistent blocks "
                 f"(first: {mismatches[:5]})"
             )
         results[name] = StrategyMeasurement(
-            strategy=name, accountant=engine.accountant, consistent=True
+            strategy=name, accountant=stack.engine.accountant, consistent=True
         )
     return results

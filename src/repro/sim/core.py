@@ -61,3 +61,24 @@ class Simulator:
             self.events_processed += 1
             processed += 1
             event.callback()
+
+    @property
+    def events_pending(self) -> bool:
+        """True while at least one non-cancelled event awaits processing."""
+        return any(not event.cancelled for event in self._heap)
+
+    def step(self) -> bool:
+        """Process exactly one pending event; returns False when idle.
+
+        The fan-out scheduler's deterministic backpressure uses this to
+        advance the clock one ack at a time until a window credit frees.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            self.events_processed += 1
+            event.callback()
+            return True
+        return False

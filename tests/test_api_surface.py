@@ -1,0 +1,124 @@
+"""API-surface snapshot: the public facade must not drift silently.
+
+Pins the exported names of :mod:`repro.api`, the fields of
+:class:`~repro.api.ReplicationConfig`, and the engine-package exports the
+facade is built on.  A failing test here means a (possibly accidental)
+public-API change: update the snapshot *deliberately*, in the same commit
+that documents the change.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import inspect
+
+import repro
+import repro.api as api
+import repro.engine as engine
+
+#: the complete public surface of repro.api
+API_EXPORTS = {
+    "PrimaryStack",
+    "ReplicationConfig",
+    "open_cluster",
+    "open_primary",
+}
+
+#: every ReplicationConfig field, in declaration order
+CONFIG_FIELDS = (
+    "strategy",
+    "codec",
+    "block_size",
+    "num_blocks",
+    "replicas",
+    "nodes",
+    "replicas_per_node",
+    "batch_records",
+    "batch_bytes",
+    "old_block_cache",
+    "fanout",
+    "window",
+    "scheduler_mode",
+    "link_latency_s",
+    "per_link_latency_s",
+    "latency_jitter",
+    "resilient",
+    "max_attempts",
+    "backlog_capacity_bytes",
+    "verify_acks",
+    "telemetry",
+    "seed",
+)
+
+#: engine exports the redesign added (scheduler + unified work protocol)
+ENGINE_SCHEDULER_EXPORTS = {
+    "FanoutScheduler",
+    "LatencyLink",
+    "ReplicaChannel",
+    "SchedulerConfig",
+    "ShipWork",
+    "SimClock",
+    "ConservationError",
+    "ReplicaTraffic",
+}
+
+
+def test_api_all_is_exact():
+    assert set(api.__all__) == API_EXPORTS
+    for name in API_EXPORTS:
+        assert hasattr(api, name), f"repro.api.{name} missing"
+
+
+def test_api_reexported_from_repro():
+    for name in API_EXPORTS:
+        assert name in repro.__all__, f"repro.{name} not re-exported"
+        assert getattr(repro, name) is getattr(api, name)
+
+
+def test_replication_config_fields_are_pinned():
+    fields = tuple(f.name for f in dataclasses.fields(api.ReplicationConfig))
+    assert fields == CONFIG_FIELDS
+
+
+def test_replication_config_is_frozen():
+    params = dataclasses.fields(api.ReplicationConfig)
+    assert api.ReplicationConfig.__dataclass_params__.frozen
+    assert all(f.init for f in params)
+
+
+def test_engine_exports_scheduler_surface():
+    missing = ENGINE_SCHEDULER_EXPORTS - set(engine.__all__)
+    assert not missing, f"engine exports missing: {sorted(missing)}"
+
+
+def test_open_primary_signature_is_stable():
+    signature = inspect.signature(api.open_primary)
+    assert list(signature.parameters) == [
+        "config",
+        "initial_image",
+        "link_factory",
+        "telemetry_name",
+        "accountant",
+        "resilience",
+    ]
+
+
+def test_open_cluster_signature_is_stable():
+    signature = inspect.signature(api.open_cluster)
+    assert list(signature.parameters) == [
+        "config",
+        "placement",
+        "link_factory",
+        "resilience",
+    ]
+
+
+def test_link_protocol_surface():
+    """submit() is the protocol; ship/ship_batch remain as deprecated shims."""
+    from repro.engine.links import ReplicaLink
+
+    assert callable(ReplicaLink.submit)
+    assert callable(ReplicaLink.ship)  # deprecated, but present
+    assert callable(ReplicaLink.ship_batch)  # deprecated, but present
+    assert "deprecated" in (ReplicaLink.ship.__doc__ or "").lower()
+    assert "deprecated" in (ReplicaLink.ship_batch.__doc__ or "").lower()

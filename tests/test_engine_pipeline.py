@@ -15,6 +15,7 @@ from repro.engine import (
     DirectLink,
     ReplicaEngine,
     ReplicationRecord,
+    ShipWork,
     make_strategy,
     verify_consistency,
 )
@@ -36,7 +37,7 @@ class _FlakyLink(ReplicaLink):
         self.attempts += 1
         if self.attempts <= self._failures:
             raise ConnectionError("transient network blip")
-        return self._inner.ship(lba, record)
+        return self._inner.submit(ShipWork.for_record(lba, record))
 
 
 class _SlowLink(ReplicaLink):
@@ -48,7 +49,7 @@ class _SlowLink(ReplicaLink):
 
     def ship(self, lba: int, record: ReplicationRecord) -> bytes:
         time.sleep(self._delay)
-        return self._inner.ship(lba, record)
+        return self._inner.submit(ShipWork.for_record(lba, record))
 
 
 def _stack(strategy_name="prins", link_wrapper=None, **replicator_kwargs):

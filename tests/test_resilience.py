@@ -33,6 +33,7 @@ from repro.engine import (
     ResilienceConfig,
     ResilientLink,
     RetryPolicy,
+    ShipWork,
     StorageCluster,
     make_strategy,
     verify_consistency,
@@ -117,7 +118,7 @@ class TestFaultyLink:
         link = FaultyLink(base)
         link.kill()
         with pytest.raises(InjectedLinkError):
-            link.ship(0, _record())
+            link.submit(ShipWork.for_record(0, _record()))
         link.heal()
         engine, _ = _engine([link])
         engine.write_block(1, b"e" * BS)
@@ -132,7 +133,7 @@ class TestFaultyLink:
             outcomes = []
             for seq in range(50):
                 try:
-                    link.ship(0, _record(seq + 1))
+                    link.submit(ShipWork.for_record(0, _record(seq + 1)))
                     outcomes.append("ok")
                 except InjectedLinkError:
                     outcomes.append("drop")
@@ -228,7 +229,7 @@ class TestResilientLink:
         flaky.fail_next(10, "drop")
         link = ResilientLink(flaky, RetryPolicy(max_attempts=3))
         with pytest.raises(RetriesExhaustedError) as excinfo:
-            link.ship(0, _record())
+            link.submit(ShipWork.for_record(0, _record()))
         assert excinfo.value.attempts == 3
         assert flaky.ships_attempted == 3
         assert link.giveups == 1
@@ -239,7 +240,7 @@ class TestResilientLink:
         flaky = FaultyLink(base)
         flaky.fail_next(1, "error")  # applied, ack lost
         link = ResilientLink(flaky, RetryPolicy(max_attempts=2))
-        ack = link.ship(0, _record())
+        ack = link.submit(ShipWork.for_record(0, _record()))
         seq, status = ReplicaEngine.parse_ack(ack)
         assert status == ACK_DUPLICATE  # replica refused to re-apply
         assert replica.records_applied == 1
@@ -252,7 +253,7 @@ class TestResilientLink:
 
         link = ResilientLink(ExplodingLink(None), RetryPolicy(max_attempts=5))
         with pytest.raises(ReplicationError, match="CRC"):
-            link.ship(0, _record())
+            link.submit(ShipWork.for_record(0, _record()))
         assert link.retries == 0  # no retry budget wasted on a hard error
 
     def test_backoff_is_simulated_not_slept(self):
@@ -265,7 +266,8 @@ class TestResilientLink:
                 max_attempts=4, base_delay_s=10.0, max_delay_s=40.0, jitter=0.0
             ),
         )
-        link.ship(0, _record())  # would sleep 70s if backoff were real
+        # would sleep 70 s if the backoff were real
+        link.submit(ShipWork.for_record(0, _record()))
         assert link.simulated_backoff_s == pytest.approx(70.0)
 
     def test_slow_ship_counts_as_timeout(self):
@@ -276,7 +278,8 @@ class TestResilientLink:
             flaky,
             RetryPolicy(max_attempts=2, attempt_budget_s=0.1),
         )
-        ack = link.ship(0, _record())  # 1st attempt over budget, 2nd clean
+        # 1st attempt over budget, 2nd clean
+        ack = link.submit(ShipWork.for_record(0, _record()))
         assert link.retries == 1
         _, status = ReplicaEngine.parse_ack(ack)
         assert status == ACK_DUPLICATE  # the slow ship did deliver
@@ -290,7 +293,7 @@ class TestResilientLink:
             flaky, RetryPolicy(max_attempts=3), on_retry=charged.append
         )
         record = _record()
-        link.ship(0, record)
+        link.submit(ShipWork.for_record(0, record))
         wire = len(record.pack()) + link.pdu_overhead
         assert charged == [wire, wire]
 
