@@ -1,0 +1,277 @@
+#!/usr/bin/env python
+"""Resync-tier benchmark: reconcile vs digest heal cost after an outage.
+
+Sweeps dirty fractions over a pre-synced PRINS pair, overflows the
+backlog during a simulated outage of row-level (TPC-C-style) page
+updates, then heals once per resync tier and records what each tier
+moved.  Wire bytes are *simulated* (deterministic under the fixed
+seeds), so the recorded numbers are runner-independent: the CI gate
+checks them exactly, plus the headline ratio — at 1% dirty the
+reconcile tier must ship at most 10% of the digest sweep's bytes.
+
+Usage::
+
+    # refresh the tracked artifact (full sweep + smoke keys)
+    PYTHONPATH=src python scripts/bench_resync.py --out BENCH_resync.json
+
+    # CI smoke: re-run the smoke configs and gate against the artifact
+    PYTHONPATH=src python scripts/bench_resync.py --smoke \
+        --check BENCH_resync.json --max-ratio 0.10
+
+Only the standard library + the repo itself are required.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.block import MemoryBlockDevice  # noqa: E402
+from repro.common.rng import make_rng  # noqa: E402
+from repro.engine import (  # noqa: E402
+    DirectLink,
+    PrimaryEngine,
+    ReplicaEngine,
+    ResilienceConfig,
+    make_strategy,
+    verify_consistency,
+)
+from repro.workloads.content import random_bytes  # noqa: E402
+
+BLOCK = 8192
+ROW = 300  # one TPC-C-ish hot-row update per page write
+BLOCKS = 2048
+DIRTY_FRACTIONS = (0.005, 0.01, 0.02, 0.05)
+WRITES_PER_DIRTY_PAGE = 4
+
+SMOKE_BLOCKS = 512
+SMOKE_DIRTY_FRACTIONS = (0.01,)
+
+
+def _key(tier: str, blocks: int, fraction: float) -> str:
+    return f"{tier}/{blocks}/{int(fraction * 1000)}"
+
+
+def _build_stack(resync: str, blocks: int):
+    strategy = make_strategy("prins")
+    primary_dev = MemoryBlockDevice(BLOCK, blocks)
+    replica_dev = MemoryBlockDevice(BLOCK, blocks)
+    replica = ReplicaEngine(replica_dev, strategy)
+    engine = PrimaryEngine(
+        primary_dev,
+        strategy,
+        [DirectLink(replica)],
+        resilience=ResilienceConfig(
+            resync=resync,
+            backlog_capacity_bytes=2048,  # overflow fast: force the tier
+        ),
+    )
+    rng = make_rng(4, "resync-base", blocks)
+    for lba in range(blocks):
+        data = random_bytes(rng, BLOCK)
+        primary_dev.write_block(lba, data)
+        replica_dev.write_block(lba, data)
+    return engine, primary_dev, replica_dev
+
+
+def _outage(engine, blocks: int, fraction: float) -> int:
+    """Row-level updates over a small dirty page set; returns write count."""
+    rng = make_rng(9, "resync-dirty", blocks, int(fraction * 10000))
+    dirty = [
+        int(lba)
+        for lba in rng.choice(
+            blocks, max(1, int(blocks * fraction)), replace=False
+        )
+    ]
+    hot_row = {lba: int(rng.integers(0, BLOCK - ROW)) for lba in dirty}
+    engine.fail_link(0)
+    writes = len(dirty) * WRITES_PER_DIRTY_PAGE
+    for _ in range(writes):
+        lba = int(rng.choice(dirty))
+        page = bytearray(engine.read_block(lba))
+        off = hot_row[lba]
+        page[off : off + ROW] = random_bytes(rng, ROW)
+        engine.write_block(lba, bytes(page))
+    return writes
+
+
+def _measure(resync: str, blocks: int, fraction: float) -> dict:
+    engine, primary_dev, replica_dev = _build_stack(resync, blocks)
+    _outage(engine, blocks, fraction)
+    t0 = time.perf_counter()
+    outcome = engine.heal_link(0)
+    wall_ms = (time.perf_counter() - t0) * 1e3
+    divergent = verify_consistency(primary_dev, replica_dev)
+    if divergent:
+        raise AssertionError(
+            f"{resync} heal left {len(divergent)} divergent blocks"
+        )
+    if resync == "reconcile":
+        assert outcome.mode == "reconcile", outcome.tiers
+        report = outcome.reconcile
+        return {
+            "wire_bytes": report.wire_bytes,
+            "sketch_bytes": report.sketch_bytes,
+            "digest_bytes": report.digest_bytes,
+            "diff_bytes": report.diff_bytes,
+            "rounds": report.rounds,
+            "dirty_lbas": report.dirty_lbas_found,
+            "wall_ms": round(wall_ms, 2),
+        }
+    assert outcome.mode == "digest", outcome.tiers
+    report = outcome.sync_report
+    return {
+        "wire_bytes": report.wire_bytes,
+        "digest_bytes": report.digest_bytes,
+        "diff_bytes": report.bytes_copied,
+        "dirty_lbas": report.blocks_copied,
+        "wall_ms": round(wall_ms, 2),
+    }
+
+
+def bench_all(blocks: int, fractions) -> dict[str, dict]:
+    results: dict[str, dict] = {}
+    for fraction in fractions:
+        for tier in ("reconcile", "digest"):
+            key = _key(tier, blocks, fraction)
+            results[key] = _measure(tier, blocks, fraction)
+            r = results[key]
+            print(
+                f"  {key:22s} {r['wire_bytes']:>12,} wire B"
+                f"  {r['wall_ms']:>8.1f} ms"
+            )
+        rec = results[_key("reconcile", blocks, fraction)]["wire_bytes"]
+        dig = results[_key("digest", blocks, fraction)]["wire_bytes"]
+        print(f"  {'-> ratio':22s} {rec / dig:12.3f}x of digest sweep")
+    return results
+
+
+def _git_rev() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT, capture_output=True, text=True, check=True,
+        ).stdout.strip()
+    except Exception:
+        return "unknown"
+
+
+def _check(results: dict, recorded_path: str, max_ratio: float) -> int:
+    """Gate a fresh run against the tracked artifact.
+
+    Two checks: (1) simulated wire bytes are deterministic, so every
+    fresh number must match the recorded one exactly — a drift means
+    the resync protocol changed and the artifact needs a deliberate
+    refresh; (2) at every measured dirty fraction the reconcile tier
+    must stay within ``max_ratio`` of the digest sweep's bytes.
+    """
+    recorded = json.loads(Path(recorded_path).read_text()).get("results", {})
+    failures = []
+    for key, fresh in sorted(results.items()):
+        ref = recorded.get(key)
+        if ref is None:
+            failures.append(f"{key}: missing from {recorded_path}")
+            continue
+        if fresh["wire_bytes"] != ref["wire_bytes"]:
+            failures.append(
+                f"{key}: wire bytes {fresh['wire_bytes']:,} != recorded "
+                f"{ref['wire_bytes']:,} (protocol changed? refresh artifact)"
+            )
+    ratios = {}
+    for key, fresh in results.items():
+        tier, blocks, permille = key.split("/")
+        if tier == "reconcile":
+            digest = results.get(f"digest/{blocks}/{permille}")
+            if digest:
+                ratios[key] = fresh["wire_bytes"] / digest["wire_bytes"]
+    for key, ratio in sorted(ratios.items()):
+        marker = "FAIL" if ratio > max_ratio else "ok"
+        print(f"  gate {key:22s} {ratio:6.3f}x of digest   [{marker}]")
+        if ratio > max_ratio:
+            failures.append(
+                f"{key}: reconcile moved {ratio:.3f}x the digest sweep's "
+                f"bytes (gate {max_ratio:.2f}x)"
+            )
+    if failures:
+        print("RESYNC GATE FAILED:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print(
+        f"all resync benchmarks match {recorded_path} and reconcile stays "
+        f"within {max_ratio:.2f}x of the digest sweep"
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out", default=str(REPO_ROOT / "BENCH_resync.json"),
+        help="JSON artifact to write (full runs also record smoke keys)",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small volume / single fraction for CI",
+    )
+    parser.add_argument(
+        "--check", metavar="PATH", default=None,
+        help="gate this run against the artifact at PATH instead of writing",
+    )
+    parser.add_argument(
+        "--max-ratio", type=float, default=0.10,
+        help="with --check: max reconcile/digest wire-byte ratio (default 0.10)",
+    )
+    args = parser.parse_args(argv)
+
+    print(f"resync tier benchmark (smoke={args.smoke})")
+    if args.smoke:
+        results = bench_all(SMOKE_BLOCKS, SMOKE_DIRTY_FRACTIONS)
+    else:
+        results = bench_all(BLOCKS, DIRTY_FRACTIONS)
+        # full runs also capture the smoke keys so CI can gate exactly
+        results.update(bench_all(SMOKE_BLOCKS, SMOKE_DIRTY_FRACTIONS))
+
+    if args.check:
+        return _check(results, args.check, args.max_ratio)
+
+    doc = {
+        "schema": 1,
+        "config": {
+            "block_size": BLOCK,
+            "row_bytes": ROW,
+            "writes_per_dirty_page": WRITES_PER_DIRTY_PAGE,
+            "volumes": {"full": BLOCKS, "smoke": SMOKE_BLOCKS},
+            "dirty_fractions": list(DIRTY_FRACTIONS),
+            "units": {
+                "wire_bytes": "simulated bytes on the wire (deterministic)",
+                "wall_ms": "heal wall-clock, informational only",
+            },
+            "key": "tier/volume_blocks/dirty_permille",
+        },
+        "results": results,
+        "meta": {
+            "git": _git_rev(),
+            "python": sys.version.split()[0],
+            "captured_at": time.strftime(
+                "%Y-%m-%dT%H:%M:%SZ", time.gmtime()
+            ),
+            "smoke": args.smoke,
+        },
+    }
+    Path(args.out).write_text(
+        json.dumps(doc, indent=2, sort_keys=True) + "\n"
+    )
+    print(f"\nresults written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -58,6 +58,9 @@ _FANOUT_MODES = ("sequential", "pipelined")
 #: scheduler execution modes accepted by :attr:`ReplicationConfig.scheduler_mode`
 _SCHEDULER_MODES = ("sim", "threads")
 
+#: resync escalation modes accepted by :attr:`ReplicationConfig.resync`
+_RESYNC_MODES = ("reconcile", "digest")
+
 
 @dataclass(frozen=True)
 class ReplicationConfig:
@@ -80,6 +83,9 @@ class ReplicationConfig:
       ``link_latency_s``, ``per_link_latency_s``, ``latency_jitter``;
     * **fault policy** — ``resilient`` switches the engine to guarded
       links; ``max_attempts`` and ``backlog_capacity_bytes`` tune it;
+      ``resync`` picks how an overflowed backlog is healed
+      (``reconcile`` = set-reconciliation tier with digest fallback,
+      ``digest`` = straight to the full digest sweep);
     * **observability** — ``telemetry`` installs a live
       :class:`~repro.obs.telemetry.Telemetry` registry; ``verify_acks``
       keeps end-to-end CRC checks on;
@@ -110,6 +116,7 @@ class ReplicationConfig:
     resilient: bool = False
     max_attempts: int = 4
     backlog_capacity_bytes: int = 1 << 20
+    resync: str = "reconcile"
     # -- observability / determinism -------------------------------------------
     verify_acks: bool = True
     telemetry: bool = False
@@ -125,6 +132,10 @@ class ReplicationConfig:
             raise ConfigurationError(
                 f"scheduler_mode must be one of {_SCHEDULER_MODES}, "
                 f"got {self.scheduler_mode!r}"
+            )
+        if self.resync not in _RESYNC_MODES:
+            raise ConfigurationError(
+                f"resync must be one of {_RESYNC_MODES}, got {self.resync!r}"
             )
         if self.replicas < 1:
             raise ConfigurationError(
@@ -187,6 +198,7 @@ class ReplicationConfig:
             retry=RetryPolicy(max_attempts=self.max_attempts),
             backlog_capacity_bytes=self.backlog_capacity_bytes,
             seed=self.seed,
+            resync=self.resync,
         )
 
     def scheduler_config(self) -> SchedulerConfig | None:

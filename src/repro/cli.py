@@ -232,6 +232,8 @@ def _demo_config(args: argparse.Namespace):
         overrides["window"] = args.window
     if args.replicas is not None:
         overrides["replicas"] = args.replicas
+    if args.resync is not None:
+        overrides["resync"] = args.resync
     return _dc.replace(base, **overrides) if overrides else base
 
 
@@ -428,6 +430,15 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         metavar="N",
         help="number of mirror replicas per engine (default 1)",
+    )
+    p_demo.add_argument(
+        "--resync",
+        default=None,
+        choices=["reconcile", "digest"],
+        help=(
+            "overflow recovery tier: set-reconciliation (default) or "
+            "straight digest sweep"
+        ),
     )
     p_demo.add_argument(
         "--config",

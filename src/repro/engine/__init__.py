@@ -58,6 +58,12 @@ from repro.engine.scheduler import (
     SchedulerConfig,
     SimClock,
 )
+from repro.engine.reconcile import (
+    ReconcileConfig,
+    ReconcileReport,
+    ReconcileSession,
+    ReconcileStalledError,
+)
 from repro.engine.strategy import (
     CompressedBlockStrategy,
     FullBlockStrategy,
@@ -89,6 +95,10 @@ __all__ = [
     "LatencyLink",
     "LinkHealth",
     "PartialReplicationError",
+    "ReconcileConfig",
+    "ReconcileReport",
+    "ReconcileSession",
+    "ReconcileStalledError",
     "ReplicaChannel",
     "ReplicaTraffic",
     "ReplicationJournal",

@@ -80,6 +80,19 @@ class ReplicaTraffic:
     retry_bytes: int = 0
     resyncs: int = 0
     resync_bytes: int = 0
+    reconciles: int = 0
+    reconcile_sketch_bytes: int = 0
+    reconcile_digest_bytes: int = 0
+    reconcile_diff_bytes: int = 0
+
+    @property
+    def reconcile_bytes(self) -> int:
+        """Total reconcile-tier wire bytes (sketches + digests + diffs)."""
+        return (
+            self.reconcile_sketch_bytes
+            + self.reconcile_digest_bytes
+            + self.reconcile_diff_bytes
+        )
 
     def outstanding_bytes(self) -> int:
         """Journaled payload bytes not yet replayed or dropped.
@@ -104,6 +117,11 @@ class ReplicaTraffic:
             "retry_bytes": self.retry_bytes,
             "resyncs": self.resyncs,
             "resync_bytes": self.resync_bytes,
+            "reconciles": self.reconciles,
+            "reconcile_sketch_bytes": self.reconcile_sketch_bytes,
+            "reconcile_digest_bytes": self.reconcile_digest_bytes,
+            "reconcile_diff_bytes": self.reconcile_diff_bytes,
+            "reconcile_bytes": self.reconcile_bytes,
         }
 
 
@@ -145,6 +163,10 @@ class TrafficAccountant:
     backlog_replay_bytes: int = 0  # wire bytes of backlog replay
     resyncs: int = 0  # digest/full resync escalations
     resync_bytes: int = 0  # wire bytes (digests + copied blocks) of resyncs
+    reconciles: int = 0  # set-reconciliation resync runs (incl. resumes)
+    reconcile_sketch_bytes: int = 0  # parity-bitmap sketch exchange bytes
+    reconcile_digest_bytes: int = 0  # candidate/group/piece digest bytes
+    reconcile_diff_bytes: int = 0  # encoded divergent-block payload bytes
     # -- batching counters (engine/batch.py) --------------------------------
     batches_shipped: int = 0  # batch PDUs put on the wire (per copy)
     batched_records: int = 0  # post-merge records framed into batches
@@ -312,6 +334,33 @@ class TrafficAccountant:
         ledger.resyncs += 1
         ledger.resync_bytes += wire_bytes
 
+    def record_reconcile(self, replica: int | None = None) -> None:
+        """One set-reconciliation run started (resumed runs count again)."""
+        self.reconciles += 1
+        self.replica(replica).reconciles += 1
+
+    def record_reconcile_traffic(
+        self,
+        sketch_bytes: int = 0,
+        digest_bytes: int = 0,
+        diff_bytes: int = 0,
+        replica: int | None = None,
+    ) -> None:
+        """Charge one reconcile run's wire bytes, itemized by kind.
+
+        Called with the *delta* since the previous charge, so a session
+        suspended by a transient fault still has everything it spent on
+        the books — the conservation law must balance even for a heal
+        that raised halfway through.
+        """
+        self.reconcile_sketch_bytes += sketch_bytes
+        self.reconcile_digest_bytes += digest_bytes
+        self.reconcile_diff_bytes += diff_bytes
+        ledger = self.replica(replica)
+        ledger.reconcile_sketch_bytes += sketch_bytes
+        ledger.reconcile_digest_bytes += digest_bytes
+        ledger.reconcile_diff_bytes += diff_bytes
+
     def verify_conservation(
         self,
         pending_by_replica: dict[int, int] | None = None,
@@ -357,6 +406,23 @@ class TrafficAccountant:
             ("dropped_bytes", self.dropped_bytes, _sum("dropped_bytes")),
             ("retry_bytes", self.retry_bytes, _sum("retry_bytes")),
             ("resync_bytes", self.resync_bytes, _sum("resync_bytes")),
+            ("resyncs", self.resyncs, _sum("resyncs")),
+            ("reconciles", self.reconciles, _sum("reconciles")),
+            (
+                "reconcile_sketch_bytes",
+                self.reconcile_sketch_bytes,
+                _sum("reconcile_sketch_bytes"),
+            ),
+            (
+                "reconcile_digest_bytes",
+                self.reconcile_digest_bytes,
+                _sum("reconcile_digest_bytes"),
+            ),
+            (
+                "reconcile_diff_bytes",
+                self.reconcile_diff_bytes,
+                _sum("reconcile_diff_bytes"),
+            ),
         ]
         for name, total, itemized in pairs:
             if total != itemized:
@@ -371,6 +437,7 @@ class TrafficAccountant:
                 or stray.replayed_bytes
                 or stray.retry_bytes
                 or stray.resync_bytes
+                or stray.reconcile_bytes
                 or stray.dropped_bytes
             ):
                 raise ConservationError(
@@ -396,9 +463,23 @@ class TrafficAccountant:
         return outstanding
 
     @property
+    def reconcile_bytes(self) -> int:
+        """Total reconcile-tier wire bytes (sketches + digests + diffs)."""
+        return (
+            self.reconcile_sketch_bytes
+            + self.reconcile_digest_bytes
+            + self.reconcile_diff_bytes
+        )
+
+    @property
     def recovery_bytes(self) -> int:
-        """Total wire bytes spent recovering from faults (all three paths)."""
-        return self.retry_bytes + self.backlog_replay_bytes + self.resync_bytes
+        """Total wire bytes spent recovering from faults (all four paths)."""
+        return (
+            self.retry_bytes
+            + self.backlog_replay_bytes
+            + self.resync_bytes
+            + self.reconcile_bytes
+        )
 
     @property
     def ethernet_bytes(self) -> float:
@@ -468,6 +549,11 @@ class TrafficAccountant:
                 "backlog_replay_bytes": self.backlog_replay_bytes,
                 "resyncs": self.resyncs,
                 "resync_bytes": self.resync_bytes,
+                "reconciles": self.reconciles,
+                "reconcile_sketch_bytes": self.reconcile_sketch_bytes,
+                "reconcile_digest_bytes": self.reconcile_digest_bytes,
+                "reconcile_diff_bytes": self.reconcile_diff_bytes,
+                "reconcile_bytes": self.reconcile_bytes,
                 "recovery_bytes": self.recovery_bytes,
             },
             "per_replica": {
@@ -496,6 +582,10 @@ class TrafficAccountant:
         self.backlog_replay_bytes = 0
         self.resyncs = 0
         self.resync_bytes = 0
+        self.reconciles = 0
+        self.reconcile_sketch_bytes = 0
+        self.reconcile_digest_bytes = 0
+        self.reconcile_diff_bytes = 0
         self.pdus_shipped = 0
         self.batches_shipped = 0
         self.batched_records = 0

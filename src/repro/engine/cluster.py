@@ -348,8 +348,8 @@ class StorageCluster:
         """Reconnect ``node_id`` and catch up every replica it hosts.
 
         Returns ``{primary_id: outcome}`` describing, per inbound channel,
-        whether recovery was a backlog replay or a digest resync and what
-        it cost on the wire.
+        which recovery tier ran (backlog replay, set reconciliation, or
+        the digest-sweep fallback) and what it cost on the wire.
         """
         self._require_resilience("heal_node")
         self._check_node(node_id)
@@ -434,13 +434,32 @@ class StorageCluster:
 
     @property
     def total_resync_bytes(self) -> int:
-        """Wire bytes spent catching replicas up (replay + digest resync)."""
+        """Wire bytes catching replicas up (replay + reconcile + digest)."""
         return sum(
             node.engine.accountant.backlog_replay_bytes
             + node.engine.accountant.resync_bytes
+            + node.engine.accountant.reconcile_bytes
             for node in self.nodes
             if node.engine is not None
         )
+
+    def verify_traffic_conservation(self) -> dict[int, dict[int, int]]:
+        """Check every node's per-replica traffic ledgers balance.
+
+        Runs :meth:`~repro.engine.primary.PrimaryEngine
+        .verify_traffic_conservation` on each node's engine — including
+        the resync wire bytes heal cycles charge — and returns
+        ``{node_id: {replica_index: outstanding_bytes}}``.  Raises
+        :class:`~repro.engine.accounting.ConservationError` on the first
+        node whose ledger fails to balance.
+        """
+        outstanding: dict[int, dict[int, int]] = {}
+        for node in self.nodes:
+            assert node.engine is not None
+            outstanding[node.node_id] = (
+                node.engine.verify_traffic_conservation()
+            )
+        return outstanding
 
     @property
     def total_recovery_bytes(self) -> int:

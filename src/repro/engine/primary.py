@@ -236,8 +236,35 @@ class PrimaryEngine(BlockDevice):
         self._guard(index).fail()
 
     def heal_link(self, index: int) -> ResyncOutcome:
-        """Reconnect link ``index`` and catch its replica up."""
-        return self._guard(index).heal(self._device)
+        """Reconnect link ``index`` and catch its replica up.
+
+        Hands the guard this engine's strategy-aware record factory so
+        the reconcile tier can ship divergent blocks as ordinary
+        replication records (fresh sequence numbers, same idempotent
+        replica apply path as foreground writes).
+        """
+        return self._guard(index).heal(
+            self._device, record_builder=self._resync_record
+        )
+
+    def _resync_record(
+        self, lba: int, new_data: bytes, old_data: bytes
+    ) -> ReplicationRecord | None:
+        """Encode one resync block exactly like a foreground write.
+
+        ``old_data`` is the *replica's* current block (read through the
+        link's sync device), so a PRINS delta XORs the replica from its
+        stale image straight to the primary's; full-block strategies
+        ignore it.  Returns None when the strategy elides an all-zero
+        delta.  ``lba`` is part of the builder signature for symmetry
+        with the ship path; the record itself is LBA-agnostic.
+        """
+        del lba
+        frame = self._strategy.encode_update(new_data, old_data)
+        if frame is None:
+            return None
+        self._seq += 1
+        return ReplicationRecord.for_block(self._seq, new_data, frame)
 
     def heal_all(self) -> list[ResyncOutcome]:
         """Heal every link; returns one outcome per link."""

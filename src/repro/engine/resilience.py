@@ -20,12 +20,17 @@ flaky WAN link.  This module supplies the missing machinery, bottom-up:
   :class:`~repro.engine.primary.PrimaryEngine`, it journals writes for an
   unreachable replica as parity-delta backlog
   (:class:`~repro.engine.journal.ReplicationJournal`), drains the backlog
-  in sequence order once the link answers again, and escalates to
-  :func:`~repro.engine.sync.digest_sync` when the backlog overflowed its
-  byte budget.  The wire cost of every recovery path (retries, backlog
-  replay, digest resync) is charged to the engine's
+  in sequence order once the link answers again, and escalates through
+  the recovery ladder when the backlog overflowed its byte budget: set
+  reconciliation (:mod:`repro.engine.reconcile`, O(divergence) wire
+  cost) first, the full :func:`~repro.engine.sync.digest_sync` sweep as
+  the deterministic fallback.  An overflowed link drops to *backlog-free
+  DOWN mode* — further writes are counted and their LBAs remembered,
+  but nothing is buffered and the primary's write path never fails.
+  The wire cost of every recovery path (retries, backlog replay,
+  reconcile sketches/diffs, digest resync) is charged to the engine's
   :class:`~repro.engine.accounting.TrafficAccountant` so benchmarks can
-  compare backlog-replay traffic against digest-resync traffic.
+  compare recovery tiers byte for byte.
 
 Replay safety rests on the replica's idempotency: re-shipping an
 already-applied sequence number is acknowledged as ``ACK_DUPLICATE``
@@ -56,12 +61,19 @@ from repro.common.errors import (
 from repro.common.rng import make_rng
 from repro.engine.accounting import TrafficAccountant
 from repro.engine.batch import ShipBatch
-from repro.engine.journal import ReplicationJournal
+from repro.engine.journal import JournalOverflowError, ReplicationJournal
 from repro.engine.links import ReplicaLink, _warn_deprecated
 from repro.engine.messages import ReplicationRecord
+from repro.engine.reconcile import (
+    ReconcileConfig,
+    ReconcileReport,
+    ReconcileSession,
+    ReconcileStalledError,
+    ResyncShipper,
+)
 from repro.engine.sync import SyncReport, digest_sync
 from repro.engine.work import ShipWork
-from repro.iscsi.transport import TransportClosedError
+from repro.iscsi.transport import InjectedTransportError, TransportClosedError
 from repro.obs.telemetry import NULL_TELEMETRY
 
 
@@ -87,6 +99,7 @@ class InjectedLinkError(ReplicationError):
 #: only duplicates the damage.
 TRANSIENT_ERRORS: tuple[type[BaseException], ...] = (
     InjectedLinkError,
+    InjectedTransportError,
     TimeoutError,
     TransportClosedError,
     ConnectionError,
@@ -532,6 +545,11 @@ class CircuitBreaker:
 # ---------------------------------------------------------------------------
 
 
+#: resync escalation modes: ``reconcile`` inserts the set-reconciliation
+#: tier (with digest fallback); ``digest`` goes straight to the full sweep
+RESYNC_MODES = ("reconcile", "digest")
+
+
 @dataclass(frozen=True)
 class ResilienceConfig:
     """Tunables for a fault-tolerant :class:`PrimaryEngine`."""
@@ -542,16 +560,35 @@ class ResilienceConfig:
     probe_interval: int = 4
     backlog_capacity_bytes: int = 1 << 20
     seed: int = 0
+    #: how an overflowed link is caught up: "reconcile" or "digest"
+    resync: str = "reconcile"
+    #: set-reconciliation tunables (only used when ``resync="reconcile"``)
+    reconcile: ReconcileConfig = field(default_factory=ReconcileConfig)
+
+    def __post_init__(self) -> None:
+        """Reject unknown resync modes before an engine is wired."""
+        if self.resync not in RESYNC_MODES:
+            raise ConfigurationError(
+                f"resync must be one of {RESYNC_MODES}, got {self.resync!r}"
+            )
 
 
 @dataclass(frozen=True)
 class ResyncOutcome:
-    """What one :meth:`GuardedLink.heal` did to catch the replica up."""
+    """What one :meth:`GuardedLink.heal` did to catch the replica up.
 
-    mode: str  # "none" | "replay" | "digest"
+    ``tiers`` records every escalation step the heal walked, in order —
+    e.g. ``("reconcile",)`` for a clean reconciliation, or
+    ``("reconcile", "digest")`` when sketch decoding stalled and the
+    heal fell back to the full digest sweep.
+    """
+
+    mode: str  # "none" | "replay" | "reconcile" | "digest"
     records_replayed: int = 0
     bytes_replayed: int = 0
     sync_report: SyncReport | None = None
+    reconcile: ReconcileReport | None = None
+    tiers: tuple[str, ...] = ()
 
 
 class GuardedLink:
@@ -575,11 +612,13 @@ class GuardedLink:
         telemetry=None,
     ) -> None:
         tel = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._tel = tel
         # shared across links on purpose: these are engine-wide aggregates
         self._delivered_counter = tel.counter("resilience.ships_delivered")
         self._journaled_counter = tel.counter("resilience.ships_journaled")
         self._suppressed_counter = tel.counter("resilience.ships_suppressed")
         self._probe_counter = tel.counter("resilience.probe_ships")
+        self._overflow_counter = tel.counter("resilience.backlog_overflows")
         self.raw_link = link
         if isinstance(link, ResilientLink):
             self.link: ReplicaLink = link
@@ -601,10 +640,22 @@ class GuardedLink:
         )
         self.backlog = ReplicationJournal(config.backlog_capacity_bytes)
         self.accountant = accountant
+        self.config = config
         #: fan-out position of this channel (per-replica accounting key)
         self.index = index
         self.forced_down = False
         self.last_error: BaseException | None = None
+        #: backlog-free DOWN mode: the backlog overflowed, so only a
+        #: resync tier can catch the replica up — new writes are counted
+        #: (and their LBAs remembered) but no longer buffered
+        self.resync_required = False
+        #: in-flight reconciliation, kept across failed heals for resume
+        self._session: ReconcileSession | None = None
+        #: (sketch, digest, diff) bytes of the session already charged
+        self._reconcile_charged = (0, 0, 0)
+        #: LBAs written while resync_required — used to invalidate any
+        #: already-verified reconcile groups before a resumed run
+        self._dirty_since_resync: set[int] = set()
 
     # -- state -------------------------------------------------------------
 
@@ -620,8 +671,8 @@ class GuardedLink:
 
     @property
     def needs_resync(self) -> bool:
-        """True when only a digest/full sync can restore this replica."""
-        return self.backlog.overflowed
+        """True when only a resync tier can restore this replica."""
+        return self.resync_required or self.backlog.overflowed
 
     # -- data path -----------------------------------------------------------
 
@@ -635,6 +686,13 @@ class GuardedLink:
         awareness and the replica applies them in the original sequence
         order).
         """
+        if self.resync_required:
+            # Backlog-free DOWN mode: the backlog already overflowed, so
+            # a resync tier must cover this write anyway — count it and
+            # remember its LBA, but don't buffer or touch the wire.
+            self._suppressed_counter.inc()
+            self._journal_work(work)
+            return False
         if self.forced_down or not self.breaker.should_attempt():
             self._suppressed_counter.inc()
             self._journal_work(work)
@@ -642,7 +700,7 @@ class GuardedLink:
         if self.breaker.half_open:
             self._probe_counter.inc()
         if self.backlog.overflowed:
-            # Only an explicit heal() (digest resync) can recover; keep
+            # Only an explicit heal() (resync tier) can recover; keep
             # journaling so post-overflow writes are at least countable.
             self._journal_work(work)
             return False
@@ -651,6 +709,14 @@ class GuardedLink:
                 # Drain in order first: PRINS deltas are order-sensitive.
                 self._drain_backlog()
             ack = self.link.submit(work)
+        except JournalOverflowError as exc:
+            # The backlog overflowed under our feet (concurrent writers
+            # racing the overflow check): degrade to resync-required
+            # instead of failing the primary's write.
+            self.last_error = exc
+            self._enter_resync_required()
+            self._journal_work(work)
+            return False
         except TRANSIENT_ERRORS + (RetriesExhaustedError,) as exc:
             self.last_error = exc
             self.breaker.record_failure()
@@ -693,6 +759,20 @@ class GuardedLink:
             self._journal(lba, record)
 
     def _journal(self, lba: int, record: ReplicationRecord) -> None:
+        if self.resync_required:
+            # Backlog-free DOWN mode: count the deferred copy and close
+            # its ledger immediately (journaled == dropped) — the resync
+            # tier will re-derive the block from the devices, and the
+            # remembered LBA re-dirties its reconcile group.
+            self._journaled_counter.inc()
+            self.accountant.record_journaled_copy(
+                record.wire_size, replica=self.index
+            )
+            self.accountant.record_backlog_drop(
+                record.wire_size, replica=self.index
+            )
+            self._dirty_since_resync.add(lba)
+            return
         dropped_before = self.backlog.payload_bytes_dropped_total
         self.backlog.append(lba, record)
         self._journaled_counter.inc()
@@ -704,6 +784,29 @@ class GuardedLink:
             # Overflow eviction: those bytes will never replay — close the
             # ledger now so conservation holds under out-of-order recovery.
             self.accountant.record_backlog_drop(dropped, replica=self.index)
+            self._enter_resync_required()
+
+    def _enter_resync_required(self) -> None:
+        """Degrade to backlog-free DOWN mode after a backlog overflow.
+
+        The overflowed backlog can never replay, so buffering further
+        records only burns memory: drop what remains (charging the
+        ledger), remember every pending LBA as dirty, and force the
+        breaker DOWN so the write path stops probing a replica that
+        only :meth:`heal` can bring back.  The primary's writes keep
+        succeeding locally throughout — a long outage degrades the
+        replica, never the write path.
+        """
+        if self.resync_required:
+            return
+        self.resync_required = True
+        self._overflow_counter.inc()
+        self._dirty_since_resync.update(self.backlog.pending_lbas())
+        pending = self.backlog.payload_bytes_pending
+        if pending:
+            self.accountant.record_backlog_drop(pending, replica=self.index)
+        self.backlog.clear()
+        self.breaker.force_down()
 
     def _drain_backlog(self) -> int:
         """Replay the backlog through the link, charging wire bytes.
@@ -731,45 +834,172 @@ class GuardedLink:
         self.forced_down = True
         self.breaker.force_down()
 
-    def heal(self, sync_source: BlockDevice) -> ResyncOutcome:
+    def heal(
+        self,
+        sync_source: BlockDevice,
+        record_builder: Callable[[int, bytes, bytes], ReplicationRecord | None]
+        | None = None,
+    ) -> ResyncOutcome:
         """Reconnect and catch the replica up; returns what it cost.
 
-        Backlog intact → replay in sequence order.  Backlog overflowed →
-        :func:`~repro.engine.sync.digest_sync` from ``sync_source`` (the
-        primary's device) into the replica's device, reachable through
-        :meth:`~repro.engine.links.ReplicaLink.sync_device`.  Raises
-        :class:`~repro.common.errors.SyncError` if the overflowed link
-        cannot expose its device (resync must then happen out-of-band).
+        The recovery ladder, cheapest tier first:
+
+        1. **replay** — backlog intact: drain it in sequence order;
+        2. **reconcile** — backlog overflowed (or a prior reconciliation
+           is suspended): run the :mod:`~repro.engine.reconcile` set
+           reconciliation, shipping only divergent blocks.  Requires
+           ``record_builder`` (the engine's strategy-aware record
+           factory) and ``config.resync == "reconcile"``;
+        3. **digest** — the deterministic fallback: a full
+           :func:`~repro.engine.sync.digest_sync` sweep, taken when the
+           reconcile tier is disabled, unavailable, or stalls.
+
+        Every tier the heal walked is recorded in the outcome's
+        ``tiers``.  Transient link errors propagate with session state
+        intact — call :meth:`heal` again to resume from the last
+        verified group.  Raises :class:`~repro.common.errors.SyncError`
+        if a resync is needed but the link cannot expose the replica
+        device (resync must then happen out-of-band).
         """
         self.forced_down = False
-        if self.backlog.overflowed:
-            dest = self.link.sync_device()
-            if dest is None:
-                raise SyncError(
-                    "backlog overflowed and the link does not expose the "
-                    "replica device; run digest_sync/full_sync out-of-band "
-                    "and clear() the backlog"
+        needs_resync_tier = (
+            self.resync_required
+            or self.backlog.overflowed
+            or self._session is not None
+        )
+        if not needs_resync_tier:
+            if self.backlog.entry_count:
+                records_before = self.backlog.records_replayed_total
+                bytes_before = self.backlog.bytes_replayed_total
+                self._drain_backlog()  # transient errors propagate to caller
+                self.breaker.record_success()
+                self._tel.counter("resilience.resync_replay").inc()
+                return ResyncOutcome(
+                    "replay",
+                    records_replayed=self.backlog.records_replayed_total
+                    - records_before,
+                    bytes_replayed=self.backlog.bytes_replayed_total
+                    - bytes_before,
+                    tiers=("replay",),
                 )
-            # The cleared backlog's bytes are covered by the resync, not a
-            # replay: charge them as dropped so the ledger closes.
-            self.accountant.record_backlog_drop(
-                self.backlog.payload_bytes_pending, replica=self.index
-            )
-            self.backlog.clear()
-            report = digest_sync(sync_source, dest)
-            self.accountant.record_resync(report.wire_bytes, replica=self.index)
             self.breaker.record_success()
-            return ResyncOutcome("digest", sync_report=report)
+            return ResyncOutcome("none")
+        dest = self.link.sync_device()
+        if dest is None:
+            raise SyncError(
+                "backlog overflowed and the link does not expose the "
+                "replica device; run digest_sync/full_sync out-of-band "
+                "and clear() the backlog"
+            )
+        # Whatever the backlog still buffers is covered by the resync,
+        # not a replay: remember its LBAs as dirty and close the ledger.
         if self.backlog.entry_count:
-            records_before = self.backlog.records_replayed_total
-            bytes_before = self.backlog.bytes_replayed_total
-            self._drain_backlog()  # transient errors propagate to caller
-            self.breaker.record_success()
-            return ResyncOutcome(
-                "replay",
-                records_replayed=self.backlog.records_replayed_total
-                - records_before,
-                bytes_replayed=self.backlog.bytes_replayed_total - bytes_before,
+            self._dirty_since_resync.update(self.backlog.pending_lbas())
+        pending = self.backlog.payload_bytes_pending
+        if pending:
+            self.accountant.record_backlog_drop(pending, replica=self.index)
+        self.backlog.clear()
+        self.resync_required = True
+        tiers: list[str] = []
+        if self.config.resync == "reconcile" and record_builder is not None:
+            tiers.append("reconcile")
+            outcome = self._heal_reconcile(
+                sync_source, dest, record_builder, tiers
             )
+            if outcome is not None:
+                return outcome
+            # stalled: deterministic fallback to the full digest sweep
+        tiers.append("digest")
+        report = digest_sync(sync_source, dest)
+        self.accountant.record_resync(report.wire_bytes, replica=self.index)
+        self._finish_resync()
         self.breaker.record_success()
-        return ResyncOutcome("none")
+        self._tel.counter("resilience.resync_digest").inc()
+        return ResyncOutcome("digest", sync_report=report, tiers=tuple(tiers))
+
+    def _heal_reconcile(
+        self,
+        sync_source: BlockDevice,
+        dest: BlockDevice,
+        record_builder: Callable[[int, bytes, bytes], ReplicationRecord | None],
+        tiers: list[str],
+    ) -> ResyncOutcome | None:
+        """Run (or resume) the reconcile tier; None means "fall back".
+
+        A transient fault propagates after charging the bytes already
+        spent, with the session retained for the next heal.  A stall
+        discards the session and returns None so :meth:`heal` escalates
+        to the digest sweep.
+        """
+        session = self._session
+        if session is None:
+            session = self._session = ReconcileSession(
+                sync_source.num_blocks,
+                sync_source.block_size,
+                self.config.reconcile,
+                seed=self.config.seed + self.index,
+            )
+            self._reconcile_charged = (0, 0, 0)
+        if self._dirty_since_resync:
+            session.invalidate(self._dirty_since_resync)
+            self._dirty_since_resync.clear()
+        shipper = ResyncShipper(
+            self.link, record_builder, session.config, session.report
+        )
+        self.accountant.record_reconcile(replica=self.index)
+        stalled = False
+        with self._tel.span(
+            "resync.reconcile", link=self.index, rounds=session.rounds_used
+        ) as span:
+            try:
+                session.run(sync_source, dest, shipper)
+            except ReconcileStalledError:
+                stalled = True
+                span.set("stalled", True)
+            except TRANSIENT_ERRORS + (RetriesExhaustedError,) as exc:
+                self.last_error = exc
+                self.breaker.record_failure()
+                raise
+            finally:
+                self._charge_reconcile(session)
+        if stalled:
+            self._session = None
+            self._tel.counter("reconcile.fallbacks").inc()
+            return None
+        report = session.report
+        self._session = None
+        self._finish_resync()
+        self.breaker.record_success()
+        self._tel.counter("resilience.resync_reconcile").inc()
+        self._tel.counter("reconcile.groups_verified").inc(
+            report.groups_verified
+        )
+        return ResyncOutcome(
+            "reconcile", reconcile=report, tiers=tuple(tiers)
+        )
+
+    def _charge_reconcile(self, session: ReconcileSession) -> None:
+        """Charge the session's un-charged wire bytes to the accountant.
+
+        Charging the *delta* since the last call keeps the ledger exact
+        for sessions that span several heals (resume after faults).
+        """
+        report = session.report
+        sketch, digest, diff = self._reconcile_charged
+        self.accountant.record_reconcile_traffic(
+            sketch_bytes=report.sketch_bytes - sketch,
+            digest_bytes=report.digest_bytes - digest,
+            diff_bytes=report.diff_bytes - diff,
+            replica=self.index,
+        )
+        self._reconcile_charged = (
+            report.sketch_bytes,
+            report.digest_bytes,
+            report.diff_bytes,
+        )
+
+    def _finish_resync(self) -> None:
+        """A resync tier completed: the replica is caught up."""
+        self.resync_required = False
+        self._session = None
+        self._dirty_since_resync.clear()

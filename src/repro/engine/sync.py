@@ -7,6 +7,12 @@ nodes" (Sec. 2).  :func:`full_sync` performs that initial copy;
 per-block CRCs, copy only mismatches) for re-synchronizing a replica that
 diverged; :func:`verify_consistency` is the post-experiment check that the
 replica is byte-identical to the primary.
+
+Both sync flavours here are O(volume); the set-reconciliation tier in
+:mod:`repro.engine.reconcile` reaches the same exactness in O(divergence)
+wire bytes and falls back to :func:`digest_sync` when its sketch decoding
+stalls.  The two share :data:`LBA_DIGEST_BYTES` so their per-LBA digest
+cost models stay comparable.
 """
 
 from __future__ import annotations
@@ -16,6 +22,11 @@ from dataclasses import dataclass
 
 from repro.block.device import BlockDevice
 from repro.common.errors import SyncError
+
+#: modeled wire cost of comparing one LBA's digest (4 bytes each way),
+#: shared by :func:`digest_sync` and the reconcile tier's candidate
+#: confirmation so "digest bytes" mean the same thing in both ledgers
+LBA_DIGEST_BYTES = 8
 
 
 def _check_geometry(source: BlockDevice, dest: BlockDevice) -> None:
@@ -77,7 +88,7 @@ def digest_sync(source: BlockDevice, dest: BlockDevice) -> SyncReport:
         blocks_examined=source.num_blocks,
         blocks_copied=copied_blocks,
         bytes_copied=copied_bytes,
-        digest_bytes=8 * source.num_blocks,
+        digest_bytes=LBA_DIGEST_BYTES * source.num_blocks,
     )
 
 

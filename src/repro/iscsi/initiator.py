@@ -136,6 +136,13 @@ class Initiator:
         request.seq = self._cmd_sn
         self._transport.send(request)
         response = self._transport.receive(timeout=self._timeout)
+        while response.itt < request.itt:
+            # A late or duplicated response from an earlier exchange (a
+            # retried command whose first ack arrived after its timeout,
+            # or a duplicated PDU acked twice).  iSCSI matches responses
+            # by ITT: drain stale ones and keep waiting for ours, so one
+            # network hiccup cannot poison every later exchange.
+            response = self._transport.receive(timeout=self._timeout)
         if response.itt != request.itt:
             raise ProtocolError(
                 f"response ITT {response.itt} does not match request {request.itt}"

@@ -45,6 +45,7 @@ CONFIG_FIELDS = (
     "resilient",
     "max_attempts",
     "backlog_capacity_bytes",
+    "resync",
     "verify_acks",
     "telemetry",
     "seed",
