@@ -106,3 +106,54 @@ def test_engine_write_path_telemetry_overhead(benchmark, blocks, telemetry_mode)
     benchmark(write_once)
     if telemetry_mode == "live":
         assert telemetry.snapshot()["spans"]["write"]["count"] > 0
+
+
+def test_null_telemetry_write_path_is_allocation_free(blocks):
+    """The NULL-telemetry write path must not allocate in repro.obs.
+
+    The null objects (``NULL_TELEMETRY`` / ``NULL_SPAN`` /
+    ``NULL_FLIGHTREC``) exist precisely so the uninstrumented hot path
+    costs a few attribute lookups and nothing else — no Span objects, no
+    TraceContext, no event dicts.  tracemalloc filtered to the tracing
+    and flight-recorder modules proves it: a burst of writes through the
+    default engine must attribute zero allocations to them.  (The
+    accountant's own :class:`~repro.obs.registry.Histogram` runs in every
+    mode and may box ints; that is metric arithmetic, not tracing cost,
+    so ``registry.py`` is exempt.)
+    """
+    import os
+    import tracemalloc
+
+    import repro.obs as obs_pkg
+
+    old, new = blocks
+    engine = _make_engine(old, "prins")  # defaults to NULL_TELEMETRY
+    # warm up: first writes populate caches and lazy imports
+    for _ in range(4):
+        engine.write_block(3, new)
+        engine.write_block(3, old)
+    obs_dir = obs_pkg.__path__[0]
+    tracing_files = {
+        os.path.join(obs_dir, name)
+        for name in ("tracing.py", "telemetry.py", "flightrec.py", "dist.py")
+    }
+    tracemalloc.start()
+    try:
+        for _ in range(32):
+            engine.write_block(3, new)
+            engine.write_block(3, old)
+        snapshot = tracemalloc.take_snapshot()
+    finally:
+        tracemalloc.stop()
+    obs_allocs = [
+        stat
+        for stat in snapshot.statistics("filename")
+        if stat.traceback[0].filename in tracing_files
+    ]
+    assert not obs_allocs, (
+        "NULL telemetry hot path allocated in repro.obs: "
+        + ", ".join(
+            f"{s.traceback[0].filename}:{s.size}B/{s.count}"
+            for s in obs_allocs
+        )
+    )

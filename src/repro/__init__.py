@@ -22,7 +22,13 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record of every figure.
 """
 
-from repro.api import PrimaryStack, ReplicationConfig, open_cluster, open_primary
+from repro.api import (
+    ObservabilityConfig,
+    PrimaryStack,
+    ReplicationConfig,
+    open_cluster,
+    open_primary,
+)
 from repro.block import (
     BlockDevice,
     CachedDevice,
@@ -72,6 +78,7 @@ __all__ = [
     "Initiator",
     "InitiatorLink",
     "MemoryBlockDevice",
+    "ObservabilityConfig",
     "ParityLog",
     "PrimaryEngine",
     "PrimaryStack",

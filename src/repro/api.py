@@ -46,6 +46,7 @@ from repro.engine.sync import full_sync
 from repro.obs.telemetry import NULL_TELEMETRY, Telemetry, get_telemetry
 
 __all__ = [
+    "ObservabilityConfig",
     "PrimaryStack",
     "ReplicationConfig",
     "open_cluster",
@@ -60,6 +61,60 @@ _SCHEDULER_MODES = ("sim", "threads")
 
 #: resync escalation modes accepted by :attr:`ReplicationConfig.resync`
 _RESYNC_MODES = ("reconcile", "digest")
+
+
+@dataclass(frozen=True)
+class ObservabilityConfig:
+    """The causal-tracing and flight-recorder knobs, one frozen group.
+
+    ``enabled`` turns the whole pipeline on: a live
+    :class:`~repro.obs.telemetry.Telemetry` registry whose tracer stamps
+    every write with a causal trace id (propagated through the scheduler
+    and onto the iSCSI BHS) and whose
+    :class:`~repro.obs.flightrec.FlightRecorder` keeps the last
+    ``flightrec_capacity`` structured events for post-mortem dumps.
+    ``node`` labels this process's spans so multi-node traces stitch
+    unambiguously; ``trace_capacity`` bounds the span ring (evictions are
+    counted, aggregates stay exact); ``flightrec_dump`` is an optional
+    path the recorder auto-writes on faults (partial replication, a link
+    dropping to DOWN, a stalled reconciliation).  ``detail`` additionally
+    records sub-stage spans (``write.local`` / ``write.delta`` /
+    ``replica.decode``) — prettier trees for roughly double the tracing
+    cost per write, like a DEBUG log level.
+
+    Everything defaults to off/empty: a default config changes no wire
+    byte and no paper figure.
+    """
+
+    enabled: bool = False
+    trace_capacity: int = 2048
+    node: str = ""
+    flightrec_capacity: int = 1024
+    flightrec_dump: str | None = None
+    detail: bool = False
+
+    def __post_init__(self) -> None:
+        """Validate the ring capacities."""
+        if self.trace_capacity < 1:
+            raise ConfigurationError(
+                f"trace_capacity must be >= 1, got {self.trace_capacity}"
+            )
+        if self.flightrec_capacity < 1:
+            raise ConfigurationError(
+                f"flightrec_capacity must be >= 1, "
+                f"got {self.flightrec_capacity}"
+            )
+
+    @classmethod
+    def from_dict(cls, raw: dict[str, Any]) -> "ObservabilityConfig":
+        """Rebuild from :meth:`dataclasses.asdict` output; rejects unknown keys."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(raw) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown ObservabilityConfig keys: {sorted(unknown)}"
+            )
+        return cls(**raw)
 
 
 @dataclass(frozen=True)
@@ -120,6 +175,9 @@ class ReplicationConfig:
     # -- observability / determinism -------------------------------------------
     verify_acks: bool = True
     telemetry: bool = False
+    observability: ObservabilityConfig = field(
+        default_factory=ObservabilityConfig
+    )
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -153,6 +211,13 @@ class ReplicationConfig:
         if isinstance(self.per_link_latency_s, list):
             object.__setattr__(
                 self, "per_link_latency_s", tuple(self.per_link_latency_s)
+            )
+        # coerce dict → ObservabilityConfig so from_dict round-trips nested
+        if isinstance(self.observability, dict):
+            object.__setattr__(
+                self,
+                "observability",
+                ObservabilityConfig.from_dict(self.observability),
             )
 
     # -- serialisation ---------------------------------------------------------
@@ -227,9 +292,22 @@ class ReplicationConfig:
         )
 
     def telemetry_instance(self) -> Any:
-        """A live registry when ``telemetry=True``, else the process default."""
-        if self.telemetry:
-            return Telemetry()
+        """A live registry when telemetry/observability is on, else the default.
+
+        ``observability.enabled`` implies a live registry even when the
+        plain ``telemetry`` flag is off, sized and labelled by the
+        :class:`ObservabilityConfig` (trace/flight-recorder capacities,
+        node name, auto-dump path).
+        """
+        obs = self.observability
+        if self.telemetry or obs.enabled:
+            return Telemetry(
+                trace_capacity=obs.trace_capacity,
+                node=obs.node,
+                flightrec_capacity=obs.flightrec_capacity,
+                flightrec_dump=obs.flightrec_dump,
+                detail=obs.detail,
+            )
         return get_telemetry()
 
 
@@ -329,7 +407,11 @@ def open_primary(
         accountant=accountant,
         telemetry=telemetry,
         telemetry_name=telemetry_name
-        or ("api.primary" if config.telemetry else None),
+        or (
+            "api.primary"
+            if config.telemetry or config.observability.enabled
+            else None
+        ),
         batch=config.batch_config(),
         old_block_cache=config.old_block_cache,
         fanout=config.fanout,

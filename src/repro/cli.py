@@ -11,6 +11,11 @@ Subcommands::
     prins demo --config cfg.json     # demo from a pinned ReplicationConfig
     prins metrics [snapshot.json]    # render a telemetry snapshot (or live demo)
     prins trace report snapshot.json # render recent write-path span trees
+    prins trace tree snap.json --id N   # render one causal write tree
+    prins trace critical snap.json   # per-stage critical-path attribution
+    prins trace chrome snap.json --out t.json  # Perfetto trace-event export
+    prins flightrec dump snap.json   # extract the fault flight recording
+    prins flightrec show dump.json   # render the recording as a timeline
 
 The same experiment runners back the pytest benchmarks; the CLI exists so
 a user can regenerate any paper figure without touching pytest.  Demo and
@@ -69,7 +74,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     # histograms ride along with the figure data.
     from repro.obs import Telemetry, use_telemetry
 
-    telemetry = Telemetry()
+    telemetry = Telemetry(detail=True)
     with use_telemetry(telemetry):
         result = run_experiment(args.id, scale=args.scale)
     payload = {"result": result.to_dict(), "telemetry": telemetry.snapshot()}
@@ -242,7 +247,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
 
     quiet = args.json == "-"
     emit = (lambda *a, **k: None) if quiet else print
-    telemetry = Telemetry()
+    telemetry = Telemetry(detail=True)
     with use_telemetry(telemetry):
         _run_demo_workload(
             args.workload,
@@ -270,7 +275,7 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
         # accept both raw snapshots and `prins experiment --json` payloads
         snapshot = snapshot.get("telemetry", snapshot)
     else:
-        telemetry = Telemetry()
+        telemetry = Telemetry(detail=True)
         with use_telemetry(telemetry):
             _run_demo_workload("synthetic", 200, lambda *a, **k: None)
         snapshot = telemetry.snapshot()
@@ -283,15 +288,56 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_trace(args: argparse.Namespace) -> int:
-    """Capture/replay a workload trace, or report spans from a snapshot."""
-    if args.action == "report":
-        from repro.obs import load_snapshot, render_trace_report
+def _load_telemetry_snapshot(path: str) -> dict:
+    """Load a snapshot JSON, unwrapping ``prins experiment --json`` payloads."""
+    from repro.obs import load_snapshot
 
-        snapshot = load_snapshot(args.path)
-        # accept both raw snapshots and `prins experiment --json` payloads
-        snapshot = snapshot.get("telemetry", snapshot)
-        print(render_trace_report(snapshot))
+    snapshot = load_snapshot(path)
+    return snapshot.get("telemetry", snapshot)
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Capture/replay a workload trace, or analyse spans from a snapshot."""
+    if args.action == "report":
+        from repro.obs import render_trace_report
+
+        print(render_trace_report(_load_telemetry_snapshot(args.path)))
+        return 0
+
+    if args.action == "tree":
+        from repro.obs import render_trace_report
+
+        if args.id is None:
+            print("prins trace tree requires --id TRACE_ID", file=sys.stderr)
+            return 2
+        trace_id = int(args.id, 0)
+        print(
+            render_trace_report(
+                _load_telemetry_snapshot(args.path), trace_id=trace_id
+            )
+        )
+        return 0
+
+    if args.action == "critical":
+        from repro.obs import CriticalPathAnalyzer
+
+        analyzer = CriticalPathAnalyzer()
+        analyzer.add_snapshot(_load_telemetry_snapshot(args.path))
+        print(analyzer.render(top=args.top))
+        return 0
+
+    if args.action == "chrome":
+        from repro.obs import to_chrome_trace
+
+        rendered = to_chrome_trace(
+            _load_telemetry_snapshot(args.path), indent=2
+        )
+        if args.out is None or args.out == "-":
+            print(rendered)
+        else:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(rendered)
+            print(f"chrome trace written to {args.out} (load in Perfetto)")
         return 0
 
     from repro.common.units import format_bytes
@@ -355,6 +401,43 @@ def _cmd_trace(args: argparse.Namespace) -> int:
                 f"{format_bytes(stack.engine.accountant.payload_bytes):>10} "
                 f"on the wire"
             )
+    return 0
+
+
+def _load_flightrec_dump(path: str) -> dict:
+    """Load a flight-recorder dump, unwrapping telemetry snapshots.
+
+    Accepts three shapes: a raw :meth:`~repro.obs.FlightRecorder.dump`
+    mapping, a full telemetry snapshot (its ``flightrec`` section), and a
+    ``prins experiment --json`` payload (``telemetry.flightrec``).
+    """
+    from repro.obs import load_snapshot
+
+    payload = load_snapshot(path)
+    payload = payload.get("telemetry", payload)
+    if "events" not in payload and "flightrec" in payload:
+        return payload["flightrec"]
+    return payload
+
+
+def _cmd_flightrec(args: argparse.Namespace) -> int:
+    """Extract (``dump``) or render (``show``) a fault flight recording."""
+    import json
+
+    dump = _load_flightrec_dump(args.path)
+    if args.action == "dump":
+        rendered = json.dumps(dump, indent=2, sort_keys=True)
+        if args.out is None or args.out == "-":
+            print(rendered)
+        else:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(rendered + "\n")
+            print(f"flight recording written to {args.out}")
+        return 0
+
+    from repro.obs import render_events
+
+    print(render_events(dump, max_events=args.max_events))
     return 0
 
 
@@ -466,19 +549,70 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_metrics.set_defaults(func=_cmd_metrics)
     p_trace = sub.add_parser(
-        "trace", help="capture/replay a write trace, or report snapshot spans"
+        "trace", help="capture/replay a write trace, or analyse snapshot spans"
     )
-    p_trace.add_argument("action", choices=["capture", "replay", "report"])
+    p_trace.add_argument(
+        "action",
+        choices=["capture", "replay", "report", "tree", "critical", "chrome"],
+    )
     p_trace.add_argument("path", help="trace file (.prtr) or snapshot JSON")
     p_trace.add_argument(
         "--workload", default="tpcc", choices=["tpcc", "tpcw", "fsmicro"]
     )
     p_trace.add_argument("--block-size", type=int, default=8192)
     p_trace.add_argument("--scale", default="small", choices=["small", "paper"])
+    p_trace.add_argument(
+        "--id",
+        default=None,
+        metavar="TRACE_ID",
+        help="causal trace id for 'tree' (decimal or 0x-hex)",
+    )
+    p_trace.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        metavar="N",
+        help="writes to list for 'critical' (slowest first)",
+    )
+    p_trace.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="output file for 'chrome' ('-' or omitted = stdout)",
+    )
     p_trace.set_defaults(func=_cmd_trace)
+    p_flightrec = sub.add_parser(
+        "flightrec", help="extract or render a fault flight recording"
+    )
+    p_flightrec.add_argument("action", choices=["dump", "show"])
+    p_flightrec.add_argument(
+        "path", help="flight-recorder dump JSON or telemetry snapshot"
+    )
+    p_flightrec.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="output file for 'dump' ('-' or omitted = stdout)",
+    )
+    p_flightrec.add_argument(
+        "--max-events",
+        type=int,
+        default=None,
+        metavar="N",
+        help="show only the last N events",
+    )
+    p_flightrec.set_defaults(func=_cmd_flightrec)
 
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # downstream pager/head closed the pipe; exit quietly like cat/grep
+        # do, pointing stdout at devnull so interpreter teardown stays silent
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

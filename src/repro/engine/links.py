@@ -70,6 +70,12 @@ class ReplicaLink(ABC):
     #: PDU header bytes charged per shipped record
     pdu_overhead: int = BHS_SIZE
 
+    #: causal context of the submission currently being delivered.  Set by
+    #: :meth:`submit` before dispatching to the hooks, so overrides with
+    #: the historical ``(lba, record)`` signatures still propagate tracing
+    #: without a signature change.
+    _ship_ctx = None
+
     # -- unified submission --------------------------------------------------
 
     def submit(self, work: "ShipWork") -> bytes:
@@ -83,6 +89,7 @@ class ReplicaLink(ABC):
         detected here and routed to their overrides (which must not call
         ``super().ship`` — the base methods are shims over ``submit``).
         """
+        self._ship_ctx = work.ctx
         if work.batch is not None:
             legacy_batch = type(self).ship_batch
             if legacy_batch is not ReplicaLink.ship_batch:
@@ -196,12 +203,14 @@ class InitiatorLink(ReplicaLink):
 
     def _submit_record(self, lba: int, record: ReplicationRecord) -> bytes:
         """Ship one record as a REPL_DATA_OUT PDU; return the ack payload."""
-        return self._initiator.send_replication_frame(lba, record.pack())
+        return self._initiator.send_replication_frame(
+            lba, record.pack(), ctx=self._ship_ctx
+        )
 
     def _submit_batch(self, batch: ShipBatch) -> bytes:
         """Ship the whole batch as one REPL_BATCH_OUT PDU."""
         return self._initiator.send_replication_batch(
-            batch.pack(), batch.record_count
+            batch.pack(), batch.record_count, ctx=self._ship_ctx
         )
 
     def bind_telemetry(self, telemetry) -> None:
@@ -225,6 +234,10 @@ class DirectLink(ReplicaLink):
         Serialize and re-parse so the wire format is exercised and byte
         counts match the socket path exactly.
         """
+        if self._ship_ctx is not None and getattr(
+            self._replica, "supports_ctx", False
+        ):
+            return self._replica.receive(lba, record.pack(), ctx=self._ship_ctx)
         return self._replica.receive(lba, record.pack())
 
     def _submit_batch(self, batch: ShipBatch) -> bytes:
@@ -232,6 +245,10 @@ class DirectLink(ReplicaLink):
         receive_batch = getattr(self._replica, "receive_batch", None)
         if receive_batch is None:
             return super()._submit_batch(batch)
+        if self._ship_ctx is not None and getattr(
+            self._replica, "supports_ctx", False
+        ):
+            return receive_batch(batch.pack(), ctx=self._ship_ctx)
         return receive_batch(batch.pack())
 
     def bind_telemetry(self, telemetry) -> None:

@@ -98,6 +98,10 @@ class PrimaryEngine(BlockDevice):
         )
         self.accountant = accountant if accountant is not None else TrafficAccountant()
         self.telemetry = telemetry if telemetry is not None else get_telemetry()
+        # pre-resolved cache counters: the consult path ticks one of these
+        # per write, so the registry name lookup is paid once, not per write
+        self._cache_hit_counter = self.telemetry.counter("cache.old_block.hits")
+        self._cache_miss_counter = self.telemetry.counter("cache.old_block.misses")
         self._strategy.bind_telemetry(self.telemetry)
         if self.telemetry.enabled:
             self.telemetry.register_source(
@@ -291,23 +295,20 @@ class PrimaryEngine(BlockDevice):
         if cache is None:
             return self._device.read_block(lba), None
         old_data = cache.get(lba)
-        tel = self.telemetry
         if old_data is not None:
-            if tel.enabled:
-                tel.counter("cache.old_block.hits").inc()
+            self._cache_hit_counter.inc()
             return old_data, True
-        if tel.enabled:
-            tel.counter("cache.old_block.misses").inc()
+        self._cache_miss_counter.inc()
         return self._device.read_block(lba), False
 
     def _write(self, lba: int, data: bytes) -> None:
         """Local write + replication: the paper's full write path."""
         tel = self.telemetry
-        with tel.span("write", lba=lba, strategy=self._strategy.name) as span:
+        with tel.span("write", lba=lba) as span:
             old_data: bytes | None = None
             raid_delta: bytes | None = None
             cache_hit: bool | None = None
-            with tel.span("write.local"):
+            with tel.fine_span("write.local"):
                 if self._raid is not None:
                     # The array's small-write path computes P' anyway (Eq. 1).
                     raid_delta = self._raid.write_block_with_delta(lba, data)
@@ -353,7 +354,7 @@ class PrimaryEngine(BlockDevice):
             record = ReplicationRecord.for_block(self._seq, data, frame)
             payload_len = record.wire_size
             span.set("payload_bytes", payload_len)
-            self._dispatch_record(lba, record, len(data), payload_len)
+            self._dispatch_record(lba, record, len(data), payload_len, span.context)
 
     def write_many(self, writes: Sequence[tuple[int, bytes]]) -> None:
         """Write a window of ``(lba, data)`` pairs through one batched pass.
@@ -381,7 +382,7 @@ class PrimaryEngine(BlockDevice):
         strategy = self._strategy
         with tel.span(
             "write.many", count=len(writes), strategy=strategy.name
-        ):
+        ) as many_span:
             datas: list[bytes] = []
             lbas: list[int] = []
             for lba, data in writes:
@@ -411,6 +412,7 @@ class PrimaryEngine(BlockDevice):
                         self._device.write_block(lba, data)
                 olds = [b""] * len(datas)
             payloads = strategy.make_updates(datas, olds)
+            ctx = many_span.context
             for lba, data, payload in zip(lbas, datas, payloads):
                 if payload is None:
                     self.accountant.record_write(len(data), None)
@@ -425,14 +427,24 @@ class PrimaryEngine(BlockDevice):
                 frame = strategy.encode_payload(payload)
                 record = ReplicationRecord.for_block(self._seq, data, frame)
                 payload_len = record.wire_size
-                self._dispatch_record(lba, record, len(data), payload_len)
+                self._dispatch_record(lba, record, len(data), payload_len, ctx)
 
     def _dispatch_record(
-        self, lba: int, record: ReplicationRecord, data_len: int, payload_len: int
+        self,
+        lba: int,
+        record: ReplicationRecord,
+        data_len: int,
+        payload_len: int,
+        ctx=None,
     ) -> None:
-        """Fan one record out, with charging bound to this record's sizes."""
+        """Fan one record out, with charging bound to this record's sizes.
+
+        ``ctx`` is the enclosing write span's trace coordinates — callers
+        pass ``span.context`` directly rather than paying a per-record
+        ``current_context()`` stack lookup.
+        """
         self._dispatch(
-            ShipWork.for_record(lba, record),
+            ShipWork.for_record(lba, record, ctx=ctx),
             lambda delivered: self._charge_fanout(
                 data_len, payload_len, delivered
             ),
@@ -463,12 +475,11 @@ class PrimaryEngine(BlockDevice):
         else:
             self._dispatch_strict(work, charge)
 
-    def _send_span_attrs(self, work: ShipWork, index: int) -> dict:
-        """Span attributes for one ``write.send`` (batched only when true)."""
-        attrs: dict = {"link": index}
+    def _send_span(self, work: ShipWork, index: int):
+        """The ``write.send`` span for one link (batched flagged when true)."""
         if work.is_batch:
-            attrs["batched"] = True
-        return attrs
+            return self.telemetry.span("write.send", link=index, batched=True)
+        return self.telemetry.span("write.send", link=index)
 
     def _dispatch_strict(
         self, work: ShipWork, charge: Callable[[int], None]
@@ -477,14 +488,20 @@ class PrimaryEngine(BlockDevice):
         succeeded: list[int] = []
         for index, link in enumerate(self._links):
             try:
-                with self.telemetry.span(
-                    "write.send", **self._send_span_attrs(work, index)
-                ):
+                with self._send_span(work, index):
                     ack = link.submit(work)
             except Exception as exc:
                 # Record what actually happened before surfacing the fault:
                 # the local write and every acked copy are real.
                 charge(len(succeeded))
+                self.telemetry.fault(
+                    "partial_replication",
+                    lba=work.lba,
+                    seq=work.last_seq,
+                    failed_index=index,
+                    succeeded=len(succeeded),
+                    error=type(exc).__name__,
+                )
                 raise PartialReplicationError(
                     lba=work.lba,
                     seq=work.last_seq,
@@ -513,9 +530,7 @@ class PrimaryEngine(BlockDevice):
         assert self._guards is not None
         delivered = 0
         for index, guard in enumerate(self._guards):
-            with self.telemetry.span(
-                "write.send", **self._send_span_attrs(work, index)
-            ) as span:
+            with self._send_span(work, index) as span:
                 if guard.submit(work, self._verify_acks):
                     delivered += 1
                 else:
@@ -569,7 +584,9 @@ class PrimaryEngine(BlockDevice):
             payload_len = len(result.batch.pack())
             span.set("payload_bytes", payload_len)
             self._dispatch(
-                ShipWork.for_batch(result.batch),
+                ShipWork.for_batch(
+                    result.batch, ctx=tel.current_context()
+                ),
                 lambda delivered: self._charge_batch(
                     result, payload_len, delivered
                 ),

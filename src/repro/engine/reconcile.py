@@ -405,6 +405,7 @@ class ReconcileSession:
         source: BlockDevice,
         dest: BlockDevice,
         shipper: ResyncShipper,
+        on_round=None,
     ) -> ReconcileReport:
         """Reconcile until every group verifies; returns the ledger.
 
@@ -412,7 +413,10 @@ class ReconcileSession:
         exhausted with unverified groups (caller falls back to
         :func:`~repro.engine.sync.digest_sync`).  Transient link errors
         propagate with session state intact — call ``run`` again to
-        resume from the last verified group.
+        resume from the last verified group.  ``on_round``, when given,
+        is called as ``on_round(round_number, pending_groups)`` at the
+        start of every sketch round — the resilience layer feeds it to
+        the flight recorder so stalled reconciliations leave a trail.
         """
         _check_geometry(source, dest)
         if source.num_blocks != self.num_blocks:
@@ -431,6 +435,8 @@ class ReconcileSession:
                     )
                 self._round += 1
                 self.report.rounds += 1
+                if on_round is not None:
+                    on_round(self._round, len(pending))
                 for group in pending:
                     self._identify(group, source, dest)
             for group in self._groups:

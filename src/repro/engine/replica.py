@@ -32,6 +32,9 @@ ACK_DUPLICATE = 1
 class ReplicaEngine:
     """Applies replication records to a local block device."""
 
+    #: links may pass a carried TraceContext to :meth:`receive`/:meth:`receive_batch`
+    supports_ctx = True
+
     def __init__(
         self,
         device: BlockDevice,
@@ -59,16 +62,20 @@ class ReplicaEngine:
         """The strategy this replica inverts."""
         return self._strategy
 
-    def receive(self, lba: int, raw_record: bytes) -> bytes:
+    def receive(self, lba: int, raw_record: bytes, ctx=None) -> bytes:
         """Apply one wire record; returns the packed ack payload.
 
         This is the entry point registered as the iSCSI target's
         replication handler (and called directly by
-        :class:`~repro.engine.links.DirectLink`).
+        :class:`~repro.engine.links.DirectLink`).  ``ctx`` is the causal
+        :class:`~repro.obs.dist.TraceContext` the wire (or link) carried,
+        if any: it parents the apply span when this engine's telemetry
+        has no local span open, stitching the replica's work into the
+        originating write's trace.
         """
-        return self.apply_record(lba, ReplicationRecord.unpack(raw_record))
+        return self.apply_record(lba, ReplicationRecord.unpack(raw_record), ctx=ctx)
 
-    def apply_record(self, lba: int, record: ReplicationRecord) -> bytes:
+    def apply_record(self, lba: int, record: ReplicationRecord, ctx=None) -> bytes:
         """Apply one parsed record idempotently; returns the packed ack.
 
         The core of :meth:`receive`, split out so the batch path can apply
@@ -76,7 +83,7 @@ class ReplicaEngine:
         parsed without a per-record pack/unpack round trip.
         """
         tel = self.telemetry
-        with tel.span("replica.apply", lba=lba) as span:
+        with tel.span_in("replica.apply", ctx, lba=lba) as span:
             if self._applied_seq.get(lba, -1) >= record.seq:
                 self.records_duplicate += 1
                 span.set("duplicate", True)
@@ -88,7 +95,7 @@ class ReplicaEngine:
             block = bytearray(self._device.block_size)
             if self._strategy.needs_old_data:
                 self._device.read_block_into(lba, block)
-            with tel.span("replica.decode"):
+            with tel.fine_span("replica.decode"):
                 self._strategy.apply_update_into(record.frame, block)
             record.verify(block)
             self._device.write_block_from(lba, block)
@@ -96,15 +103,16 @@ class ReplicaEngine:
             self.records_applied += 1
             return _ACK.pack(record.seq, ACK_APPLIED)
 
-    def receive_batch(self, raw_batch: bytes) -> bytes:
+    def receive_batch(self, raw_batch: bytes, ctx=None) -> bytes:
         """Unbatch and apply a multi-segment batch; returns the batch ack.
 
         Verifies the batch digest, then applies each segment through the
         same idempotent per-record path as :meth:`receive` (so a
         redelivered batch acks its duplicates instead of re-XORing them).
-        Registered as the iSCSI target's batch handler.
+        Registered as the iSCSI target's batch handler; ``ctx`` parents
+        the batch-apply span as in :meth:`receive`.
         """
-        with self.telemetry.span("replica.apply_batch") as span:
+        with self.telemetry.span_in("replica.apply_batch", ctx) as span:
             batch = ShipBatch.unpack(raw_batch)
             span.set("records", batch.record_count)
             applied = 0

@@ -343,12 +343,14 @@ class ResilientLink(ReplicaLink):
         rng: np.random.Generator | None = None,
         sleep: Callable[[float], None] | None = None,
         on_retry: Callable[[int], None] | None = None,
+        telemetry=None,
     ) -> None:
         self._inner = inner
         self.policy = policy if policy is not None else RetryPolicy()
         self._rng = rng if rng is not None else make_rng(0, "resilient-link")
         self._sleep = sleep
         self._on_retry = on_retry
+        self._tel = telemetry if telemetry is not None else NULL_TELEMETRY
         self.ships = 0
         self.retries = 0
         self.giveups = 0
@@ -402,12 +404,31 @@ class ResilientLink(ReplicaLink):
                 self.retries += 1
                 if self._on_retry is not None:
                     self._on_retry(wire_len)
+                self._tel.event(
+                    "link.retry",
+                    lba=work.lba,
+                    attempt=attempt,
+                    error=type(last).__name__ if last is not None else "",
+                )
             try:
+                if attempt:
+                    # Each retry is its own span joined to the write's causal
+                    # context, so the stitched tree shows every re-ship.
+                    with self._tel.span_in(
+                        "link.retry", work.ctx, attempt=attempt, lba=work.lba
+                    ):
+                        return self._attempt(work)
                 return self._attempt(work)
             except TRANSIENT_ERRORS as exc:
                 last = exc
         self.giveups += 1
         assert last is not None
+        self._tel.event(
+            "link.giveup",
+            lba=work.lba,
+            attempts=self.policy.max_attempts,
+            error=type(last).__name__,
+        )
         raise RetriesExhaustedError(
             work.lba, self.policy.max_attempts, last
         ) from last
@@ -455,6 +476,7 @@ class CircuitBreaker:
         degraded_after: int = 1,
         down_after: int = 3,
         probe_interval: int = 4,
+        on_transition: Callable[[LinkHealth, LinkHealth], None] | None = None,
     ) -> None:
         if degraded_after < 1:
             raise ConfigurationError(
@@ -477,6 +499,9 @@ class CircuitBreaker:
         self._suppressed = 0
         self._half_open = False
         self.transitions: list[tuple[LinkHealth, LinkHealth]] = []
+        #: observer called as ``on_transition(old, new)`` after each move —
+        #: the guard wires the flight recorder here
+        self.on_transition = on_transition
 
     @property
     def state(self) -> LinkHealth:
@@ -495,8 +520,11 @@ class CircuitBreaker:
 
     def _move(self, new: LinkHealth) -> None:
         if new is not self._state:
-            self.transitions.append((self._state, new))
+            old = self._state
+            self.transitions.append((old, new))
             self._state = new
+            if self.on_transition is not None:
+                self.on_transition(old, new)
 
     def should_attempt(self) -> bool:
         """Whether the next ship may go on the wire.
@@ -630,6 +658,7 @@ class GuardedLink:
                 on_retry=lambda wire_len: accountant.record_retry(
                     wire_len, replica=index
                 ),
+                telemetry=tel,
             )
         else:
             self.link = link
@@ -637,6 +666,7 @@ class GuardedLink:
             degraded_after=config.degraded_after,
             down_after=config.down_after,
             probe_interval=config.probe_interval,
+            on_transition=self._on_health_transition,
         )
         self.backlog = ReplicationJournal(config.backlog_capacity_bytes)
         self.accountant = accountant
@@ -658,6 +688,22 @@ class GuardedLink:
         self._dirty_since_resync: set[int] = set()
 
     # -- state -------------------------------------------------------------
+
+    def _on_health_transition(self, old: LinkHealth, new: LinkHealth) -> None:
+        """Record every breaker move; a drop to DOWN dumps the recorder."""
+        self._tel.event(
+            "health.transition", link=self.index, old=old.value, new=new.value
+        )
+        if new is LinkHealth.DOWN:
+            self._tel.fault(
+                "link_down",
+                link=self.index,
+                error=(
+                    type(self.last_error).__name__
+                    if self.last_error is not None
+                    else ""
+                ),
+            )
 
     @property
     def health(self) -> LinkHealth:
@@ -775,6 +821,9 @@ class GuardedLink:
             return
         dropped_before = self.backlog.payload_bytes_dropped_total
         self.backlog.append(lba, record)
+        self._tel.event(
+            "journal.append", link=self.index, lba=lba, seq=record.seq
+        )
         self._journaled_counter.inc()
         self.accountant.record_journaled_copy(
             record.wire_size, replica=self.index
@@ -801,6 +850,12 @@ class GuardedLink:
             return
         self.resync_required = True
         self._overflow_counter.inc()
+        self._tel.event(
+            "backlog.overflow",
+            link=self.index,
+            pending_bytes=self.backlog.payload_bytes_pending,
+            pending_records=self.backlog.entry_count,
+        )
         self._dirty_since_resync.update(self.backlog.pending_lbas())
         pending = self.backlog.payload_bytes_pending
         if pending:
@@ -821,10 +876,17 @@ class GuardedLink:
         try:
             return self.backlog.replay(self.link)
         finally:
+            replayed = self.backlog.records_replayed_total - records_before
+            replayed_bytes = self.backlog.bytes_replayed_total - bytes_before
+            if replayed:
+                self._tel.event(
+                    "backlog.replay",
+                    link=self.index,
+                    records=replayed,
+                    bytes=replayed_bytes,
+                )
             self.accountant.record_backlog_replay(
-                self.backlog.records_replayed_total - records_before,
-                self.backlog.bytes_replayed_total - bytes_before,
-                replica=self.index,
+                replayed, replayed_bytes, replica=self.index
             )
 
     # -- recovery ------------------------------------------------------------
@@ -952,7 +1014,17 @@ class GuardedLink:
             "resync.reconcile", link=self.index, rounds=session.rounds_used
         ) as span:
             try:
-                session.run(sync_source, dest, shipper)
+                session.run(
+                    sync_source,
+                    dest,
+                    shipper,
+                    on_round=lambda rnd, pending: self._tel.event(
+                        "reconcile.round",
+                        link=self.index,
+                        round=rnd,
+                        pending_groups=pending,
+                    ),
+                )
             except ReconcileStalledError:
                 stalled = True
                 span.set("stalled", True)
@@ -963,6 +1035,11 @@ class GuardedLink:
             finally:
                 self._charge_reconcile(session)
         if stalled:
+            self._tel.fault(
+                "reconcile_stalled",
+                link=self.index,
+                rounds=session.rounds_used,
+            )
             self._session = None
             self._tel.counter("reconcile.fallbacks").inc()
             return None

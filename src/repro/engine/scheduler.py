@@ -454,30 +454,40 @@ class ReplicaChannel:
         ``locked`` (thread mode) serializes accounting-mutating guard
         submissions on the scheduler's resolve lock; raw-link I/O always
         runs unlocked so thread-mode channels overlap on the wire.
+
+        The wire time is metered as a ``sched.send`` span joined to the
+        submission's causal context, so cross-channel fan-out shows up as
+        sibling sends under the originating write when tracing is on.
         """
-        if self.guard is not None:
-            if locked:
+        work = state.work
+        with self._sched.telemetry.span_in(
+            "sched.send", work.ctx, link=self.index, seq=work.last_seq
+        ) as span:
+            if self.guard is not None:
+                if locked:
+                    with self._sched.resolve_lock:
+                        ok = self.guard.submit(work, self._sched.verify_acks)
+                else:
+                    ok = self.guard.submit(work, self._sched.verify_acks)
+                if ok:
+                    return "delivered"
+                self.stats.journaled += 1
+                span.set("journaled", True)
+                return "journaled"
+            assert self.link is not None
+            try:
+                ack = self.link.submit(work)
+                if self._sched.verify_acks:
+                    work.verify_ack(ack)
+            except Exception as exc:  # noqa: BLE001 — stashed, surfaced at drain
+                self.stats.failures += 1
+                span.set("failed", type(exc).__name__)
                 with self._sched.resolve_lock:
-                    ok = self.guard.submit(state.work, self._sched.verify_acks)
-            else:
-                ok = self.guard.submit(state.work, self._sched.verify_acks)
-            if ok:
-                return "delivered"
-            self.stats.journaled += 1
-            return "journaled"
-        assert self.link is not None
-        try:
-            ack = self.link.submit(state.work)
-            if self._sched.verify_acks:
-                state.work.verify_ack(ack)
-        except Exception as exc:  # noqa: BLE001 — stashed, surfaced at drain
-            self.stats.failures += 1
-            with self._sched.resolve_lock:
-                if state.failure is None:
-                    state.failure = exc
-                    state.failed_index = self.index
-            return "failed"
-        return "delivered"
+                    if state.failure is None:
+                        state.failure = exc
+                        state.failed_index = self.index
+                return "failed"
+            return "delivered"
 
 
 class FanoutScheduler:
@@ -672,6 +682,14 @@ class FanoutScheduler:
             return
         state, exc = self._stashed_failures[0]
         self._stashed_failures.clear()
+        self.telemetry.fault(
+            "partial_replication",
+            lba=state.work.lba,
+            seq=state.work.last_seq,
+            failed_index=state.failed_index,
+            succeeded=state.delivered,
+            error=type(exc).__name__,
+        )
         raise PartialReplicationError(
             lba=state.work.lba,
             seq=state.work.last_seq,
@@ -720,6 +738,7 @@ class FanoutScheduler:
     def record_stall(self, seconds: float) -> None:
         """Charge ``seconds`` of producer stall to ``sched.stall_ns``."""
         self._stall_counter.inc(int(seconds * 1e9))
+        self.telemetry.event("scheduler.stall", seconds=seconds)
 
     def stall_until(self, predicate: Callable[[], bool]) -> None:
         """Sim-mode backpressure: run events until ``predicate`` holds."""

@@ -190,7 +190,7 @@ class FullBlockStrategy(ReplicationStrategy):
 
     def encode_payload(self, payload: bytes) -> bytes:
         """Wrap the block in a raw (identity-codec) frame."""
-        with self.telemetry.span("write.encode", codec=self._codec.name):
+        with self.telemetry.span("write.encode"):
             return encode_frame(self._codec, payload)
 
     def encode_payloads(self, payloads: Sequence[bytes]) -> list[bytes]:
@@ -233,7 +233,7 @@ class CompressedBlockStrategy(ReplicationStrategy):
 
     def encode_payload(self, payload: bytes) -> bytes:
         """Compress the block and wrap it in a self-describing frame."""
-        with self.telemetry.span("write.encode", codec=self._codec.name):
+        with self.telemetry.span("write.encode"):
             return encode_frame(self._codec, payload)
 
     def encode_payloads(self, payloads: Sequence[bytes]) -> list[bytes]:
@@ -299,7 +299,7 @@ class PrinsStrategy(ReplicationStrategy):
         if raid_delta is not None:
             delta = raid_delta  # P' came free from the RAID small write
         else:
-            with self.telemetry.span("write.delta") as span:
+            with self.telemetry.fine_span("write.delta") as span:
                 if cache_hit is not None:
                     span.set("cache_hit", cache_hit)
                 delta = forward_parity(new_data, old_data)
@@ -326,7 +326,7 @@ class PrinsStrategy(ReplicationStrategy):
 
     def encode_payload(self, payload: bytes) -> bytes:
         """Encode a parity delta with the sparse-aware codec into a frame."""
-        with self.telemetry.span("write.encode", codec=self._codec.name):
+        with self.telemetry.span("write.encode"):
             return encode_frame(self._codec, payload)
 
     def encode_payloads(self, payloads: Sequence[bytes]) -> list[bytes]:

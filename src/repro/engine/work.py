@@ -16,13 +16,14 @@ surface per replica channel.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterator
 
 from repro.common.errors import ReplicationError
 from repro.engine.batch import ShipBatch, unpack_batch_ack
 from repro.engine.messages import ReplicationRecord
 from repro.engine.replica import ReplicaEngine
+from repro.obs.dist import TraceContext
 
 __all__ = ["ShipWork"]
 
@@ -34,11 +35,18 @@ class ShipWork:
     Exactly one of ``record`` / ``batch`` is set.  ``lba`` is the target
     block for single records and the first segment's LBA for batches
     (informational — batch segments carry their own LBAs on the wire).
+
+    ``ctx`` is the optional causal trace context of the originating write
+    span (:mod:`repro.obs.dist`): it rides with the work through the
+    scheduler's worker threads and onto the iSCSI BHS, and is excluded
+    from equality/repr — two submissions shipping the same bytes are the
+    same work whether or not tracing happened to be on.
     """
 
     lba: int
     record: ReplicationRecord | None = None
     batch: ShipBatch | None = None
+    ctx: TraceContext | None = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         """Enforce the record-xor-batch invariant."""
@@ -50,15 +58,22 @@ class ShipWork:
     # -- constructors --------------------------------------------------------
 
     @classmethod
-    def for_record(cls, lba: int, record: ReplicationRecord) -> "ShipWork":
+    def for_record(
+        cls,
+        lba: int,
+        record: ReplicationRecord,
+        ctx: TraceContext | None = None,
+    ) -> "ShipWork":
         """Wrap a single replication record."""
-        return cls(lba=lba, record=record)
+        return cls(lba=lba, record=record, ctx=ctx)
 
     @classmethod
-    def for_batch(cls, batch: ShipBatch) -> "ShipWork":
+    def for_batch(
+        cls, batch: ShipBatch, ctx: TraceContext | None = None
+    ) -> "ShipWork":
         """Wrap a multi-segment batch (lba = first segment's LBA)."""
         lba = batch.entries[0].lba if batch.entries else 0
-        return cls(lba=lba, batch=batch)
+        return cls(lba=lba, batch=batch, ctx=ctx)
 
     # -- introspection -------------------------------------------------------
 

@@ -102,25 +102,45 @@ class Initiator:
 
     # -- PRINS replication -------------------------------------------------------
 
-    def send_replication_frame(self, lba: int, frame: bytes) -> bytes:
-        """Ship one replication frame; returns the replica's ack payload."""
+    def send_replication_frame(self, lba: int, frame: bytes, ctx=None) -> bytes:
+        """Ship one replication frame; returns the replica's ack payload.
+
+        ``ctx`` (a :class:`~repro.obs.dist.TraceContext` or ``None``)
+        rides in the BHS trace fields so the replica's apply span joins
+        the originating write's causal tree; absent context packs zeros
+        — byte-identical to the pre-tracing wire format.
+        """
+        trace_id, parent_span = (0, 0) if ctx is None else (ctx.trace_id, ctx.span_id)
         response = self._roundtrip(
-            Pdu(opcode=Opcode.REPL_DATA_OUT, lba=lba, data=frame),
+            Pdu(
+                opcode=Opcode.REPL_DATA_OUT,
+                lba=lba,
+                trace_id=trace_id,
+                parent_span=parent_span,
+                data=frame,
+            ),
             expect=Opcode.REPL_ACK,
         )
         return response.data
 
-    def send_replication_batch(self, payload: bytes, record_count: int) -> bytes:
+    def send_replication_batch(
+        self, payload: bytes, record_count: int, ctx=None
+    ) -> bytes:
         """Ship a packed multi-segment batch; returns the batch ack payload.
 
         One PDU carries ``record_count`` replication records (count is
         advertised in ``transfer_length`` for wire-level introspection);
-        the per-record LBAs travel inside the batch segments.
+        the per-record LBAs travel inside the batch segments.  ``ctx``
+        propagates the causal trace context exactly as in
+        :meth:`send_replication_frame`.
         """
+        trace_id, parent_span = (0, 0) if ctx is None else (ctx.trace_id, ctx.span_id)
         response = self._roundtrip(
             Pdu(
                 opcode=Opcode.REPL_BATCH_OUT,
                 transfer_length=record_count,
+                trace_id=trace_id,
+                parent_span=parent_span,
                 data=payload,
             ),
             expect=Opcode.REPL_BATCH_ACK,

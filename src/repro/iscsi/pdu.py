@@ -14,10 +14,17 @@ distinction is irrelevant to byte counts)::
     16      4     transfer length in blocks (SCSI CDB)
     20      4     data segment length
     24      8     sequence number (CmdSN / StatSN)
-    32      16    reserved padding (keeps the BHS at 48 bytes)
+    32      8     trace id (causal context; 0 = tracing off)
+    40      8     parent span id (causal context; 0 = tracing off)
 
 The vendor-specific :attr:`Opcode.REPL_DATA_OUT` carries PRINS replication
 frames; everything else is standard command traffic.
+
+The trailing 16 bytes were reserved padding through PR 6; they now carry
+the optional :mod:`repro.obs.dist` trace context.  Both fields default
+to zero, and zero is exactly what the old ``16x`` padding wrote — so
+with tracing off (the default) every packed PDU is byte-identical to the
+previous wire format, and the paper-figure byte counts stay pinned.
 """
 
 from __future__ import annotations
@@ -29,7 +36,7 @@ from dataclasses import dataclass, field
 from repro.common.errors import ProtocolError
 
 BHS_SIZE = 48
-_BHS = struct.Struct("<BBHIQIIQ16x")
+_BHS = struct.Struct("<BBHIQIIQQQ")
 
 
 class Opcode(enum.IntEnum):
@@ -79,6 +86,8 @@ class Pdu:
     lba: int = 0
     transfer_length: int = 0
     seq: int = 0
+    trace_id: int = 0
+    parent_span: int = 0
     data: bytes = field(default=b"", repr=False)
 
     @property
@@ -97,6 +106,8 @@ class Pdu:
             self.transfer_length,
             len(self.data),
             self.seq,
+            self.trace_id,
+            self.parent_span,
         )
         assert len(header) == BHS_SIZE
         return header + self.data
@@ -106,7 +117,18 @@ class Pdu:
         """Parse a BHS; return the PDU (data empty) and the data length."""
         if len(header) != BHS_SIZE:
             raise ProtocolError(f"BHS must be {BHS_SIZE} bytes, got {len(header)}")
-        opcode, flags, status, itt, lba, xfer, data_len, seq = _BHS.unpack(header)
+        (
+            opcode,
+            flags,
+            status,
+            itt,
+            lba,
+            xfer,
+            data_len,
+            seq,
+            trace_id,
+            parent_span,
+        ) = _BHS.unpack(header)
         try:
             op = Opcode(opcode)
         except ValueError:
@@ -119,6 +141,8 @@ class Pdu:
             lba=lba,
             transfer_length=xfer,
             seq=seq,
+            trace_id=trace_id,
+            parent_span=parent_span,
         )
         return pdu, data_len
 

@@ -13,6 +13,7 @@ per session, so the networked examples can mirror across real sockets.
 
 from __future__ import annotations
 
+import inspect
 import logging
 import socket
 import threading
@@ -22,14 +23,39 @@ from repro.block.device import BlockDevice
 from repro.common.errors import BlockRangeError, ProtocolError
 from repro.iscsi.pdu import Opcode, Pdu, ScsiOp, Status
 from repro.iscsi.transport import TcpTransport, Transport, TransportClosedError
+from repro.obs.dist import context_from_wire
 
 logger = logging.getLogger(__name__)
 
 #: Called with (lba, frame_bytes); returns ack payload (usually empty).
+#: Handlers may additionally accept a ``ctx`` keyword — the carried
+#: :class:`~repro.obs.dist.TraceContext` — which the target passes when
+#: the request PDU brought one; legacy two-argument handlers keep working.
 ReplicationHandler = Callable[[int, bytes], bytes]
 
 #: Called with (packed_batch_bytes); returns the batch ack payload.
+#: Same optional ``ctx`` keyword convention as :data:`ReplicationHandler`.
 BatchHandler = Callable[[bytes], bytes]
+
+
+def _accepts_ctx(handler) -> bool:
+    """True when ``handler`` can take a ``ctx`` keyword argument.
+
+    Decided once at install time (``inspect.signature`` is too slow for
+    the per-PDU path); un-introspectable callables count as legacy.
+    """
+    if handler is None:
+        return False
+    try:
+        signature = inspect.signature(handler)
+    except (TypeError, ValueError):
+        return False
+    for param in signature.parameters.values():
+        if param.kind is inspect.Parameter.VAR_KEYWORD:
+            return True
+        if param.name == "ctx":
+            return True
+    return False
 
 
 class Target:
@@ -46,6 +72,8 @@ class Target:
         self._name = name
         self._replication_handler = replication_handler
         self._batch_handler = batch_handler
+        self._repl_handler_ctx = _accepts_ctx(replication_handler)
+        self._batch_handler_ctx = _accepts_ctx(batch_handler)
         self._logged_in = False
         self._stat_sn = 0
 
@@ -62,10 +90,12 @@ class Target:
     def set_replication_handler(self, handler: ReplicationHandler) -> None:
         """Install the callback invoked for every ``REPL_DATA_OUT`` PDU."""
         self._replication_handler = handler
+        self._repl_handler_ctx = _accepts_ctx(handler)
 
     def set_batch_handler(self, handler: BatchHandler) -> None:
         """Install the callback invoked for every ``REPL_BATCH_OUT`` PDU."""
         self._batch_handler = handler
+        self._batch_handler_ctx = _accepts_ctx(handler)
 
     # -- session loop -------------------------------------------------------
 
@@ -145,7 +175,11 @@ class Target:
             return self._respond(
                 request, Opcode.REPL_ACK, status=Status.PROTOCOL_VIOLATION
             )
-        ack_payload = self._replication_handler(request.lba, request.data)
+        ctx = context_from_wire(request.trace_id, request.parent_span)
+        if ctx is not None and self._repl_handler_ctx:
+            ack_payload = self._replication_handler(request.lba, request.data, ctx=ctx)
+        else:
+            ack_payload = self._replication_handler(request.lba, request.data)
         return self._respond(request, Opcode.REPL_ACK, data=ack_payload)
 
     def _handle_batch(self, request: Pdu) -> Pdu:
@@ -154,7 +188,11 @@ class Target:
             return self._respond(
                 request, Opcode.REPL_BATCH_ACK, status=Status.PROTOCOL_VIOLATION
             )
-        ack_payload = self._batch_handler(request.data)
+        ctx = context_from_wire(request.trace_id, request.parent_span)
+        if ctx is not None and self._batch_handler_ctx:
+            ack_payload = self._batch_handler(request.data, ctx=ctx)
+        else:
+            ack_payload = self._batch_handler(request.data)
         return self._respond(request, Opcode.REPL_BATCH_ACK, data=ack_payload)
 
     def _handle_nop(self, request: Pdu) -> Pdu:

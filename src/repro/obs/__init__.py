@@ -8,8 +8,18 @@ measurements live at runtime.  Three layers:
 * :mod:`repro.obs.tracing` — nested, monotonic-clock spans covering the
   full replicated write path, with a bounded ring buffer of raw spans and
   exact per-stage aggregates;
-* :mod:`repro.obs.export` — JSON snapshots, Prometheus text format, and
-  the ``prins metrics`` / ``prins trace report`` terminal reports.
+* :mod:`repro.obs.export` — JSON snapshots, Prometheus text format,
+  Chrome trace-event (Perfetto) export, and the ``prins metrics`` /
+  ``prins trace report`` terminal reports;
+* :mod:`repro.obs.dist` — the causal :class:`~repro.obs.dist.TraceContext`
+  carried through ``ShipWork``, scheduler worker threads, and the iSCSI
+  BHS so one write is one trace across threads and nodes;
+* :mod:`repro.obs.critical` — stitches exported spans (from any number
+  of nodes) into causal trees and attributes each write's latency to
+  stages (queue/encode/transport/replica/drag) with streaming quantiles;
+* :mod:`repro.obs.flightrec` — a bounded black-box event ring
+  (health transitions, retries, journal/backlog, reconcile rounds,
+  scheduler stalls) auto-dumped to JSON when the fault ladder fires.
 
 :class:`~repro.obs.telemetry.Telemetry` fronts all of it; the
 :data:`~repro.obs.telemetry.NULL_TELEMETRY` twin is the default
@@ -18,13 +28,22 @@ everywhere, so nothing pays for observability until it is switched on
 :func:`~repro.obs.telemetry.set_telemetry`).
 """
 
+from repro.obs.critical import CriticalPathAnalyzer, WriteAttribution, stitch_spans
+from repro.obs.dist import TraceContext, context_from_wire, context_to_wire
 from repro.obs.export import (
     load_snapshot,
     render_metrics_report,
     render_trace_report,
     save_snapshot,
+    to_chrome_trace,
     to_json,
     to_prometheus,
+)
+from repro.obs.flightrec import (
+    NULL_FLIGHTREC,
+    FlightRecorder,
+    NullFlightRecorder,
+    render_events,
 )
 from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.telemetry import (
@@ -39,22 +58,33 @@ from repro.obs.tracing import NULL_SPAN, NullTracer, Span, Tracer
 
 __all__ = [
     "Counter",
+    "CriticalPathAnalyzer",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "NULL_FLIGHTREC",
     "NULL_SPAN",
     "NULL_TELEMETRY",
+    "NullFlightRecorder",
     "NullTelemetry",
     "NullTracer",
     "Span",
     "Telemetry",
+    "TraceContext",
     "Tracer",
+    "WriteAttribution",
+    "context_from_wire",
+    "context_to_wire",
     "get_telemetry",
     "load_snapshot",
+    "render_events",
     "render_metrics_report",
     "render_trace_report",
     "save_snapshot",
     "set_telemetry",
+    "stitch_spans",
+    "to_chrome_trace",
     "to_json",
     "to_prometheus",
     "use_telemetry",

@@ -1,0 +1,308 @@
+"""Stitch exported spans into causal trees and attribute write latency.
+
+The tracer exports flat span records; this module rebuilds them into one
+tree per ``trace_id`` — merging records exported from *several*
+telemetry instances (initiator, target, replicas on other nodes) into a
+single causal view — and then answers the operator's question: *which
+stage made this write slow?*
+
+Attribution is **exclusive-time**: each span is charged its own duration
+minus the duration of its children, and that exclusive time is mapped to
+a stage bucket by span name (queue wait, delta, encode, transport,
+replica apply, …).  Over a sequential tree the stage totals sum exactly
+to the root write's latency; pipelined trees (threads mode) can overlap,
+so the report also prints coverage.  *Slowest-replica drag* — the gap
+between the fastest and slowest per-link send — is computed separately
+from the fan-out send spans, since it is a property of the spread, not
+of any single span.
+
+Per-stage latency distributions stream into the existing log2
+:class:`~repro.obs.registry.Histogram`, so p50/p95/p99 per stage stay
+O(1)-memory no matter how many writes are analyzed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs.registry import Histogram
+
+__all__ = [
+    "CriticalPathAnalyzer",
+    "STAGE_OF",
+    "WriteAttribution",
+    "stitch_spans",
+]
+
+#: span name → attribution stage.  Unknown names fall into "other".
+STAGE_OF = {
+    "write.local": "local",
+    "write.delta": "delta",
+    "write.encode": "encode",
+    "write.batch": "batch",
+    "batch.flush": "batch",
+    "sched.submit": "queue",
+    "sched.send": "transport",
+    "write.send": "transport",
+    "transport.send": "transport",
+    "link.retry": "transport",
+    "replica.apply": "replica",
+    "replica.apply_batch": "replica",
+    "replica.decode": "replica",
+}
+
+#: root span names that begin one logical write
+ROOT_NAMES = frozenset({"write", "write.many", "batch.flush"})
+
+#: per-link fan-out spans used to measure slowest-replica drag
+_FANOUT_NAMES = frozenset({"write.send", "sched.send"})
+
+
+def stitch_spans(spans) -> dict[int, list[dict]]:
+    """Group flat span records into causal trees keyed by ``trace_id``.
+
+    ``spans`` is any iterable of span dicts (possibly concatenated from
+    several nodes' exports).  Each tree node is a *new* dict — the input
+    records are not mutated — shaped ``{**span, "children": [...]}``
+    with children ordered by ``start_ns``.  The value per trace is the
+    list of roots: spans with no parent, or whose parent record was not
+    exported (ring-buffer eviction or a foreign node not collected); a
+    well-collected trace has exactly one root.
+    """
+    nodes: dict[int, dict] = {}
+    by_trace: dict[int, list[dict]] = {}
+    for span in spans:
+        node = dict(span)
+        node["children"] = []
+        nodes[node["span_id"]] = node
+    for node in nodes.values():
+        parent_id = node.get("parent_id")
+        parent = nodes.get(parent_id) if parent_id is not None else None
+        if parent is not None and parent is not node:
+            parent["children"].append(node)
+        else:
+            by_trace.setdefault(node["trace_id"], []).append(node)
+    for tree in nodes.values():
+        tree["children"].sort(key=lambda child: child.get("start_ns", 0))
+    for roots in by_trace.values():
+        roots.sort(key=lambda root: root.get("start_ns", 0))
+    return dict(sorted(by_trace.items()))
+
+
+@dataclass
+class WriteAttribution:
+    """Per-stage latency breakdown of one stitched write tree."""
+
+    trace_id: int
+    name: str
+    lba: int | None
+    total_ns: int
+    stages: dict = field(default_factory=dict)
+    drag_ns: int = 0
+    span_count: int = 0
+    nodes: tuple = ()
+
+    @property
+    def dominant(self) -> str:
+        """The stage charged the most exclusive time ("none" when empty)."""
+        if not self.stages:
+            return "none"
+        return max(self.stages.items(), key=lambda item: item[1])[0]
+
+    @property
+    def coverage(self) -> float:
+        """Sum of stage times over root latency (1.0 = fully explained)."""
+        if not self.total_ns:
+            return 0.0
+        return sum(self.stages.values()) / self.total_ns
+
+    def to_dict(self) -> dict:
+        """JSON-safe record for exporters and the CLI."""
+        return {
+            "trace_id": self.trace_id,
+            "name": self.name,
+            "lba": self.lba,
+            "total_ns": self.total_ns,
+            "stages": dict(self.stages),
+            "dominant": self.dominant,
+            "coverage": round(self.coverage, 4),
+            "drag_ns": self.drag_ns,
+            "span_count": self.span_count,
+            "nodes": list(self.nodes),
+        }
+
+
+def _attribute_tree(root: dict) -> WriteAttribution:
+    """Exclusive-time attribution of one root's subtree."""
+    stages: dict[str, int] = {}
+    fanout: dict[object, int] = {}
+    seen_nodes: set[str] = set()
+    count = 0
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        count += 1
+        if node.get("node"):
+            seen_nodes.add(node["node"])
+        children = node["children"]
+        stack.extend(children)
+        exclusive = node.get("duration_ns", 0) - sum(
+            child.get("duration_ns", 0) for child in children
+        )
+        if exclusive > 0:
+            stage = STAGE_OF.get(node["name"], "other")
+            stages[stage] = stages.get(stage, 0) + exclusive
+        if node["name"] in _FANOUT_NAMES:
+            link = (node.get("attrs") or {}).get("link")
+            duration = node.get("duration_ns", 0)
+            if link not in fanout or duration > fanout[link]:
+                fanout[link] = duration
+    drag = max(fanout.values()) - min(fanout.values()) if len(fanout) > 1 else 0
+    attrs = root.get("attrs") or {}
+    return WriteAttribution(
+        trace_id=root["trace_id"],
+        name=root["name"],
+        lba=attrs.get("lba"),
+        total_ns=root.get("duration_ns", 0),
+        stages=stages,
+        drag_ns=drag,
+        span_count=count,
+        nodes=tuple(sorted(seen_nodes)),
+    )
+
+
+class CriticalPathAnalyzer:
+    """Streaming critical-path attribution over exported spans.
+
+    Feed it span records (:meth:`add_spans`) or whole telemetry snapshots
+    (:meth:`add_snapshot`) from any number of nodes, then read
+    :meth:`top_writes` / :meth:`stage_summary` / :meth:`render`.  Trees
+    whose root is not a write (no :data:`ROOT_NAMES` match) are skipped,
+    but their subtrees are searched — the outermost write span found on
+    any path claims its whole subtree, so nested roots (``write`` inside
+    ``write.many``) are never double-counted.
+    """
+
+    def __init__(self) -> None:
+        self._spans: list[dict] = []
+        self._writes: list[WriteAttribution] | None = None
+        self._stage_hist: dict[str, Histogram] = {}
+
+    # -- feeding -------------------------------------------------------------
+
+    def add_spans(self, spans) -> None:
+        """Accumulate raw span records (from any node)."""
+        self._spans.extend(spans)
+        self._writes = None
+
+    def add_snapshot(self, snapshot: dict) -> None:
+        """Accumulate the ``traces`` section of a telemetry snapshot."""
+        self.add_spans(snapshot.get("traces", []))
+
+    # -- analysis ------------------------------------------------------------
+
+    def _stage_histogram(self, stage: str) -> Histogram:
+        hist = self._stage_hist.get(stage)
+        if hist is None:
+            hist = self._stage_hist[stage] = Histogram(
+                f"critical.{stage}.ns", max_exponent=48
+            )
+        return hist
+
+    def attributions(self) -> list[WriteAttribution]:
+        """One attribution per write tree (computed once, then cached)."""
+        if self._writes is not None:
+            return self._writes
+        writes: list[WriteAttribution] = []
+        for roots in stitch_spans(self._spans).values():
+            stack = list(roots)
+            while stack:
+                node = stack.pop()
+                if node["name"] in ROOT_NAMES:
+                    attribution = _attribute_tree(node)
+                    writes.append(attribution)
+                    for stage, ns in attribution.stages.items():
+                        self._stage_histogram(stage).record(ns)
+                    if attribution.drag_ns:
+                        self._stage_histogram("drag").record(attribution.drag_ns)
+                else:
+                    stack.extend(node["children"])
+        writes.sort(key=lambda w: w.total_ns, reverse=True)
+        self._writes = writes
+        return writes
+
+    def top_writes(self, n: int = 10) -> list[WriteAttribution]:
+        """The ``n`` slowest writes, most expensive first."""
+        return self.attributions()[:n]
+
+    def stage_summary(self) -> dict:
+        """Streaming per-stage stats: count / total / p50 / p95 / p99 ns."""
+        self.attributions()
+        out = {}
+        for stage, hist in sorted(self._stage_hist.items()):
+            out[stage] = {
+                "count": hist.count,
+                "total_ns": hist.sum,
+                "p50_ns": hist.quantile(0.50),
+                "p95_ns": hist.quantile(0.95),
+                "p99_ns": hist.quantile(0.99),
+            }
+        return out
+
+    def summary(self) -> dict:
+        """JSON-safe overall view: write count, stages, slowest writes."""
+        writes = self.attributions()
+        return {
+            "writes": len(writes),
+            "stages": self.stage_summary(),
+            "top": [w.to_dict() for w in self.top_writes(10)],
+        }
+
+    # -- rendering -----------------------------------------------------------
+
+    def render(self, top: int = 10) -> str:
+        """Operator-facing report for ``prins trace critical``."""
+        writes = self.attributions()
+        if not writes:
+            return "no write traces found (is tracing enabled?)"
+        lines = [f"critical path over {len(writes)} write(s)"]
+        lines.append("")
+        lines.append("per-stage latency (exclusive time, streamed):")
+        for stage, stats in self.stage_summary().items():
+            lines.append(
+                f"  {stage:<10s} n={stats['count']:<6d} "
+                f"p50={_fmt_ns(stats['p50_ns']):>9s} "
+                f"p95={_fmt_ns(stats['p95_ns']):>9s} "
+                f"p99={_fmt_ns(stats['p99_ns']):>9s} "
+                f"total={_fmt_ns(stats['total_ns']):>9s}"
+            )
+        lines.append("")
+        lines.append(f"top {min(top, len(writes))} writes by latency:")
+        for w in self.top_writes(top):
+            stages = " ".join(
+                f"{stage}={_fmt_ns(ns)}"
+                for stage, ns in sorted(
+                    w.stages.items(), key=lambda item: item[1], reverse=True
+                )
+            )
+            lba = "-" if w.lba is None else w.lba
+            drag = f" drag={_fmt_ns(w.drag_ns)}" if w.drag_ns else ""
+            lines.append(
+                f"  trace {w.trace_id:<8d} {w.name:<11s} lba={lba!s:<6s} "
+                f"total={_fmt_ns(w.total_ns):>9s} dominant={w.dominant}"
+                f" cov={w.coverage:.0%}{drag}"
+            )
+            lines.append(f"      {stages}")
+        return "\n".join(lines)
+
+
+def _fmt_ns(ns) -> str:
+    """Scale nanoseconds into a human unit."""
+    ns = float(ns)
+    if ns >= 1e9:
+        return f"{ns / 1e9:.2f}s"
+    if ns >= 1e6:
+        return f"{ns / 1e6:.2f}ms"
+    if ns >= 1e3:
+        return f"{ns / 1e3:.1f}us"
+    return f"{int(ns)}ns"

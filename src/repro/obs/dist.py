@@ -1,0 +1,68 @@
+"""Causal trace context for cross-thread and cross-wire propagation.
+
+PR 2's tracer ties spans together with a per-thread stack, which is
+enough while one write runs start-to-finish on one thread.  The
+pipelined scheduler and the iSCSI wire break that assumption: the send
+happens on a channel worker thread, and the replica apply happens in a
+different *process* behind a TCP socket.  :class:`TraceContext` is the
+value that crosses those gaps — a frozen ``(trace_id, span_id)`` pair
+snapshotted from the initiating write span and re-adopted on the far
+side, so every span of one logical write lands in one causal tree no
+matter which thread or node recorded it.
+
+Propagation paths (all default OFF — a ``None`` context everywhere):
+
+* **in-process, cross-thread** — :class:`~repro.engine.work.ShipWork`
+  carries ``ctx``; the scheduler's channel worker opens its send span
+  with :meth:`~repro.obs.tracing.Tracer.span_in` so the worker-thread
+  span joins the write's trace instead of starting its own;
+* **cross-wire** — the iSCSI BHS reserves 16 bytes at offset 32; when a
+  context rides along they hold ``trace_id`` / ``span_id`` as two
+  little-endian u64s (zero otherwise, so wire bytes with tracing off
+  are identical to a build without this feature);
+* **stitching** — spans exported from several
+  :class:`~repro.obs.telemetry.Telemetry` instances (one per node) are
+  merged by ``trace_id`` in :mod:`repro.obs.critical`.
+
+A context with ``trace_id == 0`` is "absent" by convention — the wire
+encodes no-context as zeros, and :func:`context_from_wire` maps zeros
+back to ``None``.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+__all__ = ["TraceContext", "context_from_wire", "context_to_wire"]
+
+
+class TraceContext(NamedTuple):
+    """Immutable causal coordinates of one in-flight span.
+
+    ``trace_id`` names the causal tree (the root write span's id);
+    ``span_id`` is the specific span that spawned the remote/async work,
+    i.e. the parent for whatever span is opened on the far side.
+
+    A ``NamedTuple`` rather than a dataclass on purpose: one context is
+    minted per traced write (and another per cross-wire hop), so cheap
+    construction matters.  Both ids are positive by construction — span
+    ids start at 1 and the wire decoder maps zeros to ``None`` — so no
+    validation runs here.
+    """
+
+    trace_id: int
+    span_id: int
+
+
+def context_to_wire(ctx: TraceContext | None) -> tuple[int, int]:
+    """``(trace_id, span_id)`` u64 pair for the PDU header; zeros if absent."""
+    if ctx is None:
+        return (0, 0)
+    return (ctx.trace_id, ctx.span_id)
+
+
+def context_from_wire(trace_id: int, span_id: int) -> TraceContext | None:
+    """Rebuild a context from PDU header fields; zeros mean "no context"."""
+    if trace_id == 0 or span_id == 0:
+        return None
+    return TraceContext(trace_id=trace_id, span_id=span_id)

@@ -17,6 +17,7 @@ __all__ = [
     "render_metrics_report",
     "render_trace_report",
     "save_snapshot",
+    "to_chrome_trace",
     "to_json",
     "to_prometheus",
 ]
@@ -52,15 +53,30 @@ def _prom_name(*parts: str) -> str:
     return _NAME_RE.sub("_", "_".join(p for p in parts if p)).strip("_")
 
 
-def _flatten_numeric(prefix: str, value, out: list[tuple[str, float]]) -> None:
-    """Collect numeric leaves of a nested source dict as (name, value)."""
+def _flatten_numeric(
+    prefix: str,
+    value,
+    out: list[tuple[str, float]],
+    hists: list[tuple[str, dict]] | None = None,
+) -> None:
+    """Collect numeric leaves of a nested source dict as (name, value).
+
+    Histogram-shaped sub-dicts (``count`` + ``buckets`` keys) are routed
+    to ``hists`` for proper histogram exposition instead of being
+    flattened into a pile of gauges that lose the bucket counts.
+    """
     if isinstance(value, bool):
         out.append((prefix, 1.0 if value else 0.0))
     elif isinstance(value, (int, float)):
         out.append((prefix, float(value)))
     elif isinstance(value, dict):
+        if hists is not None and set(value) >= {"count", "buckets"}:
+            hists.append((prefix, value))
+            return
         for key, sub in value.items():
-            _flatten_numeric(f"{prefix}_{key}" if prefix else str(key), sub, out)
+            _flatten_numeric(
+                f"{prefix}_{key}" if prefix else str(key), sub, out, hists
+            )
     # strings and lists are skipped: Prometheus carries numbers only
 
 
@@ -82,8 +98,12 @@ def to_prometheus(snapshot: dict, prefix: str = "prins") -> str:
     """Render a snapshot in the Prometheus exposition text format.
 
     Registry counters/gauges/histograms map to their native types; span
-    aggregates become ``<prefix>_span_<name>_ns`` summaries; numeric
-    leaves of every snapshot source become gauges.
+    aggregates become ``<prefix>_span_<name>_ns`` summaries *plus* full
+    ``<prefix>_span_<name>_duration_ns`` histograms (cumulative
+    ``_bucket``/``+Inf``/``_sum``/``_count`` lines) so downstream
+    ``histogram_quantile`` works; numeric leaves of every snapshot source
+    become gauges, except histogram-shaped sub-dicts which also get
+    proper histogram exposition.
     """
     lines: list[str] = []
     metrics = snapshot.get("metrics", {})
@@ -98,19 +118,80 @@ def to_prometheus(snapshot: dict, prefix: str = "prins") -> str:
     for name, hist in metrics.get("histograms", {}).items():
         _emit_histogram(_prom_name(prefix, name), hist, lines)
     for name, stats in snapshot.get("spans", {}).items():
+        if name == "_tracer":  # reserved bookkeeping entry, not a span name
+            continue
         prom = _prom_name(prefix, "span", name, "ns")
         lines.append(f"# TYPE {prom} summary")
-        for quantile, key in (("0.5", "p50_ns"), ("0.99", "p99_ns")):
+        quantiles = (("0.5", "p50_ns"), ("0.95", "p95_ns"), ("0.99", "p99_ns"))
+        for quantile, key in quantiles:
             lines.append(f'{prom}{{quantile="{quantile}"}} {stats.get(key, 0)}')
         lines.append(f"{prom}_sum {stats.get('total_ns', 0)}")
         lines.append(f"{prom}_count {stats.get('count', 0)}")
+        if stats.get("buckets"):
+            _emit_histogram(
+                _prom_name(prefix, "span", name, "duration_ns"),
+                {
+                    "buckets": stats["buckets"],
+                    "sum": stats.get("total_ns", 0),
+                    "count": stats.get("count", 0),
+                },
+                lines,
+            )
+    tracer_meta = snapshot.get("tracer") or {}
+    if tracer_meta:
+        prom = _prom_name(prefix, "tracer_dropped_spans", "total")
+        lines.append(f"# TYPE {prom} counter")
+        lines.append(f"{prom} {tracer_meta.get('dropped_spans', 0)}")
     flat: list[tuple[str, float]] = []
+    hists: list[tuple[str, dict]] = []
     for source, data in snapshot.get("sources", {}).items():
-        _flatten_numeric(_prom_name(prefix, "source", source), data, flat)
+        _flatten_numeric(_prom_name(prefix, "source", source), data, flat, hists)
     for name, value in flat:
         lines.append(f"# TYPE {name} gauge")
         lines.append(f"{name} {value:g}")
+    for name, hist in hists:
+        _emit_histogram(name, hist, lines)
     return "\n".join(lines) + "\n" if lines else ""
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace-event format (Perfetto / about://tracing)
+# ---------------------------------------------------------------------------
+
+
+def to_chrome_trace(*snapshots: dict, indent: int | None = None) -> str:
+    """Render snapshots as Chrome trace-event JSON (Perfetto-loadable).
+
+    Accepts one snapshot per node; their buffered spans merge into one
+    timeline.  Each span becomes a complete ("ph": "X") event: ``pid``
+    is the node label (or ``prins``), ``tid`` is the trace id — so in the
+    Perfetto UI each causal write tree renders as its own track and the
+    per-stage nesting is visible at a glance.  Timestamps are the
+    tracer's monotonic nanoseconds scaled to microseconds; only relative
+    placement is meaningful.
+    """
+    events = []
+    for snapshot in snapshots:
+        for span in snapshot.get("traces", []):
+            event = {
+                "name": span["name"],
+                "cat": "prins",
+                "ph": "X",
+                "ts": span["start_ns"] / 1e3,
+                "dur": span["duration_ns"] / 1e3,
+                "pid": span.get("node") or "prins",
+                "tid": span["trace_id"],
+            }
+            args = dict(span.get("attrs") or {})
+            args["span_id"] = span["span_id"]
+            if span.get("parent_id") is not None:
+                args["parent_id"] = span["parent_id"]
+            event["args"] = args
+            events.append(event)
+    events.sort(key=lambda e: e["ts"])
+    return json.dumps(
+        {"traceEvents": events, "displayTimeUnit": "ns"}, indent=indent
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -163,12 +244,20 @@ def render_metrics_report(snapshot: dict) -> str:
             f"{'p99':>10s} {'total':>10s}"
         )
         for name, stats in spans.items():
+            if name == "_tracer":
+                continue
             lines.append(
                 f"  {name:32s} {stats.get('count', 0):>8d} "
                 f"{_fmt_ns(stats.get('mean_ns', 0.0)):>10s} "
                 f"{_fmt_ns(stats.get('p50_ns', 0)):>10s} "
                 f"{_fmt_ns(stats.get('p99_ns', 0)):>10s} "
                 f"{_fmt_ns(stats.get('total_ns', 0)):>10s}"
+            )
+        dropped = (snapshot.get("tracer") or {}).get("dropped_spans", 0)
+        if dropped:
+            lines.append(
+                f"  (ring buffer dropped {dropped} span record(s); "
+                "aggregates above remain exact)"
             )
     sources = snapshot.get("sources", {})
     if sources:
@@ -204,12 +293,16 @@ def _render_source(data, indent: int) -> list[str]:
     return lines
 
 
-def render_trace_report(snapshot: dict, max_traces: int = 10) -> str:
+def render_trace_report(
+    snapshot: dict, max_traces: int = 10, trace_id: int | None = None
+) -> str:
     """Human-readable ``prins trace report``: the most recent span trees.
 
     Spans whose parents were evicted from the ring buffer render as roots
     of their own subtree (marked ``…``), so a partially retained trace is
-    still readable.
+    still readable — and the header says how many span records the ring
+    dropped, so truncation is never silent.  With ``trace_id`` set, only
+    that causal tree renders (``prins trace tree <id>``).
     """
     spans = snapshot.get("traces", [])
     if not spans:
@@ -218,11 +311,26 @@ def render_trace_report(snapshot: dict, max_traces: int = 10) -> str:
     for span in spans:
         by_trace.setdefault(span["trace_id"], []).append(span)
     trace_ids = list(by_trace)
-    shown_ids = trace_ids[-max_traces:]
+    if trace_id is not None:
+        if trace_id not in by_trace:
+            known = ", ".join(str(t) for t in trace_ids[-10:])
+            return (
+                f"trace {trace_id} not in the buffered spans "
+                f"(most recent trace ids: {known})"
+            )
+        shown_ids = [trace_id]
+    else:
+        shown_ids = trace_ids[-max_traces:]
     lines = [
         f"{len(spans)} buffered spans in {len(trace_ids)} traces "
         f"(showing last {len(shown_ids)}):"
     ]
+    dropped = (snapshot.get("tracer") or {}).get("dropped_spans", 0)
+    if dropped:
+        lines.append(
+            f"warning: ring buffer dropped {dropped} span record(s); "
+            "older traces may be truncated"
+        )
     for trace_id in shown_ids:
         members = sorted(by_trace[trace_id], key=lambda s: s["start_ns"])
         present = {span["span_id"] for span in members}
@@ -248,7 +356,9 @@ def _render_span(
     depth: int,
     truncated: bool = False,
 ) -> None:
-    attrs = span.get("attrs") or {}
+    attrs = dict(span.get("attrs") or {})
+    if span.get("node"):
+        attrs["node"] = span["node"]
     attr_text = (
         " (" + ", ".join(f"{k}={v}" for k, v in attrs.items()) + ")"
         if attrs

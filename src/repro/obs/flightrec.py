@@ -1,0 +1,228 @@
+"""Black-box flight recorder: a bounded ring of structured fault events.
+
+Exceptions out of the fault ladder (``PartialReplicationError``, a
+breaker tripping DOWN, ``ReconcileStalledError``) tell you *that*
+something broke; the flight recorder keeps the last N structured events
+leading up to it — health transitions, retries, journal/backlog
+activity, reconcile rounds, scheduler stalls — so the dump answers
+*why*.  It is the software equivalent of a crash-survivable black box:
+always recording, bounded memory, read only after something goes wrong.
+
+Event record shape (JSON-safe)::
+
+    {"seq": 17, "t_ns": 123456789, "kind": "health.transition",
+     "data": {"link": 0, "old": "healthy", "new": "down"}}
+
+``seq`` is a monotonically increasing sequence number that survives ring
+eviction, so gaps in a dump are detectable (``dropped`` counts them).
+Timestamps are ``time.monotonic_ns`` — ordering-safe within a process,
+not wall-clock.
+
+Recorders register themselves in a class-level :class:`weakref.WeakSet`
+so a test harness (see ``tests/conftest.py``) can sweep every live
+recorder into artifact files when a test fails, without threading a
+handle through every fixture.  :meth:`auto_dump` is the fault hook: the
+engine calls it when a ladder exception fires, stamping the reason and —
+when a ``dump_path`` was configured — writing the JSON artifact
+immediately, before any handler can swallow the exception.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+import weakref
+from collections import deque
+
+__all__ = ["FlightRecorder", "NULL_FLIGHTREC", "NullFlightRecorder", "render_events"]
+
+
+class FlightRecorder:
+    """Bounded structured-event ring with fault-triggered JSON dumps."""
+
+    _instances: "weakref.WeakSet[FlightRecorder]" = weakref.WeakSet()
+
+    def __init__(
+        self,
+        capacity: int = 1024,
+        node: str = "",
+        dump_path: str | None = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"flightrec capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.node = node
+        self.dump_path = dump_path
+        self.dropped = 0
+        self.last_dump_reason: str | None = None
+        self._events: deque[dict] = deque(maxlen=capacity)
+        self._seq = 0
+        self._lock = threading.Lock()
+        FlightRecorder._instances.add(self)
+
+    # -- recording -----------------------------------------------------------
+
+    def record(self, kind: str, **data) -> None:
+        """Append one event; O(1), safe from scheduler worker threads."""
+        with self._lock:
+            self._seq += 1
+            if len(self._events) == self.capacity:
+                self.dropped += 1
+            self._events.append(
+                {
+                    "seq": self._seq,
+                    "t_ns": time.monotonic_ns(),
+                    "kind": kind,
+                    "data": data,
+                }
+            )
+
+    # -- reading / dumping ---------------------------------------------------
+
+    def events(self) -> list[dict]:
+        """The buffered events, oldest first."""
+        with self._lock:
+            return list(self._events)
+
+    def dump(self) -> dict:
+        """JSON-safe dump: events plus ring bookkeeping."""
+        with self._lock:
+            return {
+                "node": self.node,
+                "capacity": self.capacity,
+                "recorded": self._seq,
+                "dropped": self.dropped,
+                "last_dump_reason": self.last_dump_reason,
+                "events": list(self._events),
+            }
+
+    def save(self, path: str) -> str:
+        """Write the dump as pretty JSON; returns the path written."""
+        payload = json.dumps(self.dump(), indent=2, sort_keys=True)
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(payload + "\n")
+        return path
+
+    def auto_dump(self, reason: str) -> str | None:
+        """Fault hook: stamp ``reason``, write ``dump_path`` if configured.
+
+        Called by the engine when a fault-ladder exception fires
+        (PartialReplicationError, DOWN transition, ReconcileStalledError).
+        Recording the trigger as an event first means the dump itself
+        documents why it exists.  Returns the path written, or ``None``
+        when no ``dump_path`` was configured (the dump stays readable via
+        :meth:`dump` / the telemetry snapshot either way).
+        """
+        self.record("flightrec.dump", reason=reason)
+        self.last_dump_reason = reason
+        if self.dump_path is None:
+            return None
+        return self.save(self.dump_path)
+
+    def clear(self) -> None:
+        """Drop buffered events (sequence numbering continues)."""
+        with self._lock:
+            self._events.clear()
+            self.dropped = 0
+            self.last_dump_reason = None
+
+    # -- harness sweep -------------------------------------------------------
+
+    @classmethod
+    def live_recorders(cls) -> list["FlightRecorder"]:
+        """Every recorder still alive in this process (GC-tracked)."""
+        return list(cls._instances)
+
+    @classmethod
+    def dump_all(cls, directory: str, stem: str) -> list[str]:
+        """Write every live non-empty recorder to ``directory``.
+
+        Used by the pytest failure hook: ``stem`` (e.g. a sanitized test
+        node id) names the files, one per recorder, so a CI artifact
+        upload captures the black boxes of a failing test run.
+        """
+        paths = []
+        for index, recorder in enumerate(cls.live_recorders()):
+            if not recorder.events():
+                continue
+            label = recorder.node or f"rec{index}"
+            safe = "".join(c if c.isalnum() or c in "-._" else "_" for c in label)
+            path = os.path.join(directory, f"{stem}.{safe}.{index}.json")
+            paths.append(recorder.save(path))
+        return paths
+
+
+class NullFlightRecorder:
+    """Disabled twin: recording is a no-op, dumps are empty."""
+
+    capacity = 0
+    node = ""
+    dump_path = None
+    dropped = 0
+    last_dump_reason = None
+
+    def record(self, kind: str, **data) -> None:  # noqa: ARG002
+        """Discard the event (disabled telemetry)."""
+        pass
+
+    def events(self) -> list:
+        """Always empty (disabled telemetry)."""
+        return []
+
+    def dump(self) -> dict:
+        """An empty, well-formed dump shell."""
+        return {
+            "node": "",
+            "capacity": 0,
+            "recorded": 0,
+            "dropped": 0,
+            "last_dump_reason": None,
+            "events": [],
+        }
+
+    def auto_dump(self, reason: str) -> None:  # noqa: ARG002
+        """No-op (disabled telemetry)."""
+        return None
+
+    def clear(self) -> None:
+        """No-op (disabled telemetry)."""
+        pass
+
+
+#: shared disabled singleton used by :data:`~repro.obs.telemetry.NULL_TELEMETRY`
+NULL_FLIGHTREC = NullFlightRecorder()
+
+
+def render_events(dump: dict, max_events: int | None = None) -> str:
+    """Human-readable flight-recorder dump for ``prins flightrec show``.
+
+    ``dump`` is the JSON-safe mapping from :meth:`FlightRecorder.dump`.
+    Events print oldest-first with timestamps relative to the first
+    event, so the operator reads the run-up to the fault as a timeline.
+    """
+    events = dump.get("events", [])
+    if max_events is not None and len(events) > max_events:
+        events = events[-max_events:]
+    header = (
+        f"flight recorder: {len(events)} event(s) shown, "
+        f"{dump.get('recorded', 0)} recorded, {dump.get('dropped', 0)} dropped"
+    )
+    if dump.get("node"):
+        header += f" [node={dump['node']}]"
+    if dump.get("last_dump_reason"):
+        header += f" (last dump: {dump['last_dump_reason']})"
+    lines = [header]
+    base = events[0]["t_ns"] if events else 0
+    for event in events:
+        offset_ms = (event["t_ns"] - base) / 1e6
+        data = event.get("data") or {}
+        detail = " ".join(f"{k}={v}" for k, v in sorted(data.items()))
+        lines.append(
+            f"  +{offset_ms:10.3f}ms  #{event['seq']:<6d} {event['kind']:<24s} {detail}".rstrip()
+        )
+    return "\n".join(lines)

@@ -23,6 +23,7 @@ from __future__ import annotations
 import contextlib
 from typing import Callable, Iterator
 
+from repro.obs.flightrec import NULL_FLIGHTREC, FlightRecorder
 from repro.obs.registry import MetricsRegistry, NullMetricsRegistry
 from repro.obs.tracing import NULL_SPAN, NullTracer, Tracer
 
@@ -44,16 +45,59 @@ class Telemetry:
 
     enabled = True
 
-    def __init__(self, trace_capacity: int = 2048) -> None:
+    def __init__(
+        self,
+        trace_capacity: int = 2048,
+        node: str = "",
+        flightrec_capacity: int = 1024,
+        flightrec_dump: str | None = None,
+        detail: bool = False,
+    ) -> None:
         self.registry = MetricsRegistry()
-        self.tracer = Tracer(capacity=trace_capacity)
+        self.tracer = Tracer(capacity=trace_capacity, node=node, detail=detail)
+        self.flightrec = FlightRecorder(
+            capacity=flightrec_capacity, node=node, dump_path=flightrec_dump
+        )
+        self.node = node
         self._sources: dict[str, SourceFn] = {}
+        # hot-path passthroughs: bound tracer methods as instance
+        # attributes shadow the class methods below, saving a call frame
+        # on every span open (the class methods remain for the API docs)
+        self.span = self.tracer.span
+        self.span_in = self.tracer.span_in
+        self.fine_span = self.tracer.fine_span
+        self.current_context = self.tracer.current_context
 
     # -- convenience passthroughs -------------------------------------------
 
     def span(self, name: str, **attrs):
         """Open a span (see :meth:`~repro.obs.tracing.Tracer.span`)."""
         return self.tracer.span(name, **attrs)
+
+    def span_in(self, name: str, ctx, **attrs):
+        """Open a span joining a carried :class:`~repro.obs.dist.TraceContext`."""
+        return self.tracer.span_in(name, ctx, **attrs)
+
+    def fine_span(self, name: str, ctx=None, **attrs):
+        """Open a sub-stage span (real only when built with ``detail=True``)."""
+        return self.tracer.fine_span(name, ctx, **attrs)
+
+    def current_context(self):
+        """Coordinates of this thread's innermost open span (or ``None``)."""
+        return self.tracer.current_context()
+
+    def event(self, kind: str, **data) -> None:
+        """Record a flight-recorder event (see :mod:`repro.obs.flightrec`)."""
+        self.flightrec.record(kind, **data)
+
+    def fault(self, reason: str, **data) -> str | None:
+        """Record a fault event and trigger the flight-recorder auto-dump.
+
+        Returns the dump path written, or ``None`` when no dump path is
+        configured (the recording stays readable via the snapshot).
+        """
+        self.flightrec.record(f"fault.{reason}", **data)
+        return self.flightrec.auto_dump(reason)
 
     def counter(self, name: str):
         """Get or create a counter in the registry."""
@@ -105,6 +149,8 @@ class Telemetry:
              "metrics": {"counters": ..., "gauges": ..., "histograms": ...},
              "spans":   {name: {count, total_ns, mean_ns, p50_ns, p99_ns, ...}},
              "traces":  [ {name, trace_id, span_id, parent_id, ...}, ... ],
+             "tracer":  {capacity, spans_started, spans_finished, dropped_spans},
+             "flightrec": {events: [...], recorded, dropped, ...},
              "sources": {name: <source dict>, ...}}
         """
         return {
@@ -112,29 +158,54 @@ class Telemetry:
             "metrics": self.registry.snapshot(),
             "spans": self.tracer.summary(),
             "traces": self.tracer.export_spans(max_spans),
+            "tracer": self.tracer.meta(),
+            "flightrec": self.flightrec.dump(),
             "sources": {
                 name: fn() for name, fn in sorted(self._sources.items())
             },
         }
 
     def reset(self) -> None:
-        """Zero metrics and drop buffered spans (sources stay attached)."""
+        """Zero metrics and drop buffered spans/events (sources stay)."""
         self.registry.reset()
         self.tracer.reset()
+        self.flightrec.clear()
 
 
 class NullTelemetry:
     """Disabled telemetry: every operation is a shared no-op."""
 
     enabled = False
+    node = ""
 
     def __init__(self) -> None:
         self.registry = NullMetricsRegistry()
         self.tracer = NullTracer()
+        self.flightrec = NULL_FLIGHTREC
 
     def span(self, name: str, **attrs):  # noqa: ARG002
         """Return the shared no-op span (no timing recorded)."""
         return NULL_SPAN
+
+    def span_in(self, name: str, ctx, **attrs):  # noqa: ARG002
+        """Return the shared no-op span (context discarded)."""
+        return NULL_SPAN
+
+    def fine_span(self, name: str, ctx=None, **attrs):  # noqa: ARG002
+        """Return the shared no-op span (disabled telemetry)."""
+        return NULL_SPAN
+
+    def current_context(self) -> None:
+        """Always ``None`` (disabled telemetry propagates nothing)."""
+        return None
+
+    def event(self, kind: str, **data) -> None:  # noqa: ARG002
+        """Discard the event (disabled telemetry)."""
+        pass
+
+    def fault(self, reason: str, **data) -> None:  # noqa: ARG002
+        """Discard the fault; never dumps, so always returns ``None``."""
+        return None
 
     def counter(self, name: str):
         """Return the shared no-op counter."""
@@ -168,6 +239,8 @@ class NullTelemetry:
             "metrics": self.registry.snapshot(),
             "spans": {},
             "traces": [],
+            "tracer": {},
+            "flightrec": self.flightrec.dump(),
             "sources": {},
         }
 

@@ -2,10 +2,38 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.block import MemoryBlockDevice
 from repro.common.rng import make_rng
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    """Dump live flight recorders when a test fails (CI black-box artifact).
+
+    Active only when ``PRINS_FLIGHTREC_DIR`` is set (the CI pytest step
+    sets it); each failing test writes every live non-empty
+    :class:`~repro.obs.FlightRecorder` to that directory, named by the
+    sanitized test node id, and the workflow uploads the directory as an
+    artifact.
+    """
+    outcome = yield
+    directory = os.environ.get("PRINS_FLIGHTREC_DIR")
+    if not directory:
+        return
+    report = outcome.get_result()
+    if report.when != "call" or not report.failed:
+        return
+    from repro.obs import FlightRecorder
+
+    stem = "".join(
+        c if c.isalnum() or c in "-._" else "_" for c in item.nodeid
+    )
+    os.makedirs(directory, exist_ok=True)
+    FlightRecorder.dump_all(directory, stem)
 
 BLOCK_SIZE = 512
 NUM_BLOCKS = 64

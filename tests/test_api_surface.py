@@ -18,6 +18,7 @@ import repro.engine as engine
 
 #: the complete public surface of repro.api
 API_EXPORTS = {
+    "ObservabilityConfig",
     "PrimaryStack",
     "ReplicationConfig",
     "open_cluster",
@@ -48,6 +49,7 @@ CONFIG_FIELDS = (
     "resync",
     "verify_acks",
     "telemetry",
+    "observability",
     "seed",
 )
 

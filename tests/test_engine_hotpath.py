@@ -111,7 +111,7 @@ class TestOldBlockCache:
         assert engine.old_block_cache.snapshot()["evictions"] > 0
 
     def test_cache_hit_lands_on_write_delta_span(self):
-        tel = Telemetry()
+        tel = Telemetry(detail=True)
         primary = MemoryBlockDevice(BLOCK_SIZE, 4)
         replica = MemoryBlockDevice(BLOCK_SIZE, 4)
         engine = _engine(primary, replica, cache=4, telemetry=tel)

@@ -529,7 +529,7 @@ def _run_instrumented_engine(tel: Telemetry, strategy_name: str = "prins") -> No
 
 class TestEngineIntegration:
     def test_write_path_spans_present(self):
-        tel = Telemetry()
+        tel = Telemetry(detail=True)
         _run_instrumented_engine(tel)
         spans = tel.snapshot()["spans"]
         for stage in (

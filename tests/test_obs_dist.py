@@ -1,0 +1,380 @@
+"""Distributed-tracing tests: causal trees, wire context, flight recorder.
+
+Covers the cross-wire observability pipeline end-to-end: TraceContext
+wire mapping and its reserved PDU header bytes, retry spans joining the
+originating write's causal tree (no orphan or duplicated trace ids),
+multi-node stitching, fault-triggered flight-recorder auto-dumps,
+critical-path attribution summing to the observed write latency, the
+coarse/fine detail levels, and the ``prins trace``/``prins flightrec``
+CLI entry points.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.api import ObservabilityConfig, ReplicationConfig
+from repro.cli import main
+from repro.common.errors import ConfigurationError, PartialReplicationError
+from repro.engine import (
+    DirectLink,
+    FaultyLink,
+    PrimaryEngine,
+    ReplicaEngine,
+    ResilientLink,
+    RetryPolicy,
+    make_strategy,
+    verify_consistency,
+)
+from repro.block import MemoryBlockDevice
+from repro.common.rng import make_rng
+from repro.iscsi.pdu import BHS_SIZE, Opcode, Pdu
+from repro.obs import (
+    NULL_SPAN,
+    NULL_TELEMETRY,
+    CriticalPathAnalyzer,
+    Telemetry,
+    TraceContext,
+    context_from_wire,
+    context_to_wire,
+    save_snapshot,
+    stitch_spans,
+)
+
+BS = 512
+N = 16
+
+
+def _replica_link(strategy_name: str = "prins"):
+    """A (replica_device, base_link) pair."""
+    strategy = make_strategy(strategy_name)
+    replica_dev = MemoryBlockDevice(BS, N)
+    return replica_dev, DirectLink(ReplicaEngine(replica_dev, strategy))
+
+
+def _engine(links, telemetry, strategy_name: str = "prins", **kwargs):
+    strategy = make_strategy(strategy_name)
+    primary_dev = MemoryBlockDevice(BS, N)
+    engine = PrimaryEngine(
+        primary_dev, strategy, links, telemetry=telemetry, **kwargs
+    )
+    return engine, primary_dev
+
+
+def _block(rng, size: int = BS) -> bytes:
+    return rng.integers(0, 256, size, dtype="u1").tobytes()
+
+
+# ---------------------------------------------------------------------------
+# TraceContext on the wire
+# ---------------------------------------------------------------------------
+
+
+class TestContextWire:
+    def test_round_trip(self):
+        ctx = TraceContext(trace_id=0xABCDEF, span_id=42)
+        assert context_from_wire(*context_to_wire(ctx)) == ctx
+
+    def test_absent_context_is_zeros(self):
+        assert context_to_wire(None) == (0, 0)
+        assert context_from_wire(0, 0) is None
+        assert context_from_wire(7, 0) is None
+        assert context_from_wire(0, 7) is None
+
+    def test_pdu_carries_context_fields(self):
+        pdu = Pdu(
+            opcode=Opcode.SCSI_COMMAND,
+            lba=3,
+            trace_id=0x1234,
+            parent_span=0x5678,
+            data=b"x" * 8,
+        )
+        decoded = Pdu.unpack(pdu.pack())
+        assert decoded.trace_id == 0x1234
+        assert decoded.parent_span == 0x5678
+        assert context_from_wire(decoded.trace_id, decoded.parent_span) == (
+            TraceContext(0x1234, 0x5678)
+        )
+
+    def test_contextless_pdu_reserved_bytes_are_zero(self):
+        """Observability off ⇒ the 16 reserved BHS bytes stay zero."""
+        pdu = Pdu(opcode=Opcode.SCSI_COMMAND, lba=3, seq=9, data=b"y" * 4)
+        header = pdu.pack()[:BHS_SIZE]
+        assert header[BHS_SIZE - 16 :] == b"\x00" * 16
+
+
+# ---------------------------------------------------------------------------
+# Retries join the write's causal tree (satellite acceptance)
+# ---------------------------------------------------------------------------
+
+
+class TestRetryCausalTree:
+    def test_retried_write_yields_one_tree_with_retry_children(self):
+        telemetry = Telemetry()
+        replica_dev, base = _replica_link()
+        flaky = FaultyLink(base)
+        flaky.fail_next(2, "drop")
+        link = ResilientLink(
+            flaky, RetryPolicy(max_attempts=4), telemetry=telemetry
+        )
+        engine, primary_dev = _engine([link], telemetry)
+
+        engine.write_block(0, b"r" * BS)
+        assert link.retries == 2
+        assert verify_consistency(primary_dev, replica_dev) == []
+
+        spans = telemetry.snapshot()["traces"]
+        trace_ids = {span["trace_id"] for span in spans}
+        assert len(trace_ids) == 1  # no orphan or duplicated trace ids
+
+        trees = stitch_spans(spans)
+        (roots,) = trees.values()
+        assert len(roots) == 1  # exactly one causal tree
+        root = roots[0]
+        assert root["name"] == "write"
+        assert root["parent_id"] is None
+
+        retries = [span for span in spans if span["name"] == "link.retry"]
+        assert len(retries) == 2
+        span_ids = {span["span_id"] for span in spans}
+        for retry in retries:
+            # children of the tree, not roots of their own
+            assert retry["parent_id"] in span_ids
+            assert retry["attrs"]["attempt"] in (1, 2)
+
+    def test_separate_writes_get_separate_trees(self):
+        telemetry = Telemetry()
+        _, base = _replica_link()
+        engine, _ = _engine([base], telemetry)
+        engine.write_block(0, b"a" * BS)
+        engine.write_block(1, b"b" * BS)
+        trees = stitch_spans(telemetry.snapshot()["traces"])
+        assert len(trees) == 2
+        for roots in trees.values():
+            assert len(roots) == 1
+
+
+# ---------------------------------------------------------------------------
+# Cross-node stitching
+# ---------------------------------------------------------------------------
+
+
+class TestCrossNodeStitch:
+    def test_two_nodes_merge_into_one_tree(self):
+        initiator = Telemetry(node="initiator")
+        replica = Telemetry(node="replica")
+        with initiator.span("write", lba=5) as write_span:
+            wire = context_to_wire(write_span.context)
+        carried = context_from_wire(*wire)
+        with replica.span_in("replica.apply", carried):
+            pass
+
+        spans = (
+            initiator.snapshot()["traces"] + replica.snapshot()["traces"]
+        )
+        trees = stitch_spans(spans)
+        (roots,) = trees.values()
+        assert len(roots) == 1
+        root = roots[0]
+        assert root["node"] == "initiator"
+        (child,) = root["children"]
+        assert child["name"] == "replica.apply"
+        assert child["node"] == "replica"
+
+    def test_node_labels_offset_span_ids(self):
+        a = Telemetry(node="a")
+        b = Telemetry(node="b")
+        with a.span("x") as sa:
+            pass
+        with b.span("x") as sb:
+            pass
+        assert sa.span_id != sb.span_id  # distinct id spaces per node
+
+
+# ---------------------------------------------------------------------------
+# Flight recorder fault dumps
+# ---------------------------------------------------------------------------
+
+
+class TestFaultAutoDump:
+    def test_fault_writes_dump_file(self, tmp_path):
+        dump_path = str(tmp_path / "dump.json")
+        telemetry = Telemetry(flightrec_dump=dump_path)
+        telemetry.event("health.transition", link=0, old="healthy", new="down")
+        telemetry.fault("link_down", link=0)
+        with open(dump_path, encoding="utf-8") as fh:
+            payload = json.load(fh)
+        assert payload["last_dump_reason"] == "link_down"
+        kinds = [event["kind"] for event in payload["events"]]
+        assert kinds == [
+            "health.transition",
+            "fault.link_down",
+            "flightrec.dump",
+        ]
+
+    def test_partial_replication_triggers_auto_dump(self, tmp_path):
+        dump_path = str(tmp_path / "partial.json")
+        telemetry = Telemetry(flightrec_dump=dump_path)
+        _, base = _replica_link()
+        flaky = FaultyLink(base)
+        flaky.fail_next(10, "drop")
+        engine, _ = _engine([flaky], telemetry)
+        with pytest.raises(PartialReplicationError):
+            engine.write_block(0, b"z" * BS)
+        assert telemetry.flightrec.last_dump_reason == "partial_replication"
+        with open(dump_path, encoding="utf-8") as fh:
+            payload = json.load(fh)
+        kinds = {event["kind"] for event in payload["events"]}
+        assert "fault.partial_replication" in kinds
+
+
+# ---------------------------------------------------------------------------
+# Critical-path attribution
+# ---------------------------------------------------------------------------
+
+
+class TestCriticalAttribution:
+    def test_stage_durations_sum_to_write_latency(self):
+        telemetry = Telemetry(detail=True)
+        _, base = _replica_link()
+        engine, _ = _engine([base], telemetry)
+        rng = make_rng(3, "critical")
+        for lba in range(5):
+            engine.write_block(lba, _block(rng))
+
+        analyzer = CriticalPathAnalyzer()
+        analyzer.add_snapshot(telemetry.snapshot())
+        writes = analyzer.attributions()
+        assert len(writes) == 5
+        for attribution in writes:
+            # exclusive-time attribution telescopes: over a sequential
+            # tree the stage totals reproduce the root write's latency
+            assert attribution.total_ns > 0
+            assert 0.95 <= attribution.coverage <= 1.05
+            assert attribution.dominant != "none"
+        stages = analyzer.stage_summary()
+        assert "transport" in stages
+        assert "replica" in stages
+        for stats in stages.values():
+            assert stats["p50_ns"] <= stats["p95_ns"] <= stats["p99_ns"]
+
+    def test_fanout_drag_measured_across_links(self):
+        telemetry = Telemetry()
+        _, link_a = _replica_link()
+        _, link_b = _replica_link()
+        engine, _ = _engine([link_a, link_b], telemetry)
+        engine.write_block(2, b"d" * BS)
+        analyzer = CriticalPathAnalyzer()
+        analyzer.add_snapshot(telemetry.snapshot())
+        (attribution,) = analyzer.attributions()
+        sends = [
+            span
+            for span in telemetry.snapshot()["traces"]
+            if span["name"] == "write.send"
+        ]
+        assert {span["attrs"]["link"] for span in sends} == {0, 1}
+        assert attribution.drag_ns >= 0
+
+
+# ---------------------------------------------------------------------------
+# Config plumbing and detail levels
+# ---------------------------------------------------------------------------
+
+
+class TestObservabilityConfig:
+    def test_round_trip_includes_detail(self):
+        config = ObservabilityConfig(
+            enabled=True, node="n1", detail=True, flightrec_capacity=8
+        )
+        rebuilt = ObservabilityConfig.from_dict(dataclasses.asdict(config))
+        assert rebuilt == config
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown"):
+            ObservabilityConfig.from_dict({"verbose": True})
+
+    def test_telemetry_instance_honors_detail(self):
+        config = ReplicationConfig(
+            block_size=BS,
+            num_blocks=N,
+            observability=ObservabilityConfig(enabled=True, detail=True),
+        )
+        telemetry = config.telemetry_instance()
+        assert telemetry.enabled
+        assert telemetry.tracer.detail
+
+    def test_disabled_config_yields_null_singleton(self):
+        config = ReplicationConfig(block_size=BS, num_blocks=N)
+        assert config.telemetry_instance() is NULL_TELEMETRY
+
+
+class TestDetailLevels:
+    def test_default_fine_spans_are_null(self):
+        telemetry = Telemetry()
+        assert telemetry.fine_span("write.delta") is NULL_SPAN
+        with telemetry.span("write"):
+            with telemetry.fine_span("write.delta"):
+                pass
+        names = {span["name"] for span in telemetry.snapshot()["traces"]}
+        assert names == {"write"}
+
+    def test_detail_records_fine_spans(self):
+        telemetry = Telemetry(detail=True)
+        with telemetry.span("write"):
+            with telemetry.fine_span("write.delta"):
+                pass
+        names = {span["name"] for span in telemetry.snapshot()["traces"]}
+        assert names == {"write", "write.delta"}
+
+
+# ---------------------------------------------------------------------------
+# CLI smoke: trace tree / critical / chrome, flightrec dump / show
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture()
+def snapshot_path(tmp_path):
+    """A saved telemetry snapshot with a few traced writes and one event."""
+    telemetry = Telemetry(node="cli")
+    _, base = _replica_link()
+    engine, _ = _engine([base], telemetry)
+    rng = make_rng(9, "cli-snap")
+    for lba in range(3):
+        engine.write_block(lba, _block(rng))
+    telemetry.event("health.transition", link=0, old="healthy", new="degraded")
+    path = tmp_path / "snapshot.json"
+    save_snapshot(telemetry.snapshot(), path)
+    return str(path)
+
+
+class TestCliObservability:
+    def test_trace_critical(self, snapshot_path, capsys):
+        assert main(["trace", "critical", snapshot_path]) == 0
+        out = capsys.readouterr().out
+        assert "critical path over" in out
+        assert "transport" in out
+
+    def test_trace_tree(self, snapshot_path, capsys):
+        with open(snapshot_path, encoding="utf-8") as fh:
+            trace_id = json.load(fh)["traces"][0]["trace_id"]
+        assert main(["trace", "tree", snapshot_path, "--id", str(trace_id)]) == 0
+        assert "write" in capsys.readouterr().out
+
+    def test_trace_chrome(self, snapshot_path, tmp_path, capsys):
+        out_path = tmp_path / "chrome.json"
+        assert main(
+            ["trace", "chrome", snapshot_path, "--out", str(out_path)]
+        ) == 0
+        with open(out_path, encoding="utf-8") as fh:
+            events = json.load(fh)["traceEvents"]
+        assert any(event.get("name") == "write" for event in events)
+
+    def test_flightrec_dump_and_show(self, snapshot_path, capsys):
+        assert main(["flightrec", "dump", snapshot_path]) == 0
+        dumped = json.loads(capsys.readouterr().out)
+        assert dumped["events"][0]["kind"] == "health.transition"
+        assert main(["flightrec", "show", snapshot_path]) == 0
+        assert "health.transition" in capsys.readouterr().out
