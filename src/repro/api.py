@@ -42,6 +42,12 @@ from repro.engine.replica import ReplicaEngine
 from repro.engine.resilience import ResilienceConfig, RetryPolicy
 from repro.engine.scheduler import SchedulerConfig
 from repro.engine.strategy import ReplicationStrategy, make_strategy
+from repro.engine.stripe import (
+    RepairReport,
+    StripeConfig,
+    stripe_full_sync,
+    verify_fragments,
+)
 from repro.engine.sync import full_sync
 from repro.obs.telemetry import NULL_TELEMETRY, Telemetry, get_telemetry
 
@@ -61,6 +67,9 @@ _SCHEDULER_MODES = ("sim", "threads")
 
 #: resync escalation modes accepted by :attr:`ReplicationConfig.resync`
 _RESYNC_MODES = ("reconcile", "digest")
+
+#: redundancy tiers accepted by :attr:`ReplicationConfig.redundancy`
+_REDUNDANCY_MODES = ("mirror", "erasure")
 
 
 @dataclass(frozen=True)
@@ -130,6 +139,12 @@ class ReplicationConfig:
     * **geometry** — ``block_size`` / ``num_blocks`` (per device) and
       ``replicas`` (mirror width for :func:`open_primary`); clusters use
       ``nodes`` / ``replicas_per_node`` instead;
+    * **redundancy** — ``redundancy="mirror"`` (default: full copies) or
+      ``redundancy="erasure"`` with the ``k`` / ``n`` code shape: each
+      write splits into ``n`` coded fragments of ``block_size / k``
+      bytes, any ``k`` of which reassemble the block — ``n - k`` failures
+      tolerated at ``n/k`` storage overhead instead of ``f + 1`` full
+      mirrors (see :mod:`repro.engine.stripe`);
     * **write path** — ``batch_records`` / ``batch_bytes`` (the
       :class:`~repro.engine.batch.ShipBatcher` window; ``batch_records=None``
       ships per-write) and ``old_block_cache`` (A_old LRU slots);
@@ -156,6 +171,10 @@ class ReplicationConfig:
     replicas: int = 1
     nodes: int = 4
     replicas_per_node: int = 2
+    # -- redundancy ------------------------------------------------------------
+    redundancy: str = "mirror"
+    k: int = 4
+    n: int = 6
     # -- write path ------------------------------------------------------------
     batch_records: int | None = None
     batch_bytes: int = 256 * 1024
@@ -207,6 +226,23 @@ class ReplicationConfig:
             raise ConfigurationError(
                 "the traditional strategy ships raw blocks and takes no codec"
             )
+        if self.redundancy not in _REDUNDANCY_MODES:
+            raise ConfigurationError(
+                f"redundancy must be one of {_REDUNDANCY_MODES}, "
+                f"got {self.redundancy!r}"
+            )
+        if self.redundancy == "erasure":
+            StripeConfig(self.k, self.n)  # validates k >= 2, n > k
+            if self.block_size % self.k:
+                raise ConfigurationError(
+                    f"erasure redundancy needs block_size divisible by "
+                    f"k={self.k}, got block_size={self.block_size}"
+                )
+            if self.batch_records is not None:
+                raise ConfigurationError(
+                    "erasure redundancy and batching cannot be combined: "
+                    "fragments ship per-write, one per stripe position"
+                )
         # normalise list → tuple so from_dict round-trips frozen-hashable
         if isinstance(self.per_link_latency_s, list):
             object.__setattr__(
@@ -279,6 +315,12 @@ class ReplicationConfig:
             seed=self.seed,
         )
 
+    def stripe_config(self) -> StripeConfig | None:
+        """The erasure-tier code shape, or ``None`` for mirror redundancy."""
+        if self.redundancy != "erasure":
+            return None
+        return StripeConfig(k=self.k, n=self.n)
+
     def cluster_config(self) -> ClusterConfig:
         """The multi-node shape for :func:`open_cluster`."""
         return ClusterConfig(
@@ -289,6 +331,9 @@ class ReplicationConfig:
             strategy=self.strategy,
             codec=self.codec,
             old_block_cache=self.old_block_cache,
+            redundancy=self.redundancy,
+            k=self.k,
+            n=self.n,
         )
 
     def telemetry_instance(self) -> Any:
@@ -321,6 +366,13 @@ class PrimaryStack:
     ``links`` the plumbing in between, exposed so tests can wrap or fail
     individual channels.  Usable as a context manager — exit drains
     in-flight fan-out and closes the engine.
+
+    With ``redundancy="erasure"`` the ``replica_devices`` are the ``n``
+    fragment holders (each ``block_size / k`` bytes per block);
+    :meth:`verify` checks them against the primary's derived fragments,
+    :meth:`read_striped` reassembles a block from any ``k`` healthy
+    holders, and :meth:`repair_fragment` rebuilds one lost holder from
+    survivors at ``volume / k`` shipped bytes.
     """
 
     engine: PrimaryEngine
@@ -344,11 +396,28 @@ class PrimaryStack:
         self.engine.drain()
 
     def verify(self) -> bool:
-        """True when every replica is byte-identical to the primary."""
+        """True when every replica matches the primary.
+
+        Mirror tier: each replica device is byte-identical to the
+        primary.  Erasure tier: each fragment holder is byte-identical to
+        its derived fragment of the primary (the stripe-group
+        consistency invariant).
+        """
+        codec = self.engine.stripe_codec
+        if codec is not None:
+            return not verify_fragments(codec, self.device, self.replica_devices)
         snapshot = self.device.snapshot()
         return all(
             replica.snapshot() == snapshot for replica in self.replica_devices
         )
+
+    def read_striped(self, lba: int, exclude: Any = ()) -> bytes:
+        """Reassemble block ``lba`` from any ``k`` healthy fragment holders."""
+        return self.engine.read_striped(lba, exclude=exclude)
+
+    def repair_fragment(self, index: int) -> RepairReport:
+        """Rebuild fragment holder ``index`` from ``k`` survivors."""
+        return self.engine.repair_fragment(index)
 
 
 def open_primary(
@@ -362,8 +431,14 @@ def open_primary(
 ) -> PrimaryStack:
     """Build a primary engine mirrored to ``config.replicas`` in-memory replicas.
 
+    With ``redundancy="erasure"`` the stack gets ``config.n`` fragment
+    holders instead of ``config.replicas`` mirrors — each a
+    ``block_size / k``-sized device wired through the same links,
+    scheduler, and resilience machinery.
+
     ``initial_image`` preloads the primary and full-syncs every replica
-    (the paper's "after the initial sync" baseline).  ``link_factory``
+    (the paper's "after the initial sync" baseline; erasure stacks
+    encode it onto every fragment holder).  ``link_factory``
     decorates each base channel — called as
     ``link_factory(replica_index, base_link)``; use it to interpose
     :class:`~repro.engine.resilience.FaultyLink` or a custom transport.
@@ -378,23 +453,39 @@ def open_primary(
     """
     config = config or ReplicationConfig()
     strategy = config.strategy_instance()
+    stripe = config.stripe_config()
     device = MemoryBlockDevice(config.block_size, config.num_blocks)
     if initial_image is not None:
         device.load(initial_image)
     replica_devices: list[MemoryBlockDevice] = []
     replica_engines: list[ReplicaEngine] = []
     links: list[ReplicaLink] = []
-    for index in range(config.replicas):
-        replica_device = MemoryBlockDevice(config.block_size, config.num_blocks)
-        if initial_image is not None:
-            full_sync(device, replica_device)
-        replica_engine = ReplicaEngine(replica_device, strategy)
-        link: ReplicaLink = DirectLink(replica_engine)
-        if link_factory is not None:
-            link = link_factory(index, link)
-        replica_devices.append(replica_device)
-        replica_engines.append(replica_engine)
-        links.append(link)
+    if stripe is not None:
+        # erasure tier: n fragment holders, block_size/k bytes per block
+        fragment_size = config.block_size // stripe.k
+        for index in range(stripe.n):
+            holder = MemoryBlockDevice(fragment_size, config.num_blocks)
+            replica_engine = ReplicaEngine(holder, strategy)
+            link: ReplicaLink = DirectLink(replica_engine)
+            if link_factory is not None:
+                link = link_factory(index, link)
+            replica_devices.append(holder)
+            replica_engines.append(replica_engine)
+            links.append(link)
+    else:
+        for index in range(config.replicas):
+            replica_device = MemoryBlockDevice(
+                config.block_size, config.num_blocks
+            )
+            if initial_image is not None:
+                full_sync(device, replica_device)
+            replica_engine = ReplicaEngine(replica_device, strategy)
+            link = DirectLink(replica_engine)
+            if link_factory is not None:
+                link = link_factory(index, link)
+            replica_devices.append(replica_device)
+            replica_engines.append(replica_engine)
+            links.append(link)
     telemetry = config.telemetry_instance()
     engine = PrimaryEngine(
         device,
@@ -416,7 +507,11 @@ def open_primary(
         old_block_cache=config.old_block_cache,
         fanout=config.fanout,
         scheduler=config.scheduler_config(),
+        stripe=stripe,
     )
+    if stripe is not None and initial_image is not None:
+        assert engine.stripe_codec is not None
+        stripe_full_sync(engine.stripe_codec, device, replica_devices)
     return PrimaryStack(
         engine=engine,
         device=device,

@@ -8,6 +8,7 @@ Subcommands::
     prins all [--scale]              # reproduce everything
     prins demo [--workload tpcc]     # PRINS-vs-traditional demo (--json snapshot)
     prins demo --fanout pipelined    # demo under the credit-window scheduler
+    prins demo --redundancy erasure  # k-of-n striped fan-out instead of mirrors
     prins demo --config cfg.json     # demo from a pinned ReplicationConfig
     prins metrics [snapshot.json]    # render a telemetry snapshot (or live demo)
     prins trace report snapshot.json # render recent write-path span trees
@@ -154,6 +155,15 @@ def _run_demo_workload(
             snap = cache.snapshot()
             line += f"  [A_old cache hit rate {snap['hit_rate']:.0%}]"
         emit(line)
+        if stack.engine.stripe is not None:
+            stripe = stack.engine.stripe
+            emit(
+                f"  {'':12s} erasure {stripe.k}-of-{stripe.n}: "
+                f"{accountant.fragments_shipped} fragments shipped, "
+                f"{accountant.fragments_elided} elided "
+                f"(storage {stripe.storage_overhead:.2f}x vs "
+                f"{stripe.m + 1}x for {stripe.m}-fault mirroring)"
+            )
 
     if workload == "tpcc":
         from repro.experiments.figures import get_scale
@@ -239,6 +249,12 @@ def _demo_config(args: argparse.Namespace):
         overrides["replicas"] = args.replicas
     if args.resync is not None:
         overrides["resync"] = args.resync
+    if args.redundancy is not None:
+        overrides["redundancy"] = args.redundancy
+    if args.k is not None:
+        overrides["k"] = args.k
+    if args.n is not None:
+        overrides["n"] = args.n
     return _dc.replace(base, **overrides) if overrides else base
 
 
@@ -513,6 +529,26 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         metavar="N",
         help="number of mirror replicas per engine (default 1)",
+    )
+    p_demo.add_argument(
+        "--redundancy",
+        default=None,
+        choices=["mirror", "erasure"],
+        help="replica layout: whole-block mirrors (default) or k-of-n striping",
+    )
+    p_demo.add_argument(
+        "--k",
+        type=int,
+        default=None,
+        metavar="K",
+        help="data fragments per stripe for --redundancy erasure (default 4)",
+    )
+    p_demo.add_argument(
+        "--n",
+        type=int,
+        default=None,
+        metavar="N",
+        help="total fragments per stripe for --redundancy erasure (default 6)",
     )
     p_demo.add_argument(
         "--resync",

@@ -84,6 +84,10 @@ class ReplicaTraffic:
     reconcile_sketch_bytes: int = 0
     reconcile_digest_bytes: int = 0
     reconcile_diff_bytes: int = 0
+    fragment_ships: int = 0  # erasure fragments this channel acked
+    fragment_payload_bytes: int = 0  # wire bytes of those fragment ships
+    repair_read_bytes: int = 0  # survivor bytes read to rebuild this fragment
+    repair_write_bytes: int = 0  # rebuilt bytes written to this holder
 
     @property
     def reconcile_bytes(self) -> int:
@@ -122,6 +126,10 @@ class ReplicaTraffic:
             "reconcile_digest_bytes": self.reconcile_digest_bytes,
             "reconcile_diff_bytes": self.reconcile_diff_bytes,
             "reconcile_bytes": self.reconcile_bytes,
+            "fragment_ships": self.fragment_ships,
+            "fragment_payload_bytes": self.fragment_payload_bytes,
+            "repair_read_bytes": self.repair_read_bytes,
+            "repair_write_bytes": self.repair_write_bytes,
         }
 
 
@@ -174,6 +182,14 @@ class TrafficAccountant:
     batched_pdu_bytes: int = 0  # batch payload + PDU headers (subset of pdu_bytes)
     writes_merged: int = 0  # logical writes elided by same-LBA XOR merging
     records_elided: int = 0  # post-merge records dropped as no-ops
+    # -- erasure-tier counters (engine/stripe.py) ----------------------------
+    erasure_writes: int = 0  # striped fan-outs completed (any outcome)
+    fragments_shipped: int = 0  # fragment submissions acked across channels
+    fragment_payload_bytes: int = 0  # wire bytes of those fragment ships
+    fragments_elided: int = 0  # all-zero fragment deltas skipped (XOR no-op)
+    repairs: int = 0  # survivor-driven fragment rebuilds
+    repair_read_bytes: int = 0  # fragment bytes read from survivors
+    repair_write_bytes: int = 0  # rebuilt bytes shipped to replacements
     # -- per-replica itemization (conservation under OOO recovery) ----------
     per_replica: dict[int, ReplicaTraffic] = field(default_factory=dict)
     dropped_bytes: int = 0  # journaled payload bytes evicted/cleared unreplayed
@@ -361,6 +377,82 @@ class TrafficAccountant:
         ledger.reconcile_digest_bytes += digest_bytes
         ledger.reconcile_diff_bytes += diff_bytes
 
+    # -- erasure-tier accounting --------------------------------------------
+
+    def record_erasure_write(
+        self,
+        data_len: int,
+        payload_len: int,
+        delivered: int,
+        journaled: int,
+        fragments: int,
+        elided: int = 0,
+        pdu_overhead: int = 48,
+    ) -> None:
+        """Record one striped write once its whole fragment fan-out resolved.
+
+        ``payload_len`` is the *delivered* fragment wire bytes summed over
+        the fan-out (journaled fragments are charged at replay, like any
+        backlogged copy); ``fragments`` is how many fragments actually
+        shipped or journaled after eliding ``elided`` all-zero fragment
+        deltas.  The write counts as skipped when every fragment elided,
+        journaled when nothing delivered but something reached a backlog,
+        and failed when nothing delivered at all — exactly the mirror
+        tier's outcome taxonomy, applied to the stripe group as a unit.
+        """
+        self.writes_total += 1
+        self.data_bytes += data_len
+        self.erasure_writes += 1
+        self.fragments_elided += elided
+        if fragments == 0:
+            self.writes_skipped += 1
+            return
+        if delivered == 0:
+            if journaled:
+                self.writes_journaled += 1
+            else:
+                self.writes_failed += 1
+            return
+        self.writes_replicated += 1
+        self.payload_bytes += payload_len
+        self.pdu_bytes += payload_len + pdu_overhead * delivered
+        self.pdus_shipped += delivered
+        self.payload_histogram.record(payload_len)
+        if self.keep_raw:
+            self.per_write_payloads.append(payload_len)
+
+    def record_fragment_ship(
+        self, payload_len: int, replica: int | None = None
+    ) -> None:
+        """Attribute one acked fragment's wire bytes to its channel.
+
+        The erasure tier's analogue of :meth:`record_replica_ship`:
+        itemization only (globals are charged once per stripe group by
+        :meth:`record_erasure_write`), making the per-fragment byte flow
+        auditable as its own conservation law.
+        """
+        self.fragments_shipped += 1
+        self.fragment_payload_bytes += payload_len
+        ledger = self.replica(replica)
+        ledger.fragment_ships += 1
+        ledger.fragment_payload_bytes += payload_len
+
+    def record_repair(
+        self, read_bytes: int, written_bytes: int, replica: int | None = None
+    ) -> None:
+        """One survivor-driven fragment rebuild: its read and write bytes.
+
+        ``written_bytes`` is what actually shipped to the replacement
+        holder (``volume / k``) — the number the repair-bandwidth gate in
+        ``BENCH_erasure.json`` compares against a full re-mirror.
+        """
+        self.repairs += 1
+        self.repair_read_bytes += read_bytes
+        self.repair_write_bytes += written_bytes
+        ledger = self.replica(replica)
+        ledger.repair_read_bytes += read_bytes
+        ledger.repair_write_bytes += written_bytes
+
     def verify_conservation(
         self,
         pending_by_replica: dict[int, int] | None = None,
@@ -423,6 +515,26 @@ class TrafficAccountant:
                 self.reconcile_diff_bytes,
                 _sum("reconcile_diff_bytes"),
             ),
+            (
+                "fragments_shipped",
+                self.fragments_shipped,
+                _sum("fragment_ships"),
+            ),
+            (
+                "fragment_payload_bytes",
+                self.fragment_payload_bytes,
+                _sum("fragment_payload_bytes"),
+            ),
+            (
+                "repair_read_bytes",
+                self.repair_read_bytes,
+                _sum("repair_read_bytes"),
+            ),
+            (
+                "repair_write_bytes",
+                self.repair_write_bytes,
+                _sum("repair_write_bytes"),
+            ),
         ]
         for name, total, itemized in pairs:
             if total != itemized:
@@ -439,6 +551,9 @@ class TrafficAccountant:
                 or stray.resync_bytes
                 or stray.reconcile_bytes
                 or stray.dropped_bytes
+                or stray.fragment_payload_bytes
+                or stray.repair_read_bytes
+                or stray.repair_write_bytes
             ):
                 raise ConservationError(
                     "recovery bytes recorded without replica attribution: "
@@ -556,6 +671,15 @@ class TrafficAccountant:
                 "reconcile_bytes": self.reconcile_bytes,
                 "recovery_bytes": self.recovery_bytes,
             },
+            "erasure": {
+                "erasure_writes": self.erasure_writes,
+                "fragments_shipped": self.fragments_shipped,
+                "fragment_payload_bytes": self.fragment_payload_bytes,
+                "fragments_elided": self.fragments_elided,
+                "repairs": self.repairs,
+                "repair_read_bytes": self.repair_read_bytes,
+                "repair_write_bytes": self.repair_write_bytes,
+            },
             "per_replica": {
                 str(index): ledger.snapshot()
                 for index, ledger in sorted(self.per_replica.items())
@@ -593,5 +717,12 @@ class TrafficAccountant:
         self.batched_pdu_bytes = 0
         self.writes_merged = 0
         self.records_elided = 0
+        self.erasure_writes = 0
+        self.fragments_shipped = 0
+        self.fragment_payload_bytes = 0
+        self.fragments_elided = 0
+        self.repairs = 0
+        self.repair_read_bytes = 0
+        self.repair_write_bytes = 0
         self.per_replica.clear()
         self.dropped_bytes = 0

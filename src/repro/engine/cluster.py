@@ -28,6 +28,7 @@ from repro.engine.replica import ReplicaEngine
 from repro.engine.resilience import LinkHealth, ResilienceConfig, ResyncOutcome
 from repro.engine.scheduler import SchedulerConfig
 from repro.engine.strategy import ReplicationStrategy, make_strategy
+from repro.engine.stripe import FragmentView, RepairReport, StripeConfig
 from repro.engine.sync import verify_consistency
 from repro.obs.telemetry import get_telemetry
 
@@ -39,7 +40,16 @@ LinkFactory = Callable[[int, int, ReplicaLink], ReplicaLink]
 
 @dataclass(frozen=True)
 class ClusterConfig:
-    """Shape of the cluster."""
+    """Shape of the cluster.
+
+    ``redundancy="mirror"`` (the default) gives every node
+    ``replicas_per_node`` full-copy replicas.  ``redundancy="erasure"``
+    instead stripes each node's writes into ``n`` coded fragments of
+    ``block_size / k`` bytes hosted on ``n`` distinct peer nodes — any
+    ``k`` reassemble a block, so ``n - k`` simultaneous node failures
+    are tolerated at ``n/k`` storage overhead instead of ``f + 1``
+    full mirrors (:mod:`repro.engine.stripe`).
+    """
 
     nodes: int = 4
     replicas_per_node: int = 2  # size of each node's replica set
@@ -48,10 +58,31 @@ class ClusterConfig:
     strategy: str = "prins"
     codec: str | None = None  # delta/compression codec; None = strategy default
     old_block_cache: int | None = None  # LRU slots for A_old; None = off
+    redundancy: str = "mirror"  # "mirror" or "erasure"
+    k: int = 4  # erasure data fragments per block
+    n: int = 6  # erasure total fragments per block (k data + n-k parity)
 
     def __post_init__(self) -> None:
         if self.nodes < 2:
             raise ConfigurationError("a cluster needs at least 2 nodes")
+        if self.redundancy not in ("mirror", "erasure"):
+            raise ConfigurationError(
+                f"redundancy must be 'mirror' or 'erasure', "
+                f"got {self.redundancy!r}"
+            )
+        if self.redundancy == "erasure":
+            StripeConfig(self.k, self.n)  # validates k >= 2, n > k
+            if self.n > self.nodes - 1:
+                raise ConfigurationError(
+                    f"erasure n={self.n} needs at least n+1={self.n + 1} "
+                    f"nodes (each fragment on a distinct peer), "
+                    f"have {self.nodes}"
+                )
+            if self.block_size % self.k:
+                raise ConfigurationError(
+                    f"erasure redundancy needs block_size divisible by "
+                    f"k={self.k}, got block_size={self.block_size}"
+                )
         if not 1 <= self.replicas_per_node < self.nodes:
             raise ConfigurationError(
                 "replicas_per_node must be in [1, nodes-1]"
@@ -65,10 +96,28 @@ class ClusterConfig:
                 "the traditional strategy ships raw blocks and takes no codec"
             )
 
+    def stripe_config(self) -> StripeConfig | None:
+        """The erasure code shape, or ``None`` for mirror redundancy."""
+        if self.redundancy != "erasure":
+            return None
+        return StripeConfig(k=self.k, n=self.n)
+
+    @property
+    def fanout_width(self) -> int:
+        """Outbound channels per node: ``n`` fragments or ``replicas_per_node``."""
+        return self.n if self.redundancy == "erasure" else self.replicas_per_node
+
+    @property
+    def region_block_size(self) -> int:
+        """Bytes per block in a hosted replica region (fragment-sized on erasure)."""
+        if self.redundancy == "erasure":
+            return self.block_size // self.k
+        return self.block_size
+
     @property
     def population(self) -> int:
-        """The queueing model's population: nodes × replicas (Sec. 3.3)."""
-        return self.nodes * self.replicas_per_node
+        """The queueing model's population: nodes × channels (Sec. 3.3)."""
+        return self.nodes * self.fanout_width
 
 
 class ClusterNode:
@@ -100,7 +149,7 @@ class ClusterNode:
         """Create (or return) the replica engine for ``primary_id``'s data."""
         if primary_id not in self._replica_engines:
             region = MemoryBlockDevice(
-                self._config.block_size, self._config.blocks_per_node
+                self._config.region_block_size, self._config.blocks_per_node
             )
             self.replica_regions[primary_id] = region
             self._replica_engines[primary_id] = ReplicaEngine(
@@ -110,15 +159,17 @@ class ClusterNode:
 
 
 def round_robin_placement(config: ClusterConfig) -> dict[int, list[int]]:
-    """Default placement: node ``i`` replicates to the next ``k`` nodes.
+    """Default placement: node ``i`` replicates to its next successors.
 
     The classic successor-list placement (chained declustering); any
-    mapping node → replica list with the same cardinality works.
+    mapping node → replica list with the same cardinality works.  On the
+    erasure tier the list has ``n`` entries and *position is meaning*:
+    entry ``j`` hosts stripe fragment ``j`` of the primary's volume.
     """
     return {
         node: [
             (node + offset) % config.nodes
-            for offset in range(1, config.replicas_per_node + 1)
+            for offset in range(1, config.fanout_width + 1)
         ]
         for node in range(config.nodes)
     }
@@ -176,6 +227,7 @@ class StorageCluster:
                 old_block_cache=self.config.old_block_cache,
                 fanout=fanout,
                 scheduler=scheduler,
+                stripe=self.config.stripe_config(),
             )
         if self.telemetry.enabled:
             self.telemetry.register_source("cluster", self.telemetry_snapshot)
@@ -229,7 +281,14 @@ class StorageCluster:
             node.engine.close()
 
     def _validate_placement(self) -> None:
+        width = self.config.fanout_width
         for node_id, replicas in self.placement.items():
+            if self.config.redundancy == "erasure" and len(replicas) != width:
+                raise ConfigurationError(
+                    f"erasure placement for node {node_id} must list exactly "
+                    f"n={width} hosts (position = fragment index), "
+                    f"got {len(replicas)}"
+                )
             if node_id in replicas:
                 raise ConfigurationError(
                     f"node {node_id} cannot replicate to itself"
@@ -270,14 +329,40 @@ class StorageCluster:
         return engine.read_block(lba)
 
     def read_from_replica(self, primary_id: int, lba: int) -> bytes:
-        """Serve ``primary_id``'s block from one of its replicas.
+        """Serve ``primary_id``'s block from its replica set.
 
-        Used after a primary failure: any *live* member of the replica set
-        can answer.  Fails over down the replica list in placement order
-        and raises :class:`~repro.common.errors.ReplicationError` when no
-        replica can serve.
+        Used after a primary failure.  Mirror tier: any *live* member of
+        the replica set can answer whole; fails over down the list in
+        placement order.  Erasure tier: gathers fragments from live
+        holders (placement position = fragment index) and reassembles
+        from any ``k`` of them.  Raises
+        :class:`~repro.common.errors.ReplicationError` when no replica —
+        or fewer than ``k`` fragment holders — can serve.
         """
         replicas = self.placement[primary_id]
+        engine = self.nodes[primary_id].engine
+        assert engine is not None
+        codec = engine.stripe_codec
+        if codec is not None:
+            fragments: dict[int, bytes] = {}
+            for index, replica_id in enumerate(replicas):
+                if replica_id in self._down_nodes:
+                    continue
+                region = self.nodes[replica_id].replica_regions.get(primary_id)
+                fragments[index] = (
+                    region.read_block(lba)
+                    if region is not None
+                    else bytes(codec.fragment_size)  # never written: zeros
+                )
+                if len(fragments) == codec.k:
+                    break
+            if len(fragments) < codec.k:
+                raise ReplicationError(
+                    f"only {len(fragments)} of the {codec.k} fragments "
+                    f"needed for node {primary_id}'s LBA {lba} are on "
+                    f"live holders"
+                )
+            return codec.reassemble(fragments)
         alive = [r for r in replicas if r not in self._down_nodes]
         if not alive:
             raise ReplicationError(
@@ -361,6 +446,35 @@ class StorageCluster:
             outcomes[primary_id] = engine.heal_link(index)
         return outcomes
 
+    def repair_node(self, node_id: int) -> dict[int, RepairReport]:
+        """Rebuild every fragment hosted on ``node_id`` from survivors.
+
+        The erasure tier's replacement path for a node that is *lost*
+        (disk gone) rather than merely lagging: for each primary whose
+        fragment lived there, pull fragment-sized reads from ``k``
+        surviving holders and regenerate the missing fragment in place —
+        ``volume / k`` bytes shipped per hosted fragment instead of a
+        full re-mirror.  Returns ``{primary_id: RepairReport}``.  The
+        node must be live again (``heal_node`` first if it was failed);
+        repair traffic lands in each primary's accountant.
+        """
+        self._check_node(node_id)
+        if node_id in self._down_nodes:
+            raise ReplicationError(
+                f"node {node_id} is down; heal_node it before repair"
+            )
+        reports: dict[int, RepairReport] = {}
+        for primary_id, index in self._links_to(node_id):
+            engine = self.nodes[primary_id].engine
+            assert engine is not None
+            if engine.stripe_codec is None:
+                raise ConfigurationError(
+                    "repair_node is an erasure-tier operation; mirror "
+                    "clusters recover via heal_node"
+                )
+            reports[primary_id] = engine.repair_fragment(index)
+        return reports
+
     def heal_all(self) -> dict[tuple[int, int], ResyncOutcome]:
         """Heal every channel in the cluster; returns per-pair outcomes."""
         self._require_resilience("heal_all")
@@ -384,12 +498,24 @@ class StorageCluster:
         replica that is merely down-with-backlog (lagging but recoverable).
         """
         mismatches: dict[tuple[int, int], int] = {}
+        stripe_codec = None
+        if self.config.redundancy == "erasure":
+            engine = self.nodes[0].engine
+            assert engine is not None
+            stripe_codec = engine.stripe_codec
         for node in self.nodes:
-            for replica_id in self.placement[node.node_id]:
+            for index, replica_id in enumerate(self.placement[node.node_id]):
                 region = self.nodes[replica_id].replica_regions.get(node.node_id)
                 if region is None:
                     continue  # never written to: trivially consistent
-                bad = verify_consistency(node.primary_device, region)
+                if stripe_codec is not None:
+                    # compare against the derived fragment, not the volume
+                    source: BlockDevice = FragmentView(
+                        node.primary_device, stripe_codec, index
+                    )
+                else:
+                    source = node.primary_device
+                bad = verify_consistency(source, region)
                 if bad:
                     mismatches[(node.node_id, replica_id)] = len(bad)
         return mismatches
@@ -506,6 +632,7 @@ class StorageCluster:
         return {
             "nodes": self.config.nodes,
             "replicas_per_node": self.config.replicas_per_node,
+            "redundancy": self.config.redundancy,
             "strategy": self.config.strategy,
             "down_nodes": sorted(self._down_nodes),
             "payload_bytes": self.total_payload_bytes,

@@ -31,11 +31,13 @@ from typing import Callable, Sequence
 
 from repro.block.device import BlockDevice
 from repro.block.lru import BlockCache
+from repro.common.buffers import is_zero
 from repro.common.errors import (
     BlockSizeError,
     ConfigurationError,
     PartialReplicationError,
     ReplicationError,
+    SyncError,
 )
 from repro.engine.accounting import TrafficAccountant
 from repro.engine.batch import BatchConfig, FlushResult, ShipBatcher
@@ -49,9 +51,102 @@ from repro.engine.resilience import (
 )
 from repro.engine.scheduler import FanoutScheduler, SchedulerConfig
 from repro.engine.strategy import ReplicationStrategy
+from repro.engine.stripe import (
+    FragmentView,
+    ParityCrcTracker,
+    RepairReport,
+    StripeCodec,
+    StripeConfig,
+    repair_from_survivors,
+)
 from repro.engine.work import ShipWork
 from repro.obs.telemetry import get_telemetry
 from repro.raid.parity_base import ParityArrayBase
+
+
+class _StripeCharge:
+    """Deferred accounting for one striped write's whole fragment fan-out.
+
+    Each fragment dispatches as an independent single-channel submission
+    whose ``charge``/``journal_charge`` callback resolves here; when all
+    non-elided fragments have resolved (inline in sequential mode, at ack
+    time in pipelined mode) the stripe group is charged to the accountant
+    *once* — the erasure analogue of the mirror tier's one
+    ``charge(delivered)`` per write.
+    """
+
+    def __init__(
+        self,
+        accountant: TrafficAccountant,
+        data_len: int,
+        expected: int,
+        elided: int,
+    ) -> None:
+        self._accountant = accountant
+        self._data_len = data_len
+        self._expected = expected
+        self._elided = elided
+        self._resolved = 0
+        self._delivered = 0
+        self._journaled = 0
+        self._payload = 0
+        self._done = False
+
+    def charge_cb(self, fragment: int, wire_len: int):
+        """The ``charge(delivered)`` callback for fragment ``fragment``."""
+
+        def charge(delivered: int) -> None:
+            """Itemize one delivered fragment and resolve it in the group."""
+            if delivered:
+                self._delivered += 1
+                self._payload += wire_len
+                self._accountant.record_fragment_ship(
+                    wire_len, replica=fragment
+                )
+            self._resolve()
+
+        return charge
+
+    def journal_cb(self, fragment: int):
+        """The ``journal_charge()`` callback for fragment ``fragment``."""
+        del fragment  # journaled bytes are itemized by the guard itself
+
+        def journal() -> None:
+            """Count one fragment as backlogged and resolve it in the group."""
+            self._journaled += 1
+            self._resolve()
+
+        return journal
+
+    def _resolve(self) -> None:
+        self._resolved += 1
+        if self._resolved == self._expected:
+            self._finish()
+
+    def abort(self) -> None:
+        """Force-resolve fragments that never dispatched (strict failure).
+
+        A strict-mode link fault raises mid-stripe; the local write and
+        every delivered fragment are already real, so the group must
+        still reach the books — undispatched fragments count as neither
+        delivered nor journaled.
+        """
+        if not self._done and self._resolved < self._expected:
+            self._resolved = self._expected
+            self._finish()
+
+    def _finish(self) -> None:
+        if self._done:
+            return
+        self._done = True
+        self._accountant.record_erasure_write(
+            self._data_len,
+            self._payload,
+            self._delivered,
+            self._journaled,
+            self._expected,
+            elided=self._elided,
+        )
 
 
 class PrimaryEngine(BlockDevice):
@@ -80,13 +175,30 @@ class PrimaryEngine(BlockDevice):
         old_block_cache: int | None = None,
         fanout: str = "sequential",
         scheduler: "SchedulerConfig | None" = None,
+        stripe: StripeConfig | None = None,
     ) -> None:
         super().__init__(device.block_size, device.num_blocks)
         self._device = device
         self._strategy = strategy
         self._verify_acks = verify_acks
         self._seq = 0
+        if stripe is not None and batch is not None:
+            raise ConfigurationError(
+                "erasure striping and batching cannot be combined: "
+                "fragments ship per-write, one per stripe position"
+            )
         self._batcher = ShipBatcher(batch, strategy) if batch is not None else None
+        # Erasure tier: split every write into k-of-n coded fragments, one
+        # per link.  The parity-CRC tracker is only needed when the
+        # strategy ships deltas (the primary holds no parity copy to CRC).
+        self._stripe_codec = (
+            StripeCodec(stripe, device.block_size) if stripe is not None else None
+        )
+        self._parity_crcs = (
+            ParityCrcTracker(self._stripe_codec, device)
+            if self._stripe_codec is not None and strategy.needs_old_data
+            else None
+        )
         # Bounded LRU of last-written block images: serves A_old (the Eq. 1
         # read-before-write) from memory for hot LBAs.  Only useful when the
         # strategy actually consumes old data; RAID primaries get P' free
@@ -185,6 +297,17 @@ class PrimaryEngine(BlockDevice):
         return self._old_cache
 
     @property
+    def stripe(self) -> StripeConfig | None:
+        """The erasure-tier code shape, or ``None`` for mirror fan-out."""
+        codec = self._stripe_codec
+        return codec.config if codec is not None else None
+
+    @property
+    def stripe_codec(self) -> StripeCodec | None:
+        """The erasure codec (``None`` for mirror fan-out)."""
+        return self._stripe_codec
+
+    @property
     def pending_batch_writes(self) -> int:
         """Records buffered but not yet flushed (0 when unbatched)."""
         return len(self._batcher) if self._batcher is not None else 0
@@ -246,10 +369,92 @@ class PrimaryEngine(BlockDevice):
         the reconcile tier can ship divergent blocks as ordinary
         replication records (fresh sequence numbers, same idempotent
         replica apply path as foreground writes).
+
+        On the erasure tier the sync source is a
+        :class:`~repro.engine.stripe.FragmentView` of the primary volume
+        at this link's stripe position, so journal replay, PBS reconcile,
+        and the digest sweep all operate on fragment-sized blocks — the
+        whole heal ladder applies per-fragment with no stripe-specific
+        recovery code.
         """
+        source: BlockDevice = self._device
+        if self._stripe_codec is not None:
+            source = FragmentView(self._device, self._stripe_codec, index)
         return self._guard(index).heal(
-            self._device, record_builder=self._resync_record
+            source, record_builder=self._resync_record
         )
+
+    def repair_fragment(
+        self, index: int, replacement: BlockDevice | None = None
+    ) -> RepairReport:
+        """Rebuild fragment holder ``index`` from ``k`` survivors.
+
+        The regenerating-style repair path: instead of re-mirroring the
+        volume, pull fragment-sized reads from ``k`` healthy holders and
+        write only the rebuilt fragment (``volume / k`` bytes) to
+        ``replacement`` (default: the failed holder's own sync device,
+        assumed replaced or zeroed).  Read/write bytes are charged to the
+        accountant's repair counters, attributed to fragment ``index``.
+        """
+        codec = self._stripe_codec
+        if codec is None:
+            raise ConfigurationError(
+                "repair_fragment requires an erasure-striped engine"
+            )
+        holders: list[BlockDevice] = []
+        for link_index, link in enumerate(self._links):
+            dev = link.sync_device()
+            if dev is None and link_index != index:
+                raise SyncError(
+                    f"link {link_index} exposes no sync device; cannot "
+                    "read survivor fragments"
+                )
+            holders.append(dev)  # type: ignore[arg-type]
+        return repair_from_survivors(
+            codec,
+            holders,
+            index,
+            replacement=replacement,
+            accountant=self.accountant,
+        )
+
+    def read_striped(self, lba: int, exclude: Sequence[int] = ()) -> bytes:
+        """Reassemble block ``lba`` from any ``k`` healthy fragment holders.
+
+        Skips holders listed in ``exclude`` and (on guarded engines)
+        holders whose link is DOWN; a holder whose read raises is skipped
+        too.  Raises :class:`~repro.common.errors.ReplicationError` when
+        fewer than ``k`` fragments are reachable.
+        """
+        codec = self._stripe_codec
+        if codec is None:
+            raise ConfigurationError(
+                "read_striped requires an erasure-striped engine"
+            )
+        skip = set(exclude)
+        if self._guards is not None:
+            for guard in self._guards:
+                if guard.health is LinkHealth.DOWN:
+                    skip.add(guard.index)
+        fragments: dict[int, bytes] = {}
+        for j, link in enumerate(self._links):
+            if j in skip:
+                continue
+            dev = link.sync_device()
+            if dev is None:
+                continue
+            try:
+                fragments[j] = dev.read_block(lba)
+            except Exception:
+                continue
+            if len(fragments) == codec.k:
+                break
+        if len(fragments) < codec.k:
+            raise ReplicationError(
+                f"only {len(fragments)} of the {codec.k} fragments needed "
+                f"for LBA {lba} are reachable"
+            )
+        return codec.reassemble(fragments)
 
     def _resync_record(
         self, lba: int, new_data: bytes, old_data: bytes
@@ -321,6 +526,19 @@ class PrimaryEngine(BlockDevice):
                         # contract), so the cache holds a reference, not a
                         # copy: the block just written IS the next A_old.
                         self._old_cache.put(lba, data)
+            if self._stripe_codec is not None:
+                payload = self._strategy.make_update(
+                    data,
+                    old_data if old_data is not None else b"",
+                    raid_delta=raid_delta,
+                    cache_hit=cache_hit,
+                )
+                if payload is None:
+                    span.set("skipped", True)
+                    self.accountant.record_write(len(data), None)
+                    return
+                self._dispatch_striped(lba, data, payload, span)
+                return
             if self._batcher is not None:
                 payload = self._strategy.make_update(
                     data,
@@ -374,7 +592,10 @@ class PrimaryEngine(BlockDevice):
         """
         if not writes:
             return
-        if self._raid is not None:
+        if self._raid is not None or self._stripe_codec is not None:
+            # RAID gets P' free per write; the erasure tier fans out per
+            # write anyway (one fragment group per block) — both take the
+            # sequential path.
             for lba, data in writes:
                 self.write_block(lba, data)
             return
@@ -451,11 +672,83 @@ class PrimaryEngine(BlockDevice):
             lambda: self.accountant.record_journaled_write(data_len),
         )
 
+    def _dispatch_striped(self, lba: int, data: bytes, payload, span) -> None:
+        """Split one write's payload into fragments and fan each out.
+
+        ``payload`` is what the strategy would have shipped whole: the
+        parity delta for delta strategies (PRINS Eq. 1), the full new
+        block otherwise.  Linearity makes the split commute with the
+        semantics — fragment ``j`` of the delta, XOR-applied at holder
+        ``j``, lands exactly on fragment ``j`` of ``A_new``.  Each
+        fragment rides an ordinary :class:`~repro.engine.work.ShipWork`
+        targeted at its own channel (``only=j``); all-zero fragment
+        deltas are elided as XOR no-ops (the wire win for sparse deltas).
+        End-to-end CRCs cover the *post-apply* fragment: a slice of
+        ``A_new`` for data fragments, the incrementally tracked parity
+        CRC for parity fragments under delta strategies.
+        """
+        codec = self._stripe_codec
+        assert codec is not None
+        if len(self._links) != codec.n:
+            raise ConfigurationError(
+                f"erasure tier k={codec.k}/n={codec.n} needs exactly "
+                f"{codec.n} links, have {len(self._links)}"
+            )
+        is_delta = self._strategy.needs_old_data
+        with self.telemetry.fine_span("write.stripe"):
+            fragments = codec.encode(payload)
+        to_ship: list[tuple[int, bytes]] = []
+        elided = 0
+        for j, frag_payload in enumerate(fragments):
+            if is_delta and is_zero(frag_payload):
+                elided += 1  # XOR no-op: holder j's fragment is unchanged
+                continue
+            to_ship.append((j, frag_payload))
+        if not to_ship:
+            span.set("skipped", True)
+            self.accountant.record_erasure_write(
+                len(data), 0, 0, 0, 0, elided=elided
+            )
+            return
+        self._seq += 1
+        seq = self._seq  # one sequence number per stripe group
+        span.set("fragments", len(to_ship))
+        agg = _StripeCharge(
+            self.accountant, len(data), expected=len(to_ship), elided=elided
+        )
+        ctx = span.context
+        try:
+            for j, frag_payload in to_ship:
+                frame = self._strategy.encode_payload(frag_payload)
+                if not is_delta:
+                    # overwrite apply: the holder ends up with the
+                    # decoded frame itself
+                    crc = zlib.crc32(frag_payload)
+                elif j < codec.k:
+                    crc = zlib.crc32(codec.slice_of(data, j))
+                else:
+                    assert self._parity_crcs is not None
+                    crc = self._parity_crcs.advance(
+                        lba, j - codec.k, frag_payload
+                    )
+                record = ReplicationRecord(seq=seq, block_crc=crc, frame=frame)
+                work = ShipWork.for_record(lba, record, ctx=ctx, fragment=j)
+                self._dispatch(
+                    work,
+                    agg.charge_cb(j, record.wire_size),
+                    agg.journal_cb(j),
+                    only=j,
+                )
+        except Exception:
+            agg.abort()
+            raise
+
     def _dispatch(
         self,
         work: ShipWork,
         charge: Callable[[int], None],
         journal_charge: Callable[[], None],
+        only: int | None = None,
     ) -> None:
         """Route one submission through the active fan-out discipline.
 
@@ -464,16 +757,17 @@ class PrimaryEngine(BlockDevice):
         all-links-journaled case.  Factoring charging into callbacks lets
         the pipelined scheduler defer both until acks resolve while the
         sequential paths invoke them inline — byte accounting is identical
-        either way.
+        either way.  ``only`` narrows the fan-out to a single link — the
+        erasure tier's per-fragment routing.
         """
         scheduler = self._scheduler
         if scheduler is not None:
-            scheduler.submit(work, charge, journal_charge)
+            scheduler.submit(work, charge, journal_charge, only=only)
             return
         if self._guards is not None:
-            self._dispatch_guarded(work, charge, journal_charge)
+            self._dispatch_guarded(work, charge, journal_charge, only=only)
         else:
-            self._dispatch_strict(work, charge)
+            self._dispatch_strict(work, charge, only=only)
 
     def _send_span(self, work: ShipWork, index: int):
         """The ``write.send`` span for one link (batched flagged when true)."""
@@ -482,11 +776,19 @@ class PrimaryEngine(BlockDevice):
         return self.telemetry.span("write.send", link=index)
 
     def _dispatch_strict(
-        self, work: ShipWork, charge: Callable[[int], None]
+        self,
+        work: ShipWork,
+        charge: Callable[[int], None],
+        only: int | None = None,
     ) -> None:
         """All-or-error fan-out: partial progress is recorded, then raised."""
         succeeded: list[int] = []
-        for index, link in enumerate(self._links):
+        targets = (
+            list(enumerate(self._links))
+            if only is None
+            else [(only, self._links[only])]
+        )
+        for index, link in targets:
             try:
                 with self._send_span(work, index):
                     ack = link.submit(work)
@@ -525,17 +827,23 @@ class PrimaryEngine(BlockDevice):
         work: ShipWork,
         charge: Callable[[int], None],
         journal_charge: Callable[[], None],
+        only: int | None = None,
     ) -> None:
         """Degrading fan-out: transient faults become backlog, not errors."""
         assert self._guards is not None
+        guards = (
+            list(enumerate(self._guards))
+            if only is None
+            else [(only, self._guards[only])]
+        )
         delivered = 0
-        for index, guard in enumerate(self._guards):
+        for index, guard in guards:
             with self._send_span(work, index) as span:
                 if guard.submit(work, self._verify_acks):
                     delivered += 1
                 else:
                     span.set("journaled", True)
-        if delivered or not self._guards:
+        if delivered or not guards:
             charge(delivered)
         else:
             journal_charge()
@@ -724,6 +1032,14 @@ class PrimaryEngine(BlockDevice):
             }
         if self._old_cache is not None:
             snapshot["old_block_cache"] = self._old_cache.snapshot()
+        if self._stripe_codec is not None:
+            codec = self._stripe_codec
+            snapshot["stripe"] = {
+                "k": codec.k,
+                "n": codec.n,
+                "fragment_size": codec.fragment_size,
+                "storage_overhead": codec.config.storage_overhead,
+            }
         if self._scheduler is not None:
             snapshot["scheduler"] = self._scheduler.snapshot()
         if self._guards:

@@ -579,6 +579,7 @@ class FanoutScheduler:
         work: ShipWork,
         charge: Callable[[int], None],
         journal_charge: Callable[[], None],
+        only: int | None = None,
     ) -> None:
         """Fan one submission out to every channel; charging is deferred.
 
@@ -586,26 +587,40 @@ class FanoutScheduler:
         once the submission's fate is known on all channels — the same
         callbacks the sequential fan-out invokes inline, so accounting is
         mode-independent.
+
+        ``only`` routes the submission to a single channel (fan-out width
+        1) — the erasure tier's per-fragment dispatch, where each coded
+        fragment targets exactly the channel holding that stripe
+        position.  Credit windows, DOWN isolation, and trace spans apply
+        per channel exactly as for mirrored traffic.
         """
         if self._closed:
             raise ReplicationError("scheduler is closed")
+        if only is not None and not 0 <= only < len(self.channels):
+            raise ConfigurationError(
+                f"targeted submit index {only} out of range "
+                f"({len(self.channels)} channels)"
+            )
         with self.telemetry.span(
             "sched.submit", seq=work.last_seq, batched=work.is_batch
         ):
             self._submit_counter.inc()
-            state = _WorkState(work, charge, journal_charge, len(self.channels))
+            targets = (
+                self.channels if only is None else [self.channels[only]]
+            )
+            state = _WorkState(work, charge, journal_charge, len(targets))
             self._submitted += 1
-            if not self.channels:
+            if not targets:
                 self._finalize(state)
                 return
             with self.resolve_lock:
                 self._outstanding += 1
             if self.config.mode == "threads":
                 self._ensure_workers()
-                for channel in self.channels:
+                for channel in targets:
                     channel.enqueue_threaded(state)
             else:
-                for channel in self.channels:
+                for channel in targets:
                     channel.enqueue_sim(state)
 
     # -- resolution ----------------------------------------------------------

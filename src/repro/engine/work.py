@@ -41,12 +41,19 @@ class ShipWork:
     scheduler's worker threads and onto the iSCSI BHS, and is excluded
     from equality/repr — two submissions shipping the same bytes are the
     same work whether or not tracing happened to be on.
+
+    ``fragment`` tags erasure-tier submissions with their stripe position
+    (``0..n-1``) so journal replay, tracing, and tests can tell which
+    coded fragment a record carries; ``None`` for mirror traffic.  The
+    wire format is unchanged — a fragment is an ordinary record whose
+    payload happens to be ``1/k`` of a block (or parity thereof).
     """
 
     lba: int
     record: ReplicationRecord | None = None
     batch: ShipBatch | None = None
     ctx: TraceContext | None = field(default=None, compare=False, repr=False)
+    fragment: int | None = None
 
     def __post_init__(self) -> None:
         """Enforce the record-xor-batch invariant."""
@@ -63,9 +70,10 @@ class ShipWork:
         lba: int,
         record: ReplicationRecord,
         ctx: TraceContext | None = None,
+        fragment: int | None = None,
     ) -> "ShipWork":
-        """Wrap a single replication record."""
-        return cls(lba=lba, record=record, ctx=ctx)
+        """Wrap a single replication record (optionally a stripe fragment)."""
+        return cls(lba=lba, record=record, ctx=ctx, fragment=fragment)
 
     @classmethod
     def for_batch(

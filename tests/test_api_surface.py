@@ -34,6 +34,9 @@ CONFIG_FIELDS = (
     "replicas",
     "nodes",
     "replicas_per_node",
+    "redundancy",
+    "k",
+    "n",
     "batch_records",
     "batch_bytes",
     "old_block_cache",

@@ -1,0 +1,346 @@
+"""Unit tests for the k-of-n striping codec layer.
+
+Covers the GF(256) arithmetic, the MDS (any-k-of-n) property of the
+systematized-Vandermonde generator, the GF(2)-linearity that lets PRINS
+deltas ride the code, the incremental parity CRC tracker, the read-only
+fragment views, and the survivor-driven repair primitive.
+"""
+
+from __future__ import annotations
+
+import itertools
+import zlib
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.block import MemoryBlockDevice
+from repro.common.errors import ConfigurationError, ReplicationError, SyncError
+from repro.common.rng import make_rng
+from repro.engine.stripe import (
+    FragmentView,
+    ParityCrcTracker,
+    StripeCodec,
+    StripeConfig,
+    _gf_inv,
+    _gf_mul,
+    _invert_matrix,
+    repair_from_survivors,
+    stripe_full_sync,
+    verify_fragments,
+)
+
+
+def _random_block(size: int, seed: int = 7) -> bytes:
+    rng = make_rng(seed, "stripe-test")
+    return rng.integers(0, 256, size, dtype="u1").tobytes()
+
+
+# -- GF(256) arithmetic -------------------------------------------------------
+
+
+def test_gf_mul_agrees_with_slow_reference():
+    def slow_mul(a, b):
+        result = 0
+        while b:
+            if b & 1:
+                result ^= a
+            a <<= 1
+            if a & 0x100:
+                a ^= 0x11D
+            b >>= 1
+        return result
+
+    rng = make_rng(3, "gf")
+    for _ in range(200):
+        a = int(rng.integers(0, 256))
+        b = int(rng.integers(0, 256))
+        assert _gf_mul(a, b) == slow_mul(a, b)
+
+
+def test_gf_inverse_roundtrip():
+    for a in range(1, 256):
+        assert _gf_mul(a, _gf_inv(a)) == 1
+    with pytest.raises(ZeroDivisionError):
+        _gf_inv(0)
+
+
+def test_matrix_inversion_roundtrip():
+    rng = make_rng(11, "matrix")
+    matrix = [[int(v) for v in rng.integers(0, 256, 4)] for _ in range(4)]
+    matrix[0][0] |= 1  # nudge away from the measure-zero singular case
+    try:
+        inverse = _invert_matrix(matrix)
+    except ReplicationError:
+        pytest.skip("random matrix happened to be singular")
+    for i in range(4):
+        for j in range(4):
+            acc = 0
+            for t in range(4):
+                acc ^= _gf_mul(matrix[i][t], inverse[t][j])
+            assert acc == (1 if i == j else 0)
+
+
+# -- configuration ------------------------------------------------------------
+
+
+def test_stripe_config_validation():
+    with pytest.raises(ConfigurationError):
+        StripeConfig(k=1, n=3)
+    with pytest.raises(ConfigurationError):
+        StripeConfig(k=4, n=4)
+    with pytest.raises(ConfigurationError):
+        StripeConfig(k=2, n=256)
+    config = StripeConfig(k=4, n=6)
+    assert config.m == 2
+    assert config.storage_overhead == pytest.approx(1.5)
+
+
+def test_codec_requires_divisible_block_size():
+    with pytest.raises(ConfigurationError):
+        StripeCodec(StripeConfig(k=3, n=5), 128)
+
+
+def test_split_rejects_wrong_length():
+    codec = StripeCodec(StripeConfig(k=4, n=6), 64)
+    with pytest.raises(ReplicationError):
+        codec.split(b"\x00" * 63)
+
+
+# -- the MDS property: any k of n fragments reassemble ------------------------
+
+
+@pytest.mark.parametrize("k,n", [(2, 3), (4, 6), (3, 7), (5, 8)])
+def test_any_k_of_n_fragments_reassemble(k, n):
+    codec = StripeCodec(StripeConfig(k=k, n=n), 8 * k)
+    block = _random_block(8 * k, seed=k * 100 + n)
+    fragments = codec.encode(block)
+    assert len(fragments) == n
+    assert all(len(f) == codec.fragment_size for f in fragments)
+    for subset in itertools.combinations(range(n), k):
+        chosen = {i: fragments[i] for i in subset}
+        assert codec.reassemble(chosen) == block, f"subset {subset} failed"
+
+
+@pytest.mark.parametrize("k,n", [(2, 4), (4, 6)])
+def test_decode_missing_recomputes_every_fragment(k, n):
+    codec = StripeCodec(StripeConfig(k=k, n=n), 16 * k)
+    block = _random_block(16 * k)
+    fragments = codec.encode(block)
+    for missing in range(n):
+        survivors = {i: fragments[i] for i in range(n) if i != missing}
+        assert codec.decode_missing(missing, survivors) == fragments[missing]
+
+
+def test_reassemble_needs_k_fragments():
+    codec = StripeCodec(StripeConfig(k=4, n=6), 64)
+    fragments = codec.encode(_random_block(64))
+    with pytest.raises(ReplicationError):
+        codec.reassemble({0: fragments[0], 5: fragments[5]})
+    with pytest.raises(ReplicationError):
+        codec.reassemble({0: fragments[0], 1: b"", 2: fragments[2], 3: fragments[3]})
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    data=st.binary(min_size=48, max_size=48),
+    drop=st.sets(st.integers(0, 5), max_size=2),
+)
+def test_reassembly_survives_any_m_losses(data, drop):
+    """Hypothesis: any <= m missing fragments never lose data (k=4, n=6)."""
+    codec = StripeCodec(StripeConfig(k=4, n=6), 48)
+    fragments = codec.encode(data)
+    available = {i: fragments[i] for i in range(6) if i not in drop}
+    assert codec.reassemble(available) == data
+
+
+# -- GF(2) linearity: the PRINS delta identity rides the code -----------------
+
+
+def test_fragment_deltas_equal_delta_fragments():
+    """encode(a) XOR encode(b) == encode(a XOR b), fragment for fragment.
+
+    This is the load-bearing identity of the tier: a stripe-encoded PRINS
+    parity delta, XOR-applied to each holder's stored fragment, lands the
+    holder exactly on the new block's fragment.
+    """
+    codec = StripeCodec(StripeConfig(k=4, n=6), 64)
+    a = _random_block(64, seed=1)
+    b = _random_block(64, seed=2)
+    delta = bytes(x ^ y for x, y in zip(a, b))
+    enc_a, enc_b, enc_d = codec.encode(a), codec.encode(b), codec.encode(delta)
+    for j in range(codec.n):
+        xored = bytes(x ^ y for x, y in zip(enc_a[j], enc_b[j]))
+        assert xored == enc_d[j], f"fragment {j} is not linear"
+
+
+def test_xor_code_parity_is_plain_xor_of_slices():
+    """m == 1 must degenerate to the RAID-5 all-ones XOR row."""
+    codec = StripeCodec(StripeConfig(k=4, n=5), 64)
+    block = _random_block(64)
+    slices = codec.split(block)
+    expected = bytes(
+        s0 ^ s1 ^ s2 ^ s3 for s0, s1, s2, s3 in zip(*slices)
+    )
+    assert codec.parity_fragment(block, 0) == expected
+
+
+# -- incremental parity CRC tracking ------------------------------------------
+
+
+def test_parity_crc_tracker_follows_xor_deltas():
+    codec = StripeCodec(StripeConfig(k=4, n=6), 64)
+    device = MemoryBlockDevice(64, 4)
+    tracker = ParityCrcTracker(codec, device)
+    rng = make_rng(5, "crc")
+    current = {lba: bytes(64) for lba in range(4)}
+    for step in range(20):
+        lba = int(rng.integers(0, 4))
+        new = rng.integers(0, 256, 64, dtype="u1").tobytes()
+        delta = bytes(x ^ y for x, y in zip(new, current[lba]))
+        for j in range(codec.m):
+            parity_delta = codec.parity_fragment(delta, j)
+            tracked = tracker.advance(lba, j, parity_delta)
+            actual = zlib.crc32(codec.parity_fragment(new, j))
+            assert tracked == actual, f"step {step} lba {lba} parity {j}"
+        current[lba] = new
+
+
+def test_parity_crc_tracker_seeds_from_preloaded_device():
+    codec = StripeCodec(StripeConfig(k=2, n=4), 32)
+    device = MemoryBlockDevice(32, 3)
+    device.write_block(1, _random_block(32))
+    tracker = ParityCrcTracker(codec, device)
+    for lba in range(3):
+        block = device.read_block(lba)
+        for j in range(codec.m):
+            assert tracker.current(lba, j) == zlib.crc32(
+                codec.parity_fragment(block, j)
+            )
+
+
+# -- fragment views -----------------------------------------------------------
+
+
+def test_fragment_view_derives_and_rejects_writes():
+    codec = StripeCodec(StripeConfig(k=4, n=6), 64)
+    source = MemoryBlockDevice(64, 4)
+    source.write_block(2, _random_block(64))
+    for index in range(codec.n):
+        view = FragmentView(source, codec, index)
+        assert view.block_size == codec.fragment_size
+        assert view.num_blocks == source.num_blocks
+        assert view.fragment_index == index
+        for lba in range(4):
+            assert view.read_block(lba) == codec.fragment_of(
+                source.read_block(lba), index
+            )
+        with pytest.raises(SyncError):
+            view.write_block(0, bytes(codec.fragment_size))
+
+
+def test_fragment_view_validates_geometry():
+    codec = StripeCodec(StripeConfig(k=4, n=6), 64)
+    with pytest.raises(ConfigurationError):
+        FragmentView(MemoryBlockDevice(64, 4), codec, 6)
+    with pytest.raises(ConfigurationError):
+        FragmentView(MemoryBlockDevice(128, 4), codec, 0)
+
+
+# -- full sync, verification, repair ------------------------------------------
+
+
+def _synced_group(codec, num_blocks=6, seed=9):
+    source = MemoryBlockDevice(codec.block_size, num_blocks)
+    rng = make_rng(seed, "group")
+    for lba in range(num_blocks):
+        source.write_block(
+            lba, rng.integers(0, 256, codec.block_size, dtype="u1").tobytes()
+        )
+    holders = [
+        MemoryBlockDevice(codec.fragment_size, num_blocks)
+        for _ in range(codec.n)
+    ]
+    stripe_full_sync(codec, source, holders)
+    return source, holders
+
+
+def test_full_sync_then_verify_clean():
+    codec = StripeCodec(StripeConfig(k=4, n=6), 64)
+    source, holders = _synced_group(codec)
+    assert verify_fragments(codec, source, holders) == {}
+
+
+def test_verify_reports_corrupt_holder():
+    codec = StripeCodec(StripeConfig(k=4, n=6), 64)
+    source, holders = _synced_group(codec)
+    holders[5].write_block(3, bytes(codec.fragment_size))
+    assert verify_fragments(codec, source, holders) == {5: [3]}
+
+
+@pytest.mark.parametrize("failed", [0, 3, 4, 5])
+def test_repair_rebuilds_lost_fragment_at_volume_over_k(failed):
+    codec = StripeCodec(StripeConfig(k=4, n=6), 64)
+    source, holders = _synced_group(codec)
+    lost = holders[failed].snapshot()
+    replacement = MemoryBlockDevice(codec.fragment_size, source.num_blocks)
+    report = repair_from_survivors(codec, holders, failed, replacement)
+    assert replacement.snapshot() == lost
+    assert report.fragment_index == failed
+    assert failed not in report.survivors
+    assert report.written_bytes == source.num_blocks * codec.fragment_size
+    assert report.read_bytes == source.num_blocks * codec.k * codec.fragment_size
+    # regenerating win: the replacement receives volume/k, not volume
+    assert report.written_bytes * codec.k == source.num_blocks * codec.block_size
+
+
+def test_repair_defaults_to_overwriting_the_failed_holder():
+    codec = StripeCodec(StripeConfig(k=2, n=4), 32)
+    source, holders = _synced_group(codec)
+    want = holders[1].snapshot()
+    holders[1].load(bytes(len(want)))  # disk replaced, zeroed
+    repair_from_survivors(codec, holders, 1)
+    assert holders[1].snapshot() == want
+
+
+def test_repair_charges_the_accountant():
+    from repro.engine.accounting import TrafficAccountant
+
+    codec = StripeCodec(StripeConfig(k=4, n=6), 64)
+    source, holders = _synced_group(codec)
+    accountant = TrafficAccountant()
+    report = repair_from_survivors(codec, holders, 2, accountant=accountant)
+    assert accountant.repairs == 1
+    assert accountant.repair_read_bytes == report.read_bytes
+    assert accountant.repair_write_bytes == report.written_bytes
+    accountant.verify_conservation()
+
+
+def test_holder_count_is_validated():
+    codec = StripeCodec(StripeConfig(k=4, n=6), 64)
+    source, holders = _synced_group(codec)
+    with pytest.raises(ConfigurationError):
+        repair_from_survivors(codec, holders[:-1], 0)
+    with pytest.raises(ConfigurationError):
+        stripe_full_sync(codec, source, holders[:-1])
+
+
+def test_parity_rows_are_nontrivial_for_rs_codes():
+    """m >= 2 parity rows must differ (distinct evaluation points)."""
+    codec = StripeCodec(StripeConfig(k=4, n=7), 64)
+    assert len(set(codec.parity_rows)) == codec.m
+    for row in codec.parity_rows:
+        assert all(c != 0 for c in row)
+
+
+def test_numpy_paths_leave_inputs_untouched():
+    codec = StripeCodec(StripeConfig(k=4, n=6), 64)
+    block = bytearray(_random_block(64))
+    before = bytes(block)
+    codec.encode(block)
+    assert bytes(block) == before
+    arr = np.frombuffer(before, dtype=np.uint8).copy()
+    codec.encode(arr.tobytes())
+    assert arr.tobytes() == before
