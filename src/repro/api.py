@@ -40,7 +40,9 @@ from repro.engine.links import DirectLink, ReplicaLink
 from repro.engine.primary import PrimaryEngine
 from repro.engine.replica import ReplicaEngine
 from repro.engine.resilience import ResilienceConfig, RetryPolicy
+from repro.engine.router import READ_POLICIES
 from repro.engine.scheduler import SchedulerConfig
+from repro.engine.shard import ShardMap, ShardView, ShardedEngine
 from repro.engine.strategy import ReplicationStrategy, make_strategy
 from repro.engine.stripe import (
     RepairReport,
@@ -151,6 +153,14 @@ class ReplicationConfig:
     * **fan-out** — ``fanout`` (``sequential`` or ``pipelined``) plus the
       window policy: ``window``, ``scheduler_mode`` (``sim``/``threads``),
       ``link_latency_s``, ``per_link_latency_s``, ``latency_jitter``;
+    * **scale-out** — ``read_policy`` (``primary`` = every read served
+      locally, ``replica``/``least_loaded`` = conflict-free reads routed
+      across healthy replicas, :mod:`repro.engine.router`) and
+      ``shards`` (LBA-partitioned multi-primary: ``N`` independent
+      engines, each with its own scheduler/links/accounting,
+      :mod:`repro.engine.shard`).  The defaults (``1``/``"primary"``)
+      keep the wire and replica images bit-identical to the unsharded,
+      primary-serving engine;
     * **fault policy** — ``resilient`` switches the engine to guarded
       links; ``max_attempts`` and ``backlog_capacity_bytes`` tune it;
       ``resync`` picks how an overflowed backlog is healed
@@ -186,6 +196,9 @@ class ReplicationConfig:
     link_latency_s: float = 0.0
     per_link_latency_s: tuple[float, ...] = field(default=())
     latency_jitter: float = 0.0
+    # -- scale-out -------------------------------------------------------------
+    read_policy: str = "primary"
+    shards: int = 1
     # -- fault policy ----------------------------------------------------------
     resilient: bool = False
     max_attempts: int = 4
@@ -217,6 +230,20 @@ class ReplicationConfig:
         if self.replicas < 1:
             raise ConfigurationError(
                 f"replicas must be >= 1, got {self.replicas}"
+            )
+        if self.read_policy not in READ_POLICIES:
+            raise ConfigurationError(
+                f"read_policy must be one of {READ_POLICIES}, "
+                f"got {self.read_policy!r}"
+            )
+        if self.shards < 1:
+            raise ConfigurationError(
+                f"shards must be >= 1, got {self.shards}"
+            )
+        if self.shards > self.num_blocks:
+            raise ConfigurationError(
+                f"cannot split {self.num_blocks} blocks across "
+                f"{self.shards} shards"
             )
         if self.block_size < 1 or self.num_blocks < 1:
             raise ConfigurationError(
@@ -334,6 +361,8 @@ class ReplicationConfig:
             redundancy=self.redundancy,
             k=self.k,
             n=self.n,
+            shards=self.shards,
+            read_policy=self.read_policy,
         )
 
     def telemetry_instance(self) -> Any:
@@ -360,12 +389,16 @@ class ReplicationConfig:
 class PrimaryStack:
     """What :func:`open_primary` hands back: the engine plus its replicas.
 
-    ``engine`` is the wired :class:`~repro.engine.primary.PrimaryEngine`;
-    ``device`` its local store; ``replica_devices`` the N mirror devices
-    (inspect them to verify byte-identity); ``replica_engines`` and
-    ``links`` the plumbing in between, exposed so tests can wrap or fail
-    individual channels.  Usable as a context manager — exit drains
-    in-flight fan-out and closes the engine.
+    ``engine`` is the wired :class:`~repro.engine.primary.PrimaryEngine`
+    (or, with ``shards > 1``, the
+    :class:`~repro.engine.shard.ShardedEngine` facade over the per-shard
+    engines); ``device`` its local store; ``replica_devices`` the N
+    mirror devices (inspect them to verify byte-identity — shard
+    engines write through views into these same shared devices, so the
+    images stay whole); ``replica_engines`` and ``links`` the plumbing
+    in between (shard-major order when sharded), exposed so tests can
+    wrap or fail individual channels.  Usable as a context manager —
+    exit drains in-flight fan-out and closes the engine.
 
     With ``redundancy="erasure"`` the ``replica_devices`` are the ``n``
     fragment holders (each ``block_size / k`` bytes per block);
@@ -375,7 +408,7 @@ class PrimaryStack:
     survivors at ``volume / k`` shipped bytes.
     """
 
-    engine: PrimaryEngine
+    engine: PrimaryEngine | ShardedEngine
     device: MemoryBlockDevice
     replica_devices: list[MemoryBlockDevice]
     replica_engines: list[ReplicaEngine]
@@ -423,6 +456,8 @@ class PrimaryStack:
 def open_primary(
     config: ReplicationConfig | None = None,
     *,
+    shards: int | None = None,
+    read_policy: str | None = None,
     initial_image: bytes | None = None,
     link_factory: Any = None,
     telemetry_name: str | None = None,
@@ -436,6 +471,13 @@ def open_primary(
     ``block_size / k``-sized device wired through the same links,
     scheduler, and resilience machinery.
 
+    ``shards`` / ``read_policy`` override the config fields of the same
+    name (convenience for ``open_primary(shards=4,
+    read_policy="replica")``); ``shards > 1`` returns a stack whose
+    engine is a :class:`~repro.engine.shard.ShardedEngine` over ``N``
+    independent per-shard primaries sharing the same whole-volume
+    devices through LBA-translating views.
+
     ``initial_image`` preloads the primary and full-syncs every replica
     (the paper's "after the initial sync" baseline; erasure stacks
     encode it onto every fragment holder).  ``link_factory``
@@ -446,12 +488,23 @@ def open_primary(
     (default ``api.primary`` when telemetry is live).  ``accountant``
     substitutes a pre-built
     :class:`~repro.engine.accounting.TrafficAccountant` (e.g. with
-    ``keep_raw=True`` for per-write payload samples).  ``resilience``
-    overrides the config-derived fault policy with a hand-tuned
-    :class:`~repro.engine.resilience.ResilienceConfig` (thresholds the
-    flat config deliberately doesn't expose).
+    ``keep_raw=True`` for per-write payload samples; incompatible with
+    ``shards > 1``, where each shard owns its own ledger).
+    ``resilience`` overrides the config-derived fault policy with a
+    hand-tuned :class:`~repro.engine.resilience.ResilienceConfig`
+    (thresholds the flat config deliberately doesn't expose).
     """
     config = config or ReplicationConfig()
+    config = _override_scaleout(config, shards, read_policy)
+    if config.shards > 1:
+        return _open_sharded_primary(
+            config,
+            initial_image=initial_image,
+            link_factory=link_factory,
+            telemetry_name=telemetry_name,
+            accountant=accountant,
+            resilience=resilience,
+        )
     strategy = config.strategy_instance()
     stripe = config.stripe_config()
     device = MemoryBlockDevice(config.block_size, config.num_blocks)
@@ -508,6 +561,7 @@ def open_primary(
         fanout=config.fanout,
         scheduler=config.scheduler_config(),
         stripe=stripe,
+        read_policy=config.read_policy,
     )
     if stripe is not None and initial_image is not None:
         assert engine.stripe_codec is not None
@@ -523,9 +577,128 @@ def open_primary(
     )
 
 
+def _override_scaleout(
+    config: ReplicationConfig,
+    shards: int | None,
+    read_policy: str | None,
+) -> ReplicationConfig:
+    """Apply the factory-level ``shards``/``read_policy`` overrides."""
+    overrides: dict[str, Any] = {}
+    if shards is not None:
+        overrides["shards"] = shards
+    if read_policy is not None:
+        overrides["read_policy"] = read_policy
+    if overrides:
+        config = dataclasses.replace(config, **overrides)
+    return config
+
+
+def _open_sharded_primary(
+    config: ReplicationConfig,
+    *,
+    initial_image: bytes | None,
+    link_factory: Any,
+    telemetry_name: str | None,
+    accountant: Any,
+    resilience: ResilienceConfig | None,
+) -> PrimaryStack:
+    """The ``shards > 1`` build: N engines over views of shared devices.
+
+    The primary volume and every replica device stay whole; each shard
+    engine (and each shard's replica engines) reads and writes through
+    a :class:`~repro.engine.shard.ShardView`, so replica images remain
+    directly comparable to an unsharded run.
+    """
+    if accountant is not None:
+        raise ConfigurationError(
+            "shards > 1 gives each shard its own accountant; read the "
+            "summed view off stack.engine.accountant instead"
+        )
+    strategy = config.strategy_instance()
+    stripe = config.stripe_config()
+    telemetry = config.telemetry_instance()
+    shard_map = ShardMap(config.shards, config.num_blocks)
+    device = MemoryBlockDevice(config.block_size, config.num_blocks)
+    if initial_image is not None:
+        device.load(initial_image)
+    replica_devices: list[MemoryBlockDevice] = []
+    if stripe is not None:
+        fragment_size = config.block_size // stripe.k
+        replica_devices = [
+            MemoryBlockDevice(fragment_size, config.num_blocks)
+            for _ in range(stripe.n)
+        ]
+    else:
+        replica_devices = [
+            MemoryBlockDevice(config.block_size, config.num_blocks)
+            for _ in range(config.replicas)
+        ]
+        if initial_image is not None:
+            for replica_device in replica_devices:
+                full_sync(device, replica_device)
+    base_name = telemetry_name or (
+        "api.primary"
+        if config.telemetry or config.observability.enabled
+        else None
+    )
+    policy = (
+        resilience if resilience is not None else config.resilience_config()
+    )
+    replica_engines: list[ReplicaEngine] = []
+    links: list[ReplicaLink] = []
+    engines: list[PrimaryEngine] = []
+    for shard in range(config.shards):
+        shard_links: list[ReplicaLink] = []
+        for index, replica_device in enumerate(replica_devices):
+            replica_engine = ReplicaEngine(
+                ShardView(replica_device, shard_map, shard), strategy
+            )
+            link: ReplicaLink = DirectLink(replica_engine)
+            if link_factory is not None:
+                link = link_factory(index, link)
+            replica_engines.append(replica_engine)
+            links.append(link)
+            shard_links.append(link)
+        engines.append(
+            PrimaryEngine(
+                ShardView(device, shard_map, shard),
+                strategy,
+                shard_links,
+                verify_acks=config.verify_acks,
+                resilience=policy,
+                telemetry=telemetry,
+                telemetry_name=(
+                    f"{base_name}.shard{shard}" if base_name else None
+                ),
+                batch=config.batch_config(),
+                old_block_cache=config.old_block_cache,
+                fanout=config.fanout,
+                scheduler=config.scheduler_config(),
+                stripe=stripe,
+                read_policy=config.read_policy,
+            )
+        )
+    engine = ShardedEngine(engines, shard_map, device)
+    if stripe is not None and initial_image is not None:
+        codec = engine.stripe_codec
+        assert codec is not None
+        stripe_full_sync(codec, device, replica_devices)
+    return PrimaryStack(
+        engine=engine,
+        device=device,
+        replica_devices=replica_devices,
+        replica_engines=replica_engines,
+        links=links,
+        config=config,
+        telemetry=telemetry,
+    )
+
+
 def open_cluster(
     config: ReplicationConfig | None = None,
     *,
+    shards: int | None = None,
+    read_policy: str | None = None,
     placement: dict[int, list[int]] | None = None,
     link_factory: Any = None,
     resilience: ResilienceConfig | None = None,
@@ -537,9 +710,13 @@ def open_cluster(
     ``resilient=True`` config enables per-channel journaling and the
     fail/heal node lifecycle (``resilience=`` substitutes a hand-tuned
     policy); ``fanout="pipelined"`` gives every node a credit-window
-    scheduler.
+    scheduler.  ``shards`` / ``read_policy`` override the config fields
+    of the same name — ``open_cluster(shards=4, read_policy="replica")``
+    gives every node an LBA-sharded multi-primary whose conflict-free
+    reads are served by its replicas.
     """
     config = config or ReplicationConfig()
+    config = _override_scaleout(config, shards, read_policy)
     return StorageCluster(
         config.cluster_config(),
         placement=placement,

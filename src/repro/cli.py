@@ -255,6 +255,10 @@ def _demo_config(args: argparse.Namespace):
         overrides["k"] = args.k
     if args.n is not None:
         overrides["n"] = args.n
+    if args.shards is not None:
+        overrides["shards"] = args.shards
+    if args.read_policy is not None:
+        overrides["read_policy"] = args.read_policy
     return _dc.replace(base, **overrides) if overrides else base
 
 
@@ -549,6 +553,22 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         metavar="N",
         help="total fragments per stripe for --redundancy erasure (default 6)",
+    )
+    p_demo.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="LBA shards per engine (multi-primary when > 1; default 1)",
+    )
+    p_demo.add_argument(
+        "--read-policy",
+        default=None,
+        choices=["primary", "replica", "least_loaded"],
+        help=(
+            "read routing: primary-only (default) or conflict-aware "
+            "replica offload"
+        ),
     )
     p_demo.add_argument(
         "--resync",

@@ -20,6 +20,7 @@ The three strategies correspond exactly to the paper's three bars:
 
 from repro.common.errors import PartialReplicationError, RetriesExhaustedError
 from repro.engine.accounting import (
+    AggregateAccountant,
     ConservationError,
     ReplicaTraffic,
     TrafficAccountant,
@@ -51,6 +52,7 @@ from repro.engine.resilience import (
     ResyncOutcome,
     RetryPolicy,
 )
+from repro.engine.router import READ_POLICIES, ReadRouter
 from repro.engine.scheduler import (
     FanoutScheduler,
     LatencyLink,
@@ -58,6 +60,7 @@ from repro.engine.scheduler import (
     SchedulerConfig,
     SimClock,
 )
+from repro.engine.shard import ShardMap, ShardView, ShardedEngine
 from repro.engine.reconcile import (
     ReconcileConfig,
     ReconcileReport,
@@ -75,6 +78,7 @@ from repro.engine.sync import digest_sync, full_sync, verify_consistency
 from repro.engine.work import ShipWork
 
 __all__ = [
+    "AggregateAccountant",
     "AsyncPrimaryEngine",
     "AsyncReplicator",
     "BatchConfig",
@@ -95,6 +99,8 @@ __all__ = [
     "LatencyLink",
     "LinkHealth",
     "PartialReplicationError",
+    "READ_POLICIES",
+    "ReadRouter",
     "ReconcileConfig",
     "ReconcileReport",
     "ReconcileSession",
@@ -108,6 +114,9 @@ __all__ = [
     "RetriesExhaustedError",
     "RetryPolicy",
     "SchedulerConfig",
+    "ShardMap",
+    "ShardView",
+    "ShardedEngine",
     "ShipBatch",
     "ShipBatcher",
     "ShipWork",

@@ -250,6 +250,20 @@ class ShipBatcher:
         """Sum of pre-encoding payload bytes currently buffered."""
         return self._pending_bytes
 
+    @property
+    def pending_lbas(self) -> frozenset[int]:
+        """The distinct LBAs buffered in the current window."""
+        return frozenset(self._pending)
+
+    def is_pending(self, lba: int) -> bool:
+        """True when ``lba`` has a buffered (not yet shipped) payload.
+
+        The read router's batch-window conflict check: a buffered write
+        has reached no replica yet, so every replica is stale for that
+        LBA until the window flushes.
+        """
+        return lba in self._pending
+
     def add(
         self, lba: int, seq: int, block_crc: int, payload: bytes, data_len: int
     ) -> bool:

@@ -26,7 +26,9 @@ from repro.engine.links import DirectLink, ReplicaLink
 from repro.engine.primary import PrimaryEngine
 from repro.engine.replica import ReplicaEngine
 from repro.engine.resilience import LinkHealth, ResilienceConfig, ResyncOutcome
+from repro.engine.router import READ_POLICIES
 from repro.engine.scheduler import SchedulerConfig
+from repro.engine.shard import ShardMap, ShardView, ShardedEngine
 from repro.engine.strategy import ReplicationStrategy, make_strategy
 from repro.engine.stripe import FragmentView, RepairReport, StripeConfig
 from repro.engine.sync import verify_consistency
@@ -49,6 +51,13 @@ class ClusterConfig:
     ``k`` reassemble a block, so ``n - k`` simultaneous node failures
     are tolerated at ``n/k`` storage overhead instead of ``f + 1``
     full mirrors (:mod:`repro.engine.stripe`).
+
+    ``shards`` partitions each node's LBA space across that many
+    independent primary engines (:mod:`repro.engine.shard`), each with
+    its own scheduler/links/accounting; ``read_policy`` routes
+    conflict-free reads across healthy replicas
+    (:mod:`repro.engine.router`).  The defaults (``1``/``"primary"``)
+    keep the wire bit-identical to the unsharded cluster.
     """
 
     nodes: int = 4
@@ -61,6 +70,8 @@ class ClusterConfig:
     redundancy: str = "mirror"  # "mirror" or "erasure"
     k: int = 4  # erasure data fragments per block
     n: int = 6  # erasure total fragments per block (k data + n-k parity)
+    shards: int = 1  # LBA partitions per node (multi-primary when > 1)
+    read_policy: str = "primary"  # "primary" | "replica" | "least_loaded"
 
     def __post_init__(self) -> None:
         if self.nodes < 2:
@@ -95,6 +106,26 @@ class ClusterConfig:
             raise ConfigurationError(
                 "the traditional strategy ships raw blocks and takes no codec"
             )
+        if self.read_policy not in READ_POLICIES:
+            raise ConfigurationError(
+                f"read_policy must be one of {READ_POLICIES}, "
+                f"got {self.read_policy!r}"
+            )
+        if self.shards < 1:
+            raise ConfigurationError(
+                f"shards must be >= 1, got {self.shards}"
+            )
+        if self.shards > self.blocks_per_node:
+            raise ConfigurationError(
+                f"cannot split {self.blocks_per_node} blocks across "
+                f"{self.shards} shards"
+            )
+
+    def shard_map(self) -> ShardMap | None:
+        """The per-node LBA partition, or ``None`` when unsharded."""
+        if self.shards == 1:
+            return None
+        return ShardMap(self.shards, self.blocks_per_node)
 
     def stripe_config(self) -> StripeConfig | None:
         """The erasure code shape, or ``None`` for mirror redundancy."""
@@ -141,21 +172,47 @@ class ClusterNode:
         # one replica region per possible remote primary
         self.replica_regions: dict[int, BlockDevice] = {}
         self._replica_engines: dict[int, ReplicaEngine] = {}
+        # sharded hosting: one replica engine per (remote primary, shard),
+        # all writing through views into that primary's single region
+        self._shard_replica_engines: dict[tuple[int, int], ReplicaEngine] = {}
         self._strategy = strategy
         self._config = config
-        self.engine: PrimaryEngine | None = None  # wired by the cluster
+        self.engine: "PrimaryEngine | ShardedEngine | None" = None  # wired by the cluster
 
-    def host_replica_for(self, primary_id: int) -> ReplicaEngine:
-        """Create (or return) the replica engine for ``primary_id``'s data."""
-        if primary_id not in self._replica_engines:
+    def _region_for(self, primary_id: int) -> BlockDevice:
+        """Create (or return) the single region holding ``primary_id``'s data."""
+        region = self.replica_regions.get(primary_id)
+        if region is None:
             region = MemoryBlockDevice(
                 self._config.region_block_size, self._config.blocks_per_node
             )
             self.replica_regions[primary_id] = region
+        return region
+
+    def host_replica_for(self, primary_id: int) -> ReplicaEngine:
+        """Create (or return) the replica engine for ``primary_id``'s data."""
+        if primary_id not in self._replica_engines:
             self._replica_engines[primary_id] = ReplicaEngine(
-                region, self._strategy
+                self._region_for(primary_id), self._strategy
             )
         return self._replica_engines[primary_id]
+
+    def host_replica_shard(
+        self, primary_id: int, shard: int, shard_map: ShardMap
+    ) -> ReplicaEngine:
+        """The replica engine for shard ``shard`` of ``primary_id``'s data.
+
+        Every shard engine applies into a :class:`ShardView` of the same
+        whole region, so the hosted image stays directly comparable to
+        the primary's volume regardless of the shard count.
+        """
+        key = (primary_id, shard)
+        if key not in self._shard_replica_engines:
+            self._shard_replica_engines[key] = ReplicaEngine(
+                ShardView(self._region_for(primary_id), shard_map, shard),
+                self._strategy,
+            )
+        return self._shard_replica_engines[key]
 
 
 def round_robin_placement(config: ClusterConfig) -> dict[int, list[int]]:
@@ -207,27 +264,67 @@ class StorageCluster:
         self.placement = placement or round_robin_placement(self.config)
         self._validate_placement()
         self._down_nodes: set[int] = set()
+        shard_map = self.config.shard_map()
         for node in self.nodes:
-            links: list[ReplicaLink] = []
-            for replica_id in self.placement[node.node_id]:
-                link: ReplicaLink = DirectLink(
-                    self.nodes[replica_id].host_replica_for(node.node_id)
+            if shard_map is None:
+                links: list[ReplicaLink] = []
+                for replica_id in self.placement[node.node_id]:
+                    link: ReplicaLink = DirectLink(
+                        self.nodes[replica_id].host_replica_for(node.node_id)
+                    )
+                    if link_factory is not None:
+                        link = link_factory(node.node_id, replica_id, link)
+                    links.append(link)
+                node.engine = PrimaryEngine(
+                    node.primary_device,
+                    self._strategy,
+                    links,
+                    resilience=resilience,
+                    telemetry=self.telemetry,
+                    telemetry_name=f"cluster.node{node.node_id}",
+                    batch=batch,
+                    old_block_cache=self.config.old_block_cache,
+                    fanout=fanout,
+                    scheduler=scheduler,
+                    stripe=self.config.stripe_config(),
+                    read_policy=self.config.read_policy,
                 )
-                if link_factory is not None:
-                    link = link_factory(node.node_id, replica_id, link)
-                links.append(link)
-            node.engine = PrimaryEngine(
-                node.primary_device,
-                self._strategy,
-                links,
-                resilience=resilience,
-                telemetry=self.telemetry,
-                telemetry_name=f"cluster.node{node.node_id}",
-                batch=batch,
-                old_block_cache=self.config.old_block_cache,
-                fanout=fanout,
-                scheduler=scheduler,
-                stripe=self.config.stripe_config(),
+                continue
+            # multi-primary: one engine per LBA shard, all writing through
+            # views into this node's single primary volume, each shipping
+            # to per-shard replica engines that share the remote regions
+            shard_engines: list[PrimaryEngine] = []
+            for shard in range(self.config.shards):
+                links = []
+                for replica_id in self.placement[node.node_id]:
+                    link = DirectLink(
+                        self.nodes[replica_id].host_replica_shard(
+                            node.node_id, shard, shard_map
+                        )
+                    )
+                    if link_factory is not None:
+                        link = link_factory(node.node_id, replica_id, link)
+                    links.append(link)
+                shard_engines.append(
+                    PrimaryEngine(
+                        ShardView(node.primary_device, shard_map, shard),
+                        self._strategy,
+                        links,
+                        resilience=resilience,
+                        telemetry=self.telemetry,
+                        telemetry_name=(
+                            f"cluster.node{node.node_id}.shard{shard}"
+                        ),
+                        batch=batch,
+                        old_block_cache=self.config.old_block_cache,
+                        fanout=fanout,
+                        scheduler=scheduler,
+                        stripe=self.config.stripe_config(),
+                        read_policy=self.config.read_policy,
+                    )
+                )
+            node.engine = ShardedEngine(
+                shard_engines, shard_map, node.primary_device
             )
         if self.telemetry.enabled:
             self.telemetry.register_source("cluster", self.telemetry_snapshot)
@@ -342,6 +439,12 @@ class StorageCluster:
         replicas = self.placement[primary_id]
         engine = self.nodes[primary_id].engine
         assert engine is not None
+        # Quiesce the primary's outbound pipeline first: under
+        # fanout="pipelined" (threads mode especially) a submitted-but-
+        # unacked ShipWork may be mid-apply on the replica, and reading
+        # around it could observe a torn write.  Down channels journal
+        # instantly, so this never blocks on the failed node itself.
+        engine.drain()
         codec = engine.stripe_codec
         if codec is not None:
             fragments: dict[int, bytes] = {}
@@ -429,24 +532,29 @@ class StorageCluster:
             assert engine is not None
             engine.fail_link(index)
 
-    def heal_node(self, node_id: int) -> dict[int, ResyncOutcome]:
+    def heal_node(
+        self, node_id: int
+    ) -> dict[int, ResyncOutcome | list[ResyncOutcome]]:
         """Reconnect ``node_id`` and catch up every replica it hosts.
 
         Returns ``{primary_id: outcome}`` describing, per inbound channel,
         which recovery tier ran (backlog replay, set reconciliation, or
-        the digest-sweep fallback) and what it cost on the wire.
+        the digest-sweep fallback) and what it cost on the wire.  On a
+        sharded cluster each value is a list — one outcome per shard.
         """
         self._require_resilience("heal_node")
         self._check_node(node_id)
         self._down_nodes.discard(node_id)
-        outcomes: dict[int, ResyncOutcome] = {}
+        outcomes: dict[int, ResyncOutcome | list[ResyncOutcome]] = {}
         for primary_id, index in self._links_to(node_id):
             engine = self.nodes[primary_id].engine
             assert engine is not None
             outcomes[primary_id] = engine.heal_link(index)
         return outcomes
 
-    def repair_node(self, node_id: int) -> dict[int, RepairReport]:
+    def repair_node(
+        self, node_id: int
+    ) -> dict[int, RepairReport | list[RepairReport]]:
         """Rebuild every fragment hosted on ``node_id`` from survivors.
 
         The erasure tier's replacement path for a node that is *lost*
@@ -463,7 +571,7 @@ class StorageCluster:
             raise ReplicationError(
                 f"node {node_id} is down; heal_node it before repair"
             )
-        reports: dict[int, RepairReport] = {}
+        reports: dict[int, RepairReport | list[RepairReport]] = {}
         for primary_id, index in self._links_to(node_id):
             engine = self.nodes[primary_id].engine
             assert engine is not None
@@ -475,11 +583,15 @@ class StorageCluster:
             reports[primary_id] = engine.repair_fragment(index)
         return reports
 
-    def heal_all(self) -> dict[tuple[int, int], ResyncOutcome]:
+    def heal_all(
+        self,
+    ) -> dict[tuple[int, int], ResyncOutcome | list[ResyncOutcome]]:
         """Heal every channel in the cluster; returns per-pair outcomes."""
         self._require_resilience("heal_all")
         self._down_nodes.clear()
-        outcomes: dict[tuple[int, int], ResyncOutcome] = {}
+        outcomes: dict[
+            tuple[int, int], ResyncOutcome | list[ResyncOutcome]
+        ] = {}
         for node in self.nodes:
             assert node.engine is not None
             for index, replica_id in enumerate(self.placement[node.node_id]):

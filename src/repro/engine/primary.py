@@ -49,6 +49,7 @@ from repro.engine.resilience import (
     ResilienceConfig,
     ResyncOutcome,
 )
+from repro.engine.router import ReadRouter
 from repro.engine.scheduler import FanoutScheduler, SchedulerConfig
 from repro.engine.strategy import ReplicationStrategy
 from repro.engine.stripe import (
@@ -176,6 +177,7 @@ class PrimaryEngine(BlockDevice):
         fanout: str = "sequential",
         scheduler: "SchedulerConfig | None" = None,
         stripe: StripeConfig | None = None,
+        read_policy: str = "primary",
     ) -> None:
         super().__init__(device.block_size, device.num_blocks)
         self._device = device
@@ -255,6 +257,12 @@ class PrimaryEngine(BlockDevice):
                 )
         # RAID parity arrays hand back P' for free on each write.
         self._raid = device if isinstance(device, ParityArrayBase) else None
+        # Conflict-aware read routing: "primary" (default) keeps the
+        # historical read path bit-for-bit; any other policy installs a
+        # ReadRouter that serves conflict-free reads from replicas.
+        self._router = (
+            ReadRouter(self, read_policy) if read_policy != "primary" else None
+        )
 
     @property
     def device(self) -> BlockDevice:
@@ -311,6 +319,31 @@ class PrimaryEngine(BlockDevice):
     def pending_batch_writes(self) -> int:
         """Records buffered but not yet flushed (0 when unbatched)."""
         return len(self._batcher) if self._batcher is not None else 0
+
+    @property
+    def router(self) -> ReadRouter | None:
+        """The conflict-aware read router (``None`` under primary serving)."""
+        return self._router
+
+    @property
+    def read_policy(self) -> str:
+        """The read-routing policy in force."""
+        return self._router.policy if self._router is not None else "primary"
+
+    def lba_in_flight(self, lba: int, index: int) -> bool:
+        """True when ``lba`` has unshipped/unacked replication toward ``index``.
+
+        Covers both conflict sources the router must respect: a payload
+        still buffered in the batch window (shipped to *no* replica yet)
+        and a scheduler submission not yet acked by channel ``index``.
+        Sequential unbatched engines ship synchronously inside
+        ``write_block``, so nothing is ever in flight between calls.
+        """
+        if self._batcher is not None and self._batcher.is_pending(lba):
+            return True
+        if self._scheduler is not None:
+            return self._scheduler.lba_in_flight(lba, index)
+        return False
 
     def add_link(self, link: ReplicaLink) -> None:
         """Attach another replica channel."""
@@ -486,6 +519,8 @@ class PrimaryEngine(BlockDevice):
     # -- BlockDevice interface ------------------------------------------------
 
     def _read(self, lba: int) -> bytes:
+        if self._router is not None:
+            return self._router.read(lba)
         return self._device.read_block(lba)
 
     def _read_old_block(self, lba: int) -> tuple[bytes, bool | None]:
@@ -1042,6 +1077,8 @@ class PrimaryEngine(BlockDevice):
             }
         if self._scheduler is not None:
             snapshot["scheduler"] = self._scheduler.snapshot()
+        if self._router is not None:
+            snapshot["router"] = self._router.snapshot()
         if self._guards:
             snapshot["links"]["backlog_depths"] = [
                 guard.backlog_depth for guard in self._guards

@@ -60,9 +60,8 @@ from repro.common.errors import (
 )
 from repro.common.rng import make_rng
 from repro.engine.accounting import TrafficAccountant
-from repro.engine.batch import ShipBatch
 from repro.engine.journal import JournalOverflowError, ReplicationJournal
-from repro.engine.links import ReplicaLink, _warn_deprecated
+from repro.engine.links import ReplicaLink
 from repro.engine.messages import ReplicationRecord
 from repro.engine.reconcile import (
     ReconcileConfig,
@@ -774,30 +773,6 @@ class GuardedLink:
         self._delivered_counter.inc()
         self.accountant.record_replica_ship(work.wire_size, replica=self.index)
         return True
-
-    def ship(self, lba: int, record: ReplicationRecord, verify_acks: bool) -> bool:
-        """Deliver one record now if possible, else journal it.
-
-        .. deprecated:: 1.1
-           Use ``submit(ShipWork.for_record(lba, record), verify_acks)``.
-        """
-        _warn_deprecated(
-            "GuardedLink.ship()",
-            "GuardedLink.submit(ShipWork.for_record(...), verify_acks)",
-        )
-        return self.submit(ShipWork.for_record(lba, record), verify_acks)
-
-    def ship_batch(self, batch: ShipBatch, verify_acks: bool) -> bool:
-        """Deliver a batch now if possible, else journal its constituents.
-
-        .. deprecated:: 1.1
-           Use ``submit(ShipWork.for_batch(batch), verify_acks)``.
-        """
-        _warn_deprecated(
-            "GuardedLink.ship_batch()",
-            "GuardedLink.submit(ShipWork.for_batch(...), verify_acks)",
-        )
-        return self.submit(ShipWork.for_batch(batch), verify_acks)
 
     def _journal_work(self, work: ShipWork) -> None:
         """Journal a failed submission's records individually, in order."""

@@ -1,0 +1,208 @@
+"""Conflict-aware replica read routing: the scale-out read tier.
+
+Every read used to funnel through the primary, so adding replicas
+bought durability but zero read throughput.  Harmonia-style routing
+fixes that: a read of an LBA with **no write in flight** toward a
+replica is safe to serve from that replica — its image for the LBA is
+byte-identical to the primary's, because the primary applies writes
+locally before shipping and the replica's copy only lags by in-flight
+(submitted-but-unacked) work.  The scheduler's credit window tracks
+exactly that set per channel (:meth:`~repro.engine.scheduler
+.ReplicaChannel.lba_in_flight`), so conflict detection falls out of
+existing bookkeeping.
+
+:class:`ReadRouter` fans conflict-free reads out round-robin (or
+least-loaded) across HEALTHY replicas and falls back to the primary
+for everything else:
+
+* the LBA is **dirty** on the chosen channel (unacked ShipWork, or a
+  payload still buffered in the batch window) — counted as a
+  ``router.reads_conflict``;
+* the replica is DEGRADED/DOWN, holds journaled backlog, needs a
+  resync, or exposes no readable device (e.g. a TCP initiator link);
+* strict engines mid-failure — any stale state surfaces through the
+  engine's own error paths, never through a routed read.
+
+Erasure engines route the same way per *fragment holder*: a block is
+reassembled from any ``k`` conflict-free healthy holders, with the
+starting holder rotated per read so load spreads across all ``n``.
+
+Linearizability argument (see DESIGN.md): the dirty mark is taken
+under the scheduler's resolve lock *before* the write can reach any
+wire and cleared only *after* the replica acked the apply.  A routed
+read that misses the mark therefore started after the ack — it
+observes the new bytes on the replica exactly as it would have on the
+primary.  A read that sees the mark is served by the primary, which
+already holds the new bytes.  Either way the read returns the value of
+the latest completed write — the same answer ``read_policy="primary"``
+gives.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.block.device import BlockDevice
+from repro.common.errors import ConfigurationError
+from repro.engine.resilience import LinkHealth
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.primary import PrimaryEngine
+
+__all__ = ["READ_POLICIES", "ReadRouter"]
+
+#: read policies understood by the engine/API layer; ``"primary"`` means
+#: no router at all (every read served locally, the historical behavior)
+READ_POLICIES = ("primary", "replica", "least_loaded")
+
+
+class ReadRouter:
+    """Route conflict-free reads across healthy replicas.
+
+    ``policy`` picks the replica among the eligible set: ``"replica"``
+    rotates round-robin; ``"least_loaded"`` prefers the channel with the
+    fewest in-flight + queued submissions (ties rotate).  Construction
+    with ``policy="primary"`` is rejected — a primary-serving engine
+    simply has no router.
+
+    Plain integer counters (:attr:`reads_primary` /
+    :attr:`reads_replica` / :attr:`reads_conflict`) mirror the
+    ``router.reads_*`` telemetry counters so routing decisions are
+    observable even with telemetry off.
+    """
+
+    def __init__(self, engine: "PrimaryEngine", policy: str = "replica") -> None:
+        if policy not in READ_POLICIES[1:]:
+            raise ConfigurationError(
+                f"router policy must be one of {READ_POLICIES[1:]}, "
+                f"got {policy!r}"
+            )
+        self._engine = engine
+        self.policy = policy
+        self._rr = 0
+        self.reads_primary = 0
+        self.reads_replica = 0
+        self.reads_conflict = 0
+        tel = engine.telemetry
+        self._tel = tel
+        self._primary_counter = tel.counter("router.reads_primary")
+        self._replica_counter = tel.counter("router.reads_replica")
+        self._conflict_counter = tel.counter("router.reads_conflict")
+
+    # -- eligibility ---------------------------------------------------------
+
+    def _healthy(self, index: int) -> bool:
+        """True when replica ``index`` is up to date (modulo in-flight work).
+
+        A guard in any non-HEALTHY state, holding backlog, or needing a
+        resync has records the replica never saw — its whole image is
+        suspect, not just single LBAs.
+        """
+        engine = self._engine
+        guards = engine.guards
+        if guards:
+            guard = guards[index]
+            if guard.health is not LinkHealth.HEALTHY:
+                return False
+            if guard.backlog_depth or guard.needs_resync:
+                return False
+        return True
+
+    def _device_of(self, index: int) -> BlockDevice | None:
+        """The replica's readable device, or None (unroutable transport)."""
+        return self._engine.links[index].sync_device()
+
+    def _channel_load(self, index: int) -> int:
+        """In-flight + queued submissions on channel ``index`` (0 if none)."""
+        scheduler = self._engine.scheduler
+        if scheduler is None:
+            return 0
+        channel = scheduler.channels[index]
+        return channel.inflight + channel.queue_depth
+
+    # -- routing -------------------------------------------------------------
+
+    def read(self, lba: int) -> bytes:
+        """Serve one read, preferring a conflict-free healthy replica."""
+        with self._tel.span("read.route", lba=lba, policy=self.policy) as span:
+            data, route = self._route(lba)
+            span.set("route", route)
+            return data
+
+    def _route(self, lba: int) -> tuple[bytes, str]:
+        engine = self._engine
+        if engine.stripe_codec is not None:
+            return self._route_striped(lba)
+        healthy = [
+            j
+            for j in range(len(engine.links))
+            if self._healthy(j) and self._device_of(j) is not None
+        ]
+        eligible = [j for j in healthy if not engine.lba_in_flight(lba, j)]
+        if not eligible:
+            if healthy:
+                # a healthy replica existed but the LBA is in flight on
+                # all of them (or still buffered in the batch window)
+                self.reads_conflict += 1
+                self._conflict_counter.inc()
+            self.reads_primary += 1
+            self._primary_counter.inc()
+            return engine.device.read_block(lba), "primary"
+        index = self._pick(eligible)
+        device = self._device_of(index)
+        assert device is not None
+        self.reads_replica += 1
+        self._replica_counter.inc()
+        return device.read_block(lba), f"replica:{index}"
+
+    def _route_striped(self, lba: int) -> tuple[bytes, str]:
+        """Reassemble from any ``k`` conflict-free healthy holders."""
+        engine = self._engine
+        codec = engine.stripe_codec
+        assert codec is not None
+        healthy = [
+            j
+            for j in range(len(engine.links))
+            if self._healthy(j) and self._device_of(j) is not None
+        ]
+        eligible = [j for j in healthy if not engine.lba_in_flight(lba, j)]
+        if len(eligible) < codec.k:
+            if len(healthy) >= codec.k:
+                self.reads_conflict += 1
+                self._conflict_counter.inc()
+            self.reads_primary += 1
+            self._primary_counter.inc()
+            return engine.device.read_block(lba), "primary"
+        # rotate the starting holder so fragment load spreads over all n
+        start = self._rr % len(eligible)
+        self._rr += 1
+        chosen = [eligible[(start + i) % len(eligible)] for i in range(codec.k)]
+        fragments: dict[int, bytes] = {}
+        for j in chosen:
+            device = self._device_of(j)
+            assert device is not None
+            fragments[j] = device.read_block(lba)
+        self.reads_replica += 1
+        self._replica_counter.inc()
+        route = "holders:" + ",".join(str(j) for j in sorted(chosen))
+        return codec.reassemble(fragments), route
+
+    def _pick(self, eligible: list[int]) -> int:
+        """Select one replica from the eligible set per the policy."""
+        if self.policy == "least_loaded":
+            best = min(self._channel_load(j) for j in eligible)
+            eligible = [j for j in eligible if self._channel_load(j) == best]
+        index = eligible[self._rr % len(eligible)]
+        self._rr += 1
+        return index
+
+    # -- reporting -----------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-safe routing counters (also exported via telemetry)."""
+        return {
+            "policy": self.policy,
+            "reads_primary": self.reads_primary,
+            "reads_replica": self.reads_replica,
+            "reads_conflict": self.reads_conflict,
+        }

@@ -229,6 +229,7 @@ class _WorkState:
         "journaled",
         "failure",
         "failed_index",
+        "lbas",
     )
 
     def __init__(
@@ -246,6 +247,14 @@ class _WorkState:
         self.journaled = 0
         self.failure: BaseException | None = None
         self.failed_index = -1
+        # the LBAs this submission touches (all batch segments), held in
+        # each target channel's dirty set until that channel resolves
+        if work.batch is not None:
+            self.lbas: tuple[int, ...] = tuple(
+                entry.lba for entry in work.batch.entries
+            )
+        else:
+            self.lbas = (work.lba,)
 
 
 @dataclass
@@ -303,6 +312,11 @@ class ReplicaChannel:
         self._next_ticket = 0
         self.acked_through = -1
         self._ooo_acks: set[int] = set()
+        # dirty-LBA refcounts: LBAs in submitted-but-unresolved ShipWork
+        # toward this replica.  Marked at submit, cleared as acks compact
+        # (resolve); both under the scheduler's resolve lock.  The read
+        # router treats a dirty LBA as unroutable to this replica.
+        self._dirty: dict[int, int] = {}
         # thread mode: bounded queue == credit window, one worker drains it
         self._queue: queue.Queue | None = None
 
@@ -324,6 +338,33 @@ class ReplicaChannel:
     def ooo_ack_count(self) -> int:
         """Acks received ahead of the cumulative pointer (awaiting gaps)."""
         return len(self._ooo_acks)
+
+    # -- dirty-LBA conflict tracking ----------------------------------------
+
+    @property
+    def dirty_lba_count(self) -> int:
+        """Distinct LBAs with submitted-but-unresolved work on this channel."""
+        return len(self._dirty)
+
+    def mark_dirty(self, lbas: tuple[int, ...]) -> None:
+        """Refcount ``lbas`` as in flight toward this replica (hold lock)."""
+        dirty = self._dirty
+        for lba in lbas:
+            dirty[lba] = dirty.get(lba, 0) + 1
+
+    def clear_dirty(self, lbas: tuple[int, ...]) -> None:
+        """Release one in-flight reference per LBA (hold lock)."""
+        dirty = self._dirty
+        for lba in lbas:
+            count = dirty.get(lba, 0) - 1
+            if count <= 0:
+                dirty.pop(lba, None)
+            else:
+                dirty[lba] = count
+
+    def lba_in_flight(self, lba: int) -> bool:
+        """True when ``lba`` has unresolved work toward this replica."""
+        return lba in self._dirty
 
     # -- sim mode ------------------------------------------------------------
 
@@ -615,6 +656,11 @@ class FanoutScheduler:
                 return
             with self.resolve_lock:
                 self._outstanding += 1
+                # Dirty-mark before the work can reach any wire: a routed
+                # read that observes the mark is serialized before the
+                # write; one that doesn't is serialized after its ack.
+                for channel in targets:
+                    channel.mark_dirty(state.lbas)
             if self.config.mode == "threads":
                 self._ensure_workers()
                 for channel in targets:
@@ -628,6 +674,7 @@ class FanoutScheduler:
     def resolve(self, state: _WorkState, index: int, outcome: str) -> None:
         """One channel finished with ``state``; finalize when all have."""
         with self.resolve_lock:
+            self.channels[index].clear_dirty(state.lbas)
             if outcome == "delivered":
                 state.delivered += 1
                 if self.accountant is not None and not self._guarded:
@@ -740,6 +787,23 @@ class FanoutScheduler:
         """Submissions whose fate is not yet fully resolved."""
         return self._outstanding
 
+    def lba_in_flight(self, lba: int, index: int) -> bool:
+        """True when ``lba`` has unresolved work toward channel ``index``.
+
+        The read router's conflict check: an in-flight (submitted but
+        unacked) write makes the replica's image for that LBA
+        indeterminate, so conflicted reads must fall back to the primary.
+        Taken under the resolve lock so thread-mode marks/clears are
+        never observed half-applied.
+        """
+        with self.resolve_lock:
+            return self.channels[index].lba_in_flight(lba)
+
+    def dirty_lbas(self, index: int) -> frozenset[int]:
+        """Snapshot of channel ``index``'s dirty-LBA set (diagnostics)."""
+        with self.resolve_lock:
+            return frozenset(self.channels[index]._dirty)
+
     def update_inflight(self) -> None:
         """Refresh the ``sched.inflight`` gauge from channel windows."""
         self._inflight_gauge.set(
@@ -781,6 +845,7 @@ class FanoutScheduler:
                     "queue_depth": channel.queue_depth,
                     "acked_through": channel.acked_through,
                     "ooo_acks": channel.ooo_ack_count,
+                    "dirty_lbas": channel.dirty_lba_count,
                     "sends": channel.stats.sends,
                     "acks": channel.stats.acks,
                     "journaled": channel.stats.journaled,

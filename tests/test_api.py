@@ -296,3 +296,35 @@ class TestDeprecationShims:
         assert not [
             w for w in caught if issubclass(w.category, DeprecationWarning)
         ]
+
+    def test_routed_sharded_paths_do_not_warn(self):
+        """The read-routing and multi-primary paths stay shim-free too."""
+        reset_deprecation_warnings()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            config = ReplicationConfig(
+                block_size=BS, num_blocks=N, replicas=2,
+                resilient=True, fanout="pipelined",
+                shards=2, read_policy="replica",
+            )
+            with open_primary(config) as stack:
+                _writes(stack.engine, count=20)
+                stack.drain()
+                for lba in range(N):
+                    stack.engine.read_block(lba)
+        assert not [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+
+    def test_guarded_link_shims_removed(self):
+        """GuardedLink's own ship overrides are gone; submit is the path.
+
+        (The base ReplicaLink shims remain for external callers — only
+        the GuardedLink-specific overrides, which had no callers left,
+        were removed.)
+        """
+        from repro.engine import GuardedLink
+
+        assert "ship" not in GuardedLink.__dict__
+        assert "ship_batch" not in GuardedLink.__dict__
+        assert "submit" in GuardedLink.__dict__

@@ -46,6 +46,8 @@ CONFIG_FIELDS = (
     "link_latency_s",
     "per_link_latency_s",
     "latency_jitter",
+    "read_policy",
+    "shards",
     "resilient",
     "max_attempts",
     "backlog_capacity_bytes",
@@ -66,6 +68,17 @@ ENGINE_SCHEDULER_EXPORTS = {
     "SimClock",
     "ConservationError",
     "ReplicaTraffic",
+}
+
+
+#: engine exports the read-scaling tier added (router + sharding)
+ENGINE_SCALEOUT_EXPORTS = {
+    "AggregateAccountant",
+    "READ_POLICIES",
+    "ReadRouter",
+    "ShardMap",
+    "ShardView",
+    "ShardedEngine",
 }
 
 
@@ -97,10 +110,17 @@ def test_engine_exports_scheduler_surface():
     assert not missing, f"engine exports missing: {sorted(missing)}"
 
 
+def test_engine_exports_scaleout_surface():
+    missing = ENGINE_SCALEOUT_EXPORTS - set(engine.__all__)
+    assert not missing, f"engine exports missing: {sorted(missing)}"
+
+
 def test_open_primary_signature_is_stable():
     signature = inspect.signature(api.open_primary)
     assert list(signature.parameters) == [
         "config",
+        "shards",
+        "read_policy",
         "initial_image",
         "link_factory",
         "telemetry_name",
@@ -113,6 +133,8 @@ def test_open_cluster_signature_is_stable():
     signature = inspect.signature(api.open_cluster)
     assert list(signature.parameters) == [
         "config",
+        "shards",
+        "read_policy",
         "placement",
         "link_factory",
         "resilience",

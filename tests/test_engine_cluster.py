@@ -145,3 +145,50 @@ class TestClusterDataPath:
             StrategyTraffic("prins", mean_payload), T1
         )
         assert model.response_time(cluster.config.population) > 0
+
+
+class TestFailoverReadDrains:
+    """read_from_replica must quiesce in-flight fan-out before serving.
+
+    Regression: under ``fanout="pipelined"`` in threads mode a write can
+    still be mid-flight toward the replica set when the primary is
+    declared down; a failover read that raced it could observe the
+    replica's pre-write (torn) image.  ``read_from_replica`` now drains
+    the primary's pipeline first.
+    """
+
+    def test_threads_failover_read_sees_last_write(self):
+        from repro.engine import ResilienceConfig, SchedulerConfig
+
+        config = small_config()
+        cluster = StorageCluster(
+            config,
+            resilience=ResilienceConfig(),
+            scheduler=SchedulerConfig(
+                mode="threads", window=4, link_latency_s=0.02
+            ),
+        )
+        try:
+            data = bytes([0x5A]) * config.block_size
+            cluster.write(0, 3, data)  # ack still in flight toward replicas
+            cluster.fail_node(0)  # primary declared down immediately after
+            assert cluster.read(0, 3) == data
+        finally:
+            cluster.close()
+
+    def test_batched_failover_read_sees_buffered_write(self):
+        from repro.engine import BatchConfig, ResilienceConfig
+
+        config = small_config()
+        cluster = StorageCluster(
+            config,
+            resilience=ResilienceConfig(),
+            batch=BatchConfig(max_records=64),
+        )
+        try:
+            data = bytes([0xC3]) * config.block_size
+            cluster.write(0, 7, data)  # parked in node 0's batch window
+            cluster.fail_node(0)
+            assert cluster.read(0, 7) == data
+        finally:
+            cluster.close()

@@ -1,0 +1,279 @@
+"""Tests for conflict-aware replica read routing (repro.engine.router).
+
+The router's contract: a routed read always returns exactly the bytes a
+primary-served read would have returned, while conflict-free reads are
+offloaded to healthy replicas (round-robin or least-loaded) and
+everything else — dirty LBAs, degraded replicas, batch-buffered
+payloads, short fragment sets — falls back to the primary.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.block import MemoryBlockDevice
+from repro.common.errors import ConfigurationError
+from repro.engine import (
+    DirectLink,
+    PrimaryEngine,
+    ReadRouter,
+    ReplicaEngine,
+    ResilienceConfig,
+    SchedulerConfig,
+    make_strategy,
+)
+from repro.engine.batch import BatchConfig
+from repro.engine.resilience import LinkHealth
+from repro.engine.stripe import StripeConfig
+
+BS = 512
+N = 32
+
+
+def _stack(
+    replicas=3,
+    read_policy="replica",
+    resilience=None,
+    stripe=None,
+    **engine_kwargs,
+):
+    strategy = make_strategy("prins")
+    primary = MemoryBlockDevice(BS, N)
+    if stripe is not None:
+        fragment = BS // stripe.k
+        replica_devices = [
+            MemoryBlockDevice(fragment, N) for _ in range(stripe.n)
+        ]
+    else:
+        replica_devices = [MemoryBlockDevice(BS, N) for _ in range(replicas)]
+    links = [
+        DirectLink(ReplicaEngine(device, strategy))
+        for device in replica_devices
+    ]
+    engine = PrimaryEngine(
+        primary,
+        strategy,
+        links,
+        read_policy=read_policy,
+        resilience=resilience,
+        stripe=stripe,
+        **engine_kwargs,
+    )
+    return engine, primary, replica_devices
+
+
+def _fill(engine, seed=3):
+    rng = random.Random(seed)
+    for lba in range(N):
+        engine.write_block(lba, bytes(rng.randrange(256) for _ in range(BS)))
+    engine.drain()
+
+
+class TestPolicyValidation:
+    def test_primary_policy_builds_no_router(self):
+        engine, _, _ = _stack(read_policy="primary")
+        assert engine.router is None
+        assert engine.read_policy == "primary"
+
+    def test_router_rejects_primary_policy(self):
+        engine, _, _ = _stack(read_policy="primary")
+        with pytest.raises(ConfigurationError):
+            ReadRouter(engine, "primary")
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _stack(read_policy="chaos")
+
+    def test_replica_policy_builds_router(self):
+        engine, _, _ = _stack(read_policy="replica")
+        assert engine.router is not None
+        assert engine.read_policy == "replica"
+
+
+class TestRoundRobin:
+    def test_reads_match_primary_bytes(self):
+        engine, primary, _ = _stack()
+        _fill(engine)
+        for lba in range(N):
+            assert engine.read_block(lba) == primary.read_block(lba)
+
+    def test_quiescent_reads_spread_round_robin(self):
+        engine, _, _ = _stack(replicas=3)
+        _fill(engine)
+        for lba in range(12):
+            engine.read_block(lba)
+        router = engine.router
+        assert router.reads_replica == 12
+        assert router.reads_primary == 0
+        assert router.reads_conflict == 0
+
+    def test_snapshot_shape(self):
+        engine, _, _ = _stack()
+        _fill(engine)
+        engine.read_block(0)
+        snap = engine.router.snapshot()
+        assert snap == {
+            "policy": "replica",
+            "reads_primary": 0,
+            "reads_replica": 1,
+            "reads_conflict": 0,
+        }
+
+
+class TestConflictFallback:
+    def test_inflight_lba_reads_from_primary(self):
+        engine, primary, _ = _stack(
+            replicas=2,
+            scheduler=SchedulerConfig(window=4, link_latency_s=0.01),
+        )
+        _fill(engine)
+        data = bytes(7 for _ in range(BS))
+        engine.write_block(5, data)  # unacked: dirty on every channel
+        assert engine.scheduler.lba_in_flight(5, 0)
+        assert engine.read_block(5) == data  # served by the primary
+        router = engine.router
+        assert router.reads_conflict == 1
+        assert router.reads_primary == 1
+        engine.drain()
+        assert not engine.scheduler.lba_in_flight(5, 0)
+        assert engine.read_block(5) == data  # now routable
+        assert router.reads_replica == 1
+
+    def test_clean_lbas_still_route_while_another_is_dirty(self):
+        engine, _, _ = _stack(
+            replicas=2,
+            scheduler=SchedulerConfig(window=4, link_latency_s=0.01),
+        )
+        _fill(engine)
+        engine.write_block(5, bytes(BS))
+        before = engine.router.reads_replica
+        engine.read_block(6)  # different LBA: no conflict
+        assert engine.router.reads_replica == before + 1
+        engine.drain()
+
+    def test_batch_buffered_lba_reads_from_primary(self):
+        engine, _, _ = _stack(
+            replicas=2, batch=BatchConfig(max_records=8)
+        )
+        _fill(engine)
+        data = bytes(9 for _ in range(BS))
+        engine.write_block(3, data)  # parked in the batch window
+        assert engine.read_block(3) == data
+        assert engine.router.reads_primary == 1
+        engine.flush_batch()
+        assert engine.read_block(3) == data
+        assert engine.router.reads_replica == 1
+
+
+class TestHealthFallback:
+    def test_down_replica_is_never_routed_to(self):
+        engine, primary, _ = _stack(
+            replicas=2, resilience=ResilienceConfig()
+        )
+        _fill(engine)
+        engine.fail_link(0)
+        stale = bytes(1 for _ in range(BS))
+        engine.write_block(4, stale)  # journals toward link 0
+        for _ in range(6):
+            assert engine.read_block(4) == stale
+        assert engine.link_health()[0] is LinkHealth.DOWN
+        engine.heal_link(0)
+        assert engine.read_block(4) == stale
+
+    def test_all_replicas_down_falls_back_to_primary(self):
+        engine, primary, _ = _stack(
+            replicas=2, resilience=ResilienceConfig()
+        )
+        _fill(engine)
+        engine.fail_link(0)
+        engine.fail_link(1)
+        before = engine.router.reads_primary
+        assert engine.read_block(2) == primary.read_block(2)
+        assert engine.router.reads_primary == before + 1
+        # no healthy replica existed, so this is not a "conflict"
+        assert engine.router.reads_conflict == 0
+
+
+class TestLeastLoaded:
+    def test_policy_accepted_and_correct(self):
+        engine, primary, _ = _stack(replicas=3, read_policy="least_loaded")
+        _fill(engine)
+        for lba in range(N):
+            assert engine.read_block(lba) == primary.read_block(lba)
+        assert engine.router.reads_replica == N
+
+    def test_prefers_unloaded_channel(self):
+        engine, _, _ = _stack(
+            replicas=2,
+            read_policy="least_loaded",
+            scheduler=SchedulerConfig(window=4, link_latency_s=0.01),
+        )
+        _fill(engine)
+        router = engine.router
+        assert router._channel_load(0) == router._channel_load(1) == 0
+        engine.write_block(1, bytes(BS))
+        assert router._channel_load(0) > 0  # in-flight toward both
+        engine.drain()
+
+
+class TestErasureRouting:
+    def test_routed_striped_reads_match_primary(self):
+        stripe = StripeConfig(k=2, n=4)
+        engine, primary, _ = _stack(stripe=stripe)
+        _fill(engine)
+        for lba in range(N):
+            assert engine.read_block(lba) == primary.read_block(lba)
+        assert engine.router.reads_replica == N
+
+    def test_holder_rotation_spreads_fragment_load(self):
+        stripe = StripeConfig(k=2, n=4)
+        engine, _, devices = _stack(stripe=stripe)
+        _fill(engine)
+
+        reads = [0] * len(devices)
+        originals = [d.read_block for d in devices]
+
+        def counting(index):
+            def _read(lba):
+                reads[index] += 1
+                return originals[index](lba)
+
+            return _read
+
+        for index, device in enumerate(devices):
+            device.read_block = counting(index)
+        for _ in range(8):
+            engine.read_block(0)
+        # any-k rotation touches every holder, not a fixed k-prefix
+        assert all(count > 0 for count in reads)
+
+    def test_inflight_striped_lba_reads_from_primary(self):
+        stripe = StripeConfig(k=2, n=4)
+        engine, _, _ = _stack(
+            stripe=stripe,
+            scheduler=SchedulerConfig(window=4, link_latency_s=0.01),
+        )
+        _fill(engine)
+        data = bytes(11 for _ in range(BS))
+        engine.write_block(7, data)
+        assert engine.read_block(7) == data
+        assert engine.router.reads_conflict == 1
+        assert engine.router.reads_primary == 1
+        engine.drain()
+
+
+class TestTelemetryExport:
+    def test_router_section_in_engine_snapshot(self):
+        from repro.obs.telemetry import Telemetry
+
+        tel = Telemetry(detail=True)
+        engine, _, _ = _stack(telemetry=tel, telemetry_name="t")
+        _fill(engine)
+        engine.read_block(0)
+        snap = engine.telemetry_snapshot()
+        assert snap["router"]["reads_replica"] == 1
+        metrics = tel.snapshot()["metrics"]["counters"]
+        assert metrics["router.reads_replica"] == 1
+        assert "read.route" in tel.snapshot()["spans"]
