@@ -29,19 +29,25 @@ stable; this module is sugar over them, not a replacement.
 from __future__ import annotations
 
 import dataclasses
-from dataclasses import dataclass, field
+from dataclasses import InitVar, dataclass, field
 from typing import Any
 
 from repro.block.memory import MemoryBlockDevice
 from repro.common.errors import ConfigurationError
 from repro.engine.batch import BatchConfig
 from repro.engine.cluster import ClusterConfig, StorageCluster
-from repro.engine.links import DirectLink, ReplicaLink
+from repro.engine.links import (
+    DirectLink,
+    InitiatorLink,
+    ReplicaLink,
+    _warn_deprecated,
+)
 from repro.engine.primary import PrimaryEngine
 from repro.engine.replica import ReplicaEngine
 from repro.engine.resilience import ResilienceConfig, RetryPolicy
 from repro.engine.router import READ_POLICIES
-from repro.engine.scheduler import SchedulerConfig
+from repro.engine.scheduler import WORKER_BACKENDS, SchedulerConfig
+from repro.engine.workers import CodecWorkerPool
 from repro.engine.shard import ShardMap, ShardView, ShardedEngine
 from repro.engine.strategy import ReplicationStrategy, make_strategy
 from repro.engine.stripe import (
@@ -51,6 +57,10 @@ from repro.engine.stripe import (
     verify_fragments,
 )
 from repro.engine.sync import full_sync
+from repro.iscsi.aio import AsyncTargetServer, EventLoopThread
+from repro.iscsi.initiator import Initiator
+from repro.iscsi.target import TargetServer
+from repro.iscsi.transport import TcpTransport
 from repro.obs.telemetry import NULL_TELEMETRY, Telemetry, get_telemetry
 
 __all__ = [
@@ -64,8 +74,11 @@ __all__ = [
 #: fan-out modes accepted by :attr:`ReplicationConfig.fanout`
 _FANOUT_MODES = ("sequential", "pipelined")
 
-#: scheduler execution modes accepted by :attr:`ReplicationConfig.scheduler_mode`
-_SCHEDULER_MODES = ("sim", "threads")
+#: transport tiers accepted by :attr:`ReplicationConfig.transport`
+_TRANSPORT_MODES = ("inline", "tcp", "asyncio")
+
+#: legacy ``scheduler_mode`` values → the ``workers`` backend each maps to
+_SCHEDULER_MODE_TO_WORKERS = {"sim": "inline", "threads": "threads"}
 
 #: resync escalation modes accepted by :attr:`ReplicationConfig.resync`
 _RESYNC_MODES = ("reconcile", "digest")
@@ -151,8 +164,20 @@ class ReplicationConfig:
       :class:`~repro.engine.batch.ShipBatcher` window; ``batch_records=None``
       ships per-write) and ``old_block_cache`` (A_old LRU slots);
     * **fan-out** — ``fanout`` (``sequential`` or ``pipelined``) plus the
-      window policy: ``window``, ``scheduler_mode`` (``sim``/``threads``),
-      ``link_latency_s``, ``per_link_latency_s``, ``latency_jitter``;
+      window policy: ``window``, ``link_latency_s``, ``per_link_latency_s``,
+      ``latency_jitter``;
+    * **concurrency** — ``transport`` picks how records reach replicas
+      (``inline`` = in-process calls, ``tcp`` = one thread-per-session
+      iSCSI target per replica, ``asyncio`` = every replica target
+      multiplexed on one event-loop thread — all three byte-identical on
+      the wire) and ``workers`` picks where codecs run (``inline`` = the
+      caller, ``threads`` = the fan-out scheduler's thread pool,
+      ``process`` = a :class:`~repro.engine.workers.CodecWorkerPool` of
+      ``worker_count`` processes fed through ``ring_slots``-deep
+      shared-memory rings — the GIL escape for encode-bound mixes).
+      The deprecated ``scheduler_mode`` kwarg still maps onto ``workers``
+      (``sim`` → ``inline``, ``threads`` → ``threads``) with a one-shot
+      :class:`DeprecationWarning`;
     * **scale-out** — ``read_policy`` (``primary`` = every read served
       locally, ``replica``/``least_loaded`` = conflict-free reads routed
       across healthy replicas, :mod:`repro.engine.router`) and
@@ -192,10 +217,14 @@ class ReplicationConfig:
     # -- fan-out ---------------------------------------------------------------
     fanout: str = "sequential"
     window: int = 8
-    scheduler_mode: str = "sim"
     link_latency_s: float = 0.0
     per_link_latency_s: tuple[float, ...] = field(default=())
     latency_jitter: float = 0.0
+    # -- concurrency -----------------------------------------------------------
+    transport: str = "inline"
+    workers: str = "inline"
+    worker_count: int = 0
+    ring_slots: int = 8
     # -- scale-out -------------------------------------------------------------
     read_policy: str = "primary"
     shards: int = 1
@@ -211,18 +240,70 @@ class ReplicationConfig:
         default_factory=ObservabilityConfig
     )
     seed: int = 0
+    # -- deprecated shims (init-only; excluded from fields()/to_dict) ----------
+    scheduler_mode: InitVar[str | None] = None
 
-    def __post_init__(self) -> None:
+    def __post_init__(self, scheduler_mode: str | None) -> None:
         """Validate the cheap invariants; deeper ones live in the builders."""
+        if scheduler_mode is not None:
+            _warn_deprecated(
+                "ReplicationConfig(scheduler_mode=...)",
+                "ReplicationConfig(workers=...)",
+            )
+            workers = _SCHEDULER_MODE_TO_WORKERS.get(scheduler_mode)
+            if workers is None:
+                raise ConfigurationError(
+                    f"scheduler_mode must be one of "
+                    f"{tuple(_SCHEDULER_MODE_TO_WORKERS)}, "
+                    f"got {scheduler_mode!r}"
+                )
+            object.__setattr__(self, "workers", workers)
         if self.fanout not in _FANOUT_MODES:
             raise ConfigurationError(
                 f"fanout must be one of {_FANOUT_MODES}, got {self.fanout!r}"
             )
-        if self.scheduler_mode not in _SCHEDULER_MODES:
+        if self.transport not in _TRANSPORT_MODES:
             raise ConfigurationError(
-                f"scheduler_mode must be one of {_SCHEDULER_MODES}, "
-                f"got {self.scheduler_mode!r}"
+                f"transport must be one of {_TRANSPORT_MODES}, "
+                f"got {self.transport!r}"
             )
+        if self.workers not in WORKER_BACKENDS:
+            raise ConfigurationError(
+                f"workers must be one of {WORKER_BACKENDS}, "
+                f"got {self.workers!r}"
+            )
+        if self.worker_count < 0:
+            raise ConfigurationError(
+                f"worker_count must be >= 0 (0 = auto), "
+                f"got {self.worker_count}"
+            )
+        if self.ring_slots < 2:
+            raise ConfigurationError(
+                f"ring_slots must be >= 2, got {self.ring_slots}"
+            )
+        if self.workers != "process" and (
+            self.worker_count or self.ring_slots != 8
+        ):
+            raise ConfigurationError(
+                "worker_count/ring_slots tune the process codec pool; "
+                'set workers="process" to use them'
+            )
+        if self.transport != "inline":
+            if self.resilient:
+                raise ConfigurationError(
+                    "networked replica links cannot be resynced in-process; "
+                    'transport != "inline" requires resilient=False'
+                )
+            if self.redundancy != "mirror":
+                raise ConfigurationError(
+                    "the erasure tier ships fragments over inline links; "
+                    'transport != "inline" requires redundancy="mirror"'
+                )
+            if self.shards > 1:
+                raise ConfigurationError(
+                    "sharded multi-primaries wire replicas in-process; "
+                    'transport != "inline" requires shards=1'
+                )
         if self.resync not in _RESYNC_MODES:
             raise ConfigurationError(
                 f"resync must be one of {_RESYNC_MODES}, got {self.resync!r}"
@@ -293,8 +374,14 @@ class ReplicationConfig:
 
     @classmethod
     def from_dict(cls, raw: dict[str, Any]) -> "ReplicationConfig":
-        """Rebuild a config from :meth:`to_dict` output; rejects unknown keys."""
+        """Rebuild a config from :meth:`to_dict` output; rejects unknown keys.
+
+        Legacy dicts carrying ``scheduler_mode`` still load (the init-only
+        shim maps it onto ``workers``, with the same one-shot
+        :class:`DeprecationWarning` as keyword use).
+        """
         known = {f.name for f in dataclasses.fields(cls)}
+        known.add("scheduler_mode")  # InitVar: absent from fields()
         unknown = set(raw) - known
         if unknown:
             raise ConfigurationError(
@@ -334,12 +421,28 @@ class ReplicationConfig:
         if self.fanout != "pipelined":
             return None
         return SchedulerConfig(
-            mode=self.scheduler_mode,
+            workers=self.workers,
             window=self.window,
             link_latency_s=self.link_latency_s,
             per_link_latency_s=self.per_link_latency_s,
             latency_jitter=self.latency_jitter,
             seed=self.seed,
+            worker_count=self.worker_count,
+            ring_slots=self.ring_slots,
+        )
+
+    def codec_pool_instance(self) -> CodecWorkerPool | None:
+        """A process codec pool per the concurrency fields, or ``None``.
+
+        Built once per :func:`open_primary` stack and shared by every
+        engine in it (shards included); the stack owns and closes it.
+        """
+        if self.workers != "process":
+            return None
+        return CodecWorkerPool(
+            worker_count=self.worker_count,
+            ring_slots=self.ring_slots,
+            block_size=self.block_size,
         )
 
     def stripe_config(self) -> StripeConfig | None:
@@ -415,14 +518,43 @@ class PrimaryStack:
     links: list[ReplicaLink]
     config: ReplicationConfig
     telemetry: Any = NULL_TELEMETRY
+    #: per-replica iSCSI targets when ``transport != "inline"``
+    servers: list[Any] = field(default_factory=list)
+    #: the shared event loop hosting asyncio targets (``transport="asyncio"``)
+    loop_thread: Any = None
+    #: the shared process codec pool (``workers="process"``)
+    codec_pool: Any = None
 
     def __enter__(self) -> "PrimaryStack":
         """Enter: nothing to do — construction already wired everything."""
         return self
 
     def __exit__(self, *exc: object) -> None:
-        """Exit: drain and close the engine (flushes batches, joins workers)."""
+        """Exit: :meth:`close` the whole stack."""
+        self.close()
+
+    def close(self) -> None:
+        """Drain and close the engine, then tear down servers, loop, pool.
+
+        Ordering matters: the engine closes first (flushing batches and
+        logging initiator sessions out), then each replica target shuts
+        down deterministically, then the shared event loop and codec
+        worker pool.  Idempotent.
+        """
         self.engine.close()
+        for server in self.servers:
+            stop_background = getattr(server, "stop_background", None)
+            if stop_background is not None:
+                stop_background()
+            else:
+                server.close()
+        self.servers = []
+        if self.loop_thread is not None:
+            self.loop_thread.close()
+            self.loop_thread = None
+        if self.codec_pool is not None:
+            self.codec_pool.close()
+            self.codec_pool = None
 
     def drain(self) -> None:
         """Flush the batch window and drain pipelined fan-out to quiescence."""
@@ -513,8 +645,13 @@ def open_primary(
     replica_devices: list[MemoryBlockDevice] = []
     replica_engines: list[ReplicaEngine] = []
     links: list[ReplicaLink] = []
+    servers: list[Any] = []
+    loop_thread = (
+        EventLoopThread() if config.transport == "asyncio" else None
+    )
     if stripe is not None:
         # erasure tier: n fragment holders, block_size/k bytes per block
+        # (transport="inline" enforced by the config validator)
         fragment_size = config.block_size // stripe.k
         for index in range(stripe.n):
             holder = MemoryBlockDevice(fragment_size, config.num_blocks)
@@ -533,12 +670,15 @@ def open_primary(
             if initial_image is not None:
                 full_sync(device, replica_device)
             replica_engine = ReplicaEngine(replica_device, strategy)
-            link = DirectLink(replica_engine)
+            link = _replica_channel(
+                config, replica_engine, replica_device, servers, loop_thread
+            )
             if link_factory is not None:
                 link = link_factory(index, link)
             replica_devices.append(replica_device)
             replica_engines.append(replica_engine)
             links.append(link)
+    codec_pool = config.codec_pool_instance()
     telemetry = config.telemetry_instance()
     engine = PrimaryEngine(
         device,
@@ -562,6 +702,7 @@ def open_primary(
         scheduler=config.scheduler_config(),
         stripe=stripe,
         read_policy=config.read_policy,
+        codec_pool=codec_pool,
     )
     if stripe is not None and initial_image is not None:
         assert engine.stripe_codec is not None
@@ -574,7 +715,47 @@ def open_primary(
         links=links,
         config=config,
         telemetry=telemetry,
+        servers=servers,
+        loop_thread=loop_thread,
+        codec_pool=codec_pool,
     )
+
+
+def _replica_channel(
+    config: ReplicationConfig,
+    replica_engine: ReplicaEngine,
+    replica_device: MemoryBlockDevice,
+    servers: list[Any],
+    loop_thread: "EventLoopThread | None",
+) -> ReplicaLink:
+    """Wire one replica behind the configured transport tier.
+
+    ``inline`` returns a :class:`~repro.engine.links.DirectLink`; the
+    networked tiers stand up a per-replica iSCSI target (threaded
+    :class:`~repro.iscsi.target.TargetServer` for ``tcp``, an
+    :class:`~repro.iscsi.aio.AsyncTargetServer` multiplexed on the shared
+    ``loop_thread`` for ``asyncio``) with the replica engine installed as
+    its replication handler, and dial it with a blocking initiator
+    session.  All three tiers ship byte-identical PDUs, so accounting and
+    replica images match the inline baseline exactly.
+    """
+    if config.transport == "inline":
+        return DirectLink(replica_engine)
+    if config.transport == "tcp":
+        server: Any = TargetServer(
+            replica_device,
+            replication_handler=replica_engine.receive,
+            batch_handler=replica_engine.receive_batch,
+        ).start()
+    else:  # asyncio — every server shares the one loop thread
+        server = AsyncTargetServer(
+            replica_device,
+            replication_handler=replica_engine.receive,
+            batch_handler=replica_engine.receive_batch,
+        ).serve_background(loop_thread)
+    servers.append(server)
+    host, port = server.address
+    return InitiatorLink(Initiator(TcpTransport.connect(host, port)))
 
 
 def _override_scaleout(
@@ -644,6 +825,7 @@ def _open_sharded_primary(
     policy = (
         resilience if resilience is not None else config.resilience_config()
     )
+    codec_pool = config.codec_pool_instance()  # one pool, every shard
     replica_engines: list[ReplicaEngine] = []
     links: list[ReplicaLink] = []
     engines: list[PrimaryEngine] = []
@@ -676,6 +858,7 @@ def _open_sharded_primary(
                 scheduler=config.scheduler_config(),
                 stripe=stripe,
                 read_policy=config.read_policy,
+                codec_pool=codec_pool,
             )
         )
     engine = ShardedEngine(engines, shard_map, device)
@@ -691,6 +874,7 @@ def _open_sharded_primary(
         links=links,
         config=config,
         telemetry=telemetry,
+        codec_pool=codec_pool,
     )
 
 
@@ -717,6 +901,11 @@ def open_cluster(
     """
     config = config or ReplicationConfig()
     config = _override_scaleout(config, shards, read_policy)
+    if config.transport != "inline":
+        raise ConfigurationError(
+            "open_cluster wires its nodes in-process; the tcp/asyncio "
+            "transport tiers apply to open_primary only"
+        )
     return StorageCluster(
         config.cluster_config(),
         placement=placement,

@@ -130,9 +130,10 @@ def _run_demo_workload(
             # traditional ships raw blocks; a pinned codec only applies to
             # the delta/compression strategies
             codec=base.codec if name != "traditional" else None,
+            # networked replica links have no in-process resync path
+            resilient=base.transport == "inline",
             block_size=block_size,
             num_blocks=num_blocks,
-            resilient=True,
         )
         return open_primary(
             config, initial_image=image, telemetry_name=f"demo.{name}"
@@ -190,6 +191,7 @@ def _run_demo_workload(
             )
             replay_trace(capture.trace, stack.engine)
             emit_traffic(name, stack)
+            stack.close()
         return
 
     # synthetic: random 10%-mutation writes over a warm device
@@ -216,6 +218,7 @@ def _run_demo_workload(
                 lba, mutate_fraction(engine.read_block(lba), 0.10, write_rng)
             )
         emit_traffic(name, stack)
+        stack.close()
 
 
 def _demo_config(args: argparse.Namespace):
@@ -259,6 +262,12 @@ def _demo_config(args: argparse.Namespace):
         overrides["shards"] = args.shards
     if args.read_policy is not None:
         overrides["read_policy"] = args.read_policy
+    if args.transport is not None:
+        overrides["transport"] = args.transport
+    if args.workers is not None:
+        overrides["workers"] = args.workers
+    if args.worker_count is not None:
+        overrides["worker_count"] = args.worker_count
     return _dc.replace(base, **overrides) if overrides else base
 
 
@@ -569,6 +578,32 @@ def main(argv: list[str] | None = None) -> int:
             "read routing: primary-only (default) or conflict-aware "
             "replica offload"
         ),
+    )
+    p_demo.add_argument(
+        "--transport",
+        default=None,
+        choices=["inline", "tcp", "asyncio"],
+        help=(
+            "replica transport tier: in-process links (default), "
+            "thread-per-session TCP targets, or one asyncio event loop "
+            "multiplexing every target (all byte-identical on the wire)"
+        ),
+    )
+    p_demo.add_argument(
+        "--workers",
+        default=None,
+        choices=["inline", "threads", "process"],
+        help=(
+            "codec execution: caller-inline (default), scheduler threads, "
+            "or a multiprocess codec pool over shared-memory rings"
+        ),
+    )
+    p_demo.add_argument(
+        "--worker-count",
+        type=int,
+        default=None,
+        metavar="N",
+        help="process-pool size for --workers process (0 = one per core)",
     )
     p_demo.add_argument(
         "--resync",

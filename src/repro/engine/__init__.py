@@ -54,12 +54,14 @@ from repro.engine.resilience import (
 )
 from repro.engine.router import READ_POLICIES, ReadRouter
 from repro.engine.scheduler import (
+    WORKER_BACKENDS,
     FanoutScheduler,
     LatencyLink,
     ReplicaChannel,
     SchedulerConfig,
     SimClock,
 )
+from repro.engine.workers import CodecWorkerPool
 from repro.engine.shard import ShardMap, ShardView, ShardedEngine
 from repro.engine.reconcile import (
     ReconcileConfig,
@@ -85,6 +87,7 @@ __all__ = [
     "BatchEntry",
     "CircuitBreaker",
     "ClusterConfig",
+    "CodecWorkerPool",
     "CompressedBlockStrategy",
     "ConservationError",
     "DirectLink",
@@ -122,6 +125,7 @@ __all__ = [
     "ShipWork",
     "SimClock",
     "StorageCluster",
+    "WORKER_BACKENDS",
     "FullBlockStrategy",
     "InitiatorLink",
     "PrimaryEngine",

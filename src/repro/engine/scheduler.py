@@ -27,7 +27,7 @@ windowed replication protocols do:
 
 Two execution modes, one semantics:
 
-* ``mode="sim"`` (default) — deterministic, event-driven, on a
+* ``workers="inline"`` (default) — deterministic, event-driven, on a
   :class:`repro.sim.core.Simulator`.  The *send* happens synchronously
   in submission order (so replica images and byte accounting are
   bit-identical to sequential fan-out); only the **ack** is delayed by
@@ -36,7 +36,9 @@ Two execution modes, one semantics:
   submissions and window ``w`` per channel it is ``ceil(n/w) × latency``
   per channel, overlapped across channels, versus the sequential
   ``n × Σ latency``;
-* ``mode="threads"`` — one worker per channel on a real
+* ``workers="threads"`` (and ``"process"``, which additionally offloads
+  codec kernels to worker processes upstream) — one worker per channel
+  on a real
   :class:`concurrent.futures.ThreadPoolExecutor`, for wall-clock wins
   over :class:`~repro.engine.links.InitiatorLink`/TCP transports.  Each
   channel's bounded queue is its credit window; accounting-touching
@@ -58,7 +60,7 @@ import threading
 import time
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import InitVar, dataclass, field
 from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.common.errors import (
@@ -67,7 +69,7 @@ from repro.common.errors import (
     ReplicationError,
 )
 from repro.common.rng import make_rng
-from repro.engine.links import ReplicaLink
+from repro.engine.links import ReplicaLink, _warn_deprecated
 from repro.engine.work import ShipWork
 from repro.obs.telemetry import NULL_TELEMETRY
 from repro.sim.core import Simulator
@@ -88,23 +90,42 @@ __all__ = [
 _STOP = object()
 
 
+#: legacy ``mode=`` values and the ``workers=`` backend each maps to
+_MODE_TO_WORKERS = {"sim": "inline", "threads": "threads"}
+
+#: worker backends a scheduler accepts
+WORKER_BACKENDS = ("inline", "threads", "process")
+
+
 @dataclass(frozen=True)
 class SchedulerConfig:
     """Tunables for a pipelined fan-out scheduler.
 
-    ``window`` is the per-replica credit budget (max in-flight
-    submissions).  ``link_latency_s`` is the simulated send→ack latency
-    every channel charges in sim mode; ``per_link_latency_s`` overrides
-    it per channel index.  ``latency_jitter`` scales each ack's latency
-    by a factor drawn uniformly from ``[1 - jitter, 1]`` using a seeded
-    generator, so out-of-order acks within a channel are exercised
-    deterministically.  ``max_queue`` bounds how many submissions may
-    wait behind a full window before :meth:`FanoutScheduler.submit`
-    stalls the producer (thread mode blocks for real; sim mode counts a
-    stall and keeps queueing, staying deterministic).
+    ``workers`` picks the concurrency backend: ``"inline"`` (the
+    deterministic event-driven simulation — the default), ``"threads"``
+    (one real worker thread per channel, overlapping link I/O), or
+    ``"process"`` (thread-per-channel link I/O *plus* codec kernels
+    offloaded to a :class:`~repro.engine.workers.CodecWorkerPool` of
+    ``worker_count`` processes fed through ``ring_slots``-deep
+    shared-memory rings).  ``window`` is the per-replica credit budget
+    (max in-flight submissions).  ``link_latency_s`` is the simulated
+    send→ack latency every channel charges in inline mode;
+    ``per_link_latency_s`` overrides it per channel index.
+    ``latency_jitter`` scales each ack's latency by a factor drawn
+    uniformly from ``[1 - jitter, 1]`` using a seeded generator, so
+    out-of-order acks within a channel are exercised deterministically.
+    ``max_queue`` bounds how many submissions may wait behind a full
+    window before :meth:`FanoutScheduler.submit` stalls the producer
+    (threaded backends block for real; inline counts a stall and keeps
+    queueing, staying deterministic).
+
+    .. deprecated::
+       ``mode="sim"`` / ``mode="threads"`` are accepted as init-only
+       aliases for ``workers="inline"`` / ``workers="threads"`` and emit
+       a one-shot :class:`DeprecationWarning`; use ``workers=``.
     """
 
-    mode: str = "sim"
+    workers: str = "inline"
     window: int = 8
     link_latency_s: float = 0.0
     per_link_latency_s: tuple[float, ...] = ()
@@ -112,12 +133,34 @@ class SchedulerConfig:
     max_queue: int = 1024
     seed: int = 0
     drain_timeout_s: float = 30.0
+    worker_count: int = 0
+    ring_slots: int = 8
+    mode: InitVar[str | None] = None
 
-    def __post_init__(self) -> None:
-        """Validate the window, mode, and latency model."""
-        if self.mode not in ("sim", "threads"):
+    def __post_init__(self, mode: str | None) -> None:
+        """Map the deprecated alias, then validate backend and latency."""
+        if mode is not None:
+            _warn_deprecated(
+                "SchedulerConfig(mode=...)", "SchedulerConfig(workers=...)"
+            )
+            workers = _MODE_TO_WORKERS.get(mode)
+            if workers is None:
+                raise ConfigurationError(
+                    f"scheduler mode must be 'sim' or 'threads', got {mode!r}"
+                )
+            object.__setattr__(self, "workers", workers)
+        if self.workers not in WORKER_BACKENDS:
             raise ConfigurationError(
-                f"scheduler mode must be 'sim' or 'threads', got {self.mode!r}"
+                f"scheduler workers must be one of {WORKER_BACKENDS}, "
+                f"got {self.workers!r}"
+            )
+        if self.worker_count < 0:
+            raise ConfigurationError(
+                f"worker_count must be >= 0 (0 = auto), got {self.worker_count}"
+            )
+        if self.ring_slots < 2:
+            raise ConfigurationError(
+                f"ring_slots must be >= 2, got {self.ring_slots}"
             )
         if self.window < 1:
             raise ConfigurationError(
@@ -135,6 +178,17 @@ class SchedulerConfig:
             raise ConfigurationError(
                 f"latency_jitter must be in [0, 1], got {self.latency_jitter}"
             )
+
+    @property
+    def execution(self) -> str:
+        """How channel sends run: ``"sim"`` (inline) or ``"threads"``.
+
+        Both the ``threads`` and ``process`` backends drive links from
+        real per-channel worker threads; ``process`` additionally
+        offloads codec kernels to worker processes *upstream* of the
+        scheduler, so channel execution is identical.
+        """
+        return "sim" if self.workers == "inline" else "threads"
 
     def latency_for(self, index: int) -> float:
         """The configured base latency for channel ``index``."""
@@ -604,7 +658,7 @@ class FanoutScheduler:
         return channel
 
     def _ensure_workers(self) -> None:
-        if self.config.mode != "threads" or self._executor is not None:
+        if self.config.execution != "threads" or self._executor is not None:
             return
         self._executor = ThreadPoolExecutor(
             max_workers=max(1, len(self.channels)),
@@ -661,7 +715,7 @@ class FanoutScheduler:
                 # write; one that doesn't is serialized after its ack.
                 for channel in targets:
                     channel.mark_dirty(state.lbas)
-            if self.config.mode == "threads":
+            if self.config.execution == "threads":
                 self._ensure_workers()
                 for channel in targets:
                     channel.enqueue_threaded(state)
@@ -720,7 +774,7 @@ class FanoutScheduler:
             "sched.drain", outstanding=self._outstanding
         ):
             self._drain_counter.inc()
-            if self.config.mode == "threads":
+            if self.config.execution == "threads":
                 with self._drained:
                     if not self._drained.wait_for(
                         lambda: self._outstanding == 0,
@@ -831,7 +885,8 @@ class FanoutScheduler:
     def snapshot(self) -> dict:
         """JSON-safe scheduler state (per-channel windows and ack state)."""
         return {
-            "mode": self.config.mode,
+            "workers": self.config.workers,
+            "mode": self.config.execution,
             "window": self.config.window,
             "submitted": self._submitted,
             "resolved": self._resolved,

@@ -13,13 +13,22 @@ initiator/target pair between PRINS-engines for replication traffic
   :class:`~repro.block.device.BlockDevice` as a LUN, plus a vendor-specific
   replication opcode that the PRINS replica engine hooks;
 * :mod:`repro.iscsi.initiator` — the client side (login, READ/WRITE,
-  replication frames, logout).
+  replication frames, logout);
+* :mod:`repro.iscsi.aio` — the asyncio tier: one event-loop thread
+  multiplexing thousands of sessions as tasks instead of threads, wire
+  bytes identical to the threaded server.
 
 Scope: login/logout and the full-feature phase commands needed by the
 engines.  No CHAP, no multi-connection sessions, no task management — see
 DESIGN.md Sec. 6.
 """
 
+from repro.iscsi.aio import (
+    AsyncInitiator,
+    AsyncTargetServer,
+    AsyncTcpTransport,
+    EventLoopThread,
+)
 from repro.iscsi.initiator import Initiator
 from repro.iscsi.pdu import Opcode, Pdu
 from repro.iscsi.target import Target, TargetServer
@@ -31,6 +40,10 @@ from repro.iscsi.transport import (
 )
 
 __all__ = [
+    "AsyncInitiator",
+    "AsyncTargetServer",
+    "AsyncTcpTransport",
+    "EventLoopThread",
     "InProcessTransport",
     "Initiator",
     "Opcode",

@@ -17,6 +17,7 @@ import inspect
 import logging
 import socket
 import threading
+import time
 from collections.abc import Callable
 
 from repro.block.device import BlockDevice
@@ -239,17 +240,30 @@ class TargetServer:
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._listener.bind((host, port))
         self._listener.listen()
-        self._threads: list[threading.Thread] = []
+        # live sessions: (thread, transport) pairs, guarded by _lock so a
+        # racing accept and close() never disagree about liveness
+        self._sessions: list[tuple[threading.Thread, TcpTransport]] = []
+        self._lock = threading.Lock()
         self._accept_thread: threading.Thread | None = None
         self._running = False
+        self._closed = False
 
     @property
     def address(self) -> tuple[str, int]:
         """The (host, port) the server is listening on."""
         return self._listener.getsockname()
 
+    @property
+    def session_count(self) -> int:
+        """Live (unjoined) session threads."""
+        with self._lock:
+            self._reap_locked()
+            return len(self._sessions)
+
     def start(self) -> "TargetServer":
         """Begin accepting connections in a background thread."""
+        if self._closed:
+            raise ProtocolError("target server is closed")
         self._running = True
         self._accept_thread = threading.Thread(
             target=self._accept_loop, name=f"target-{self._name}", daemon=True
@@ -263,31 +277,91 @@ class TargetServer:
                 conn, _ = self._listener.accept()
             except OSError:
                 return  # listener closed
-            target = Target(
-                self._device,
-                name=self._name,
-                replication_handler=self._replication_handler,
-                batch_handler=self._batch_handler,
-            )
-            thread = threading.Thread(
-                target=target.serve,
-                args=(TcpTransport(conn),),
-                name=f"session-{self._name}",
-                daemon=True,
-            )
-            thread.start()
-            self._threads.append(thread)
+            transport = TcpTransport(conn)
+            with self._lock:
+                if not self._running:
+                    # close() won the race: refuse the straggler session
+                    transport.close()
+                    return
+                target = Target(
+                    self._device,
+                    name=self._name,
+                    replication_handler=self._replication_handler,
+                    batch_handler=self._batch_handler,
+                )
+                thread = threading.Thread(
+                    target=target.serve,
+                    args=(transport,),
+                    name=f"session-{self._name}",
+                    daemon=True,
+                )
+                self._reap_locked()
+                self._sessions.append((thread, transport))
+                thread.start()
 
-    def stop(self) -> None:
-        """Stop accepting and close the listener (sessions drain on close)."""
-        self._running = False
+    def _reap_locked(self) -> None:
+        """Drop finished session threads (holding the lock)."""
+        self._sessions = [
+            entry for entry in self._sessions if entry[0].is_alive()
+        ]
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Deterministic shutdown: refuse, sever, and join every session.
+
+        Closes the listening socket (new connects are refused), closes
+        each live session's transport (a session blocked in ``receive`` —
+        e.g. behind a half-open initiator that never sends another PDU —
+        unblocks with :class:`TransportClosedError` and exits), then
+        joins the session and accept threads, each bounded by
+        ``timeout``.  Idempotent; the server cannot be restarted.
+        """
+        with self._lock:
+            self._running = False
+            self._closed = True
+            sessions = list(self._sessions)
+        # a plain close() does not wake a thread parked in accept() on
+        # Linux; shutdown() does.  Platforms that refuse shutdown on a
+        # listening socket get a throwaway wake-up connection instead.
+        try:
+            address = self._listener.getsockname()
+        except OSError:
+            address = None
+        try:
+            self._listener.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            if address is not None:
+                try:
+                    socket.create_connection(address[:2], timeout=0.2).close()
+                except OSError:
+                    pass
         try:
             self._listener.close()
         except OSError:
             pass
+        for _thread, transport in sessions:
+            transport.close()
+        deadline = time.monotonic() + timeout
+        for thread, _transport in sessions:
+            thread.join(timeout=max(0.0, deadline - time.monotonic()))
+        if self._accept_thread is not None:
+            self._accept_thread.join(
+                timeout=max(0.0, deadline - time.monotonic())
+            )
+        leaked = [t for t, _ in sessions if t.is_alive()]
+        if leaked:
+            raise ProtocolError(
+                f"{len(leaked)} session thread(s) failed to stop within "
+                f"{timeout:.1f}s"
+            )
+        with self._lock:
+            self._sessions = []
+
+    def stop(self) -> None:
+        """Alias for :meth:`close` (the historical name)."""
+        self.close()
 
     def __enter__(self) -> "TargetServer":
         return self.start()
 
     def __exit__(self, *exc_info: object) -> None:
-        self.stop()
+        self.close()

@@ -304,7 +304,12 @@ class TcpTransport(Transport):
         except OSError as exc:
             raise TransportClosedError(f"receive failed: {exc}") from exc
         finally:
-            self._sock.settimeout(None)
+            try:
+                self._sock.settimeout(None)
+            except OSError:
+                # close() from another thread severed the socket mid-receive;
+                # the TransportClosedError above is the real story
+                pass
         return pdu
 
     def _recv_exact(self, n: int) -> bytes:

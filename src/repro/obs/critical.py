@@ -49,6 +49,9 @@ STAGE_OF = {
     "replica.apply": "replica",
     "replica.apply_batch": "replica",
     "replica.decode": "replica",
+    "worker.encode": "worker",
+    "worker.decode": "worker",
+    "transport.accept": "transport",
 }
 
 #: root span names that begin one logical write

@@ -1,0 +1,224 @@
+"""Tests for the asyncio transport tier and deterministic target shutdown.
+
+Covers the two halves of the concurrency contract:
+
+* :class:`~repro.iscsi.aio.AsyncTargetServer` — one process, one event
+  loop, many sessions as tasks — must serve the same wire bytes as the
+  thread-per-session :class:`~repro.iscsi.target.TargetServer`;
+* :meth:`TargetServer.close` must be deterministic even with half-open
+  connections parked in a blocking ``receive`` (the bugfix regression).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import time
+
+import pytest
+
+from repro.block import MemoryBlockDevice
+from repro.common.errors import ProtocolError
+from repro.iscsi import (
+    AsyncInitiator,
+    AsyncTargetServer,
+    EventLoopThread,
+    Initiator,
+    TargetServer,
+    TcpTransport,
+)
+from repro.iscsi.aio import run_sessions
+
+BS = 512
+
+
+class TestAsyncTargetServer:
+    def test_blocking_initiator_against_async_target(self):
+        device = MemoryBlockDevice(BS, 16)
+        server = AsyncTargetServer(device).serve_background()
+        try:
+            host, port = server.address
+            initiator = Initiator(TcpTransport.connect(host, port), timeout=5)
+            params = initiator.login()
+            assert params["BlockSize"] == str(BS)
+            initiator.write(1, b"a" * BS)
+            assert initiator.read(1) == b"a" * BS
+            assert initiator.ping(b"echo") == b"echo"
+            initiator.logout()
+        finally:
+            server.stop_background()
+
+    def test_replication_handler_dispatch(self):
+        device = MemoryBlockDevice(BS, 16)
+        seen = []
+
+        def handler(lba, frame):
+            seen.append((lba, bytes(frame)))
+            return b"ok"
+
+        server = AsyncTargetServer(
+            device, replication_handler=handler
+        ).serve_background()
+        try:
+            host, port = server.address
+            initiator = Initiator(TcpTransport.connect(host, port), timeout=5)
+            initiator.login()
+            ack = initiator.send_replication_frame(7, b"frame-bytes")
+            assert ack == b"ok"
+            assert seen == [(7, b"frame-bytes")]
+            initiator.logout()
+        finally:
+            server.stop_background()
+
+    def test_sixty_four_concurrent_sessions_one_process(self):
+        """The acceptance bar: >= 64 live sessions multiplexed on one loop."""
+        device = MemoryBlockDevice(BS, 256)
+        server = AsyncTargetServer(device).serve_background()
+        try:
+            host, port = server.address
+
+            def make_script(index: int):
+                async def script(session: AsyncInitiator):
+                    await session.write(index, bytes([index % 255 + 1]) * BS)
+                    data = await session.read(index)
+                    return index, data
+
+                return script
+
+            results = asyncio.run(
+                run_sessions(host, port, [make_script(i) for i in range(64)])
+            )
+            assert len(results) == 64
+            for index, data in results:
+                assert data == bytes([index % 255 + 1]) * BS
+            assert device.read_block(5) == bytes([6]) * BS
+            assert server.snapshot()["sessions_served"] >= 64
+            # clients saw their LOGOUT_RESPONSE, but each server-side
+            # task is only discarded by its done-callback a beat later
+            deadline = time.monotonic() + 5
+            while server.connection_count:
+                assert time.monotonic() < deadline, "sessions never drained"
+                time.sleep(0.01)
+        finally:
+            server.stop_background()
+
+    def test_wire_bytes_identical_to_threaded_server(self):
+        """Same script, both tiers: client-side byte counters must match."""
+
+        def drive(host, port):
+            initiator = Initiator(TcpTransport.connect(host, port), timeout=5)
+            initiator.login()
+            for lba in range(8):
+                initiator.write(lba, bytes([lba + 1]) * BS)
+                assert initiator.read(lba) == bytes([lba + 1]) * BS
+            initiator.ping(b"done")
+            initiator.logout()
+            t = initiator.transport
+            return (t.bytes_sent, t.bytes_received, t.pdus_sent, t.pdus_received)
+
+        threaded = TargetServer(MemoryBlockDevice(BS, 16)).start()
+        try:
+            threaded_counts = drive(*threaded.address)
+        finally:
+            threaded.close()
+        aio = AsyncTargetServer(MemoryBlockDevice(BS, 16)).serve_background()
+        try:
+            aio_counts = drive(*aio.address)
+        finally:
+            aio.stop_background()
+        assert aio_counts == threaded_counts
+
+    def test_shared_loop_thread_hosts_many_servers(self):
+        loop_thread = EventLoopThread()
+        devices = [MemoryBlockDevice(BS, 8) for _ in range(3)]
+        servers = [
+            AsyncTargetServer(device).serve_background(loop_thread)
+            for device in devices
+        ]
+        try:
+            for index, server in enumerate(servers):
+                host, port = server.address
+                initiator = Initiator(
+                    TcpTransport.connect(host, port), timeout=5
+                )
+                initiator.login()
+                initiator.write(0, bytes([index + 1]) * BS)
+                initiator.logout()
+            for index, device in enumerate(devices):
+                assert device.read_block(0) == bytes([index + 1]) * BS
+        finally:
+            for server in servers:
+                server.stop_background()
+            loop_thread.close()
+
+    def test_stop_cancels_parked_sessions(self):
+        """A connected-but-idle client must not wedge server shutdown."""
+        device = MemoryBlockDevice(BS, 8)
+        server = AsyncTargetServer(device).serve_background()
+        host, port = server.address
+        parked = socket.create_connection((host, port), timeout=5)
+        try:
+            deadline = time.monotonic() + 5
+            while server.connection_count == 0:
+                assert time.monotonic() < deadline, "session never registered"
+                time.sleep(0.01)
+            server.stop_background()
+            assert server.connection_count == 0
+        finally:
+            parked.close()
+
+
+class TestTargetServerShutdown:
+    """Regression: close() must be deterministic with half-open sessions."""
+
+    def test_close_with_half_open_connection(self):
+        """A client that logs in and then goes silent leaves a session
+        thread parked in receive(); close() must sever and join it."""
+        device = MemoryBlockDevice(BS, 8)
+        server = TargetServer(device).start()
+        host, port = server.address
+        initiator = Initiator(TcpTransport.connect(host, port), timeout=5)
+        initiator.login()  # session thread now blocked awaiting the next PDU
+        assert server.session_count == 1
+        start = time.monotonic()
+        server.close(timeout=5.0)
+        assert time.monotonic() - start < 5.0
+        assert server.session_count == 0
+
+    def test_close_refuses_new_sessions(self):
+        device = MemoryBlockDevice(BS, 8)
+        server = TargetServer(device).start()
+        host, port = server.address
+        server.close()
+        with pytest.raises(OSError):
+            socket.create_connection((host, port), timeout=1)
+        with pytest.raises(ProtocolError):
+            server.start()
+
+    def test_close_is_idempotent(self):
+        server = TargetServer(MemoryBlockDevice(BS, 8)).start()
+        server.close()
+        server.close()
+        server.stop()  # historical alias still works
+
+
+class TestEventLoopThread:
+    def test_run_returns_coroutine_result(self):
+        loop_thread = EventLoopThread()
+        try:
+
+            async def compute():
+                await asyncio.sleep(0)
+                return 41 + 1
+
+            assert loop_thread.run(compute()) == 42
+        finally:
+            loop_thread.close()
+
+    def test_context_manager(self):
+        with EventLoopThread() as loop_thread:
+
+            async def one():
+                return 1
+
+            assert loop_thread.run(one()) == 1

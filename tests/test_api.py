@@ -93,6 +93,112 @@ class TestReplicationConfig:
         assert config.scheduler_config().seed == 77
 
 
+class TestConcurrencyConfig:
+    """The unified transport/workers surface added by the GIL-escape tier."""
+
+    def test_round_trip_with_concurrency_fields(self):
+        config = ReplicationConfig(
+            transport="asyncio",
+            workers="process",
+            worker_count=3,
+            ring_slots=4,
+            fanout="pipelined",
+        )
+        over_the_wire = json.loads(json.dumps(config.to_dict()))
+        assert ReplicationConfig.from_dict(over_the_wire) == config
+
+    def test_legacy_scheduler_mode_dict_still_loads(self):
+        reset_deprecation_warnings()
+        with pytest.warns(DeprecationWarning):
+            config = ReplicationConfig.from_dict({"scheduler_mode": "threads"})
+        assert config.workers == "threads"
+        assert "scheduler_mode" not in config.to_dict()
+        reset_deprecation_warnings()
+
+    def test_scheduler_mode_kwarg_maps_and_warns_once(self):
+        reset_deprecation_warnings()
+        with pytest.warns(DeprecationWarning):
+            config = ReplicationConfig(scheduler_mode="sim")
+        assert config.workers == "inline"
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            ReplicationConfig(scheduler_mode="threads")  # warned already
+        with pytest.raises(ConfigurationError):
+            ReplicationConfig(scheduler_mode="bogus")
+        reset_deprecation_warnings()
+
+    def test_cross_field_validation(self):
+        with pytest.raises(ConfigurationError):
+            ReplicationConfig(transport="carrier-pigeon")
+        with pytest.raises(ConfigurationError):
+            ReplicationConfig(workers="fibers")
+        with pytest.raises(ConfigurationError):
+            ReplicationConfig(worker_count=2)  # needs workers="process"
+        with pytest.raises(ConfigurationError):
+            ReplicationConfig(ring_slots=4)  # needs workers="process"
+        with pytest.raises(ConfigurationError):
+            ReplicationConfig(workers="process", ring_slots=1)
+        with pytest.raises(ConfigurationError):
+            ReplicationConfig(transport="tcp", resilient=True)
+        with pytest.raises(ConfigurationError):
+            ReplicationConfig(transport="tcp", redundancy="erasure")
+        with pytest.raises(ConfigurationError):
+            ReplicationConfig(transport="asyncio", shards=2)
+
+    def test_scheduler_config_carries_worker_fields(self):
+        config = ReplicationConfig(
+            fanout="pipelined", workers="process", worker_count=2, ring_slots=4
+        )
+        derived = config.scheduler_config()
+        assert derived.workers == "process"
+        assert derived.worker_count == 2
+        assert derived.ring_slots == 4
+
+    def test_cluster_rejects_networked_transport(self):
+        with pytest.raises(ConfigurationError):
+            open_cluster(ReplicationConfig(transport="tcp", nodes=2))
+
+    @pytest.mark.parametrize("transport", ["tcp", "asyncio"])
+    def test_networked_facade_matches_inline(self, transport):
+        """tcp/asyncio stacks: replica images and ledger match inline."""
+
+        def run(tier):
+            config = ReplicationConfig(
+                block_size=BS, num_blocks=N, replicas=2, transport=tier
+            )
+            with open_primary(config) as stack:
+                _writes(stack.engine)
+                stack.drain()
+                assert stack.verify()
+                return (
+                    [d.snapshot() for d in stack.replica_devices],
+                    stack.engine.accountant.snapshot(),
+                )
+
+        assert run(transport) == run("inline")
+
+    def test_networked_stack_closes_servers(self):
+        config = ReplicationConfig(block_size=BS, num_blocks=N, transport="tcp")
+        stack = open_primary(config)
+        assert len(stack.servers) == 1
+        _writes(stack.engine, count=4)
+        stack.close()
+        assert stack.servers == []
+        stack.close()  # idempotent
+
+    def test_process_pool_owned_by_stack(self):
+        config = ReplicationConfig(
+            block_size=BS, num_blocks=N, workers="process", worker_count=1
+        )
+        stack = open_primary(config)
+        assert stack.codec_pool is not None
+        assert stack.engine.codec_pool is stack.codec_pool
+        _writes(stack.engine, count=4)
+        assert stack.verify()
+        stack.close()
+        assert stack.codec_pool is None
+
+
 class TestOpenPrimary:
     def test_facade_matches_hand_wiring(self):
         """open_primary must produce bit-identical traffic to manual setup."""

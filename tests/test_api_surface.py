@@ -42,10 +42,13 @@ CONFIG_FIELDS = (
     "old_block_cache",
     "fanout",
     "window",
-    "scheduler_mode",
     "link_latency_s",
     "per_link_latency_s",
     "latency_jitter",
+    "transport",
+    "workers",
+    "worker_count",
+    "ring_slots",
     "read_policy",
     "shards",
     "resilient",
@@ -82,6 +85,22 @@ ENGINE_SCALEOUT_EXPORTS = {
 }
 
 
+#: engine exports the concurrency tier added (process codec workers)
+ENGINE_CONCURRENCY_EXPORTS = {
+    "CodecWorkerPool",
+    "WORKER_BACKENDS",
+}
+
+
+#: iscsi exports the asyncio transport tier added
+ISCSI_AIO_EXPORTS = {
+    "AsyncInitiator",
+    "AsyncTargetServer",
+    "AsyncTcpTransport",
+    "EventLoopThread",
+}
+
+
 def test_api_all_is_exact():
     assert set(api.__all__) == API_EXPORTS
     for name in API_EXPORTS:
@@ -113,6 +132,33 @@ def test_engine_exports_scheduler_surface():
 def test_engine_exports_scaleout_surface():
     missing = ENGINE_SCALEOUT_EXPORTS - set(engine.__all__)
     assert not missing, f"engine exports missing: {sorted(missing)}"
+
+
+def test_engine_exports_concurrency_surface():
+    missing = ENGINE_CONCURRENCY_EXPORTS - set(engine.__all__)
+    assert not missing, f"engine exports missing: {sorted(missing)}"
+
+
+def test_iscsi_exports_aio_surface():
+    import repro.iscsi as iscsi
+
+    missing = ISCSI_AIO_EXPORTS - set(iscsi.__all__)
+    assert not missing, f"iscsi exports missing: {sorted(missing)}"
+    for name in ISCSI_AIO_EXPORTS:
+        assert hasattr(iscsi, name), f"repro.iscsi.{name} missing"
+
+
+def test_scheduler_mode_is_init_only():
+    """The deprecated kwarg is accepted but is not a persisted field."""
+    import warnings
+
+    field_names = {f.name for f in dataclasses.fields(api.ReplicationConfig)}
+    assert "scheduler_mode" not in field_names
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        config = api.ReplicationConfig(scheduler_mode="threads")
+    assert config.workers == "threads"
+    assert "scheduler_mode" not in config.to_dict()
 
 
 def test_open_primary_signature_is_stable():

@@ -165,7 +165,7 @@ class TestFailoverReadDrains:
             config,
             resilience=ResilienceConfig(),
             scheduler=SchedulerConfig(
-                mode="threads", window=4, link_latency_s=0.02
+                workers="threads", window=4, link_latency_s=0.02
             ),
         )
         try:

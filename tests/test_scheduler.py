@@ -20,7 +20,7 @@ from repro.engine import (
     SimClock,
     make_strategy,
 )
-from repro.engine.links import ReplicaLink
+from repro.engine.links import ReplicaLink, reset_deprecation_warnings
 from repro.obs.telemetry import Telemetry
 
 BS = 512
@@ -56,12 +56,31 @@ def _random_writes(engine, count=60, seed=11):
 class TestSchedulerConfig:
     def test_defaults_validate(self):
         config = SchedulerConfig()
-        assert config.mode == "sim"
+        assert config.workers == "inline"
+        assert config.execution == "sim"
         assert config.window >= 1
 
-    def test_bad_mode_rejected(self):
+    def test_bad_workers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SchedulerConfig(workers="carrier-pigeon")
+
+    def test_deprecated_mode_maps_with_warning(self):
+        reset_deprecation_warnings()
+        with pytest.warns(DeprecationWarning):
+            config = SchedulerConfig(mode="threads")
+        assert config.workers == "threads"
+        assert config.execution == "threads"
         with pytest.raises(ConfigurationError):
             SchedulerConfig(mode="carrier-pigeon")
+        reset_deprecation_warnings()
+
+    def test_process_backend_validates(self):
+        config = SchedulerConfig(workers="process", worker_count=2, ring_slots=4)
+        assert config.execution == "threads"
+        with pytest.raises(ConfigurationError):
+            SchedulerConfig(workers="process", worker_count=-1)
+        with pytest.raises(ConfigurationError):
+            SchedulerConfig(ring_slots=1)
 
     def test_bad_window_rejected(self):
         with pytest.raises(ConfigurationError):
@@ -255,7 +274,7 @@ class TestThreadMode:
         seq_engine, seq_primary, seq_reps = _stack()
         _random_writes(seq_engine)
         engine, primary, reps = _stack(
-            scheduler=SchedulerConfig(mode="threads", window=4),
+            scheduler=SchedulerConfig(workers="threads", window=4),
         )
         _random_writes(engine)
         engine.drain()
@@ -271,7 +290,7 @@ class TestThreadMode:
         engine, primary, reps = _stack(
             replicas=2,
             resilience=ResilienceConfig(),
-            scheduler=SchedulerConfig(mode="threads", window=4),
+            scheduler=SchedulerConfig(workers="threads", window=4),
         )
         _random_writes(engine, count=30)
         engine.drain()

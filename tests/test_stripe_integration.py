@@ -256,7 +256,7 @@ def test_guarded_stripe_fail_and_heal():
 
 def test_pipelined_sim_stripe_fanout():
     config = _erasure_config(
-        strategy="prins", fanout="pipelined", window=4, scheduler_mode="sim"
+        strategy="prins", fanout="pipelined", window=4, workers="inline"
     )
     with open_primary(config) as stack:
         for lba, data in _seeded_writes(25, seed=43):
